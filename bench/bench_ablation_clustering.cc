@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Ablation bench (ours, beyond the paper): sensitivity of the
+ * suggested subset to methodology choices the paper fixed silently --
+ * the clustering linkage, the retained-variance threshold, and the
+ * forced cluster count. Reports how stable the subset composition
+ * and the time saving are under each variation.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "cluster/kmeans.hh"
+#include "core/subset.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+namespace {
+
+std::set<std::string>
+membersOf(const core::SubsetSuggestion &subset)
+{
+    std::set<std::string> members;
+    for (const auto &rep : subset.representatives)
+        members.insert(rep.name);
+    return members;
+}
+
+double
+overlapPct(const std::set<std::string> &a, const std::set<std::string> &b)
+{
+    if (a.empty())
+        return 0.0;
+    std::size_t common = 0;
+    for (const auto &name : a)
+        common += b.count(name);
+    return 100.0 * double(common)
+        / double(std::max(a.size(), b.size()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Ablation: clustering methodology sensitivity (rate pairs, "
+        "ref)",
+        options);
+    core::Characterizer session(options);
+
+    // Baseline: the paper-like configuration.
+    core::RedundancyOptions base_options;
+    const auto base_analysis =
+        session.redundancyFor(false, base_options);
+    const auto base_subset = core::suggestSubset(base_analysis);
+    const auto base_members = membersOf(base_subset);
+    std::printf("baseline: average linkage, 76%% variance -> %zu "
+                "clusters, %.1f%% time saving\n\n",
+                base_subset.numClusters(), base_subset.savingPct());
+
+    std::printf("--- linkage sensitivity ---\n");
+    TextTable linkage_table({"linkage", "clusters", "saving %",
+                             "subset overlap vs baseline %"});
+    for (cluster::Linkage linkage :
+         {cluster::Linkage::Single, cluster::Linkage::Complete,
+          cluster::Linkage::Average, cluster::Linkage::Ward}) {
+        core::RedundancyOptions ro;
+        ro.linkage = linkage;
+        const auto analysis = session.redundancyFor(false, ro);
+        const auto subset = core::suggestSubset(analysis);
+        linkage_table.addRow(
+            {cluster::linkageName(linkage),
+             std::to_string(subset.numClusters()),
+             fmtDouble(subset.savingPct(), 1),
+             fmtDouble(overlapPct(membersOf(subset), base_members),
+                       1)});
+    }
+    std::ostringstream os1;
+    linkage_table.render(os1);
+    std::printf("%s\n", os1.str().c_str());
+
+    std::printf("--- retained-variance sensitivity ---\n");
+    TextTable variance_table({"variance target", "PCs", "clusters",
+                              "saving %", "overlap vs baseline %"});
+    for (double fraction : {0.6, 0.76, 0.85, 0.95}) {
+        core::RedundancyOptions ro;
+        ro.varianceFraction = fraction;
+        const auto analysis = session.redundancyFor(false, ro);
+        const auto subset = core::suggestSubset(analysis);
+        variance_table.addRow(
+            {fmtDouble(fraction, 2),
+             std::to_string(analysis.numComponents),
+             std::to_string(subset.numClusters()),
+             fmtDouble(subset.savingPct(), 1),
+             fmtDouble(overlapPct(membersOf(subset), base_members),
+                       1)});
+    }
+    std::ostringstream os2;
+    variance_table.render(os2);
+    std::printf("%s\n", os2.str().c_str());
+
+    std::printf("--- forced cluster count (paper picks 12 for rate) "
+                "---\n");
+    TextTable count_table({"clusters", "SSE", "saving %",
+                           "silhouette"});
+    for (std::size_t k : {6u, 9u, 12u, 15u, 18u, 24u}) {
+        const auto subset = core::suggestSubset(base_analysis, k);
+        const double silhouette = cluster::silhouetteScore(
+            base_analysis.pcScores, base_analysis.dendrogram.cut(k));
+        count_table.addRow({std::to_string(k),
+                            fmtDouble(subset.sweep[subset.chosen].sse,
+                                      2),
+                            fmtDouble(subset.savingPct(), 1),
+                            fmtDouble(silhouette, 3)});
+    }
+    std::ostringstream os3;
+    count_table.render(os3);
+    std::printf("%s\n", os3.str().c_str());
+
+    std::printf("--- algorithm family: hierarchical vs k-means ---\n");
+    TextTable algo_table({"k", "hierarchical SSE", "k-means SSE",
+                          "label agreement %"});
+    for (std::size_t k : {8u, 12u, 16u}) {
+        const auto h_labels = base_analysis.dendrogram.cut(k);
+        const double h_sse = cluster::sumSquaredError(
+            base_analysis.pcScores, h_labels);
+        const auto km =
+            cluster::kMeans(base_analysis.pcScores, k, 0x5bec17);
+        // Pairwise co-clustering agreement (Rand-index style): do the
+        // two algorithms put each pair of workloads together or apart
+        // consistently?
+        std::size_t agree = 0, total = 0;
+        for (std::size_t a = 0; a < h_labels.size(); ++a) {
+            for (std::size_t b = a + 1; b < h_labels.size(); ++b) {
+                const bool together_h = h_labels[a] == h_labels[b];
+                const bool together_k =
+                    km.labels[a] == km.labels[b];
+                agree += together_h == together_k;
+                ++total;
+            }
+        }
+        algo_table.addRow({std::to_string(k), fmtDouble(h_sse, 2),
+                           fmtDouble(km.sse, 2),
+                           fmtDouble(100.0 * agree / total, 1)});
+    }
+    std::ostringstream os4;
+    algo_table.render(os4);
+    std::printf("%s", os4.str().c_str());
+    std::printf("high pairwise agreement means the subset reflects "
+                "the data, not the algorithm.\n");
+    return 0;
+}

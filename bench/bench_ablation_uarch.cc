@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Ablation bench (ours, beyond the paper): sensitivity of the
+ * characterization to microarchitecture choices the paper's fixed
+ * testbed could not vary -- branch predictor, L1/L2 replacement
+ * policy, and hardware prefetcher. Demonstrates which of the paper's
+ * metrics are microarchitecture-dependent and by how much.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+namespace {
+
+/** Representative pairs spanning the behaviour space. */
+const char *const kApps[] = {
+    "505.mcf_r",       // pointer chasing
+    "525.x264_r",      // high-ILP streaming
+    "541.leela_r",     // mispredict-bound
+    "519.lbm_r",       // bandwidth-bound streaming
+    "523.xalancbmk_r", // L1-pressure
+};
+
+suite::PairResult
+runWith(const core::CharacterizerOptions &base,
+        const std::string &predictor, const std::string &prefetcher,
+        sim::ReplacementPolicy policy, const char *app)
+{
+    suite::RunnerOptions options = base.runner;
+    options.system.branchPredictor = predictor;
+    options.system.hierarchy.prefetcher = prefetcher;
+    options.system.hierarchy.l1d.policy = policy;
+    options.system.hierarchy.l2.policy = policy;
+    suite::SuiteRunner runner(options);
+    const auto &profile =
+        workloads::findProfile(workloads::cpu2017Suite(), app);
+    return runner.runPair({&profile, workloads::InputSize::Ref, 0});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::parseOptions(argc, argv);
+    // Ablations use their own configurations; keep them snappy and
+    // uncached.
+    options.runner.sampleOps = std::min<std::uint64_t>(
+        options.runner.sampleOps, 600'000);
+    options.runner.warmupOps = std::min<std::uint64_t>(
+        options.runner.warmupOps, 200'000);
+    bench::printHeader(
+        "Ablation: branch predictor / replacement / prefetcher "
+        "sensitivity",
+        options);
+
+    std::printf("--- branch predictor (IPC / mispredict %%) ---\n");
+    TextTable predictor_table(
+        {"pair", "static-taken", "bimodal", "gshare", "tournament"});
+    for (const char *app : kApps) {
+        std::vector<std::string> row = {app};
+        for (const char *predictor :
+             {"static-taken", "bimodal", "gshare", "tournament"}) {
+            const auto result =
+                runWith(options, predictor, "none",
+                        sim::ReplacementPolicy::Lru, app);
+            const auto metrics = core::deriveMetrics(result);
+            row.push_back(fmtDouble(metrics.ipc, 2) + " / "
+                          + fmtDouble(metrics.mispredictPct, 2));
+        }
+        predictor_table.addRow(row);
+    }
+    std::ostringstream os1;
+    predictor_table.render(os1);
+    std::printf("%s\n", os1.str().c_str());
+
+    std::printf("--- L1/L2 replacement policy (L1 miss %% / L2 miss "
+                "%%) ---\n");
+    TextTable policy_table({"pair", "lru", "tree-plru", "random"});
+    for (const char *app : kApps) {
+        std::vector<std::string> row = {app};
+        for (sim::ReplacementPolicy policy :
+             {sim::ReplacementPolicy::Lru, sim::ReplacementPolicy::TreePlru,
+              sim::ReplacementPolicy::Random}) {
+            const auto result =
+                runWith(options, "tournament", "none", policy, app);
+            const auto metrics = core::deriveMetrics(result);
+            row.push_back(fmtDouble(metrics.l1MissPct, 2) + " / "
+                          + fmtDouble(metrics.l2MissPct, 2));
+        }
+        policy_table.addRow(row);
+    }
+    std::ostringstream os2;
+    policy_table.render(os2);
+    std::printf("%s\n", os2.str().c_str());
+
+    std::printf("--- data prefetcher (IPC / L1 miss %%) ---\n");
+    TextTable prefetch_table({"pair", "none", "next-line", "stride"});
+    for (const char *app : kApps) {
+        std::vector<std::string> row = {app};
+        for (const char *prefetcher : {"none", "next-line", "stride"}) {
+            const auto result =
+                runWith(options, "tournament", prefetcher,
+                        sim::ReplacementPolicy::Lru, app);
+            const auto metrics = core::deriveMetrics(result);
+            row.push_back(fmtDouble(metrics.ipc, 2) + " / "
+                          + fmtDouble(metrics.l1MissPct, 2));
+        }
+        prefetch_table.addRow(row);
+    }
+    std::ostringstream os3;
+    prefetch_table.render(os3);
+    std::printf("%s\n", os3.str().c_str());
+
+    std::printf("--- TLB modelling (IPC off / on, dTLB walks per "
+                "kilo-op) ---\n");
+    TextTable tlb_table({"pair", "IPC (no TLB)", "IPC (TLB)",
+                         "walks/kop"});
+    for (const char *app : kApps) {
+        const auto base =
+            runWith(options, "tournament", "none",
+                    sim::ReplacementPolicy::Lru, app);
+        suite::RunnerOptions tlb_options = options.runner;
+        tlb_options.sampleOps = std::min<std::uint64_t>(
+            tlb_options.sampleOps, 600'000);
+        tlb_options.warmupOps = std::min<std::uint64_t>(
+            tlb_options.warmupOps, 200'000);
+        tlb_options.system.enableTlb = true;
+        suite::SuiteRunner runner(tlb_options);
+        const auto &profile =
+            workloads::findProfile(workloads::cpu2017Suite(), app);
+        const auto with_tlb =
+            runner.runPair({&profile, workloads::InputSize::Ref, 0});
+        const double kops =
+            double(with_tlb.counters.get(
+                counters::PerfEvent::InstRetiredAny))
+            / 1000.0;
+        tlb_table.addRow(
+            {app, fmtDouble(base.ipc(), 3),
+             fmtDouble(with_tlb.ipc(), 3),
+             fmtDouble(double(with_tlb.counters.get(
+                           counters::PerfEvent::DtlbLoadMissesWalk))
+                           / kops,
+                       2)});
+    }
+    std::ostringstream os4;
+    tlb_table.render(os4);
+    std::printf("%s\n", os4.str().c_str());
+
+    std::printf("expected shape: streaming pairs (519.lbm_r, "
+                "525.x264_r) gain from prefetching;\n"
+                "541.leela_r degrades most under static-taken; "
+                "random replacement hurts the\nL1-pressure pair "
+                "(523.xalancbmk_r) least at L2 where its set "
+                "pressure is low;\nTLB walks track working-set size "
+                "(505.mcf_r worst).\n");
+    return 0;
+}

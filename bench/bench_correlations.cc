@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates the Section IV correlation observations: Pearson
+ * correlations of footprint and per-level miss rates against IPC
+ * across the CPU2017 ref pairs.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Section IV correlations: counters vs IPC across CPU17 ref "
+        "pairs",
+        options);
+    core::Characterizer session(options);
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+
+    struct Row
+    {
+        const char *label;
+        double core::Metrics::*field;
+        double paper;
+    };
+    const Row rows[] = {
+        {"RSS", &core::Metrics::rssGiB, -0.465},
+        {"VSZ", &core::Metrics::vszGiB, -0.510},
+        {"L1 load miss rate", &core::Metrics::l1MissPct, -0.282},
+        {"L2 load miss rate", &core::Metrics::l2MissPct, -0.479},
+        {"L3 load miss rate", &core::Metrics::l3MissPct, -0.137},
+    };
+
+    TextTable table({"quantity", "corr with IPC (paper)",
+                     "corr with IPC (measured)"});
+    for (const Row &row : rows) {
+        const double measured =
+            core::correlationWithIpc(metrics, row.field);
+        table.addRow({row.label, fmtDouble(row.paper, 3),
+                      fmtDouble(measured, 3)});
+        bench::paperNote(std::string("corr(") + row.label + ", IPC)",
+                         row.paper, measured);
+    }
+    std::ostringstream os;
+    table.render(os);
+    std::printf("\n%s", os.str().c_str());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Extension experiment: the power/energy axis. SPEC CPU2017 ships an
+ * optional power metric that the paper mentions (Section II) but
+ * cannot evaluate without a power meter; the simulated machine can.
+ * Reports per-application energy-per-instruction, average power, and
+ * energy-delay product for the CPU2017 ref pairs, and checks the
+ * structural expectations (memory-bound pairs burn DRAM energy and
+ * stall leakage; compute-bound pairs are core-dominated).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "sim/energy.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Extension: energy characterization (the CPU2017 power "
+        "metric, simulated)",
+        options);
+    core::Characterizer session(options);
+    const auto &results = session.results(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref);
+
+    struct Row
+    {
+        std::string name;
+        double epi = 0.0;     // nJ / instruction
+        double watts = 0.0;   // sampled-average power
+        double dram_share = 0.0;
+        double static_share = 0.0;
+    };
+    std::vector<Row> rows;
+    for (const auto &result : results) {
+        if (result.errored)
+            continue;
+        // Leakage accrues on every active core-cycle: the summed
+        // cpu_clk_unhalted counter (all threads), not wall cycles.
+        const auto energy = sim::computeEnergy(
+            result.counters,
+            double(result.counters.get(
+                counters::PerfEvent::CpuClkUnhaltedRefTsc)));
+        const double instr = double(result.counters.get(
+            counters::PerfEvent::InstRetiredAny));
+        const double seconds = result.wallCycles
+            / (options.runner.system.core.frequencyGHz * 1e9);
+        Row row;
+        row.name = result.name;
+        row.epi = energy.epiNj(instr);
+        row.watts = energy.watts(seconds);
+        row.dram_share = energy.dramJ / energy.totalJ();
+        row.static_share = energy.staticJ / energy.totalJ();
+        rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.epi > b.epi; });
+
+    TextTable table({"pair", "EPI (nJ)", "avg W", "DRAM %",
+                     "static %", ""});
+    const double epi_max = rows.front().epi;
+    for (const auto &row : rows) {
+        table.addRow({row.name, fmtDouble(row.epi, 2),
+                      fmtDouble(row.watts, 2),
+                      fmtDouble(100.0 * row.dram_share, 1),
+                      fmtDouble(100.0 * row.static_share, 1),
+                      bench::asciiBar(row.epi, epi_max, 24)});
+    }
+    std::ostringstream os;
+    table.render(os);
+    std::printf("%s\n", os.str().c_str());
+
+    auto epi_of = [&](const std::string &prefix) {
+        for (const auto &row : rows) {
+            if (row.name.rfind(prefix, 0) == 0)
+                return row.epi;
+        }
+        return 0.0;
+    };
+    std::printf("structural checks:\n");
+    std::printf("  619.lbm_s EPI %.2f nJ vs 625.x264_s %.2f nJ "
+                "(memory wall costs energy: %.1fx)\n",
+                epi_of("619.lbm_s"), epi_of("625.x264_s"),
+                epi_of("619.lbm_s") / epi_of("625.x264_s"));
+    std::printf("  505.mcf_r EPI %.2f nJ vs 548.exchange2_r %.2f nJ "
+                "(%.1fx)\n",
+                epi_of("505.mcf_r"), epi_of("548.exchange2_r"),
+                epi_of("505.mcf_r") / epi_of("548.exchange2_r"));
+    return 0;
+}

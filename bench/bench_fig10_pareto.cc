@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates Fig. 10: the SSE-vs-execution-time sweep over cluster
+ * counts and the Pareto-optimal choice for the rate and speed pair
+ * sets (the paper selects 12 rate / 10 speed clusters).
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "core/subset.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Figure 10: Pareto-optimal cluster sizes (SSE vs subset "
+        "execution time)",
+        options);
+    core::Characterizer session(options);
+
+    for (int panel = 0; panel < 2; ++panel) {
+        const bool speed = panel == 1;
+        const auto analysis = session.redundancyFor(speed);
+        const auto subset = core::suggestSubset(analysis);
+
+        std::printf("(%c) %s pairs\n", speed ? 'b' : 'a',
+                    speed ? "speed" : "rate");
+        TextTable table({"clusters", "SSE", "subset time (s)", "",
+                         "knee"});
+        double sse_max = 0.0;
+        for (const auto &tp : subset.sweep)
+            sse_max = std::max(sse_max, tp.sse);
+        for (const auto &tp : subset.sweep) {
+            const bool knee =
+                tp.numClusters
+                == subset.sweep[subset.chosen].numClusters;
+            table.addRow({std::to_string(tp.numClusters),
+                          fmtDouble(tp.sse, 3),
+                          fmtDouble(tp.cost, 1),
+                          bench::asciiBar(tp.sse, sse_max, 24),
+                          knee ? "<== chosen" : ""});
+        }
+        std::ostringstream os;
+        table.render(os);
+        std::printf("%s\n", os.str().c_str());
+
+        bench::paperNote(speed ? "speed optimal cluster count"
+                               : "rate optimal cluster count",
+                         speed ? 10.0 : 12.0,
+                         double(subset.numClusters()));
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Fig. 1: instructions per cycle for every CPU2017
+ * application-input pair, rate (a) and speed (b) mini-suites.
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 1: instructions per cycle (ref)",
+                       options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(session,
+                               {{"IPC", &core::Metrics::ipc}});
+
+    // The paper's named extremes.
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    auto ipc_of = [&](const std::string &name) {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m.ipc;
+        }
+        return 0.0;
+    };
+    bench::paperNote("525.x264_r IPC (highest rate int)", 3.024,
+                     ipc_of("525.x264_r"));
+    bench::paperNote("505.mcf_r IPC (lowest rate int)", 0.886,
+                     ipc_of("505.mcf_r"));
+    bench::paperNote("508.namd_r IPC (highest rate fp)", 2.265,
+                     ipc_of("508.namd_r"));
+    bench::paperNote("549.fotonik3d_r IPC (lowest rate fp)", 1.117,
+                     ipc_of("549.fotonik3d_r"));
+    bench::paperNote("625.x264_s IPC (highest speed int)", 3.038,
+                     ipc_of("625.x264_s"));
+    bench::paperNote("657.xz_s IPC (low speed int)", 0.903,
+                     ipc_of("657.xz_s"));
+    bench::paperNote("628.pop2_s IPC (highest speed fp)", 1.642,
+                     ipc_of("628.pop2_s"));
+    bench::paperNote("619.lbm_s IPC (lowest speed fp)", 0.062,
+                     ipc_of("619.lbm_s"));
+    return 0;
+}

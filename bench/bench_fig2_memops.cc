@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Fig. 2: breakdown of memory micro-operations (% loads
+ * and % stores of retired micro-ops) per CPU2017 pair.
+ */
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Figure 2: breakdown of memory micro-operations (ref)",
+        options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(session,
+                               {{"% loads", &core::Metrics::loadPct},
+                                {"% stores", &core::Metrics::storePct}});
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    double mem_sum = 0.0;
+    for (const auto &m : metrics)
+        mem_sum += m.loadPct + m.storePct;
+    bench::paperNote("CPU17 avg % memory micro-ops", 33.993,
+                     mem_sum / double(metrics.size()));
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    bench::paperNote("507.cactuBSSN_r % mem (highest rate)", 48.375,
+                     find("507.cactuBSSN_r").loadPct
+                         + find("507.cactuBSSN_r").storePct);
+    bench::paperNote("654.roms_s % loads (lowest)", 11.504,
+                     find("654.roms_s").loadPct);
+    bench::paperNote("548.exchange2_r % stores (highest int)", 15.911,
+                     find("548.exchange2_r").storePct);
+    bench::paperNote("519.lbm_r % stores (highest fp)", 13.076,
+                     find("519.lbm_r").storePct);
+    return 0;
+}

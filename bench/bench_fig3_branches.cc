@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates Fig. 3: branch share (% of instructions) and the
+ * conditional share of branches per CPU2017 pair.
+ */
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 3: branch characteristics (ref)",
+                       options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(
+        session, {{"% branches", &core::Metrics::branchPct},
+                  {"% conditional", &core::Metrics::condBranchPct}});
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    double br = 0.0, cond = 0.0;
+    for (const auto &m : metrics) {
+        br += m.branchPct;
+        cond += m.condBranchPct;
+    }
+    bench::paperNote("CPU17 avg % branches", 14.743,
+                     br / double(metrics.size()));
+    bench::paperNote("conditional share of branches (%)", 78.662,
+                     cond / double(metrics.size()));
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    bench::paperNote("505.mcf_r % branches (highest)", 31.277,
+                     find("505.mcf_r").branchPct);
+    bench::paperNote("605.mcf_s % branches (highest)", 32.939,
+                     find("605.mcf_s").branchPct);
+    bench::paperNote("519.lbm_r % branches (lowest)", 1.198,
+                     find("519.lbm_r").branchPct);
+    bench::paperNote("619.lbm_s % branches (lowest)", 3.646,
+                     find("619.lbm_s").branchPct);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Fig. 4: memory footprint (max RSS and VSZ) per CPU2017
+ * pair, the paper's `ps -o vsz,rss` polling analogue.
+ */
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 4: memory footprint (ref)", options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(session,
+                               {{"RSS (GiB)", &core::Metrics::rssGiB},
+                                {"VSZ (GiB)", &core::Metrics::vszGiB}});
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    bench::paperNote("657.xz_s RSS GiB (largest)", 12.385,
+                     find("657.xz_s").rssGiB);
+    bench::paperNote("657.xz_s VSZ GiB (largest)", 15.422,
+                     find("657.xz_s").vszGiB);
+    bench::paperNote("548.exchange2_r RSS MiB (smallest)", 1.148,
+                     find("548.exchange2_r").rssGiB * 1024.0);
+    bench::paperNote("548.exchange2_r VSZ MiB (smallest)", 15.160,
+                     find("548.exchange2_r").vszGiB * 1024.0);
+
+    // Speed-vs-rate footprint ratio (the paper reports 8.276x RSS /
+    // 9.764x VSZ).
+    double rate_rss = 0.0, speed_rss = 0.0, rate_vsz = 0.0,
+           speed_vsz = 0.0;
+    int rate_n = 0, speed_n = 0;
+    for (const auto &m : metrics) {
+        if (workloads::isSpeedSuite(m.suite)) {
+            speed_rss += m.rssGiB;
+            speed_vsz += m.vszGiB;
+            ++speed_n;
+        } else {
+            rate_rss += m.rssGiB;
+            rate_vsz += m.vszGiB;
+            ++rate_n;
+        }
+    }
+    bench::paperNote("speed/rate RSS ratio", 8.276,
+                     (speed_rss / speed_n) / (rate_rss / rate_n));
+    bench::paperNote("speed/rate VSZ ratio", 9.764,
+                     (speed_vsz / speed_n) / (rate_vsz / rate_n));
+
+    // IPC correlations the paper reports in Section IV-C.
+    bench::paperNote("corr(RSS, IPC)", -0.465,
+                     core::correlationWithIpc(metrics,
+                                              &core::Metrics::rssGiB));
+    bench::paperNote("corr(VSZ, IPC)", -0.510,
+                     core::correlationWithIpc(metrics,
+                                              &core::Metrics::vszGiB));
+    return 0;
+}

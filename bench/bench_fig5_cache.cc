@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Fig. 5: L1 / L2 / L3 load miss rates per CPU2017 pair.
+ */
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 5: cache miss rates (ref)", options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(
+        session, {{"L1 miss %", &core::Metrics::l1MissPct},
+                  {"L2 miss %", &core::Metrics::l2MissPct},
+                  {"L3 miss %", &core::Metrics::l3MissPct}});
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    double l1 = 0.0, l2 = 0.0, l3 = 0.0;
+    int l2_gt_l3 = 0;
+    for (const auto &m : metrics) {
+        l1 += m.l1MissPct;
+        l2 += m.l2MissPct;
+        l3 += m.l3MissPct;
+        l2_gt_l3 += m.l2MissPct > m.l3MissPct;
+    }
+    const double n = double(metrics.size());
+    bench::paperNote("CPU17 avg L1 miss %", 3.424, l1 / n);
+    bench::paperNote("CPU17 avg L2 miss %", 32.515, l2 / n);
+    bench::paperNote("CPU17 avg L3 miss %", 14.171, l3 / n);
+    bench::paperNote("pairs with L2 miss > L3 miss (34 in paper)", 34,
+                     l2_gt_l3);
+
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    bench::paperNote("523.xalancbmk_r L1 miss % (highest)", 12.174,
+                     find("523.xalancbmk_r").l1MissPct);
+    bench::paperNote("605.mcf_s L1 miss % (highest)", 14.138,
+                     find("605.mcf_s").l1MissPct);
+    bench::paperNote("505.mcf_r L2 miss % (highest)", 65.721,
+                     find("505.mcf_r").l2MissPct);
+    bench::paperNote("605.mcf_s L2 miss % (highest)", 77.824,
+                     find("605.mcf_s").l2MissPct);
+    bench::paperNote("531.deepsjeng_r L3 miss % (highest)", 67.516,
+                     find("531.deepsjeng_r").l3MissPct);
+    bench::paperNote("631.deepsjeng_s L3 miss % (highest)", 68.579,
+                     find("631.deepsjeng_s").l3MissPct);
+    bench::paperNote("549.fotonik3d_r L2 miss %", 71.609,
+                     find("549.fotonik3d_r").l2MissPct);
+    bench::paperNote("549.fotonik3d_r L3 miss %", 54.730,
+                     find("549.fotonik3d_r").l3MissPct);
+
+    // Correlations with IPC (paper: -0.282, -0.479, -0.137).
+    bench::paperNote("corr(L1 miss, IPC)", -0.282,
+                     core::correlationWithIpc(
+                         metrics, &core::Metrics::l1MissPct));
+    bench::paperNote("corr(L2 miss, IPC)", -0.479,
+                     core::correlationWithIpc(
+                         metrics, &core::Metrics::l2MissPct));
+    bench::paperNote("corr(L3 miss, IPC)", -0.137,
+                     core::correlationWithIpc(
+                         metrics, &core::Metrics::l3MissPct));
+    return 0;
+}

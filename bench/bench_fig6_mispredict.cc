@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates Fig. 6: branch mispredict rates per CPU2017 pair.
+ */
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 6: branch mispredict rates (ref)",
+                       options);
+    core::Characterizer session(options);
+    bench::renderPerPairFigure(
+        session,
+        {{"mispredict %", &core::Metrics::mispredictPct}});
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    double all = 0.0, rate = 0.0, speed = 0.0;
+    int rate_n = 0, speed_n = 0;
+    for (const auto &m : metrics) {
+        all += m.mispredictPct;
+        if (workloads::isSpeedSuite(m.suite)) {
+            speed += m.mispredictPct;
+            ++speed_n;
+        } else {
+            rate += m.mispredictPct;
+            ++rate_n;
+        }
+    }
+    bench::paperNote("CPU17 avg mispredict %", 2.198,
+                     all / double(metrics.size()));
+    bench::paperNote("rate avg mispredict %", 2.199, rate / rate_n);
+    bench::paperNote("speed avg mispredict %", 2.196, speed / speed_n);
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name.rfind(name, 0) == 0)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    bench::paperNote("541.leela_r mispredict % (worst)", 8.656,
+                     find("541.leela_r").mispredictPct);
+    bench::paperNote("641.leela_s mispredict % (worst)", 8.636,
+                     find("641.leela_s").mispredictPct);
+    return 0;
+}

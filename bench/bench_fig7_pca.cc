@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Fig. 7 (and lists Table VIII): PCA over the 20
+ * microarchitecture-independent characteristics of all CPU2017 ref
+ * pairs, printing the PC1/PC2 and PC3/PC4 scatter coordinates.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Figure 7 / Table VIII: principal components of the CPU17 "
+        "application-input pairs (ref)",
+        options);
+    core::Characterizer session(options);
+
+    std::printf("Table VIII: characteristics used for the PCA\n");
+    for (const auto &name : core::pcaFeatureNames())
+        std::printf("  - %s\n", name.c_str());
+    std::printf("\n");
+
+    const auto analysis = session.redundancyAll();
+    std::printf("explained variance by component:\n");
+    for (std::size_t c = 0; c < analysis.numComponents; ++c) {
+        std::printf("  PC%zu: %6.3f%% (cumulative %6.3f%%)\n", c + 1,
+                    100.0 * analysis.pca.explainedVariance[c],
+                    100.0 * analysis.pca.cumulativeVariance[c]);
+    }
+    bench::paperNote(
+        "variance captured by retained PCs (%)", 76.321,
+        100.0
+            * analysis.pca.cumulativeVariance[analysis.numComponents
+                                              - 1]);
+    bench::paperNote("retained components", 4.0,
+                     double(analysis.numComponents));
+    std::printf("\n");
+
+    TextTable table({"pair", "PC1", "PC2", "PC3", "PC4"});
+    for (std::size_t r = 0; r < analysis.pairNames.size(); ++r) {
+        std::vector<std::string> row = {analysis.pairNames[r]};
+        for (std::size_t c = 0; c < 4 && c < analysis.numComponents;
+             ++c) {
+            row.push_back(fmtDouble(analysis.pcScores.at(r, c), 3));
+        }
+        table.addRow(row);
+    }
+    std::ostringstream os;
+    table.render(os);
+    std::printf("%s", os.str().c_str());
+
+    // PC ranges shrink from PC1 to PC4 (the paper's observation that
+    // PC1 carries the most variance).
+    for (std::size_t c = 0; c + 1 < analysis.numComponents; ++c) {
+        double lo0 = 1e300, hi0 = -1e300, lo1 = 1e300, hi1 = -1e300;
+        for (std::size_t r = 0; r < analysis.pcScores.rows(); ++r) {
+            lo0 = std::min(lo0, analysis.pcScores.at(r, c));
+            hi0 = std::max(hi0, analysis.pcScores.at(r, c));
+            lo1 = std::min(lo1, analysis.pcScores.at(r, c + 1));
+            hi1 = std::max(hi1, analysis.pcScores.at(r, c + 1));
+        }
+        std::printf("range(PC%zu) = %.3f, range(PC%zu) = %.3f\n",
+                    c + 1, hi0 - lo0, c + 2, hi1 - lo1);
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Fig. 8: factor loadings of the 20 characteristics on
+ * the retained principal components.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Figure 8: factor loadings", options);
+    core::Characterizer session(options);
+    const auto analysis = session.redundancyAll();
+
+    std::vector<std::string> headers = {"characteristic"};
+    for (std::size_t c = 0; c < analysis.numComponents; ++c)
+        headers.push_back("PC" + std::to_string(c + 1));
+    TextTable table(headers);
+    const auto &names = core::pcaFeatureNames();
+    for (std::size_t r = 0; r < names.size(); ++r) {
+        std::vector<std::string> row = {names[r]};
+        for (std::size_t c = 0; c < analysis.numComponents; ++c)
+            row.push_back(fmtDouble(analysis.pca.loadings.at(r, c), 3));
+        table.addRow(row);
+    }
+    std::ostringstream os;
+    table.render(os);
+    std::printf("%s\n", os.str().c_str());
+
+    std::printf("dominant characteristics per component "
+                "(paper Section V-A analysis):\n");
+    for (const auto &factor : analysis.factors) {
+        std::printf("  PC%zu (%.1f%% of variance)\n",
+                    factor.component + 1,
+                    100.0 * factor.explainedVariance);
+        for (const auto &fc : factor.positiveDominators) {
+            std::printf("    + %-46s %+0.3f\n",
+                        fc.characteristic.c_str(), fc.loading);
+        }
+        for (const auto &fc : factor.negativeDominators) {
+            std::printf("    - %-46s %+0.3f\n",
+                        fc.characteristic.c_str(), fc.loading);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Regenerates Fig. 9: dendrograms of the agglomerative hierarchical
+ * clustering of the rate (a) and speed (b) ref pairs in PC space.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Figure 9: dendrograms of the rate and speed mini-suites "
+        "(ref)",
+        options);
+    core::Characterizer session(options);
+
+    for (int panel = 0; panel < 2; ++panel) {
+        const bool speed = panel == 1;
+        const auto analysis = session.redundancyFor(speed);
+        std::printf("(%c) %s pairs -- Euclidean distance in PC space, "
+                    "distance grows to the right\n\n",
+                    speed ? 'b' : 'a', speed ? "speed" : "rate");
+        std::printf("%s\n",
+                    analysis.dendrogram
+                        .renderAscii(analysis.pairNames, 64)
+                        .c_str());
+
+        // The paper's example: 602.gcc_s-in2/-in3 merge in the first
+        // iterations of the speed clustering.
+        if (speed) {
+            const auto &steps = analysis.dendrogram.steps();
+            for (std::size_t i = 0;
+                 i < std::min<std::size_t>(5, steps.size()); ++i) {
+                auto name = [&](std::size_t node) {
+                    return node < analysis.pairNames.size()
+                        ? analysis.pairNames[node]
+                        : "cluster#" + std::to_string(node);
+                };
+                std::printf("merge %zu: %s + %s at %.3f\n", i + 1,
+                            name(steps[i].left).c_str(),
+                            name(steps[i].right).c_str(),
+                            steps[i].distance);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Extension experiment (the paper's future work): phase behaviour of
+ * CPU2017-like workloads. Builds a multi-phase program in the mould
+ * of 502.gcc (parse -> optimize -> allocate/spill), detects its
+ * phases, and shows how well simulating only the phase
+ * representatives predicts whole-program IPC -- the motivation the
+ * paper gives for phase-based optimization research.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "core/phase.hh"
+#include "trace/phased.hh"
+#include "trace/synthetic.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+namespace {
+
+std::shared_ptr<trace::TraceSource>
+segment(std::uint64_t ops, std::uint64_t seed, double load_frac,
+        double branch_frac, std::uint64_t region_bytes,
+        trace::AccessPattern pattern, double hard_branches)
+{
+    trace::SyntheticTraceParams params;
+    params.numOps = ops;
+    params.seed = seed;
+    params.loadFrac = load_frac;
+    params.storeFrac = 0.1;
+    params.branchFrac = branch_frac;
+    params.hardBranchFrac = hard_branches;
+    params.regions = {{pattern, region_bytes, 64, 1.0, 1.0}};
+    return std::make_shared<trace::SyntheticTraceGenerator>(params);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Extension: phase analysis (the paper's future-work "
+        "direction)",
+        options);
+
+    // A gcc-like program: branchy parse over a small heap, regular
+    // optimization sweeps, then pointer-heavy allocation, then a
+    // second optimization pass.
+    trace::PhasedTrace program({
+        segment(500000, 11, 0.24, 0.24, 256 * 1024,
+                trace::AccessPattern::Random, 0.10),       // parse
+        segment(700000, 12, 0.30, 0.08, 1 * 1024 * 1024,
+                trace::AccessPattern::Strided, 0.01),      // optimize
+        segment(400000, 13, 0.35, 0.20, 48 * 1024 * 1024,
+                trace::AccessPattern::PointerChase, 0.08), // allocate
+        segment(400000, 14, 0.30, 0.08, 1 * 1024 * 1024,
+                trace::AccessPattern::Strided, 0.01),      // optimize
+    });
+
+    core::PhaseOptions phase_options;
+    phase_options.intervalOps = 100'000;
+    phase_options.warmupOps = 100'000;
+    const core::PhaseAnalysis analysis = core::analyzePhases(
+        program, options.runner.system, phase_options);
+
+    std::printf("detected %zu phases over %zu intervals of %llu "
+                "uops\n\n",
+                analysis.phases.size(), analysis.intervals.size(),
+                static_cast<unsigned long long>(
+                    phase_options.intervalOps));
+
+    TextTable timeline({"interval", "first uop", "IPC", "phase", ""});
+    double ipc_max = 0.0;
+    for (const auto &interval : analysis.intervals)
+        ipc_max = std::max(ipc_max, interval.ipc);
+    for (std::size_t i = 0; i < analysis.intervals.size(); ++i) {
+        const auto &interval = analysis.intervals[i];
+        timeline.addRow({std::to_string(i),
+                         std::to_string(interval.firstOp),
+                         fmtDouble(interval.ipc, 3),
+                         std::to_string(analysis.labels[i]),
+                         bench::asciiBar(interval.ipc, ipc_max, 24)});
+    }
+    std::ostringstream os;
+    timeline.render(os);
+    std::printf("%s\n", os.str().c_str());
+
+    TextTable phases({"phase", "weight %", "mean IPC",
+                      "representative interval"});
+    for (const auto &phase : analysis.phases) {
+        phases.addRow({std::to_string(phase.id),
+                       fmtDouble(100.0 * phase.weight, 1),
+                       fmtDouble(phase.meanIpc, 3),
+                       std::to_string(phase.representative)});
+    }
+    std::ostringstream os2;
+    phases.render(os2);
+    std::printf("%s\n", os2.str().c_str());
+
+    const double full = analysis.fullIpc();
+    const double sampled = analysis.sampledIpcEstimate();
+    std::printf("whole-run IPC %.3f vs representative-sampled "
+                "estimate %.3f (error %.2f%%)\n",
+                full, sampled, 100.0 * std::abs(sampled - full) / full);
+    std::printf("simulation cost: %zu of %zu intervals (%.1f%% of "
+                "the run)\n",
+                analysis.phases.size(), analysis.intervals.size(),
+                100.0 * double(analysis.phases.size())
+                    / double(analysis.intervals.size()));
+    return 0;
+}

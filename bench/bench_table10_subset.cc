@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Table X: the suggested representative subset of the
+ * CPU2017 suite, with the execution-time saving vs the full
+ * mini-suites (paper: 12 rate pairs saving 57.116%, 10 speed pairs
+ * saving 62.052%).
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "core/subset.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Table X: suggested subset of CPU17 benchmarks",
+                       options);
+    core::Characterizer session(options);
+
+    for (int panel = 0; panel < 2; ++panel) {
+        const bool speed = panel == 1;
+        const auto analysis = session.redundancyFor(speed);
+        const auto subset = core::suggestSubset(analysis);
+
+        std::printf("%s subset (%zu representatives):\n",
+                    speed ? "speed" : "rate", subset.numClusters());
+        TextTable table({"representative", "time (s)", "covers"});
+        for (const auto &rep : subset.representatives) {
+            std::string covers;
+            for (std::size_t i = 0; i < rep.covers.size(); ++i) {
+                if (i)
+                    covers += ", ";
+                covers += rep.covers[i];
+            }
+            table.addRow({rep.name, fmtDouble(rep.seconds, 1),
+                          covers.empty() ? "(itself only)" : covers});
+        }
+        std::ostringstream os;
+        table.render(os);
+        std::printf("%s", os.str().c_str());
+        std::printf("subset time %.1fs of full %.1fs\n",
+                    subset.subsetSeconds, subset.fullSeconds);
+        bench::paperNote(speed ? "speed % time saving"
+                               : "rate % time saving",
+                         speed ? 62.052 : 57.116, subset.savingPct());
+        bench::paperNote(speed ? "speed subset size"
+                               : "rate subset size",
+                         speed ? 10.0 : 12.0,
+                         double(subset.numClusters()));
+        std::printf("\n");
+    }
+
+    // Paper's representative-selection example: within the cluster
+    // {638.imagick_s, 644.nab_s, 628.pop2_s, 621.wrf_s}, 644.nab_s
+    // wins on execution time.
+    std::printf("paper's example cluster members' times "
+                "(the shortest would represent):\n");
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    for (const char *name : {"638.imagick_s", "644.nab_s", "628.pop2_s",
+                             "621.wrf_s"}) {
+        for (const auto &m : metrics) {
+            if (m.name == name)
+                std::printf("  %-16s %10.1f s\n", name, m.seconds);
+        }
+    }
+    return 0;
+}

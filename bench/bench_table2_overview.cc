@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Table II: average instruction count, IPC and execution
+ * time per mini-suite and input size, over all CPU2017
+ * application-input pairs.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table II: CPU17 benchmarks' average performance "
+        "characteristics",
+        options);
+    core::Characterizer session(options);
+
+    TextTable table({"Suite", "Input Size", "Instr Count (B)", "IPC",
+                     "Execution Time (s)"});
+    // Paper values for the ref rows, for the side-by-side note.
+    const double paper_ipc[4][3] = {
+        {1.716, 1.765, 1.724}, // rate int: test, train, ref
+        {1.692, 1.651, 1.635}, // rate fp
+        {1.698, 1.739, 1.635}, // speed int
+        {0.681, 0.710, 0.706}, // speed fp
+    };
+    const double paper_instr[4][3] = {
+        {76.922, 230.553, 1751.516},
+        {47.431, 357.233, 2291.092},
+        {77.078, 232.961, 2265.182},
+        {58.825, 477.316, 21880.115},
+    };
+
+    const workloads::SuiteKind kinds[] = {
+        workloads::SuiteKind::RateInt, workloads::SuiteKind::RateFp,
+        workloads::SuiteKind::SpeedInt, workloads::SuiteKind::SpeedFp};
+    for (int k = 0; k < 4; ++k) {
+        for (int s = 0; s < 3; ++s) {
+            const auto size = workloads::kAllInputSizes[s];
+            const auto metrics = core::averageByApplication(
+                core::bySuite(core::withoutErrored(session.metrics(
+                                  workloads::SuiteGeneration::Cpu2017,
+                                  size)),
+                              kinds[k]));
+            const auto agg = core::aggregate(metrics);
+            table.addRow({workloads::suiteKindName(kinds[k]),
+                          workloads::inputSizeName(size),
+                          fmtDouble(agg.meanInstrBillions, 3),
+                          fmtDouble(agg.ipc.mean, 3),
+                          fmtDouble(agg.meanSeconds, 3)});
+            bench::paperNote(
+                workloads::suiteKindName(kinds[k]) + " "
+                    + workloads::inputSizeName(size) + " IPC",
+                paper_ipc[k][s], agg.ipc.mean);
+            bench::paperNote(
+                workloads::suiteKindName(kinds[k]) + " "
+                    + workloads::inputSizeName(size) + " instr (B)",
+                paper_instr[k][s], agg.meanInstrBillions);
+        }
+    }
+    std::cout << "\n";
+    table.render(std::cout);
+    return 0;
+}

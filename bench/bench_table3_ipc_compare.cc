@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Regenerates Table III: IPC comparison of the CPU2017 and CPU2006
+ * suites (ref inputs).
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Table III: IPC comparison of CPU17 and CPU06",
+                       options);
+    core::Characterizer session(options);
+    bench::renderCompare(
+        session,
+        {{"IPC",
+          &core::Metrics::ipc,
+          {{1.762, 0.707},
+           {1.679, 0.640},
+           {1.815, 0.706},
+           {1.255, 0.636},
+           {1.784, 0.707},
+           {1.457, 0.672}}}});
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Table IV: instruction-mix comparison (% loads, %
+ * stores, % branches) of the CPU2017 and CPU2006 suites.
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table IV: instruction mix comparison of CPU17 and CPU06",
+        options);
+    core::Characterizer session(options);
+    bench::renderCompare(
+        session,
+        {
+            {"% Loads",
+             &core::Metrics::loadPct,
+             {{26.234, 4.032},
+              {24.390, 2.882},
+              {23.683, 4.625},
+              {26.187, 6.190},
+              {24.739, 4.566},
+              {25.331, 4.983}}},
+            {"% Stores",
+             &core::Metrics::storePct,
+             {{10.311, 3.534},
+              {10.341, 3.444},
+              {7.176, 3.342},
+              {7.136, 3.346},
+              {8.473, 3.755},
+              {8.662, 3.751}}},
+            {"% Branches",
+             &core::Metrics::branchPct,
+             {{19.055, 6.526},
+              {18.735, 7.168},
+              {10.805, 7.165},
+              {11.114, 6.475},
+              {14.219, 8.014},
+              {14.743, 7.804}}},
+        });
+    return 0;
+}

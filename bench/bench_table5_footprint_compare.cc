@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates Table V: RSS and VSZ comparison of the CPU2017 and
+ * CPU2006 suites (GiB).
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table V: RSS and VSZ comparison of CPU17 and CPU06",
+        options);
+    core::Characterizer session(options);
+    bench::renderCompare(
+        session,
+        {
+            {"RSS (GiB)",
+             &core::Metrics::rssGiB,
+             {{0.391, 0.454},
+              {1.684, 3.073},
+              {0.366, 0.342},
+              {2.297, 3.434},
+              {0.376, 0.393},
+              {1.998, 3.278}}},
+            {"VSZ (GiB)",
+             &core::Metrics::vszGiB,
+             {{0.399, 0.453},
+              {1.899, 3.658},
+              {0.491, 0.400},
+              {2.856, 3.755},
+              {0.452, 0.426},
+              {2.389, 3.739}}},
+        });
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates Table VI: L1/L2/L3 load miss-rate comparison of the
+ * CPU2017 and CPU2006 suites.
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table VI: cache miss rate comparison of CPU17 and CPU06",
+        options);
+    core::Characterizer session(options);
+    bench::renderCompare(
+        session,
+        {
+            {"L1 Miss Rate (%)",
+             &core::Metrics::l1MissPct,
+             {{4.129, 6.390},
+              {3.865, 4.489},
+              {2.533, 1.521},
+              {3.023, 4.703},
+              {3.193, 4.344},
+              {3.424, 4.622}}},
+            {"L2 Miss Rate (%)",
+             &core::Metrics::l2MissPct,
+             {{40.854, 19.760},
+              {38.614, 20.820},
+              {31.914, 20.227},
+              {26.971, 18.660},
+              {35.746, 20.511},
+              {32.515, 20.557}}},
+            {"L3 Miss Rate (%)",
+             &core::Metrics::l3MissPct,
+             {{12.152, 15.044},
+              {15.298, 19.456},
+              {14.041, 16.332},
+              {13.146, 12.638},
+              {13.259, 15.839},
+              {14.171, 16.281}}},
+        });
+    return 0;
+}

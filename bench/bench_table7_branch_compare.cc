@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates Table VII: branch-mispredict-rate comparison of the
+ * CPU2017 and CPU2006 suites.
+ */
+
+#include "bench/common.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Table VII: branch predictor accuracy comparison of CPU17 "
+        "and CPU06",
+        options);
+    core::Characterizer session(options);
+    bench::renderCompare(
+        session,
+        {{"Mispredict Rate (%)",
+          &core::Metrics::mispredictPct,
+          {{2.393, 2.505},
+           {3.310, 2.441},
+           {1.971, 1.653},
+           {1.188, 1.202},
+           {2.145, 2.060},
+           {2.198, 2.172}}}});
+    return 0;
+}

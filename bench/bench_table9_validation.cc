@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Table IX: validating that PC proximity implies similar
+ * characteristics, using the paper's example triple --
+ * 603.bwaves_s-in1/-in2 (near twins) vs 607.cactuBSSN_s (isolated).
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv);
+    bench::printHeader("Table IX: validating PC clustering", options);
+    core::Characterizer session(options);
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        workloads::SuiteGeneration::Cpu2017, workloads::InputSize::Ref));
+    auto find = [&](const std::string &name) -> const core::Metrics & {
+        for (const auto &m : metrics) {
+            if (m.name == name)
+                return m;
+        }
+        SPEC17_PANIC("pair not found: ", name);
+    };
+    const core::Metrics &in1 = find("603.bwaves_s-in1");
+    const core::Metrics &in2 = find("603.bwaves_s-in2");
+    const core::Metrics &cactu = find("607.cactuBSSN_s");
+
+    TextTable table({"Characteristic", "603.bwaves_s-in1",
+                     "603.bwaves_s-in2", "607.cactuBSSN_s"});
+    auto row = [&](const std::string &label,
+                   double core::Metrics::*field, int digits) {
+        table.addRow({label, fmtDouble(in1.*field, digits),
+                      fmtDouble(in2.*field, digits),
+                      fmtDouble(cactu.*field, digits)});
+    };
+    row("Instruction Count (B)", &core::Metrics::instrBillions, 3);
+    row("% Loads", &core::Metrics::loadPct, 3);
+    row("% Stores", &core::Metrics::storePct, 3);
+    row("% Branches", &core::Metrics::branchPct, 3);
+    row("RSS (GiB)", &core::Metrics::rssGiB, 3);
+    row("VSZ (GiB)", &core::Metrics::vszGiB, 3);
+    std::ostringstream os;
+    table.render(os);
+    std::printf("%s\n", os.str().c_str());
+
+    bench::paperNote("bwaves_s-in1 instr (B)", 48788.718,
+                     in1.instrBillions);
+    bench::paperNote("bwaves_s-in2 instr (B)", 50116.477,
+                     in2.instrBillions);
+    bench::paperNote("cactuBSSN_s instr (B)", 10616.666,
+                     cactu.instrBillions);
+    bench::paperNote("bwaves_s-in1 % loads", 27.545, in1.loadPct);
+    bench::paperNote("cactuBSSN_s % loads", 33.536, cactu.loadPct);
+    bench::paperNote("bwaves_s-in1 RSS (GiB)", 11.677, in1.rssGiB);
+    bench::paperNote("cactuBSSN_s RSS (GiB)", 6.885, cactu.rssGiB);
+
+    // PC-space confirmation: the twins sit together, cactuBSSN away.
+    const auto analysis = session.redundancyFor(/*speed=*/true);
+    auto row_of = [&](const std::string &name) {
+        for (std::size_t i = 0; i < analysis.pairNames.size(); ++i) {
+            if (analysis.pairNames[i] == name)
+                return i;
+        }
+        SPEC17_PANIC("pair not analyzed: ", name);
+    };
+    const double twins = cluster::euclidean(
+        analysis.pcScores, row_of("603.bwaves_s-in1"),
+        row_of("603.bwaves_s-in2"));
+    const double cross = cluster::euclidean(
+        analysis.pcScores, row_of("603.bwaves_s-in1"),
+        row_of("607.cactuBSSN_s"));
+    std::printf("PC distance in1<->in2: %.3f ; in1<->cactuBSSN_s: "
+                "%.3f (ratio %.1fx)\n",
+                twins, cross, cross / twins);
+    return 0;
+}

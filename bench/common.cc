@@ -1,0 +1,208 @@
+#include "bench/common.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace spec17 {
+namespace bench {
+
+namespace {
+
+/** Directory for --csv-dir output; empty = disabled. */
+std::string &
+csvDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+} // namespace
+
+core::CharacterizerOptions
+parseOptions(int argc, char **argv)
+{
+    core::CharacterizerOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--sample=", 0) == 0) {
+            options.runner.sampleOps = std::stoull(arg.substr(9));
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            options.runner.warmupOps = std::stoull(arg.substr(9));
+        } else if (arg == "--no-cache") {
+            options.cachePath.clear();
+        } else if (arg.rfind("--csv-dir=", 0) == 0) {
+            csvDir() = arg.substr(10);
+        } else {
+            SPEC17_FATAL("unknown argument '", arg,
+                         "' (want --sample=N --warmup=N --no-cache"
+                         " --csv-dir=DIR)");
+        }
+    }
+    return options;
+}
+
+void
+emitTable(const std::string &name, const TextTable &table)
+{
+    std::ostringstream os;
+    table.render(os);
+    std::printf("%s\n", os.str().c_str());
+    if (csvDir().empty())
+        return;
+    const std::string path = csvDir() + "/" + name + ".csv";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        warn("cannot write CSV to ", path);
+        return;
+    }
+    table.renderCsv(out);
+}
+
+void
+printHeader(const std::string &artifact,
+            const core::CharacterizerOptions &options)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s\n", artifact.c_str());
+    std::printf("reproduction of Limaye & Adegbija, ISPASS 2018\n");
+    std::printf("%s", options.runner.system.describe().c_str());
+    std::printf("sample %llu uops/pair after %llu warmup; cache %s\n",
+                static_cast<unsigned long long>(options.runner.sampleOps),
+                static_cast<unsigned long long>(options.runner.warmupOps),
+                options.cachePath.empty() ? "(off)"
+                                          : options.cachePath.c_str());
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+void
+paperNote(const std::string &quantity, double paper, double measured)
+{
+    std::printf("  [paper-vs-measured] %-38s paper=%10.3f  "
+                "measured=%10.3f\n",
+                quantity.c_str(), paper, measured);
+}
+
+void
+renderCompare(core::Characterizer &session,
+              const std::vector<CompareRow> &rows)
+{
+    using workloads::InputSize;
+    using workloads::SuiteGeneration;
+
+    const auto m06 = core::withoutErrored(
+        session.metrics(SuiteGeneration::Cpu2006, InputSize::Ref));
+    const auto m17 = core::withoutErrored(
+        session.metrics(SuiteGeneration::Cpu2017, InputSize::Ref));
+
+    // Column groups in paper order: 06 int, 17 int, 06 fp, 17 fp,
+    // 06 all, 17 all.
+    const std::vector<core::Metrics> groups[6] = {
+        core::intSubset(m06), core::intSubset(m17),
+        core::fpSubset(m06),  core::fpSubset(m17),
+        m06,                  m17,
+    };
+    static const char *const kGroupNames[6] = {
+        "CPU06 int", "CPU17 int", "CPU06 fp",
+        "CPU17 fp",  "CPU06 all", "CPU17 all",
+    };
+
+    for (const CompareRow &row : rows) {
+        TextTable table({"Suite", row.metric + " Average",
+                         row.metric + " Std. Dev."});
+        for (int g = 0; g < 6; ++g) {
+            std::vector<double> values =
+                core::extract(groups[g], row.field);
+            const double mean = stats::mean(values);
+            const double sd = stats::stddev(values);
+            table.addRow({kGroupNames[g], fmtDouble(mean, 3),
+                          fmtDouble(sd, 3)});
+            paperNote(std::string(kGroupNames[g]) + " " + row.metric,
+                      row.paper[g][0], mean);
+        }
+        std::printf("\n");
+        std::string slug = row.metric;
+        for (char &c : slug) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        emitTable("compare_" + slug, table);
+    }
+}
+
+std::string
+asciiBar(double value, double max, std::size_t width)
+{
+    if (max <= 0.0)
+        max = 1.0;
+    const double clamped = value < 0.0 ? 0.0 : value;
+    auto filled = static_cast<std::size_t>(
+        clamped / max * static_cast<double>(width) + 0.5);
+    if (filled > width)
+        filled = width;
+    return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+void
+renderPerPairFigure(core::Characterizer &session,
+                    const std::vector<FigureColumn> &columns)
+{
+    using workloads::InputSize;
+    using workloads::SuiteGeneration;
+    SPEC17_ASSERT(!columns.empty(), "figure without columns");
+
+    const auto metrics = core::withoutErrored(session.metrics(
+        SuiteGeneration::Cpu2017, InputSize::Ref));
+
+    for (int panel = 0; panel < 2; ++panel) {
+        const bool speed = panel == 1;
+        std::vector<core::Metrics> pairs;
+        for (const auto &m : metrics) {
+            if (workloads::isSpeedSuite(m.suite) == speed)
+                pairs.push_back(m);
+        }
+        double max = 0.0;
+        for (const auto &m : pairs)
+            max = std::max(max, m.*(columns.front().field));
+
+        std::printf("(%c) %s mini-suites\n", speed ? 'b' : 'a',
+                    speed ? "speed" : "rate");
+        std::vector<std::string> headers = {"pair"};
+        for (const auto &column : columns)
+            headers.push_back(column.label);
+        headers.push_back("");
+        TextTable table(headers);
+        bool fp_started = false;
+        for (const auto &m : pairs) {
+            if (!fp_started && !workloads::isIntSuite(m.suite)) {
+                fp_started = true;
+                // The paper separates int and fp with dotted lines.
+                std::vector<std::string> rule;
+                for (std::size_t i = 0; i < headers.size(); ++i)
+                    rule.push_back("......");
+                table.addRow(rule);
+            }
+            std::vector<std::string> row = {m.name};
+            for (const auto &column : columns)
+                row.push_back(fmtDouble(m.*(column.field), 3));
+            row.push_back(asciiBar(m.*(columns.front().field), max));
+            table.addRow(row);
+        }
+        emitTable(std::string("figure_panel_")
+                      + (speed ? "speed" : "rate") + "_"
+                      + columns.front().label.substr(
+                            0, columns.front().label.find(' ')),
+                  table);
+    }
+}
+
+} // namespace bench
+} // namespace spec17

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure bench binaries: a standard
+ * characterization session (so every bench sees the same sweep via
+ * the on-disk result cache) and small printing helpers.
+ *
+ * Every binary accepts:
+ *   --sample=N     micro-ops measured per pair (default 2,000,000)
+ *   --warmup=N     micro-ops warmed before measuring (default 600,000)
+ *   --no-cache     ignore / don't write the on-disk result cache
+ *   --csv-dir=DIR  additionally write each rendered table as CSV
+ *                  into DIR (plot-ready output)
+ */
+
+#ifndef SPEC17_BENCH_COMMON_HH_
+#define SPEC17_BENCH_COMMON_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hh"
+#include "util/table.hh"
+
+namespace spec17 {
+namespace bench {
+
+/** Parses the common flags and builds the standard session. */
+core::CharacterizerOptions parseOptions(int argc, char **argv);
+
+/**
+ * Prints the bench banner: which paper artifact this regenerates and
+ * the Table-I machine configuration it ran on.
+ */
+void printHeader(const std::string &artifact,
+                 const core::CharacterizerOptions &options);
+
+/** Prints a one-line paper-vs-measured annotation. */
+void paperNote(const std::string &quantity, double paper,
+               double measured);
+
+/**
+ * One metric row of a CPU06-vs-CPU17 comparison table (the shared
+ * shape of the paper's Tables III-VII).
+ */
+struct CompareRow
+{
+    std::string metric;
+    double core::Metrics::*field;
+    /**
+     * Paper values: {06 int, 17 int, 06 fp, 17 fp, 06 all, 17 all},
+     * each {mean, stddev}.
+     */
+    double paper[6][2];
+};
+
+/**
+ * Renders a Tables-III-VII style comparison over the ref results of
+ * both suites, with paper-vs-measured notes per cell group.
+ */
+void renderCompare(core::Characterizer &session,
+                   const std::vector<CompareRow> &rows);
+
+/** One metric column in a per-application figure. */
+struct FigureColumn
+{
+    std::string label;
+    double core::Metrics::*field;
+};
+
+/**
+ * Renders a Figs.-1-6 style per-application figure: panel (a) is the
+ * rate pairs, panel (b) the speed pairs (ref inputs, errored pairs
+ * dropped), one row per pair with an ASCII bar for the first column.
+ * Dotted separators split int from fp applications like the paper's
+ * vertical dotted lines.
+ */
+void renderPerPairFigure(core::Characterizer &session,
+                         const std::vector<FigureColumn> &columns);
+
+/** Fixed-width ASCII bar for a value within [0, max]. */
+std::string asciiBar(double value, double max, std::size_t width = 32);
+
+/**
+ * Renders @p table to stdout and, when --csv-dir was given, also to
+ * `<csv-dir>/<name>.csv`. Use for every bench table so figures can
+ * be replotted from machine-readable output.
+ */
+void emitTable(const std::string &name, const TextTable &table);
+
+} // namespace bench
+} // namespace spec17
+
+#endif // SPEC17_BENCH_COMMON_HH_

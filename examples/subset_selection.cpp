@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Subset selection: the paper's headline use case. A researcher with
+ * limited simulation time wants a handful of CPU2017 pairs that
+ * still span the suite's behaviour. This example runs the Section-V
+ * pipeline (PCA -> hierarchical clustering -> Pareto knee ->
+ * cheapest-representative) over the rate pairs and prints a
+ * ready-to-use list, plus what choosing fewer/more clusters would
+ * trade.
+ *
+ *   ./build/examples/subset_selection [--budget-seconds=N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/characterizer.hh"
+#include "core/subset.hh"
+
+using namespace spec17;
+
+int
+main(int argc, char **argv)
+{
+    double budget_seconds = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--budget-seconds=", 0) == 0)
+            budget_seconds = std::stod(arg.substr(17));
+    }
+
+    core::CharacterizerOptions options;
+    options.runner.sampleOps = 600'000;
+    options.runner.warmupOps = 200'000;
+    options.cachePath.clear(); // self-contained example
+    core::Characterizer session(options);
+
+    std::printf("analyzing the CPU2017 rate pairs (ref inputs)...\n");
+    const auto analysis = session.redundancyFor(/*speed=*/false);
+    std::printf("PCA kept %zu components explaining %.1f%% of "
+                "variance over %zu pairs\n\n",
+                analysis.numComponents,
+                100.0
+                    * analysis.pca.cumulativeVariance
+                          [analysis.numComponents - 1],
+                analysis.pairNames.size());
+
+    core::SubsetSuggestion subset = core::suggestSubset(analysis);
+    if (budget_seconds > 0.0) {
+        // Walk down the sweep until the subset fits the budget.
+        for (std::size_t k = subset.numClusters(); k >= 1; --k) {
+            const auto candidate = core::suggestSubset(analysis, k);
+            if (candidate.subsetSeconds <= budget_seconds
+                || k == 1) {
+                subset = candidate;
+                break;
+            }
+        }
+        std::printf("constrained to <= %.0f s of (estimated native) "
+                    "execution time\n",
+                    budget_seconds);
+    }
+
+    std::printf("suggested subset: %zu of %zu pairs, %.1f%% of the "
+                "full execution time saved\n\n",
+                subset.numClusters(), analysis.pairNames.size(),
+                subset.savingPct());
+    for (const auto &rep : subset.representatives) {
+        std::printf("  run %-22s (%7.1f s)", rep.name.c_str(),
+                    rep.seconds);
+        if (!rep.covers.empty()) {
+            std::printf("  stands in for:");
+            for (const auto &covered : rep.covers)
+                std::printf(" %s", covered.c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\ntrade-off around the chosen point:\n");
+    const std::size_t chosen = subset.sweep[subset.chosen].numClusters;
+    for (const auto &tp : subset.sweep) {
+        if (tp.numClusters + 3 < chosen || tp.numClusters > chosen + 3)
+            continue;
+        std::printf("  k=%2zu  SSE=%8.2f  subset time=%8.1f s%s\n",
+                    tp.numClusters, tp.sse, tp.cost,
+                    tp.numClusters == chosen ? "   <== chosen" : "");
+    }
+    return 0;
+}

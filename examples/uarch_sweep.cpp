@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Microarchitecture sweep: use the characterization framework the
+ * way an architect would -- hold the workload fixed and sweep a
+ * design parameter. This example sweeps L3 capacity and core width
+ * for three behaviourally distinct CPU2017 applications and prints
+ * IPC scaling curves, showing which paper metrics predict the
+ * sensitivity.
+ *
+ *   ./build/examples/uarch_sweep
+ */
+
+#include <cstdio>
+
+#include "core/metrics.hh"
+#include "suite/runner.hh"
+
+using namespace spec17;
+
+namespace {
+
+double
+ipcWith(const sim::SystemConfig &system, const char *app)
+{
+    suite::RunnerOptions options;
+    options.system = system;
+    options.sampleOps = 400'000;
+    options.warmupOps = 150'000;
+    suite::SuiteRunner runner(options);
+    const auto &profile =
+        workloads::findProfile(workloads::cpu2017Suite(), app);
+    return runner
+        .runPair({&profile, workloads::InputSize::Ref, 0})
+        .ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *const apps[] = {"505.mcf_r", "531.deepsjeng_r",
+                                "525.x264_r"};
+
+    std::printf("--- L3 capacity sweep (IPC) ---\n");
+    std::printf("%-16s", "L3 size");
+    for (const char *app : apps)
+        std::printf("  %-16s", app);
+    std::printf("\n");
+    for (std::uint64_t mib : {2, 8, 30, 64}) {
+        auto system = sim::SystemConfig::haswellXeonE52650Lv3();
+        system.hierarchy.l3.sizeBytes = mib * 1024 * 1024;
+        system.hierarchy.l3.assoc = 16;
+        std::printf("%3llu MiB         ",
+                    static_cast<unsigned long long>(mib));
+        for (const char *app : apps)
+            std::printf("  %-16.3f", ipcWith(system, app));
+        std::printf("\n");
+    }
+    std::printf("expected: the L3-miss-bound chess engine "
+                "(531.deepsjeng_r) moves most;\nthe DRAM-latency-bound "
+                "505.mcf_r barely responds; 525.x264_r never "
+                "needed\nthe capacity.\n\n");
+
+    std::printf("--- core width sweep (IPC) ---\n");
+    std::printf("%-16s", "dispatch width");
+    for (const char *app : apps)
+        std::printf("  %-16s", app);
+    std::printf("\n");
+    for (unsigned width : {2u, 4u, 6u, 8u}) {
+        auto system = sim::SystemConfig::haswellXeonE52650Lv3();
+        system.core.dispatchWidth = width;
+        system.core.robSize = 48 * width;
+        std::printf("%-16u", width);
+        for (const char *app : apps)
+            std::printf("  %-16.3f", ipcWith(system, app));
+        std::printf("\n");
+    }
+    std::printf("expected: 525.x264_r scales with width (the paper's "
+                "high-IPC corner);\nthe memory-bound applications "
+                "saturate early -- the Fig. 1 / Fig. 5\ncorrelation "
+                "in action.\n");
+    return 0;
+}

@@ -1,0 +1,286 @@
+#include "cluster/hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace cluster {
+
+std::string
+linkageName(Linkage linkage)
+{
+    switch (linkage) {
+      case Linkage::Single: return "single";
+      case Linkage::Complete: return "complete";
+      case Linkage::Average: return "average";
+      case Linkage::Ward: return "ward";
+    }
+    SPEC17_PANIC("unknown linkage");
+}
+
+double
+euclidean(const stats::Matrix &points, std::size_t r0, std::size_t r1)
+{
+    double ss = 0.0;
+    for (std::size_t c = 0; c < points.cols(); ++c) {
+        const double d = points.at(r0, c) - points.at(r1, c);
+        ss += d * d;
+    }
+    return std::sqrt(ss);
+}
+
+Dendrogram::Dendrogram(std::size_t num_leaves, std::vector<MergeStep> steps)
+    : numLeaves_(num_leaves), steps_(std::move(steps))
+{
+    SPEC17_ASSERT(num_leaves >= 1, "dendrogram needs at least one leaf");
+    SPEC17_ASSERT(steps_.size() == num_leaves - 1,
+                  "dendrogram over ", num_leaves, " leaves needs ",
+                  num_leaves - 1, " merges, got ", steps_.size());
+}
+
+std::vector<std::size_t>
+Dendrogram::cut(std::size_t k) const
+{
+    SPEC17_ASSERT(k >= 1 && k <= numLeaves_,
+                  "cut level ", k, " out of [1, ", numLeaves_, "]");
+
+    // Map every node id to the representative leaf-set root after the
+    // first numLeaves_ - k merges.
+    const std::size_t merges = numLeaves_ - k;
+    std::vector<std::size_t> parent(numLeaves_ + merges);
+    std::iota(parent.begin(), parent.end(), 0);
+
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (std::size_t i = 0; i < merges; ++i) {
+        const MergeStep &step = steps_[i];
+        const std::size_t node = numLeaves_ + i;
+        parent[find(step.left)] = node;
+        parent[find(step.right)] = node;
+    }
+
+    std::vector<std::size_t> labels(numLeaves_);
+    std::vector<std::size_t> remap(numLeaves_ + merges,
+                                   std::numeric_limits<std::size_t>::max());
+    std::size_t next_label = 0;
+    for (std::size_t leaf = 0; leaf < numLeaves_; ++leaf) {
+        const std::size_t root = find(leaf);
+        if (remap[root] == std::numeric_limits<std::size_t>::max())
+            remap[root] = next_label++;
+        labels[leaf] = remap[root];
+    }
+    SPEC17_ASSERT(next_label == k, "cut produced ", next_label,
+                  " clusters, expected ", k);
+    return labels;
+}
+
+std::vector<std::vector<std::size_t>>
+Dendrogram::clustersAt(std::size_t k) const
+{
+    const std::vector<std::size_t> labels = cut(k);
+    std::vector<std::vector<std::size_t>> groups(k);
+    for (std::size_t leaf = 0; leaf < numLeaves_; ++leaf)
+        groups[labels[leaf]].push_back(leaf);
+    // Labels are first-appearance ordered, so each group is already
+    // sorted and groups are ordered by smallest member.
+    return groups;
+}
+
+std::string
+Dendrogram::renderAscii(const std::vector<std::string> &labels,
+                        std::size_t width) const
+{
+    SPEC17_ASSERT(labels.size() == numLeaves_,
+                  "label count must equal leaf count");
+    SPEC17_ASSERT(width >= 16, "dendrogram width too small");
+
+    if (numLeaves_ == 1)
+        return labels[0] + "\n";
+
+    // Leaf order via DFS from the root so brackets never cross.
+    std::vector<std::size_t> order;
+    order.reserve(numLeaves_);
+    std::vector<std::size_t> stack = {numLeaves_ + steps_.size() - 1};
+    while (!stack.empty()) {
+        const std::size_t node = stack.back();
+        stack.pop_back();
+        if (node < numLeaves_) {
+            order.push_back(node);
+        } else {
+            const MergeStep &step = steps_[node - numLeaves_];
+            stack.push_back(step.right);
+            stack.push_back(step.left);
+        }
+    }
+
+    std::size_t label_width = 0;
+    for (const auto &label : labels)
+        label_width = std::max(label_width, label.size());
+
+    double max_dist = 0.0;
+    for (const auto &step : steps_)
+        max_dist = std::max(max_dist, step.distance);
+    if (max_dist <= 0.0)
+        max_dist = 1.0;
+
+    // Character canvas: one text row per leaf, distance on the x axis.
+    std::vector<std::string> canvas(numLeaves_,
+                                    std::string(width + 1, ' '));
+    auto x_of = [&](double dist) {
+        return static_cast<std::size_t>(
+            std::llround(dist / max_dist * static_cast<double>(width)));
+    };
+
+    std::vector<std::size_t> row_of(numLeaves_ + steps_.size());
+    std::vector<std::size_t> x_pos(numLeaves_ + steps_.size(), 0);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        row_of[order[i]] = i;
+
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+        const MergeStep &step = steps_[i];
+        const std::size_t node = numLeaves_ + i;
+        const std::size_t ra = row_of[step.left];
+        const std::size_t rb = row_of[step.right];
+        const std::size_t x = std::max({x_of(step.distance),
+                                        x_pos[step.left] + 1,
+                                        x_pos[step.right] + 1});
+        const std::size_t xe = std::min(x, width);
+        for (std::size_t col = x_pos[step.left]; col < xe; ++col)
+            canvas[ra][col] = '-';
+        for (std::size_t col = x_pos[step.right]; col < xe; ++col)
+            canvas[rb][col] = '-';
+        const std::size_t top = std::min(ra, rb);
+        const std::size_t bottom = std::max(ra, rb);
+        for (std::size_t row = top; row <= bottom; ++row) {
+            char &cell = canvas[row][xe];
+            cell = (row == top || row == bottom) ? '+' : '|';
+        }
+        row_of[node] = (ra + rb) / 2;
+        x_pos[node] = xe;
+        // The merged cluster continues rightward along its middle row.
+        canvas[row_of[node]][xe] =
+            (row_of[node] == top || row_of[node] == bottom) ? '+' : '|';
+    }
+
+    std::string out;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::string &label = labels[order[i]];
+        out += label;
+        out += std::string(label_width - label.size() + 1, ' ');
+        out += canvas[i];
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    }
+    return out;
+}
+
+Dendrogram
+agglomerate(const stats::Matrix &points, Linkage linkage)
+{
+    const std::size_t n = points.rows();
+    SPEC17_ASSERT(n >= 1, "agglomerate: no points");
+
+    // Active-cluster bookkeeping; distances are kept in a dense
+    // symmetric matrix indexed by *slot* (0..n-1); merged clusters
+    // reuse the lower slot.
+    const bool squared = (linkage == Linkage::Ward);
+    std::vector<double> dist(n * n, 0.0);
+    auto d = [&](std::size_t i, std::size_t j) -> double & {
+        return dist[i * n + j];
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double e = euclidean(points, i, j);
+            if (squared)
+                e *= e;
+            d(i, j) = d(j, i) = e;
+        }
+    }
+
+    std::vector<bool> active(n, true);
+    std::vector<std::size_t> size(n, 1);
+    std::vector<std::size_t> node_id(n);
+    std::iota(node_id.begin(), node_id.end(), 0);
+
+    std::vector<MergeStep> steps;
+    steps.reserve(n ? n - 1 : 0);
+
+    for (std::size_t next_node = n; next_node < 2 * n - 1; ++next_node) {
+        // Find the closest active pair; ties break to smaller slots.
+        std::size_t bi = 0, bj = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!active[i])
+                continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                if (!active[j])
+                    continue;
+                if (d(i, j) < best) {
+                    best = d(i, j);
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        SPEC17_ASSERT(std::isfinite(best), "no pair found to merge");
+
+        MergeStep step;
+        step.left = node_id[bi];
+        step.right = node_id[bj];
+        step.distance = squared ? std::sqrt(best) : best;
+        step.size = size[bi] + size[bj];
+        steps.push_back(step);
+
+        // Lance-Williams update of distances from the merged cluster
+        // (slot bi) to every other active cluster k.
+        const double ni = static_cast<double>(size[bi]);
+        const double nj = static_cast<double>(size[bj]);
+        for (std::size_t k = 0; k < n; ++k) {
+            if (!active[k] || k == bi || k == bj)
+                continue;
+            const double dik = d(bi, k);
+            const double djk = d(bj, k);
+            const double dij = d(bi, bj);
+            double merged = 0.0;
+            switch (linkage) {
+              case Linkage::Single:
+                merged = std::min(dik, djk);
+                break;
+              case Linkage::Complete:
+                merged = std::max(dik, djk);
+                break;
+              case Linkage::Average:
+                merged = (ni * dik + nj * djk) / (ni + nj);
+                break;
+              case Linkage::Ward: {
+                const double nk = static_cast<double>(size[k]);
+                const double total = ni + nj + nk;
+                merged = ((ni + nk) * dik + (nj + nk) * djk - nk * dij)
+                    / total;
+                break;
+              }
+            }
+            d(bi, k) = d(k, bi) = merged;
+        }
+
+        active[bj] = false;
+        size[bi] += size[bj];
+        node_id[bi] = next_node;
+    }
+
+    return Dendrogram(n, std::move(steps));
+}
+
+} // namespace cluster
+} // namespace spec17

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Agglomerative hierarchical clustering over points in PC space,
+ * as used in Section V-B of the paper: every observation starts as
+ * its own cluster and the two clusters at minimum linkage distance
+ * (Euclidean between PC coordinates) are merged each iteration.
+ */
+
+#ifndef SPEC17_CLUSTER_HIERARCHICAL_HH_
+#define SPEC17_CLUSTER_HIERARCHICAL_HH_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace spec17 {
+namespace cluster {
+
+/** Inter-cluster distance definition. */
+enum class Linkage
+{
+    Single,   //!< nearest members
+    Complete, //!< farthest members
+    Average,  //!< UPGMA: mean pairwise distance
+    Ward,     //!< minimum variance increase
+};
+
+/** Human-readable linkage name. */
+std::string linkageName(Linkage linkage);
+
+/**
+ * One agglomeration step. Cluster ids follow the scipy convention:
+ * leaves are 0..n-1, and the cluster formed by step i has id n+i.
+ */
+struct MergeStep
+{
+    std::size_t left = 0;     //!< id of one merged cluster
+    std::size_t right = 0;    //!< id of the other merged cluster
+    double distance = 0.0;    //!< linkage distance at the merge
+    std::size_t size = 0;     //!< members in the new cluster
+};
+
+/**
+ * Full merge history of an agglomerative run; can be cut at any
+ * cluster count and rendered as a dendrogram.
+ */
+class Dendrogram
+{
+  public:
+    Dendrogram(std::size_t num_leaves, std::vector<MergeStep> steps);
+
+    std::size_t numLeaves() const { return numLeaves_; }
+    const std::vector<MergeStep> &steps() const { return steps_; }
+
+    /**
+     * Cuts the tree into exactly @p k clusters (the state after
+     * n-k merges). Returns one label in [0, k) per leaf; labels are
+     * renumbered in first-appearance order, so they are deterministic.
+     */
+    std::vector<std::size_t> cut(std::size_t k) const;
+
+    /**
+     * Returns the leaf ids of each cluster at cut level @p k, each
+     * cluster's members sorted ascending and clusters ordered by their
+     * smallest member.
+     */
+    std::vector<std::vector<std::size_t>> clustersAt(std::size_t k) const;
+
+    /**
+     * Renders an ASCII dendrogram (leaves on the y-axis, Euclidean
+     * merge distance increasing along the x-axis), the textual
+     * equivalent of the paper's Fig. 9.
+     *
+     * @param labels one display label per leaf.
+     * @param width total character width of the distance axis.
+     */
+    std::string renderAscii(const std::vector<std::string> &labels,
+                            std::size_t width = 72) const;
+
+  private:
+    std::size_t numLeaves_;
+    std::vector<MergeStep> steps_;
+};
+
+/**
+ * Runs agglomerative clustering with the Lance-Williams distance
+ * update over the points (rows) of @p points.
+ *
+ * Ties in the minimum linkage distance are broken toward the smaller
+ * pair of cluster ids so results are deterministic.
+ */
+Dendrogram agglomerate(const stats::Matrix &points,
+                       Linkage linkage = Linkage::Average);
+
+/** Euclidean distance between two rows of @p points. */
+double euclidean(const stats::Matrix &points, std::size_t r0,
+                 std::size_t r1);
+
+} // namespace cluster
+} // namespace spec17
+
+#endif // SPEC17_CLUSTER_HIERARCHICAL_HH_

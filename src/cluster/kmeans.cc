@@ -1,0 +1,222 @@
+#include "cluster/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/hierarchical.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace spec17 {
+namespace cluster {
+
+namespace {
+
+double
+squaredDistance(const stats::Matrix &points, std::size_t row,
+                const stats::Matrix &centroids, std::size_t centroid)
+{
+    double ss = 0.0;
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+        const double diff =
+            points.at(row, d) - centroids.at(centroid, d);
+        ss += diff * diff;
+    }
+    return ss;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const stats::Matrix &points, std::size_t k, std::uint64_t seed,
+       unsigned max_iterations)
+{
+    const std::size_t n = points.rows();
+    const std::size_t dims = points.cols();
+    SPEC17_ASSERT(k >= 1 && k <= n, "k must be in [1, rows], got ", k);
+    SPEC17_ASSERT(max_iterations >= 1, "need at least one iteration");
+
+    KMeansResult out;
+    out.centroids = stats::Matrix(k, dims);
+    Rng rng(deriveSeed(seed, "kmeans++"));
+
+    // ---- k-means++ seeding ----
+    std::vector<std::size_t> chosen;
+    chosen.push_back(rng.nextBounded(n));
+    std::vector<double> nearest(n,
+                                std::numeric_limits<double>::infinity());
+    while (chosen.size() < k) {
+        for (std::size_t r = 0; r < n; ++r) {
+            double ss = 0.0;
+            for (std::size_t d = 0; d < dims; ++d) {
+                const double diff = points.at(r, d)
+                    - points.at(chosen.back(), d);
+                ss += diff * diff;
+            }
+            nearest[r] = std::min(nearest[r], ss);
+        }
+        double total = 0.0;
+        for (double v : nearest)
+            total += v;
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; pick
+            // arbitrary distinct rows.
+            chosen.push_back(chosen.size() % n);
+            continue;
+        }
+        double pick = rng.nextDouble() * total;
+        std::size_t selected = n - 1;
+        for (std::size_t r = 0; r < n; ++r) {
+            pick -= nearest[r];
+            if (pick < 0.0) {
+                selected = r;
+                break;
+            }
+        }
+        chosen.push_back(selected);
+    }
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t d = 0; d < dims; ++d)
+            out.centroids.at(c, d) = points.at(chosen[c], d);
+
+    // ---- Lloyd iterations ----
+    out.labels.assign(n, 0);
+    for (out.iterations = 0; out.iterations < max_iterations;
+         ++out.iterations) {
+        bool changed = false;
+        for (std::size_t r = 0; r < n; ++r) {
+            std::size_t best = 0;
+            double best_ss =
+                squaredDistance(points, r, out.centroids, 0);
+            for (std::size_t c = 1; c < k; ++c) {
+                const double ss =
+                    squaredDistance(points, r, out.centroids, c);
+                if (ss < best_ss) {
+                    best_ss = ss;
+                    best = c;
+                }
+            }
+            if (out.labels[r] != best) {
+                out.labels[r] = best;
+                changed = true;
+            }
+        }
+
+        // Recompute centroids; re-seed empties with the worst-fit
+        // point so k clusters always survive.
+        stats::Matrix sums(k, dims);
+        std::vector<std::size_t> count(k, 0);
+        for (std::size_t r = 0; r < n; ++r) {
+            ++count[out.labels[r]];
+            for (std::size_t d = 0; d < dims; ++d)
+                sums.at(out.labels[r], d) += points.at(r, d);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (count[c] == 0) {
+                std::size_t farthest = 0;
+                double worst = -1.0;
+                for (std::size_t r = 0; r < n; ++r) {
+                    const double ss = squaredDistance(
+                        points, r, out.centroids, out.labels[r]);
+                    if (ss > worst) {
+                        worst = ss;
+                        farthest = r;
+                    }
+                }
+                out.labels[farthest] = c;
+                for (std::size_t d = 0; d < dims; ++d)
+                    out.centroids.at(c, d) = points.at(farthest, d);
+                changed = true;
+                continue;
+            }
+            for (std::size_t d = 0; d < dims; ++d)
+                out.centroids.at(c, d) =
+                    sums.at(c, d) / double(count[c]);
+        }
+        if (!changed) {
+            out.converged = true;
+            break;
+        }
+    }
+
+    // Final guarantee: every cluster owns at least one point, even on
+    // degenerate inputs (fewer distinct points than k), where Lloyd
+    // reassignment keeps undoing the in-loop reseeding.
+    std::vector<std::size_t> final_count(k, 0);
+    for (std::size_t label : out.labels)
+        ++final_count[label];
+    for (std::size_t c = 0; c < k; ++c) {
+        if (final_count[c] > 0)
+            continue;
+        std::size_t donor = n;
+        double worst = -1.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (final_count[out.labels[r]] < 2)
+                continue;
+            const double ss = squaredDistance(points, r, out.centroids,
+                                              out.labels[r]);
+            if (ss > worst) {
+                worst = ss;
+                donor = r;
+            }
+        }
+        SPEC17_ASSERT(donor < n, "cannot populate cluster ", c);
+        --final_count[out.labels[donor]];
+        out.labels[donor] = c;
+        ++final_count[c];
+        for (std::size_t d = 0; d < dims; ++d)
+            out.centroids.at(c, d) = points.at(donor, d);
+    }
+
+    out.sse = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+        out.sse += squaredDistance(points, r, out.centroids,
+                                   out.labels[r]);
+    return out;
+}
+
+double
+silhouetteScore(const stats::Matrix &points,
+                const std::vector<std::size_t> &labels)
+{
+    const std::size_t n = points.rows();
+    SPEC17_ASSERT(labels.size() == n, "one label per point required");
+    std::size_t k = 0;
+    for (std::size_t label : labels)
+        k = std::max(k, label + 1);
+    SPEC17_ASSERT(k >= 2, "silhouette needs at least two clusters");
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t label : labels)
+        ++count[label];
+    for (std::size_t c = 0; c < k; ++c)
+        SPEC17_ASSERT(count[c] > 0, "empty cluster ", c);
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (count[labels[i]] == 1)
+            continue; // singleton contributes 0
+        // Mean distance to own cluster (a) and to the nearest other
+        // cluster (b).
+        std::vector<double> mean_to(k, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            mean_to[labels[j]] += euclidean(points, i, j);
+        }
+        double a = mean_to[labels[i]] / double(count[labels[i]] - 1);
+        double b = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+            if (c == labels[i])
+                continue;
+            b = std::min(b, mean_to[c] / double(count[c]));
+        }
+        const double denom = std::max(a, b);
+        if (denom > 0.0)
+            total += (b - a) / denom;
+    }
+    return total / double(n);
+}
+
+} // namespace cluster
+} // namespace spec17

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * K-means clustering and silhouette scoring: the standard
+ * alternatives to the paper's agglomerative method, used to check
+ * that the suggested subset is a property of the data rather than of
+ * the clustering algorithm (bench_ablation_clustering).
+ */
+
+#ifndef SPEC17_CLUSTER_KMEANS_HH_
+#define SPEC17_CLUSTER_KMEANS_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace spec17 {
+namespace cluster {
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    /** One label in [0, k) per observation. */
+    std::vector<std::size_t> labels;
+    /** Centroid matrix [k x dims]. */
+    stats::Matrix centroids;
+    /** Final within-cluster sum of squared error. */
+    double sse = 0.0;
+    /** Lloyd iterations performed. */
+    unsigned iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding.
+ *
+ * Deterministic for a given @p seed. Empty clusters are re-seeded
+ * with the point farthest from its centroid.
+ *
+ * @param points observations (rows).
+ * @param k cluster count, 1 <= k <= rows.
+ * @param seed RNG seed for the k-means++ initialization.
+ * @param max_iterations Lloyd iteration cap.
+ */
+KMeansResult kMeans(const stats::Matrix &points, std::size_t k,
+                    std::uint64_t seed = 1,
+                    unsigned max_iterations = 100);
+
+/**
+ * Mean silhouette coefficient of a clustering, in [-1, 1]; higher
+ * means tighter, better-separated clusters. Singleton clusters
+ * contribute 0 (the standard convention). Panics unless there are at
+ * least 2 clusters and every label is used.
+ */
+double silhouetteScore(const stats::Matrix &points,
+                       const std::vector<std::size_t> &labels);
+
+} // namespace cluster
+} // namespace spec17
+
+#endif // SPEC17_CLUSTER_KMEANS_HH_

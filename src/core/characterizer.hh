@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Top-level facade tying the whole study together: runs (or loads
+ * from cache) suite sweeps and hands out metrics and redundancy
+ * analyses. This is the entry point examples and benches use.
+ */
+
+#ifndef SPEC17_CORE_CHARACTERIZER_HH_
+#define SPEC17_CORE_CHARACTERIZER_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compare.hh"
+#include "core/metrics.hh"
+#include "core/redundancy.hh"
+#include "core/subset.hh"
+#include "suite/result_cache.hh"
+
+namespace spec17 {
+namespace core {
+
+/** Configuration of a characterization session. */
+struct CharacterizerOptions
+{
+    suite::RunnerOptions runner;
+    /** Result-cache base path; empty disables caching. */
+    std::string cachePath = suite::ResultCache::defaultPath();
+};
+
+/**
+ * One characterization session: memoizes suite sweeps per
+ * (generation, input size) in memory and persists them via the
+ * on-disk result cache, so repeated queries are free.
+ */
+class Characterizer
+{
+  public:
+    explicit Characterizer(CharacterizerOptions options = {});
+
+    /** Results for every pair of a suite at an input size. */
+    const std::vector<suite::PairResult> &results(
+        workloads::SuiteGeneration generation, workloads::InputSize size);
+
+    /** Derived Section-IV metrics (including errored pairs, marked). */
+    std::vector<Metrics> metrics(workloads::SuiteGeneration generation,
+                                 workloads::InputSize size);
+
+    /**
+     * Redundancy analysis over a filtered slice of the CPU2017 ref
+     * pairs: the paper analyses rate (rate int + rate fp) and speed
+     * (speed int + speed fp) separately for Figs. 9-10 / Table X.
+     * @param speed true for the speed pairs, false for rate.
+     */
+    RedundancyAnalysis redundancyFor(bool speed,
+                                     const RedundancyOptions &options
+                                     = {});
+
+    /** Redundancy analysis over ALL CPU2017 ref pairs (Figs. 7-8). */
+    RedundancyAnalysis redundancyAll(const RedundancyOptions &options
+                                     = {});
+
+    const suite::SuiteRunner &runner() const { return runner_; }
+
+  private:
+    const std::vector<workloads::WorkloadProfile> &suiteOf(
+        workloads::SuiteGeneration generation) const;
+
+    suite::SuiteRunner runner_;
+    suite::ResultCache cache_;
+    std::map<std::pair<int, int>, std::vector<suite::PairResult>> memo_;
+};
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_CHARACTERIZER_HH_

@@ -1,0 +1,78 @@
+#include "core/compare.hh"
+
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace core {
+
+namespace {
+
+AggregateStat
+statOf(const std::vector<Metrics> &metrics, double Metrics::*field)
+{
+    const std::vector<double> values = extract(metrics, field);
+    AggregateStat out;
+    out.mean = stats::mean(values);
+    out.stddev = stats::stddev(values);
+    return out;
+}
+
+} // namespace
+
+SuiteAggregates
+aggregate(const std::vector<Metrics> &metrics)
+{
+    SPEC17_ASSERT(!metrics.empty(), "aggregate of empty metric set");
+    SuiteAggregates out;
+    out.count = metrics.size();
+    out.ipc = statOf(metrics, &Metrics::ipc);
+    out.loadPct = statOf(metrics, &Metrics::loadPct);
+    out.storePct = statOf(metrics, &Metrics::storePct);
+    out.branchPct = statOf(metrics, &Metrics::branchPct);
+    out.l1MissPct = statOf(metrics, &Metrics::l1MissPct);
+    out.l2MissPct = statOf(metrics, &Metrics::l2MissPct);
+    out.l3MissPct = statOf(metrics, &Metrics::l3MissPct);
+    out.mispredictPct = statOf(metrics, &Metrics::mispredictPct);
+    out.rssGiB = statOf(metrics, &Metrics::rssGiB);
+    out.vszGiB = statOf(metrics, &Metrics::vszGiB);
+    for (const Metrics &m : metrics)
+        out.totalSeconds += m.seconds;
+    out.meanInstrBillions =
+        stats::mean(extract(metrics, &Metrics::instrBillions));
+    out.meanSeconds = stats::mean(extract(metrics, &Metrics::seconds));
+    return out;
+}
+
+std::vector<Metrics>
+intSubset(const std::vector<Metrics> &metrics)
+{
+    std::vector<Metrics> out;
+    for (const Metrics &m : metrics) {
+        if (workloads::isIntSuite(m.suite))
+            out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<Metrics>
+fpSubset(const std::vector<Metrics> &metrics)
+{
+    std::vector<Metrics> out;
+    for (const Metrics &m : metrics) {
+        if (!workloads::isIntSuite(m.suite))
+            out.push_back(m);
+    }
+    return out;
+}
+
+double
+correlationWithIpc(const std::vector<Metrics> &metrics,
+                   double Metrics::*field)
+{
+    return stats::pearson(extract(metrics, field),
+                          extract(metrics, &Metrics::ipc));
+}
+
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Suite-level aggregation and CPU2017-vs-CPU2006 comparison, the
+ * machinery behind the paper's Tables III-VII and the correlation
+ * observations in Section IV.
+ */
+
+#ifndef SPEC17_CORE_COMPARE_HH_
+#define SPEC17_CORE_COMPARE_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+
+namespace spec17 {
+namespace core {
+
+/** Mean and sample standard deviation of one metric. */
+struct AggregateStat
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Aggregates of every Section-IV metric over a set of pairs. */
+struct SuiteAggregates
+{
+    std::size_t count = 0;
+    AggregateStat ipc;
+    AggregateStat loadPct;
+    AggregateStat storePct;
+    AggregateStat branchPct;
+    AggregateStat l1MissPct;
+    AggregateStat l2MissPct;
+    AggregateStat l3MissPct;
+    AggregateStat mispredictPct;
+    AggregateStat rssGiB;
+    AggregateStat vszGiB;
+    double totalSeconds = 0.0;
+    double meanInstrBillions = 0.0;
+    double meanSeconds = 0.0;
+};
+
+/** Aggregates over @p metrics (errored pairs must be pre-filtered). */
+SuiteAggregates aggregate(const std::vector<Metrics> &metrics);
+
+/** Integer-suite subset (rate int + speed int). */
+std::vector<Metrics> intSubset(const std::vector<Metrics> &metrics);
+
+/** FP-suite subset (rate fp + speed fp). */
+std::vector<Metrics> fpSubset(const std::vector<Metrics> &metrics);
+
+/**
+ * Pearson correlation between a metric field and IPC across pairs --
+ * the paper reports RSS -0.465, VSZ -0.510, L1 -0.282, L2 -0.479,
+ * L3 -0.137 for the CPU17 ref pairs.
+ */
+double correlationWithIpc(const std::vector<Metrics> &metrics,
+                          double Metrics::*field);
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_COMPARE_HH_

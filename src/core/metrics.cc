@@ -1,0 +1,155 @@
+#include "core/metrics.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace spec17 {
+namespace core {
+
+using counters::PerfEvent;
+
+namespace {
+
+double
+ratioPct(double numerator, double denominator)
+{
+    return denominator > 0.0 ? 100.0 * numerator / denominator : 0.0;
+}
+
+} // namespace
+
+Metrics
+deriveMetrics(const suite::PairResult &result)
+{
+    SPEC17_ASSERT(result.profile != nullptr, "result without profile");
+    const auto &c = result.counters;
+    auto get = [&](PerfEvent event) {
+        return static_cast<double>(c.get(event));
+    };
+
+    Metrics m;
+    m.name = result.name;
+    m.suite = result.profile->suite;
+    m.size = result.size;
+    m.errored = result.errored;
+    m.ipc = result.ipc();
+    m.instrBillions = result.instrBillions;
+    m.seconds = result.seconds;
+
+    const double uops = get(PerfEvent::UopsRetiredAll);
+    const double loads = get(PerfEvent::MemUopsRetiredAllLoads);
+    const double stores = get(PerfEvent::MemUopsRetiredAllStores);
+    const double branches = get(PerfEvent::BrInstExecAllBranches);
+    m.loadPct = ratioPct(loads, uops);
+    m.storePct = ratioPct(stores, uops);
+    m.branchPct = ratioPct(branches, uops);
+    m.condBranchPct =
+        ratioPct(get(PerfEvent::BrInstExecAllConditional), branches);
+
+    const double l1_miss = get(PerfEvent::MemLoadUopsRetiredL1Miss);
+    const double l2_miss = get(PerfEvent::MemLoadUopsRetiredL2Miss);
+    const double l3_miss = get(PerfEvent::MemLoadUopsRetiredL3Miss);
+    m.l1MissPct = ratioPct(l1_miss, loads);
+    m.l2MissPct = ratioPct(l2_miss, l1_miss);
+    m.l3MissPct = ratioPct(l3_miss, l2_miss);
+
+    m.mispredictPct =
+        ratioPct(get(PerfEvent::BrMispExecAllBranches), branches);
+
+    m.rssGiB = get(PerfEvent::RssBytes) / static_cast<double>(kGiB);
+    m.vszGiB = get(PerfEvent::VszBytes) / static_cast<double>(kGiB);
+    return m;
+}
+
+std::vector<Metrics>
+deriveMetrics(const std::vector<suite::PairResult> &results)
+{
+    std::vector<Metrics> out;
+    out.reserve(results.size());
+    for (const auto &result : results)
+        out.push_back(deriveMetrics(result));
+    return out;
+}
+
+std::vector<Metrics>
+withoutErrored(const std::vector<Metrics> &metrics)
+{
+    std::vector<Metrics> out;
+    out.reserve(metrics.size());
+    for (const Metrics &m : metrics) {
+        if (!m.errored)
+            out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<Metrics>
+bySuite(const std::vector<Metrics> &metrics, workloads::SuiteKind kind)
+{
+    std::vector<Metrics> out;
+    for (const Metrics &m : metrics) {
+        if (m.suite == kind)
+            out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<Metrics>
+averageByApplication(const std::vector<Metrics> &metrics)
+{
+    // Group rows by base application name, preserving first-seen
+    // order.
+    std::vector<Metrics> out;
+    std::vector<int> counts;
+    auto base_name = [](const std::string &name) {
+        const auto pos = name.rfind("-in");
+        return pos == std::string::npos ? name : name.substr(0, pos);
+    };
+    static constexpr double Metrics::*kFields[] = {
+        &Metrics::ipc,         &Metrics::instrBillions,
+        &Metrics::seconds,     &Metrics::loadPct,
+        &Metrics::storePct,    &Metrics::branchPct,
+        &Metrics::condBranchPct, &Metrics::l1MissPct,
+        &Metrics::l2MissPct,   &Metrics::l3MissPct,
+        &Metrics::mispredictPct, &Metrics::rssGiB,
+        &Metrics::vszGiB,
+    };
+    for (const Metrics &m : metrics) {
+        const std::string app = base_name(m.name);
+        std::size_t slot = out.size();
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out[i].name == app) {
+                slot = i;
+                break;
+            }
+        }
+        if (slot == out.size()) {
+            Metrics fresh = m;
+            fresh.name = app;
+            out.push_back(fresh);
+            counts.push_back(1);
+        } else {
+            for (double Metrics::*field : kFields)
+                out[slot].*field += m.*field;
+            ++counts[slot];
+        }
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        for (double Metrics::*field : kFields)
+            out[i].*field /= counts[i];
+    }
+    return out;
+}
+
+std::vector<double>
+extract(const std::vector<Metrics> &metrics, double Metrics::*field)
+{
+    std::vector<double> out;
+    out.reserve(metrics.size());
+    for (const Metrics &m : metrics)
+        out.push_back(m.*field);
+    return out;
+}
+
+} // namespace core
+} // namespace spec17

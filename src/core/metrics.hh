@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Derived per-pair metrics: the quantities Section IV of the paper
+ * reports (IPC, instruction-mix percentages, per-level cache miss
+ * rates, branch mispredict rate, footprints, execution time), computed
+ * from a PairResult's raw counters.
+ */
+
+#ifndef SPEC17_CORE_METRICS_HH_
+#define SPEC17_CORE_METRICS_HH_
+
+#include <string>
+#include <vector>
+
+#include "suite/runner.hh"
+
+namespace spec17 {
+namespace core {
+
+/** All Section-IV metrics for one application-input pair. */
+struct Metrics
+{
+    std::string name;
+    workloads::SuiteKind suite = workloads::SuiteKind::RateInt;
+    workloads::InputSize size = workloads::InputSize::Ref;
+    bool errored = false;
+
+    double ipc = 0.0;
+    double instrBillions = 0.0;
+    double seconds = 0.0;
+
+    /** @name Instruction mix, percent of micro-ops */
+    /// @{
+    double loadPct = 0.0;
+    double storePct = 0.0;
+    double branchPct = 0.0;
+    /// @}
+    /** Conditional share of branches, percent. */
+    double condBranchPct = 0.0;
+
+    /** @name Load miss rates, percent (paper Fig. 5 definitions) */
+    /// @{
+    double l1MissPct = 0.0;  //!< l1_miss / loads
+    double l2MissPct = 0.0;  //!< l2_miss / l1_miss
+    double l3MissPct = 0.0;  //!< l3_miss / l2_miss
+    /// @}
+
+    /** Branch mispredict rate, percent of branches (Fig. 6). */
+    double mispredictPct = 0.0;
+
+    double rssGiB = 0.0;
+    double vszGiB = 0.0;
+};
+
+/** Derives the Section-IV metrics from one pair's counters. */
+Metrics deriveMetrics(const suite::PairResult &result);
+
+/** Derives metrics for a whole result set, preserving order. */
+std::vector<Metrics> deriveMetrics(
+    const std::vector<suite::PairResult> &results);
+
+/**
+ * Drops pairs the paper could not collect (627.cam4_s and the
+ * perlbench test.pl inputs), as the paper's aggregates do.
+ */
+std::vector<Metrics> withoutErrored(const std::vector<Metrics> &metrics);
+
+/** Metrics restricted to one mini-suite. */
+std::vector<Metrics> bySuite(const std::vector<Metrics> &metrics,
+                             workloads::SuiteKind kind);
+
+/** Extracts one field from a metric list (e.g. for mean/stddev). */
+std::vector<double> extract(const std::vector<Metrics> &metrics,
+                            double Metrics::*field);
+
+/**
+ * Averages the inputs of each application into one row per
+ * application ("For the applications with multiple inputs, we have
+ * reported the average values ... across all the inputs", paper
+ * Section IV). Names lose their "-inN" suffix.
+ */
+std::vector<Metrics> averageByApplication(
+    const std::vector<Metrics> &metrics);
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_METRICS_HH_

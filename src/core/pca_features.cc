@@ -1,0 +1,111 @@
+#include "core/pca_features.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace spec17 {
+namespace core {
+
+using counters::PerfEvent;
+
+const std::vector<std::string> &
+pcaFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "inst_retired.any",
+        "mem_uops_retired.all_loads",
+        "mem_uops_retired.all_stores",
+        "load_uops(%)",
+        "store_uops(%)",
+        "total_mem_uops(%)",
+        "br_inst_exec.all_branches",
+        "branch_inst(%)",
+        "br_inst_exec.all_conditional",
+        "br_inst_exec.all_direct_jmp",
+        "br_inst_exec.all_direct_near_call",
+        "br_inst_exec.all_indirect_jump_non_call_ret",
+        "br_inst_exec.all_indirect_near_return",
+        "branch_conditional(%)",
+        "branch_direct_jump(%)",
+        "branch_near_call(%)",
+        "branch_indirect_jump_non_call_ret(%)",
+        "branch_indirect_near_return(%)",
+        "rss",
+        "vsz",
+    };
+    SPEC17_ASSERT(names.size() == kNumPcaFeatures,
+                  "feature name table out of sync");
+    return names;
+}
+
+std::vector<double>
+pcaFeatureVector(const suite::PairResult &result)
+{
+    const auto &c = result.counters;
+    auto get = [&](PerfEvent event) {
+        return static_cast<double>(c.get(event));
+    };
+
+    const double sim_instr = get(PerfEvent::InstRetiredAny);
+    SPEC17_ASSERT(sim_instr > 0.0, result.name, ": empty result");
+    // Extrapolate sampled counts to the pair's paper-scale run.
+    const double scale =
+        result.instrBillions * kBillion / sim_instr;
+
+    const double uops = get(PerfEvent::UopsRetiredAll);
+    const double loads = get(PerfEvent::MemUopsRetiredAllLoads);
+    const double stores = get(PerfEvent::MemUopsRetiredAllStores);
+    const double branches = get(PerfEvent::BrInstExecAllBranches);
+    const double cond = get(PerfEvent::BrInstExecAllConditional);
+    const double djmp = get(PerfEvent::BrInstExecAllDirectJmp);
+    const double call = get(PerfEvent::BrInstExecAllDirectNearCall);
+    const double ijmp =
+        get(PerfEvent::BrInstExecAllIndirectJumpNonCallRet);
+    const double iret = get(PerfEvent::BrInstExecAllIndirectNearReturn);
+
+    auto pct = [](double a, double b) {
+        return b > 0.0 ? 100.0 * a / b : 0.0;
+    };
+
+    return {
+        sim_instr * scale,
+        loads * scale,
+        stores * scale,
+        pct(loads, uops),
+        pct(stores, uops),
+        pct(loads + stores, uops),
+        branches * scale,
+        pct(branches, uops),
+        cond * scale,
+        djmp * scale,
+        call * scale,
+        ijmp * scale,
+        iret * scale,
+        pct(cond, branches),
+        pct(djmp, branches),
+        pct(call, branches),
+        pct(ijmp, branches),
+        pct(iret, branches),
+        get(PerfEvent::RssBytes),
+        get(PerfEvent::VszBytes),
+    };
+}
+
+stats::Matrix
+pcaFeatureMatrix(const std::vector<suite::PairResult> &results,
+                 std::vector<std::size_t> &kept)
+{
+    kept.clear();
+    std::vector<std::vector<double>> rows;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].errored)
+            continue;
+        kept.push_back(i);
+        rows.push_back(pcaFeatureVector(results[i]));
+    }
+    SPEC17_ASSERT(!rows.empty(), "no collectable pairs in result set");
+    return stats::Matrix::fromRows(rows);
+}
+
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's Table VIII: the 20 microarchitecture-independent
+ * characteristics fed to the PCA. Absolute event counts are reported
+ * at paper scale (the measured rates extrapolated to the pair's full
+ * instruction count), so magnitudes separate big and small workloads
+ * exactly as in the paper.
+ */
+
+#ifndef SPEC17_CORE_PCA_FEATURES_HH_
+#define SPEC17_CORE_PCA_FEATURES_HH_
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.hh"
+#include "suite/runner.hh"
+
+namespace spec17 {
+namespace core {
+
+/** Number of PCA input characteristics (paper Table VIII). */
+inline constexpr std::size_t kNumPcaFeatures = 20;
+
+/** The Table VIII characteristic names, in feature-vector order. */
+const std::vector<std::string> &pcaFeatureNames();
+
+/** Extracts the 20-characteristic vector for one pair. */
+std::vector<double> pcaFeatureVector(const suite::PairResult &result);
+
+/**
+ * Builds the observation matrix (one row per non-errored pair) for a
+ * result set; @p kept receives the indices of the rows kept (into
+ * @p results), so callers can map matrix rows back to pairs.
+ */
+stats::Matrix pcaFeatureMatrix(
+    const std::vector<suite::PairResult> &results,
+    std::vector<std::size_t> &kept);
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_PCA_FEATURES_HH_

@@ -1,0 +1,224 @@
+#include "core/phase.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/sse.hh"
+#include "sim/simulator.hh"
+#include "stats/matrix.hh"
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace core {
+
+using counters::CounterSet;
+using counters::PerfEvent;
+
+const std::vector<std::string> &
+phaseSignatureNames()
+{
+    static const std::vector<std::string> names = {
+        "ipc",        "load_frac",   "store_frac", "branch_frac",
+        "l1_missrate", "l2_missrate", "l3_missrate", "mispredict_rate",
+    };
+    SPEC17_ASSERT(names.size() == kPhaseSignatureDims,
+                  "signature names out of sync");
+    return names;
+}
+
+namespace {
+
+std::vector<double>
+signatureOf(const CounterSet &delta, double cycles)
+{
+    auto get = [&](PerfEvent event) {
+        return static_cast<double>(delta.get(event));
+    };
+    auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
+    const double instr = get(PerfEvent::InstRetiredAny);
+    const double loads = get(PerfEvent::MemUopsRetiredAllLoads);
+    const double l1m = get(PerfEvent::MemLoadUopsRetiredL1Miss);
+    const double l2m = get(PerfEvent::MemLoadUopsRetiredL2Miss);
+    const double branches = get(PerfEvent::BrInstExecAllBranches);
+    return {
+        ratio(instr, cycles),
+        ratio(loads, instr),
+        ratio(get(PerfEvent::MemUopsRetiredAllStores), instr),
+        ratio(branches, instr),
+        ratio(l1m, loads),
+        ratio(l2m, l1m),
+        ratio(get(PerfEvent::MemLoadUopsRetiredL3Miss), l2m),
+        ratio(get(PerfEvent::BrMispExecAllBranches), branches),
+    };
+}
+
+} // namespace
+
+double
+PhaseAnalysis::fullIpc() const
+{
+    double ops = 0.0, weighted = 0.0;
+    for (const IntervalRecord &interval : intervals) {
+        ops += static_cast<double>(interval.numOps);
+        weighted += interval.ipc * static_cast<double>(interval.numOps);
+    }
+    return ops > 0.0 ? weighted / ops : 0.0;
+}
+
+double
+PhaseAnalysis::sampledIpcEstimate() const
+{
+    double estimate = 0.0;
+    for (const Phase &phase : phases)
+        estimate += phase.weight * intervals[phase.representative].ipc;
+    return estimate;
+}
+
+PhaseAnalysis
+analyzePhases(trace::TraceSource &source, const sim::SystemConfig &config,
+              const PhaseOptions &options)
+{
+    SPEC17_ASSERT(options.intervalOps >= 1000,
+                  "intervals too small to have stable signatures");
+    SPEC17_ASSERT(options.maxPhases >= 1, "need at least one phase");
+
+    PhaseAnalysis out;
+    sim::CpuSimulator simulator(config);
+    if (options.warmupOps > 0)
+        simulator.step(source, options.warmupOps);
+
+    // ---- 1-2: execute in intervals, collect signatures ----
+    CounterSet previous = simulator.snapshot();
+    double prev_cycles = simulator.core().cycles();
+    std::uint64_t first_op = options.warmupOps;
+    for (;;) {
+        const std::uint64_t consumed =
+            simulator.step(source, options.intervalOps);
+        if (consumed == 0)
+            break;
+        const CounterSet now = simulator.snapshot();
+        const double cycles = simulator.core().cycles();
+        const CounterSet delta = now.diff(previous);
+
+        IntervalRecord interval;
+        interval.firstOp = first_op;
+        interval.numOps = consumed;
+        const double interval_cycles = cycles - prev_cycles;
+        interval.ipc = interval_cycles > 0.0
+            ? static_cast<double>(
+                  delta.get(PerfEvent::InstRetiredAny))
+                / interval_cycles
+            : 0.0;
+        interval.signature = signatureOf(delta, interval_cycles);
+        out.intervals.push_back(std::move(interval));
+
+        previous = now;
+        prev_cycles = cycles;
+        first_op += consumed;
+        if (consumed < options.intervalOps)
+            break;
+    }
+    SPEC17_ASSERT(!out.intervals.empty(), "trace produced no intervals");
+
+    // A very short run (or maxPhases == 1) degenerates gracefully.
+    const std::size_t n = out.intervals.size();
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n);
+    for (const IntervalRecord &interval : out.intervals)
+        rows.push_back(interval.signature);
+    const stats::Matrix points = stats::Matrix::fromRows(rows);
+
+    // ---- 3: cluster; pick the smallest k explaining the variance --
+    const cluster::Dendrogram dendrogram =
+        cluster::agglomerate(points, options.linkage);
+    const std::size_t k_max = std::min(options.maxPhases, n);
+    std::size_t k = 1;
+    const double sse_one =
+        cluster::sumSquaredError(points, dendrogram.cut(1));
+    // A candidate cut must both explain the variance and separate
+    // its centroids by a material absolute distance.
+    auto max_centroid_separation = [&](std::size_t candidate) {
+        const auto labels = dendrogram.cut(candidate);
+        stats::Matrix centroids(candidate, kPhaseSignatureDims);
+        std::vector<std::size_t> count(candidate, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++count[labels[i]];
+            for (std::size_t d = 0; d < kPhaseSignatureDims; ++d)
+                centroids.at(labels[i], d) += points.at(i, d);
+        }
+        for (std::size_t g = 0; g < candidate; ++g)
+            for (std::size_t d = 0; d < kPhaseSignatureDims; ++d)
+                centroids.at(g, d) /= double(count[g]);
+        double separation = 0.0;
+        for (std::size_t a = 0; a < candidate; ++a)
+            for (std::size_t b = a + 1; b < candidate; ++b)
+                separation = std::max(
+                    separation, cluster::euclidean(centroids, a, b));
+        return separation;
+    };
+
+    if (sse_one > 1e-9) {
+        for (std::size_t candidate = 2; candidate <= k_max;
+             ++candidate) {
+            const double sse = cluster::sumSquaredError(
+                points, dendrogram.cut(candidate));
+            if (sse > options.residualVarianceThreshold * sse_one)
+                continue;
+            if (max_centroid_separation(candidate)
+                >= options.minPhaseSeparation) {
+                k = candidate;
+            }
+            break; // variance explained; accept or stay single-phase
+        }
+    }
+    out.labels = dendrogram.cut(k);
+
+    // ---- 4: summarize phases, pick representatives ----
+    std::uint64_t total_ops = 0;
+    for (const IntervalRecord &interval : out.intervals)
+        total_ops += interval.numOps;
+
+    for (std::size_t phase_id = 0; phase_id < k; ++phase_id) {
+        Phase phase;
+        phase.id = phase_id;
+        std::vector<double> centroid(kPhaseSignatureDims, 0.0);
+        std::uint64_t phase_ops = 0;
+        double ipc_sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (out.labels[i] != phase_id)
+                continue;
+            phase.intervals.push_back(i);
+            phase_ops += out.intervals[i].numOps;
+            ipc_sum += out.intervals[i].ipc;
+            for (std::size_t d = 0; d < kPhaseSignatureDims; ++d)
+                centroid[d] += out.intervals[i].signature[d];
+        }
+        SPEC17_ASSERT(!phase.intervals.empty(), "empty phase ",
+                      phase_id);
+        for (double &component : centroid)
+            component /= static_cast<double>(phase.intervals.size());
+        phase.weight = static_cast<double>(phase_ops)
+            / static_cast<double>(total_ops);
+        phase.meanIpc =
+            ipc_sum / static_cast<double>(phase.intervals.size());
+
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i : phase.intervals) {
+            double dist = 0.0;
+            for (std::size_t d = 0; d < kPhaseSignatureDims; ++d) {
+                const double diff =
+                    out.intervals[i].signature[d] - centroid[d];
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                phase.representative = i;
+            }
+        }
+        out.phases.push_back(std::move(phase));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,46 @@
+#include "core/redundancy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace core {
+
+RedundancyAnalysis
+analyzeRedundancy(const std::vector<suite::PairResult> &results,
+                  const RedundancyOptions &options)
+{
+    SPEC17_ASSERT(options.varianceFraction > 0.0
+                      && options.varianceFraction <= 1.0,
+                  "variance fraction out of range");
+
+    RedundancyAnalysis out;
+    const stats::Matrix observations =
+        pcaFeatureMatrix(results, out.sourceIndex);
+    SPEC17_ASSERT(observations.rows() >= 2,
+                  "redundancy analysis needs at least two pairs");
+
+    out.pairNames.reserve(out.sourceIndex.size());
+    out.pairSeconds.reserve(out.sourceIndex.size());
+    for (std::size_t index : out.sourceIndex) {
+        out.pairNames.push_back(results[index].name);
+        out.pairSeconds.push_back(results[index].seconds);
+    }
+
+    out.pca = stats::computePca(observations);
+    out.numComponents = std::max(
+        options.minComponents,
+        out.pca.componentsForVariance(options.varianceFraction));
+    out.numComponents =
+        std::min(out.numComponents, out.pca.scores.cols());
+    out.pcScores = out.pca.truncatedScores(out.numComponents);
+
+    out.dendrogram = cluster::agglomerate(out.pcScores, options.linkage);
+    out.factors = stats::summarizeFactors(
+        out.pca, pcaFeatureNames(), out.numComponents);
+    return out;
+}
+
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Section V of the paper: redundancy analysis. Runs PCA over the 20
+ * Table-VIII characteristics of a result set, keeps the leading
+ * principal components (the paper keeps 4, explaining 76.321% of
+ * variance), and hierarchically clusters the pairs in PC space.
+ */
+
+#ifndef SPEC17_CORE_REDUNDANCY_HH_
+#define SPEC17_CORE_REDUNDANCY_HH_
+
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchical.hh"
+#include "core/pca_features.hh"
+#include "stats/factor.hh"
+#include "stats/pca.hh"
+
+namespace spec17 {
+namespace core {
+
+/** Configuration of the redundancy analysis. */
+struct RedundancyOptions
+{
+    /**
+     * Keep the smallest number of PCs whose cumulative explained
+     * variance reaches this fraction (paper: 4 PCs at 0.76321), but
+     * at least @ref minComponents.
+     */
+    double varianceFraction = 0.76;
+    std::size_t minComponents = 2;
+    /** Clustering linkage over PC coordinates. */
+    cluster::Linkage linkage = cluster::Linkage::Average;
+};
+
+/** Output of a redundancy analysis over one set of pairs. */
+struct RedundancyAnalysis
+{
+    /** Names of the analyzed (non-errored) pairs, row order. */
+    std::vector<std::string> pairNames;
+    /** Execution time (paper-scale seconds) per analyzed pair. */
+    std::vector<double> pairSeconds;
+    /** Indices of analyzed pairs into the original result vector. */
+    std::vector<std::size_t> sourceIndex;
+
+    /** The PCA over the standardized Table-VIII characteristics. */
+    stats::PcaResult pca;
+    /** Retained component count. */
+    std::size_t numComponents = 0;
+    /** Scores truncated to the retained components [pairs x k]. */
+    stats::Matrix pcScores;
+
+    /** Merge history of the hierarchical clustering in PC space. */
+    cluster::Dendrogram dendrogram{1, {}};
+
+    /** Factor summaries of the retained components (paper Fig. 8). */
+    std::vector<stats::FactorSummary> factors;
+};
+
+/**
+ * Runs the full Section-V pipeline over @p results (errored pairs are
+ * dropped, as the paper does).
+ */
+RedundancyAnalysis analyzeRedundancy(
+    const std::vector<suite::PairResult> &results,
+    const RedundancyOptions &options = {});
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_REDUNDANCY_HH_

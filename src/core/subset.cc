@@ -1,0 +1,72 @@
+#include "core/subset.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace core {
+
+double
+SubsetSuggestion::savingPct()const
+{
+    if (fullSeconds <= 0.0)
+        return 0.0;
+    return 100.0 * (1.0 - subsetSeconds / fullSeconds);
+}
+
+SubsetSuggestion
+suggestSubset(const RedundancyAnalysis &analysis,
+              std::size_t forced_clusters)
+{
+    const std::size_t n = analysis.pairNames.size();
+    SPEC17_ASSERT(n >= 1, "subset of an empty analysis");
+    SPEC17_ASSERT(analysis.pairSeconds.size() == n,
+                  "analysis seconds out of sync");
+
+    SubsetSuggestion out;
+    out.sweep = cluster::sweepTradeoff(analysis.pcScores,
+                                       analysis.dendrogram,
+                                       analysis.pairSeconds);
+    if (forced_clusters > 0) {
+        SPEC17_ASSERT(forced_clusters <= n,
+                      "forced cluster count exceeds pair count");
+        out.chosen = forced_clusters - 1; // sweep[k-1].numClusters == k
+        SPEC17_ASSERT(out.sweep[out.chosen].numClusters
+                          == forced_clusters,
+                      "sweep ordering violated");
+    } else {
+        out.chosen = cluster::paretoKnee(out.sweep);
+    }
+
+    const std::size_t k = out.sweep[out.chosen].numClusters;
+    const auto groups = analysis.dendrogram.clustersAt(k);
+    out.fullSeconds = 0.0;
+    for (double s : analysis.pairSeconds)
+        out.fullSeconds += s;
+
+    out.subsetSeconds = 0.0;
+    for (const auto &group : groups) {
+        Representative rep;
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_leaf = group.front();
+        for (std::size_t leaf : group) {
+            if (analysis.pairSeconds[leaf] < best) {
+                best = analysis.pairSeconds[leaf];
+                best_leaf = leaf;
+            }
+        }
+        rep.name = analysis.pairNames[best_leaf];
+        rep.seconds = best;
+        for (std::size_t leaf : group) {
+            if (leaf != best_leaf)
+                rep.covers.push_back(analysis.pairNames[leaf]);
+        }
+        out.subsetSeconds += best;
+        out.representatives.push_back(std::move(rep));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace spec17

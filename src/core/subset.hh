@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section V-C of the paper: suggesting a representative subset. The
+ * cluster count is chosen at the Pareto knee of the SSE-vs-execution-
+ * time sweep, and each cluster is represented by its shortest-running
+ * member (the paper's rule), yielding Table X.
+ */
+
+#ifndef SPEC17_CORE_SUBSET_HH_
+#define SPEC17_CORE_SUBSET_HH_
+
+#include <string>
+#include <vector>
+
+#include "cluster/sse.hh"
+#include "core/redundancy.hh"
+
+namespace spec17 {
+namespace core {
+
+/** One selected representative. */
+struct Representative
+{
+    std::string name;               //!< pair display name
+    double seconds = 0.0;           //!< its execution time
+    std::vector<std::string> covers; //!< other members of its cluster
+};
+
+/** A suggested subset for one analysis (e.g. all rate pairs). */
+struct SubsetSuggestion
+{
+    /** The SSE / subset-time sweep over every cluster count. */
+    std::vector<cluster::TradeoffPoint> sweep;
+    /** Index into @ref sweep of the Pareto-knee choice. */
+    std::size_t chosen = 0;
+    /** Selected representatives, cluster order. */
+    std::vector<Representative> representatives;
+
+    /** Execution time of the subset, seconds. */
+    double subsetSeconds = 0.0;
+    /** Execution time of the full pair set, seconds. */
+    double fullSeconds = 0.0;
+    /** Percent execution time saved vs running everything. */
+    double savingPct() const;
+
+    std::size_t numClusters() const { return representatives.size(); }
+};
+
+/**
+ * Applies the paper's subsetting rule to a redundancy analysis.
+ *
+ * @param analysis PCA + clustering output for one pair set.
+ * @param forced_clusters if nonzero, bypass the Pareto knee and cut
+ *        at this cluster count (used for sensitivity studies).
+ */
+SubsetSuggestion suggestSubset(const RedundancyAnalysis &analysis,
+                               std::size_t forced_clusters = 0);
+
+} // namespace core
+} // namespace spec17
+
+#endif // SPEC17_CORE_SUBSET_HH_

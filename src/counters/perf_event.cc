@@ -1,0 +1,100 @@
+#include "counters/perf_event.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace counters {
+
+namespace {
+
+struct NameEntry
+{
+    PerfEvent event;
+    const char *name;
+};
+
+constexpr NameEntry kNames[] = {
+    {PerfEvent::InstRetiredAny, "inst_retired.any"},
+    {PerfEvent::UopsRetiredAll, "uops_retired.all"},
+    {PerfEvent::CpuClkUnhaltedRefTsc, "cpu_clk_unhalted.ref_tsc"},
+    {PerfEvent::MemUopsRetiredAllLoads, "mem_uops_retired.all_loads"},
+    {PerfEvent::MemUopsRetiredAllStores, "mem_uops_retired.all_stores"},
+    {PerfEvent::BrInstExecAllBranches, "br_inst_exec.all_branches"},
+    {PerfEvent::BrInstExecAllConditional, "br_inst_exec.all_conditional"},
+    {PerfEvent::BrInstExecAllDirectJmp, "br_inst_exec.all_direct_jmp"},
+    {PerfEvent::BrInstExecAllDirectNearCall,
+     "br_inst_exec.all_direct_near_call"},
+    {PerfEvent::BrInstExecAllIndirectJumpNonCallRet,
+     "br_inst_exec.all_indirect_jump_non_call_ret"},
+    {PerfEvent::BrInstExecAllIndirectNearReturn,
+     "br_inst_exec.all_indirect_near_return"},
+    {PerfEvent::BrMispExecAllBranches, "br_misp_exec.all_branches"},
+    {PerfEvent::MemLoadUopsRetiredL1Hit, "mem_load_uops_retired.l1_hit"},
+    {PerfEvent::MemLoadUopsRetiredL1Miss, "mem_load_uops_retired.l1_miss"},
+    {PerfEvent::MemLoadUopsRetiredL2Hit, "mem_load_uops_retired.l2_hit"},
+    {PerfEvent::MemLoadUopsRetiredL2Miss, "mem_load_uops_retired.l2_miss"},
+    {PerfEvent::MemLoadUopsRetiredL3Hit, "mem_load_uops_retired.l3_hit"},
+    {PerfEvent::MemLoadUopsRetiredL3Miss, "mem_load_uops_retired.l3_miss"},
+    {PerfEvent::DtlbLoadMissesWalk,
+     "dtlb_load_misses.miss_causes_a_walk"},
+    {PerfEvent::ItlbMissesWalk, "itlb_misses.miss_causes_a_walk"},
+    {PerfEvent::RssBytes, "rss"},
+    {PerfEvent::VszBytes, "vsz"},
+};
+
+static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumPerfEvents,
+              "perf event name table out of sync with enum");
+
+} // namespace
+
+std::string
+perfEventName(PerfEvent event)
+{
+    for (const auto &entry : kNames) {
+        if (entry.event == event)
+            return entry.name;
+    }
+    SPEC17_PANIC("unknown PerfEvent ", static_cast<int>(event));
+}
+
+PerfEvent
+perfEventFromName(const std::string &name)
+{
+    for (const auto &entry : kNames) {
+        if (name == entry.name)
+            return entry.event;
+    }
+    SPEC17_PANIC("unknown perf event name '", name, "'");
+}
+
+void
+CounterSet::raiseTo(PerfEvent event, std::uint64_t value)
+{
+    counts_[index(event)] = std::max(counts_[index(event)], value);
+}
+
+void
+CounterSet::accumulate(const CounterSet &other)
+{
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i)
+        counts_[i] += other.counts_[i];
+}
+
+CounterSet
+CounterSet::diff(const CounterSet &earlier) const
+{
+    CounterSet out;
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        SPEC17_ASSERT(counts_[i] >= earlier.counts_[i],
+                      "counter ",
+                      perfEventName(static_cast<PerfEvent>(i)),
+                      " went backwards");
+        out.counts_[i] = counts_[i] - earlier.counts_[i];
+    }
+    return out;
+}
+
+} // namespace counters
+} // namespace spec17

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Simulated hardware performance counters.
+ *
+ * The paper instruments a Haswell Xeon with the Linux perf utility;
+ * this module reproduces the same event vocabulary over the simulator.
+ * Every event name below is the literal counter flag the paper lists
+ * in Sections III-IV, plus two pseudo-events (rss/vsz) standing in for
+ * the paper's `ps -o vsz,rss` polling.
+ */
+
+#ifndef SPEC17_COUNTERS_PERF_EVENT_HH_
+#define SPEC17_COUNTERS_PERF_EVENT_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace spec17 {
+namespace counters {
+
+/** Every counter the framework exposes. */
+enum class PerfEvent : std::uint8_t
+{
+    InstRetiredAny,                     //!< inst_retired.any
+    UopsRetiredAll,                     //!< uops_retired.all
+    CpuClkUnhaltedRefTsc,               //!< cpu_clk_unhalted.ref_tsc
+    MemUopsRetiredAllLoads,             //!< mem_uops_retired.all_loads
+    MemUopsRetiredAllStores,            //!< mem_uops_retired.all_stores
+    BrInstExecAllBranches,              //!< br_inst_exec.all_branches
+    BrInstExecAllConditional,           //!< br_inst_exec.all_conditional
+    BrInstExecAllDirectJmp,             //!< br_inst_exec.all_direct_jmp
+    BrInstExecAllDirectNearCall,        //!< br_inst_exec.all_direct_near_call
+    BrInstExecAllIndirectJumpNonCallRet, //!< ...all_indirect_jump_non_call_ret
+    BrInstExecAllIndirectNearReturn,    //!< ...all_indirect_near_return
+    BrMispExecAllBranches,              //!< br_misp_exec.all_branches
+    MemLoadUopsRetiredL1Hit,            //!< mem_load_uops_retired.l1_hit
+    MemLoadUopsRetiredL1Miss,           //!< mem_load_uops_retired.l1_miss
+    MemLoadUopsRetiredL2Hit,            //!< mem_load_uops_retired.l2_hit
+    MemLoadUopsRetiredL2Miss,           //!< mem_load_uops_retired.l2_miss
+    MemLoadUopsRetiredL3Hit,            //!< mem_load_uops_retired.l3_hit
+    MemLoadUopsRetiredL3Miss,           //!< mem_load_uops_retired.l3_miss
+    DtlbLoadMissesWalk,  //!< dtlb_load_misses.miss_causes_a_walk
+    ItlbMissesWalk,      //!< itlb_misses.miss_causes_a_walk
+    RssBytes,                           //!< max resident set size (ps rss)
+    VszBytes,                           //!< max virtual set size (ps vsz)
+    NumEvents,                          //!< sentinel
+};
+
+/** Number of real events. */
+inline constexpr std::size_t kNumPerfEvents =
+    static_cast<std::size_t>(PerfEvent::NumEvents);
+
+/** The perf flag string for @p event (e.g. "inst_retired.any"). */
+std::string perfEventName(PerfEvent event);
+
+/**
+ * Parses a perf flag string back to its event; panics on an unknown
+ * name (used by the perf-list style CLI surface and tests).
+ */
+PerfEvent perfEventFromName(const std::string &name);
+
+/**
+ * A fixed-size bank of counters, one slot per PerfEvent. Semantics
+ * follow `perf stat`: counters only accumulate; diff() gives interval
+ * deltas for phase analysis.
+ */
+class CounterSet
+{
+  public:
+    CounterSet() { counts_.fill(0); }
+
+    std::uint64_t
+    get(PerfEvent event) const
+    {
+        return counts_[index(event)];
+    }
+
+    void
+    add(PerfEvent event, std::uint64_t amount = 1)
+    {
+        counts_[index(event)] += amount;
+    }
+
+    /** Overwrites a gauge-style counter (rss/vsz maxima). */
+    void
+    set(PerfEvent event, std::uint64_t value)
+    {
+        counts_[index(event)] = value;
+    }
+
+    /** Raises a gauge to @p value if larger (running maximum). */
+    void raiseTo(PerfEvent event, std::uint64_t value);
+
+    /** Adds every counter of @p other into this set. */
+    void accumulate(const CounterSet &other);
+
+    /** Returns this minus @p earlier, element-wise; panics if any
+     *  counter would go negative (counters are monotonic). */
+    CounterSet diff(const CounterSet &earlier) const;
+
+  private:
+    static std::size_t
+    index(PerfEvent event)
+    {
+        return static_cast<std::size_t>(event);
+    }
+
+    std::array<std::uint64_t, kNumPerfEvents> counts_;
+};
+
+} // namespace counters
+} // namespace spec17
+
+#endif // SPEC17_COUNTERS_PERF_EVENT_HH_

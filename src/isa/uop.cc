@@ -1,0 +1,92 @@
+#include "isa/uop.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace isa {
+
+std::string
+uopClassName(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu: return "int_alu";
+      case UopClass::IntMul: return "int_mul";
+      case UopClass::IntDiv: return "int_div";
+      case UopClass::FpAdd: return "fp_add";
+      case UopClass::FpMul: return "fp_mul";
+      case UopClass::FpDiv: return "fp_div";
+      case UopClass::Load: return "load";
+      case UopClass::Store: return "store";
+      case UopClass::Branch: return "branch";
+    }
+    SPEC17_PANIC("unknown UopClass");
+}
+
+std::string
+branchKindName(BranchKind kind)
+{
+    switch (kind) {
+      case BranchKind::None: return "none";
+      case BranchKind::Conditional: return "conditional";
+      case BranchKind::DirectJump: return "direct_jmp";
+      case BranchKind::DirectNearCall: return "direct_near_call";
+      case BranchKind::IndirectJumpNonCallRet:
+        return "indirect_jump_non_call_ret";
+      case BranchKind::IndirectNearReturn: return "indirect_near_return";
+    }
+    SPEC17_PANIC("unknown BranchKind");
+}
+
+MicroOp
+makeAlu(std::uint64_t pc, UopClass cls)
+{
+    SPEC17_ASSERT(cls != UopClass::Load && cls != UopClass::Store
+                      && cls != UopClass::Branch,
+                  "makeAlu with non-ALU class");
+    MicroOp op;
+    op.cls = cls;
+    op.pc = pc;
+    return op;
+}
+
+MicroOp
+makeLoad(std::uint64_t pc, std::uint64_t addr, std::uint8_t size,
+         bool dep_on_load)
+{
+    MicroOp op;
+    op.cls = UopClass::Load;
+    op.pc = pc;
+    op.effAddr = addr;
+    op.size = size;
+    op.depOnLoad = dep_on_load;
+    return op;
+}
+
+MicroOp
+makeStore(std::uint64_t pc, std::uint64_t addr, std::uint8_t size)
+{
+    MicroOp op;
+    op.cls = UopClass::Store;
+    op.pc = pc;
+    op.effAddr = addr;
+    op.size = size;
+    return op;
+}
+
+MicroOp
+makeBranch(std::uint64_t pc, BranchKind kind, bool taken,
+           std::uint64_t target, bool dep_on_load)
+{
+    SPEC17_ASSERT(kind != BranchKind::None, "branch needs a real kind");
+    MicroOp op;
+    op.cls = UopClass::Branch;
+    op.branch = kind;
+    op.pc = pc;
+    op.taken = taken;
+    op.target = target;
+    op.depOnLoad = dep_on_load;
+    return op;
+}
+
+} // namespace isa
+} // namespace spec17

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The micro-op record consumed by the CPU model.
+ *
+ * The framework simulates at micro-op granularity with a fused 1:1
+ * instruction/micro-op mapping (each retired MicroOp increments both
+ * inst_retired.any and uops_retired.all). The taxonomy mirrors the
+ * categories the paper's perf flags distinguish: memory loads/stores
+ * (mem_uops_retired.*) and the five br_inst_exec.* branch subtypes.
+ */
+
+#ifndef SPEC17_ISA_UOP_HH_
+#define SPEC17_ISA_UOP_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace spec17 {
+namespace isa {
+
+/** Functional class of a micro-op. */
+enum class UopClass : std::uint8_t
+{
+    IntAlu,   //!< single-cycle integer op
+    IntMul,   //!< pipelined integer multiply
+    IntDiv,   //!< unpipelined integer divide
+    FpAdd,    //!< pipelined FP add/sub
+    FpMul,    //!< pipelined FP multiply / FMA
+    FpDiv,    //!< unpipelined FP divide / sqrt
+    Load,     //!< memory read
+    Store,    //!< memory write
+    Branch,   //!< control transfer (see BranchKind)
+};
+
+/** Number of UopClass enumerators. */
+inline constexpr std::size_t kNumUopClasses = 9;
+
+/**
+ * Branch subtype, matching the br_inst_exec.* perf events the paper
+ * uses for its Table VIII characteristics.
+ */
+enum class BranchKind : std::uint8_t
+{
+    None,                   //!< not a branch
+    Conditional,            //!< direction-predicted conditional
+    DirectJump,             //!< unconditional direct jump
+    DirectNearCall,         //!< direct call
+    IndirectJumpNonCallRet, //!< indirect jump (e.g. switch tables)
+    IndirectNearReturn,     //!< return
+};
+
+/** Number of real branch kinds (excluding None). */
+inline constexpr std::size_t kNumBranchKinds = 5;
+
+/** Human-readable class name. */
+std::string uopClassName(UopClass cls);
+
+/** Human-readable branch-kind name. */
+std::string branchKindName(BranchKind kind);
+
+/** One dynamic micro-op. */
+struct MicroOp
+{
+    UopClass cls = UopClass::IntAlu;
+    BranchKind branch = BranchKind::None;
+
+    /** Instruction address (used by I-cache and branch predictors). */
+    std::uint64_t pc = 0;
+
+    /** Effective address for Load/Store; 0 otherwise. */
+    std::uint64_t effAddr = 0;
+
+    /** Access size in bytes for Load/Store. */
+    std::uint8_t size = 0;
+
+    /** Resolved direction for Branch micro-ops. */
+    bool taken = false;
+
+    /** Resolved target for taken branches. */
+    std::uint64_t target = 0;
+
+    /**
+     * True when this op's input depends on an in-flight load (e.g.
+     * the address of a pointer-chase load, or a branch condition fed
+     * by a load). The core model serializes such ops behind the
+     * producing load instead of overlapping them.
+     */
+    bool depOnLoad = false;
+
+    /**
+     * True when this op reads the result of the immediately preceding
+     * op (a serial dependency chain). The density of such ops is the
+     * workload's inherent ILP limit, independent of memory behaviour.
+     */
+    bool depOnPrev = false;
+
+    bool isLoad() const { return cls == UopClass::Load; }
+    bool isStore() const { return cls == UopClass::Store; }
+    bool isMemory() const { return isLoad() || isStore(); }
+    bool isBranch() const { return cls == UopClass::Branch; }
+    bool
+    isConditionalBranch() const
+    {
+        return branch == BranchKind::Conditional;
+    }
+};
+
+/** Convenience factory for a plain ALU op at @p pc. */
+MicroOp makeAlu(std::uint64_t pc, UopClass cls = UopClass::IntAlu);
+
+/** Convenience factory for a load. */
+MicroOp makeLoad(std::uint64_t pc, std::uint64_t addr,
+                 std::uint8_t size = 8, bool dep_on_load = false);
+
+/** Convenience factory for a store. */
+MicroOp makeStore(std::uint64_t pc, std::uint64_t addr,
+                  std::uint8_t size = 8);
+
+/** Convenience factory for a branch. */
+MicroOp makeBranch(std::uint64_t pc, BranchKind kind, bool taken,
+                   std::uint64_t target, bool dep_on_load = false);
+
+} // namespace isa
+} // namespace spec17
+
+#endif // SPEC17_ISA_UOP_HH_

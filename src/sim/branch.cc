@@ -1,0 +1,218 @@
+#include "sim/branch.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+namespace {
+
+/** 2-bit saturating counter helpers; >= 2 means predict taken. */
+std::uint8_t
+saturate(std::uint8_t counter, bool taken)
+{
+    if (taken)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// StaticTakenPredictor
+// ---------------------------------------------------------------------
+
+bool
+StaticTakenPredictor::predict(std::uint64_t)
+{
+    return true;
+}
+
+void
+StaticTakenPredictor::update(std::uint64_t, bool)
+{
+}
+
+// ---------------------------------------------------------------------
+// BimodalPredictor
+// ---------------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned table_bits)
+    : table_(std::size_t(1) << table_bits, 1),
+      mask_((std::size_t(1) << table_bits) - 1)
+{
+    SPEC17_ASSERT(table_bits >= 4 && table_bits <= 24,
+                  "bimodal table bits out of sane range");
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &counter = table_[index(pc)];
+    counter = saturate(counter, taken);
+}
+
+// ---------------------------------------------------------------------
+// GsharePredictor
+// ---------------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned table_bits,
+                                 unsigned history_bits)
+    : table_(std::size_t(1) << table_bits, 1),
+      mask_((std::size_t(1) << table_bits) - 1),
+      historyMask_((std::uint64_t(1) << history_bits) - 1)
+{
+    SPEC17_ASSERT(table_bits >= 4 && table_bits <= 24,
+                  "gshare table bits out of sane range");
+    SPEC17_ASSERT(history_bits <= table_bits,
+                  "gshare history longer than table index");
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return table_[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &counter = table_[index(pc)];
+    counter = saturate(counter, taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+// ---------------------------------------------------------------------
+// TournamentPredictor
+// ---------------------------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(unsigned table_bits,
+                                         unsigned history_bits)
+    : bimodal_(table_bits), gshare_(table_bits, history_bits),
+      chooser_(std::size_t(1) << table_bits, 2),
+      mask_((std::size_t(1) << table_bits) - 1)
+{
+}
+
+bool
+TournamentPredictor::predict(std::uint64_t pc)
+{
+    const bool use_gshare = chooser_[(pc >> 2) & mask_] >= 2;
+    return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void
+TournamentPredictor::update(std::uint64_t pc, bool taken)
+{
+    const bool bimodal_right = bimodal_.predict(pc) == taken;
+    const bool gshare_right = gshare_.predict(pc) == taken;
+    std::uint8_t &choice = chooser_[(pc >> 2) & mask_];
+    if (gshare_right != bimodal_right)
+        choice = saturate(choice, gshare_right);
+    bimodal_.update(pc, taken);
+    gshare_.update(pc, taken);
+}
+
+std::unique_ptr<DirectionPredictor>
+makeDirectionPredictor(const std::string &name)
+{
+    if (name == "static-taken")
+        return std::make_unique<StaticTakenPredictor>();
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "tournament")
+        return std::make_unique<TournamentPredictor>();
+    SPEC17_FATAL("unknown direction predictor '", name,
+                 "' (want static-taken|bimodal|gshare|tournament)");
+}
+
+// ---------------------------------------------------------------------
+// BranchUnit
+// ---------------------------------------------------------------------
+
+double
+BranchStats::mispredictRate() const
+{
+    return executed ? static_cast<double>(mispredicted)
+            / static_cast<double>(executed)
+                    : 0.0;
+}
+
+BranchUnit::BranchUnit(std::unique_ptr<DirectionPredictor> direction,
+                       unsigned btb_bits)
+    : direction_(std::move(direction)),
+      btb_(std::size_t(1) << btb_bits, 0),
+      btbMask_((std::size_t(1) << btb_bits) - 1)
+{
+    SPEC17_ASSERT(direction_ != nullptr, "BranchUnit needs a predictor");
+}
+
+const BranchStats &
+BranchUnit::byKind(isa::BranchKind kind) const
+{
+    return perKind_[static_cast<std::size_t>(kind)];
+}
+
+bool
+BranchUnit::execute(const isa::MicroOp &op)
+{
+    SPEC17_ASSERT(op.isBranch(), "BranchUnit fed a non-branch op");
+    bool mispredicted = false;
+
+    switch (op.branch) {
+      case isa::BranchKind::Conditional: {
+        const bool predicted = direction_->predict(op.pc);
+        mispredicted = predicted != op.taken;
+        direction_->update(op.pc, op.taken);
+        break;
+      }
+      case isa::BranchKind::DirectJump:
+      case isa::BranchKind::DirectNearCall:
+        // Direct targets are decoded in the front end; treated as
+        // always predicted once seen. Model as never mispredicted.
+        mispredicted = false;
+        break;
+      case isa::BranchKind::IndirectJumpNonCallRet: {
+        std::uint64_t &entry = btb_[(op.pc >> 2) & btbMask_];
+        mispredicted = entry != op.target;
+        entry = op.target;
+        break;
+      }
+      case isa::BranchKind::IndirectNearReturn:
+        // Idealized return-address stack.
+        mispredicted = false;
+        break;
+      case isa::BranchKind::None:
+        SPEC17_PANIC("branch op with BranchKind::None");
+    }
+
+    ++totals_.executed;
+    totals_.mispredicted += mispredicted;
+    BranchStats &ks = perKind_[static_cast<std::size_t>(op.branch)];
+    ++ks.executed;
+    ks.mispredicted += mispredicted;
+    return mispredicted;
+}
+
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Branch prediction: direction predictors (static / bimodal / gshare /
+ * tournament), a branch target buffer for indirect jumps, and an
+ * idealized return-address stack, composed into a BranchUnit that
+ * classifies each dynamic branch as predicted or mispredicted.
+ */
+
+#ifndef SPEC17_SIM_BRANCH_HH_
+#define SPEC17_SIM_BRANCH_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/uop.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** Direction predictor interface for conditional branches. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predicted direction for the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Trains on the resolved direction. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Predictor name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Always predicts taken (the paper-era static baseline). */
+class StaticTakenPredictor : public DirectionPredictor
+{
+  public:
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "static-taken"; }
+};
+
+/** Classic per-PC table of 2-bit saturating counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param table_bits log2 of the counter-table size. */
+    explicit BimodalPredictor(unsigned table_bits = 14);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+};
+
+/** Gshare: global history XOR PC indexing into 2-bit counters. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the counter-table size.
+     * @param history_bits global-history length (<= table_bits).
+     */
+    explicit GsharePredictor(unsigned table_bits = 14,
+                             unsigned history_bits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+/**
+ * Tournament predictor (Haswell-flavoured): bimodal and gshare
+ * components with a per-PC chooser trained toward whichever component
+ * was right.
+ */
+class TournamentPredictor : public DirectionPredictor
+{
+  public:
+    explicit TournamentPredictor(unsigned table_bits = 14,
+                                 unsigned history_bits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> chooser_;
+    std::size_t mask_;
+};
+
+/** Names accepted by makeDirectionPredictor(). */
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    const std::string &name);
+
+/** Per-kind branch statistics kept by the BranchUnit. */
+struct BranchStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t mispredicted = 0;
+    /** mispredicted / executed, or 0 if never executed. */
+    double mispredictRate() const;
+};
+
+/**
+ * The full branch-resolution unit: direction prediction for
+ * conditionals, a direct-mapped BTB for indirect jump targets, and an
+ * idealized return-address stack (returns always predicted, matching
+ * the near-perfect RAS of modern cores).
+ */
+class BranchUnit
+{
+  public:
+    /**
+     * @param direction conditional-direction predictor (owned).
+     * @param btb_bits log2 of BTB entries for indirect targets.
+     */
+    explicit BranchUnit(std::unique_ptr<DirectionPredictor> direction,
+                        unsigned btb_bits = 12);
+
+    /**
+     * Resolves one dynamic branch.
+     * @return true when the branch was MISpredicted.
+     */
+    bool execute(const isa::MicroOp &op);
+
+    const BranchStats &totals() const { return totals_; }
+    const BranchStats &byKind(isa::BranchKind kind) const;
+    const DirectionPredictor &direction() const { return *direction_; }
+
+  private:
+    std::unique_ptr<DirectionPredictor> direction_;
+    std::vector<std::uint64_t> btb_;
+    std::size_t btbMask_;
+    BranchStats totals_;
+    BranchStats perKind_[isa::kNumBranchKinds + 1];
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_BRANCH_HH_

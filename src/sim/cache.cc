@@ -1,0 +1,233 @@
+#include "sim/cache.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+std::string
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru: return "lru";
+      case ReplacementPolicy::TreePlru: return "tree-plru";
+      case ReplacementPolicy::Random: return "random";
+    }
+    SPEC17_PANIC("unknown ReplacementPolicy");
+}
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    SPEC17_ASSERT(lineBytes > 0 && (lineBytes & (lineBytes - 1)) == 0,
+                  name, ": line size must be a power of two");
+    SPEC17_ASSERT(assoc > 0, name, ": associativity must be positive");
+    SPEC17_ASSERT(sizeBytes % (static_cast<std::uint64_t>(assoc)
+                               * lineBytes) == 0,
+                  name, ": size not divisible by assoc * line");
+    // Non-power-of-two set counts are allowed (the 30 MB 20-way L3
+    // has 24576 sets); indexing falls back to modulo for them.
+    return sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
+}
+
+double
+CacheStats::missRate() const
+{
+    const std::uint64_t total = accesses();
+    return total ? static_cast<double>(misses)
+            / static_cast<double>(total)
+                 : 0.0;
+}
+
+SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
+    : config_(std::move(config)), numSets_(config_.numSets()),
+      lines_(numSets_ * config_.assoc),
+      rng_(deriveSeed(seed, config_.name))
+{
+    if (config_.policy == ReplacementPolicy::TreePlru) {
+        SPEC17_ASSERT((config_.assoc & (config_.assoc - 1)) == 0,
+                      config_.name,
+                      ": tree-PLRU requires power-of-two ways");
+        plruBits_.assign(numSets_ * (config_.assoc - 1), 0);
+    }
+}
+
+std::uint64_t
+SetAssocCache::lineAddr(std::uint64_t addr) const
+{
+    return addr / config_.lineBytes;
+}
+
+std::uint64_t
+SetAssocCache::setIndex(std::uint64_t line_addr) const
+{
+    if ((numSets_ & (numSets_ - 1)) == 0)
+        return line_addr & (numSets_ - 1);
+    return line_addr % numSets_;
+}
+
+std::uint64_t
+SetAssocCache::tagOf(std::uint64_t line_addr) const
+{
+    return line_addr / numSets_;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t addr)
+{
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = setIndex(la);
+    const std::uint64_t tag = tagOf(la);
+    Line *base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(std::uint64_t addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+void
+SetAssocCache::touch(std::uint64_t set, unsigned way)
+{
+    lines_[set * config_.assoc + way].lruStamp = ++stampCounter_;
+    if (config_.policy == ReplacementPolicy::TreePlru) {
+        // Walk root-to-leaf, pointing each node away from this way.
+        std::uint8_t *bits = &plruBits_[set * (config_.assoc - 1)];
+        unsigned node = 0;
+        unsigned lo = 0, hi = config_.assoc;
+        while (hi - lo > 1) {
+            const unsigned mid = (lo + hi) / 2;
+            if (way < mid) {
+                bits[node] = 1; // protect left, point victim right
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                bits[node] = 0; // protect right, point victim left
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+}
+
+unsigned
+SetAssocCache::victimWay(std::uint64_t set)
+{
+    Line *base = &lines_[set * config_.assoc];
+    // Invalid ways are always preferred victims.
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (!base[way].valid)
+            return way;
+    }
+    switch (config_.policy) {
+      case ReplacementPolicy::Lru: {
+        unsigned victim = 0;
+        for (unsigned way = 1; way < config_.assoc; ++way) {
+            if (base[way].lruStamp < base[victim].lruStamp)
+                victim = way;
+        }
+        return victim;
+      }
+      case ReplacementPolicy::TreePlru: {
+        const std::uint8_t *bits = &plruBits_[set * (config_.assoc - 1)];
+        unsigned node = 0;
+        unsigned lo = 0, hi = config_.assoc;
+        while (hi - lo > 1) {
+            const unsigned mid = (lo + hi) / 2;
+            if (bits[node] == 0) { // victim pointer: left
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+        return lo;
+      }
+      case ReplacementPolicy::Random:
+        return static_cast<unsigned>(rng_.nextBounded(config_.assoc));
+    }
+    SPEC17_PANIC("unknown ReplacementPolicy");
+}
+
+void
+SetAssocCache::allocate(std::uint64_t addr)
+{
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = setIndex(la);
+    const unsigned way = victimWay(set);
+    Line &line = lines_[set * config_.assoc + way];
+    if (line.valid) {
+        ++stats_.evictions;
+        if (line.dirty)
+            ++stats_.writebacks;
+    }
+    line.valid = true;
+    line.dirty = false;
+    line.tag = tagOf(la);
+    touch(set, way);
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr, bool is_write)
+{
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = setIndex(la);
+    const std::uint64_t tag = tagOf(la);
+    Line *base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.dirty |= is_write;
+            touch(set, way);
+            return true;
+        }
+    }
+    ++stats_.misses;
+    allocate(addr);
+    if (is_write)
+        findLine(addr)->dirty = true;
+    return false;
+}
+
+bool
+SetAssocCache::probe(std::uint64_t addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+SetAssocCache::fill(std::uint64_t addr)
+{
+    ++stats_.prefetchFills;
+    const std::uint64_t la = lineAddr(addr);
+    const std::uint64_t set = setIndex(la);
+    const std::uint64_t tag = tagOf(la);
+    Line *base = &lines_[set * config_.assoc];
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag) {
+            touch(set, way);
+            return;
+        }
+    }
+    allocate(addr);
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &line : lines_)
+        line = Line();
+    if (!plruBits_.empty())
+        plruBits_.assign(plruBits_.size(), 0);
+}
+
+} // namespace sim
+} // namespace spec17

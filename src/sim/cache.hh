@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative cache model with pluggable replacement policies.
+ *
+ * Models tag state only (no data): enough to reproduce hit/miss
+ * behaviour, evictions and writeback traffic, which is all the
+ * characterization consumes.
+ */
+
+#ifndef SPEC17_SIM_CACHE_HH_
+#define SPEC17_SIM_CACHE_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** Replacement policy of a cache. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    Lru,      //!< true least-recently-used
+    TreePlru, //!< tree pseudo-LRU (requires power-of-two ways)
+    Random,   //!< uniform random victim
+};
+
+/** Human-readable policy name. */
+std::string replacementPolicyName(ReplacementPolicy policy);
+
+/** Static parameters of one cache. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+    /** Load-to-use latency in core cycles when this level hits. */
+    unsigned hitLatency = 4;
+
+    /** Number of sets; panics if the geometry is inconsistent. */
+    std::uint64_t numSets() const;
+};
+
+/** Running counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t prefetchFills = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+    /** misses / accesses, or 0 when never accessed. */
+    double missRate() const;
+};
+
+/**
+ * A single set-associative, write-back, write-allocate cache.
+ * Thread-unsafe by design (the simulator is single-threaded).
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param config geometry and policy.
+     * @param seed randomness seed (only used by Random replacement).
+     */
+    explicit SetAssocCache(CacheConfig config, std::uint64_t seed = 0);
+
+    /**
+     * Performs a demand access.
+     * @param addr byte address.
+     * @param is_write true for stores (sets the dirty bit).
+     * @return true on hit. On miss the line is allocated, possibly
+     *         evicting (and counting a writeback for a dirty victim).
+     */
+    bool access(std::uint64_t addr, bool is_write);
+
+    /** Checks residency without disturbing replacement state. */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Installs a line without counting a demand hit/miss (prefetch
+     * fill path). Counts prefetchFills; a resident line just has its
+     * recency refreshed.
+     */
+    void fill(std::uint64_t addr);
+
+    /** Invalidates everything and clears per-line state (not stats). */
+    void flushAll();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats(); }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+    std::uint64_t setIndex(std::uint64_t line_addr) const;
+    std::uint64_t tagOf(std::uint64_t line_addr) const;
+    Line *findLine(std::uint64_t addr);
+    const Line *findLine(std::uint64_t addr) const;
+    /** Chooses a victim way in @p set according to the policy. */
+    unsigned victimWay(std::uint64_t set);
+    void touch(std::uint64_t set, unsigned way);
+    /** Allocates @p addr into the cache, updating eviction stats. */
+    void allocate(std::uint64_t addr);
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;          //!< numSets x assoc, row-major
+    std::vector<std::uint8_t> plruBits_; //!< assoc-1 bits per set
+    std::uint64_t stampCounter_ = 0;
+    Rng rng_;
+    CacheStats stats_;
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_CACHE_HH_

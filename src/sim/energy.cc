@@ -1,0 +1,79 @@
+#include "sim/energy.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+using counters::PerfEvent;
+
+void
+EnergyParams::validate() const
+{
+    SPEC17_ASSERT(uopPj >= 0 && l1AccessPj >= 0 && l2AccessPj >= 0
+                      && l3AccessPj >= 0 && dramLinePj >= 0
+                      && mispredictPj >= 0 && leakageWatts >= 0,
+                  "energy coefficients must be non-negative");
+    SPEC17_ASSERT(frequencyGHz > 0, "clock must be positive");
+}
+
+double
+EnergyBreakdown::totalJ() const
+{
+    return coreDynamicJ + l1J + l2J + l3J + dramJ + mispredictJ
+        + staticJ;
+}
+
+double
+EnergyBreakdown::watts(double seconds) const
+{
+    return seconds > 0.0 ? totalJ() / seconds : 0.0;
+}
+
+double
+EnergyBreakdown::epiNj(double instructions) const
+{
+    return instructions > 0.0 ? totalJ() / instructions * 1e9 : 0.0;
+}
+
+double
+EnergyBreakdown::edp(double seconds) const
+{
+    return totalJ() * seconds;
+}
+
+EnergyBreakdown
+computeEnergy(const counters::CounterSet &counters, double cycles,
+              const EnergyParams &params)
+{
+    params.validate();
+    SPEC17_ASSERT(cycles >= 0.0, "negative cycle count");
+    auto get = [&](PerfEvent event) {
+        return static_cast<double>(counters.get(event));
+    };
+    constexpr double kPj = 1e-12;
+
+    EnergyBreakdown out;
+    out.coreDynamicJ = get(PerfEvent::UopsRetiredAll) * params.uopPj
+        * kPj;
+
+    // Every retired op fetches (L1I) and every memory op touches L1D.
+    const double l1_accesses = get(PerfEvent::UopsRetiredAll)
+        + get(PerfEvent::MemUopsRetiredAllLoads)
+        + get(PerfEvent::MemUopsRetiredAllStores);
+    out.l1J = l1_accesses * params.l1AccessPj * kPj;
+    out.l2J = get(PerfEvent::MemLoadUopsRetiredL1Miss)
+        * params.l2AccessPj * kPj;
+    out.l3J = get(PerfEvent::MemLoadUopsRetiredL2Miss)
+        * params.l3AccessPj * kPj;
+    out.dramJ = get(PerfEvent::MemLoadUopsRetiredL3Miss)
+        * params.dramLinePj * kPj;
+    out.mispredictJ = get(PerfEvent::BrMispExecAllBranches)
+        * params.mispredictPj * kPj;
+    out.staticJ =
+        params.leakageWatts * cycles / (params.frequencyGHz * 1e9);
+    return out;
+}
+
+} // namespace sim
+} // namespace spec17

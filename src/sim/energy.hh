@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Event-based energy model.
+ *
+ * SPEC CPU2017 ships an optional power-consumption metric (the paper
+ * notes this in Section II but, lacking a power meter, does not
+ * evaluate it). This model supplies that missing axis for the
+ * simulated machine: dynamic energy is charged per architectural
+ * event (retired micro-op, cache access at each level, DRAM line
+ * transfer, branch mispredict squash) and static energy accrues with
+ * cycles -- the same accounting structure as McPAT-style post-silicon
+ * estimators, with coefficients in the published range for a 22 nm
+ * Haswell-class server core.
+ */
+
+#ifndef SPEC17_SIM_ENERGY_HH_
+#define SPEC17_SIM_ENERGY_HH_
+
+#include "counters/perf_event.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** Energy coefficients (picojoules per event; watts for leakage). */
+struct EnergyParams
+{
+    double uopPj = 14.0;           //!< fetch/decode/rename/execute
+    double l1AccessPj = 6.0;       //!< L1D or L1I access
+    double l2AccessPj = 22.0;
+    double l3AccessPj = 90.0;
+    double dramLinePj = 15000.0;   //!< one 64 B line transfer
+    double mispredictPj = 65.0;    //!< squashed work per mispredict
+    double leakageWatts = 3.0;     //!< per-core static power
+    /** Reference clock, used to convert cycles to seconds. */
+    double frequencyGHz = 1.8;
+
+    /** Panics unless every coefficient is non-negative. */
+    void validate() const;
+};
+
+/** Per-component energy, joules. */
+struct EnergyBreakdown
+{
+    double coreDynamicJ = 0.0;
+    double l1J = 0.0;
+    double l2J = 0.0;
+    double l3J = 0.0;
+    double dramJ = 0.0;
+    double mispredictJ = 0.0;
+    double staticJ = 0.0;
+
+    double totalJ() const;
+    /** Average power over @p seconds (watts). */
+    double watts(double seconds) const;
+    /** Energy per instruction, nanojoules. */
+    double epiNj(double instructions) const;
+    /** Energy-delay product, joule-seconds. */
+    double edp(double seconds) const;
+};
+
+/**
+ * Computes the breakdown from a run's counters and cycle count.
+ *
+ * Access counts per level derive from the load hit/miss counters
+ * (L2 accesses = L1 misses, etc.); store traffic is charged at L1
+ * (write-allocate moves the deeper traffic through the same miss
+ * counters the loads populate).
+ */
+EnergyBreakdown computeEnergy(const counters::CounterSet &counters,
+                              double cycles,
+                              const EnergyParams &params = {});
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_ENERGY_HH_

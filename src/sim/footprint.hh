@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Memory-footprint tracking. The paper polls `ps -o vsz,rss` while
+ * the benchmark runs and reports the maxima; we track the resident
+ * set exactly, as the set of distinct 4 KiB pages the workload
+ * touches, and take VSZ from the trace's declared reservation.
+ */
+
+#ifndef SPEC17_SIM_FOOTPRINT_HH_
+#define SPEC17_SIM_FOOTPRINT_HH_
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace spec17 {
+namespace sim {
+
+/** Tracks distinct pages touched (instruction and data). */
+class FootprintTracker
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    /** Records a touched byte address. */
+    void
+    touch(std::uint64_t addr)
+    {
+        const std::uint64_t page = addr / kPageBytes;
+        if (page == lastPage_)
+            return; // fast path: consecutive touches to one page
+        lastPage_ = page;
+        pages_.insert(page);
+    }
+
+    /** Distinct pages touched so far. */
+    std::uint64_t pagesTouched() const { return pages_.size(); }
+
+    /** Resident set size in bytes. */
+    std::uint64_t rssBytes() const { return pages_.size() * kPageBytes; }
+
+    void
+    clear()
+    {
+        pages_.clear();
+        lastPage_ = ~std::uint64_t(0);
+    }
+
+  private:
+    std::unordered_set<std::uint64_t> pages_;
+    std::uint64_t lastPage_ = ~std::uint64_t(0);
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_FOOTPRINT_HH_

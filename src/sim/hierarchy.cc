@@ -1,0 +1,112 @@
+#include "sim/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+std::string
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1: return "L1";
+      case HitLevel::L2: return "L2";
+      case HitLevel::L3: return "L3";
+      case HitLevel::Memory: return "memory";
+    }
+    SPEC17_PANIC("unknown HitLevel");
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               std::shared_ptr<SetAssocCache> shared_l3,
+                               std::uint64_t seed)
+    : config_(config),
+      l1i_(std::make_unique<SetAssocCache>(config.l1i,
+                                           deriveSeed(seed, "l1i"))),
+      l1d_(std::make_unique<SetAssocCache>(config.l1d,
+                                           deriveSeed(seed, "l1d"))),
+      l2_(std::make_unique<SetAssocCache>(config.l2,
+                                          deriveSeed(seed, "l2"))),
+      l3_(shared_l3 ? std::move(shared_l3)
+                    : makeSharedL3(config, seed)),
+      prefetcher_(makePrefetcher(config.prefetcher))
+{
+}
+
+std::shared_ptr<SetAssocCache>
+CacheHierarchy::makeSharedL3(const HierarchyConfig &config,
+                             std::uint64_t seed)
+{
+    return std::make_shared<SetAssocCache>(config.l3,
+                                           deriveSeed(seed, "l3"));
+}
+
+HitLevel
+CacheHierarchy::accessData(std::uint64_t addr, bool is_write,
+                           std::uint64_t pc)
+{
+    HitLevel level;
+    if (l1d_->access(addr, is_write)) {
+        level = HitLevel::L1;
+    } else if (l2_->access(addr, is_write)) {
+        level = HitLevel::L2;
+    } else if (l3_->access(addr, is_write)) {
+        level = HitLevel::L3;
+    } else {
+        level = HitLevel::Memory;
+    }
+
+    if (prefetcher_ && !is_write) {
+        prefetchScratch_.clear();
+        prefetcher_->observe(pc, addr, level != HitLevel::L1,
+                             prefetchScratch_);
+        for (std::uint64_t line : prefetchScratch_)
+            prefetchFill(line);
+    }
+    return level;
+}
+
+void
+CacheHierarchy::prefetchFill(std::uint64_t addr)
+{
+    // Prefetches fill L2 and L1D without counting demand traffic.
+    l1d_->fill(addr);
+    l2_->fill(addr);
+}
+
+void
+CacheHierarchy::fillTo(std::uint64_t addr, HitLevel level)
+{
+    l3_->fill(addr);
+    if (level == HitLevel::L2 || level == HitLevel::L1)
+        l2_->fill(addr);
+    if (level == HitLevel::L1)
+        l1d_->fill(addr);
+}
+
+HitLevel
+CacheHierarchy::accessInst(std::uint64_t addr)
+{
+    if (l1i_->access(addr, false))
+        return HitLevel::L1;
+    if (l2_->access(addr, false))
+        return HitLevel::L2;
+    if (l3_->access(addr, false))
+        return HitLevel::L3;
+    return HitLevel::Memory;
+}
+
+unsigned
+CacheHierarchy::latencyOf(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1: return config_.l1d.hitLatency;
+      case HitLevel::L2: return config_.l2.hitLatency;
+      case HitLevel::L3: return config_.l3.hitLatency;
+      case HitLevel::Memory: return config_.memLatency;
+    }
+    SPEC17_PANIC("unknown HitLevel");
+}
+
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Three-level cache hierarchy matching the paper's Table I machine:
+ * split 32 KB L1I/L1D, unified 256 KB L2 (all private), and a 30 MB
+ * L3 that can be shared between cores in the multicore simulator.
+ */
+
+#ifndef SPEC17_SIM_HIERARCHY_HH_
+#define SPEC17_SIM_HIERARCHY_HH_
+
+#include <memory>
+
+#include "sim/cache.hh"
+#include "sim/prefetch.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** The level that served an access. */
+enum class HitLevel : std::uint8_t
+{
+    L1,
+    L2,
+    L3,
+    Memory,
+};
+
+/** Human-readable level name. */
+std::string hitLevelName(HitLevel level);
+
+/** Geometry and latency parameters of the full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32 * 1024, 8, 64, ReplacementPolicy::Lru, 1};
+    CacheConfig l1d{"l1d", 32 * 1024, 8, 64, ReplacementPolicy::Lru, 4};
+    CacheConfig l2{"l2", 256 * 1024, 8, 64, ReplacementPolicy::Lru, 12};
+    CacheConfig l3{"l3", 30 * 1024 * 1024, 20, 64,
+                   ReplacementPolicy::Lru, 38};
+    /** Main-memory load-to-use latency in core cycles. */
+    unsigned memLatency = 210;
+    /** Data-side prefetcher: "none", "next-line" or "stride". */
+    std::string prefetcher = "none";
+};
+
+/**
+ * One core's view of the memory system. The L3 is held by
+ * shared_ptr so several CacheHierarchy instances (one per simulated
+ * core) can share a single last-level cache.
+ */
+class CacheHierarchy
+{
+  public:
+    /**
+     * @param config geometry; @p shared_l3 lets multiple hierarchies
+     *        share one L3 (pass nullptr to get a private L3).
+     * @param seed randomness seed for random-replacement policies.
+     */
+    explicit CacheHierarchy(const HierarchyConfig &config,
+                            std::shared_ptr<SetAssocCache> shared_l3
+                            = nullptr,
+                            std::uint64_t seed = 0);
+
+    /** Builds an L3 suitable for sharing across hierarchies. */
+    static std::shared_ptr<SetAssocCache> makeSharedL3(
+        const HierarchyConfig &config, std::uint64_t seed = 0);
+
+    /**
+     * Demand data access.
+     * @param addr byte address; @p is_write true for stores.
+     * @param pc accessing instruction (trains stride prefetchers).
+     * @return the level that supplied the line.
+     */
+    HitLevel accessData(std::uint64_t addr, bool is_write,
+                        std::uint64_t pc = 0);
+
+    /** Instruction fetch access. */
+    HitLevel accessInst(std::uint64_t addr);
+
+    /**
+     * Installs one line at @p addr into the caches from L3 up to
+     * @p level (L3 always; L2 when level <= L2; L1D when level ==
+     * L1), without demand statistics.
+     */
+    void fillTo(std::uint64_t addr, HitLevel level);
+
+    /** Load-to-use latency for a hit at @p level. */
+    unsigned latencyOf(HitLevel level) const;
+
+    const SetAssocCache &l1i() const { return *l1i_; }
+    const SetAssocCache &l1d() const { return *l1d_; }
+    const SetAssocCache &l2() const { return *l2_; }
+    const SetAssocCache &l3() const { return *l3_; }
+    const Prefetcher *prefetcher() const { return prefetcher_.get(); }
+
+  private:
+    /** Fills a prefetched line into L1D and L2 without demand stats. */
+    void prefetchFill(std::uint64_t addr);
+
+    HierarchyConfig config_;
+    std::unique_ptr<SetAssocCache> l1i_;
+    std::unique_ptr<SetAssocCache> l1d_;
+    std::unique_ptr<SetAssocCache> l2_;
+    std::shared_ptr<SetAssocCache> l3_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    std::vector<std::uint64_t> prefetchScratch_;
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_HIERARCHY_HH_

@@ -1,0 +1,87 @@
+#include "sim/prefetch.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned line_bytes)
+    : lineBytes_(line_bytes)
+{
+    SPEC17_ASSERT(line_bytes > 0, "line size must be positive");
+}
+
+void
+NextLinePrefetcher::observe(std::uint64_t, std::uint64_t addr, bool,
+                            std::vector<std::uint64_t> &out)
+{
+    const std::uint64_t line = addr / lineBytes_;
+    if (line == lastLine_)
+        return;
+    lastLine_ = line;
+    out.push_back((line + 1) * lineBytes_);
+    ++issued_;
+}
+
+StridePrefetcher::StridePrefetcher(unsigned table_bits, unsigned degree,
+                                   unsigned line_bytes)
+    : table_(std::size_t(1) << table_bits),
+      mask_((std::size_t(1) << table_bits) - 1), degree_(degree),
+      lineBytes_(line_bytes)
+{
+    SPEC17_ASSERT(degree >= 1, "stride degree must be >= 1");
+}
+
+void
+StridePrefetcher::observe(std::uint64_t pc, std::uint64_t addr, bool,
+                          std::vector<std::uint64_t> &out)
+{
+    Entry &entry = table_[(pc >> 2) & mask_];
+    const std::uint64_t tag = pc >> 2;
+    if (!entry.valid || entry.tag != tag) {
+        entry = Entry();
+        entry.valid = true;
+        entry.tag = tag;
+        entry.lastAddr = addr;
+        return;
+    }
+
+    const std::int64_t stride = static_cast<std::int64_t>(addr)
+        - static_cast<std::int64_t>(entry.lastAddr);
+    if (stride == entry.stride && stride != 0) {
+        if (entry.confidence < 3)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 0;
+    }
+    entry.lastAddr = addr;
+
+    if (entry.confidence >= 2) {
+        for (unsigned d = 1; d <= degree_; ++d) {
+            const std::int64_t target = static_cast<std::int64_t>(addr)
+                + entry.stride * static_cast<std::int64_t>(d);
+            if (target <= 0)
+                break;
+            out.push_back(static_cast<std::uint64_t>(target)
+                          / lineBytes_ * lineBytes_);
+            ++issued_;
+        }
+    }
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name)
+{
+    if (name == "none")
+        return nullptr;
+    if (name == "next-line")
+        return std::make_unique<NextLinePrefetcher>();
+    if (name == "stride")
+        return std::make_unique<StridePrefetcher>();
+    SPEC17_FATAL("unknown prefetcher '", name,
+                 "' (want none|next-line|stride)");
+}
+
+} // namespace sim
+} // namespace spec17

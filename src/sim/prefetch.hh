@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware prefetchers. The paper's machine (Haswell) ships stream
+ * and stride prefetchers; we model next-line and per-PC stride
+ * variants that can be attached to the data-side hierarchy, and use
+ * them in the ablation benches.
+ */
+
+#ifndef SPEC17_SIM_PREFETCH_HH_
+#define SPEC17_SIM_PREFETCH_HH_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spec17 {
+namespace sim {
+
+/**
+ * Prefetcher interface: observes demand load addresses and proposes
+ * line addresses to fill.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observes a demand access and appends prefetch candidates
+     * (byte addresses) to @p out.
+     * @param pc load PC (stride prefetchers train per PC).
+     * @param addr demand byte address.
+     * @param was_miss whether the demand access missed L1.
+     */
+    virtual void observe(std::uint64_t pc, std::uint64_t addr,
+                         bool was_miss,
+                         std::vector<std::uint64_t> &out) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Total prefetches issued. */
+    std::uint64_t issued() const { return issued_; }
+
+  protected:
+    std::uint64_t issued_ = 0;
+};
+
+/**
+ * Fetches line N+1 whenever the demand stream enters a new line
+ * (tagged next-line): a sequential sweep keeps exactly one line of
+ * lookahead in flight and suffers only the first compulsory miss.
+ */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned line_bytes = 64);
+
+    void observe(std::uint64_t pc, std::uint64_t addr, bool was_miss,
+                 std::vector<std::uint64_t> &out) override;
+    std::string name() const override { return "next-line"; }
+
+  private:
+    unsigned lineBytes_;
+    std::uint64_t lastLine_ = ~std::uint64_t(0);
+};
+
+/**
+ * Per-PC stride prefetcher: learns (last address, stride) per load PC
+ * and issues @p degree prefetches ahead once the stride repeats.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    StridePrefetcher(unsigned table_bits = 10, unsigned degree = 2,
+                     unsigned line_bytes = 64);
+
+    void observe(std::uint64_t pc, std::uint64_t addr, bool was_miss,
+                 std::vector<std::uint64_t> &out) override;
+    std::string name() const override { return "stride"; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastAddr = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> table_;
+    std::size_t mask_;
+    unsigned degree_;
+    unsigned lineBytes_;
+};
+
+/** Factory over {"none", "next-line", "stride"}; "none" -> nullptr. */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name);
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_PREFETCH_HH_

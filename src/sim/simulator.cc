@@ -1,0 +1,197 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace sim {
+
+using counters::PerfEvent;
+
+double
+SimResult::ipc() const
+{
+    const std::uint64_t cycles_counted =
+        counters.get(PerfEvent::CpuClkUnhaltedRefTsc);
+    if (cycles_counted == 0)
+        return 0.0;
+    return static_cast<double>(counters.get(PerfEvent::InstRetiredAny))
+        / static_cast<double>(cycles_counted);
+}
+
+CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
+                           std::shared_ptr<SetAssocCache> shared_l3,
+                           std::shared_ptr<MemoryBus> shared_bus)
+    : config_(config),
+      hierarchy_(config.hierarchy, std::move(shared_l3), seed),
+      branches_(makeDirectionPredictor(config.branchPredictor)),
+      core_(config.core, std::move(shared_bus)), dtlb_(config.dtlb),
+      itlb_(config.itlb)
+{
+}
+
+void
+CpuSimulator::consume(const isa::MicroOp &op)
+{
+    counters_.add(PerfEvent::InstRetiredAny);
+    counters_.add(PerfEvent::UopsRetiredAll);
+
+    // Instruction fetch: one L1I access per retired op; only count a
+    // fetch stall for new lines to avoid charging every sequential op.
+    const HitLevel fetch_level = hierarchy_.accessInst(op.pc);
+    footprint_.touch(op.pc);
+    unsigned fetch_stall = 0;
+    if (fetch_level != HitLevel::L1) {
+        const unsigned latency = hierarchy_.latencyOf(fetch_level);
+        const unsigned hidden = config_.core.frontendBufferCycles;
+        fetch_stall = latency > hidden ? latency - hidden : 0;
+    }
+    if (config_.enableTlb) {
+        const TlbOutcome itlb_outcome = itlb_.access(op.pc);
+        fetch_stall += itlb_outcome.extraLatency;
+        if (!itlb_outcome.l1Hit && !itlb_outcome.l2Hit)
+            counters_.add(PerfEvent::ItlbMissesWalk);
+    }
+
+    unsigned mem_latency = 0;
+    bool l1_miss = false;
+    bool mispredicted = false;
+    bool dram_access = false;
+    double dram_lines = 1.0;
+
+    if (op.isLoad()) {
+        counters_.add(PerfEvent::MemUopsRetiredAllLoads);
+        const HitLevel level =
+            hierarchy_.accessData(op.effAddr, false, op.pc);
+        footprint_.touch(op.effAddr);
+        mem_latency = hierarchy_.latencyOf(level);
+        l1_miss = level != HitLevel::L1;
+        dram_access = level == HitLevel::Memory;
+        if (config_.enableTlb) {
+            const TlbOutcome dtlb_outcome = dtlb_.access(op.effAddr);
+            mem_latency += dtlb_outcome.extraLatency;
+            // A translation longer than the L1 hit pipeline behaves
+            // like a miss for overlap purposes.
+            l1_miss |= dtlb_outcome.extraLatency > 0;
+            if (!dtlb_outcome.l1Hit && !dtlb_outcome.l2Hit)
+                counters_.add(PerfEvent::DtlbLoadMissesWalk);
+        }
+        switch (level) {
+          case HitLevel::L1:
+            counters_.add(PerfEvent::MemLoadUopsRetiredL1Hit);
+            break;
+          case HitLevel::L2:
+            counters_.add(PerfEvent::MemLoadUopsRetiredL1Miss);
+            counters_.add(PerfEvent::MemLoadUopsRetiredL2Hit);
+            break;
+          case HitLevel::L3:
+            counters_.add(PerfEvent::MemLoadUopsRetiredL1Miss);
+            counters_.add(PerfEvent::MemLoadUopsRetiredL2Miss);
+            counters_.add(PerfEvent::MemLoadUopsRetiredL3Hit);
+            break;
+          case HitLevel::Memory:
+            counters_.add(PerfEvent::MemLoadUopsRetiredL1Miss);
+            counters_.add(PerfEvent::MemLoadUopsRetiredL2Miss);
+            counters_.add(PerfEvent::MemLoadUopsRetiredL3Miss);
+            break;
+        }
+    } else if (op.isStore()) {
+        counters_.add(PerfEvent::MemUopsRetiredAllStores);
+        const HitLevel level =
+            hierarchy_.accessData(op.effAddr, true, op.pc);
+        footprint_.touch(op.effAddr);
+        if (level == HitLevel::Memory) {
+            // Write-allocate RFO read now, dirty writeback later.
+            dram_access = true;
+            dram_lines = 2.0;
+        }
+    } else if (op.isBranch()) {
+        counters_.add(PerfEvent::BrInstExecAllBranches);
+        switch (op.branch) {
+          case isa::BranchKind::Conditional:
+            counters_.add(PerfEvent::BrInstExecAllConditional);
+            break;
+          case isa::BranchKind::DirectJump:
+            counters_.add(PerfEvent::BrInstExecAllDirectJmp);
+            break;
+          case isa::BranchKind::DirectNearCall:
+            counters_.add(PerfEvent::BrInstExecAllDirectNearCall);
+            break;
+          case isa::BranchKind::IndirectJumpNonCallRet:
+            counters_.add(
+                PerfEvent::BrInstExecAllIndirectJumpNonCallRet);
+            break;
+          case isa::BranchKind::IndirectNearReturn:
+            counters_.add(PerfEvent::BrInstExecAllIndirectNearReturn);
+            break;
+          case isa::BranchKind::None:
+            SPEC17_PANIC("branch with kind None reached simulator");
+        }
+        mispredicted = branches_.execute(op);
+        if (mispredicted)
+            counters_.add(PerfEvent::BrMispExecAllBranches);
+    }
+
+    core_.retire(op, mem_latency, l1_miss, fetch_stall, mispredicted,
+                 dram_access, dram_lines);
+}
+
+void
+CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
+                          HitLevel level)
+{
+    SPEC17_ASSERT(level != HitLevel::Memory,
+                  "prefill to memory is a no-op");
+    const unsigned line = config_.hierarchy.l1d.lineBytes;
+    const std::uint64_t first = base / line * line;
+    for (std::uint64_t addr = first; addr < base + bytes; addr += line)
+        hierarchy_.fillTo(addr, level);
+}
+
+std::uint64_t
+CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
+{
+    isa::MicroOp op;
+    std::uint64_t consumed = 0;
+    while (consumed < max_ops && source.next(op)) {
+        consume(op);
+        ++consumed;
+    }
+    return consumed;
+}
+
+counters::CounterSet
+CpuSimulator::snapshot() const
+{
+    counters::CounterSet snap = counters_;
+    snap.set(PerfEvent::CpuClkUnhaltedRefTsc,
+             static_cast<std::uint64_t>(core_.cycles()));
+    snap.raiseTo(PerfEvent::RssBytes, footprint_.rssBytes());
+    return snap;
+}
+
+SimResult
+CpuSimulator::finish(const trace::TraceSource &source)
+{
+    SimResult result;
+    result.counters = snapshot();
+    result.counters.raiseTo(
+        PerfEvent::VszBytes,
+        std::max(source.virtualReserveBytes(), footprint_.rssBytes()));
+    result.cycles = core_.cycles();
+    result.seconds = core_.secondsFor(result.cycles);
+    return result;
+}
+
+SimResult
+CpuSimulator::run(trace::TraceSource &source)
+{
+    constexpr std::uint64_t kChunk = 1 << 20;
+    while (step(source, kChunk) == kChunk) {
+    }
+    return finish(source);
+}
+
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Single-core trace-driven CPU simulator: wires the trace source,
+ * branch unit, cache hierarchy, footprint tracker and core timing
+ * model together and populates a perf CounterSet, the simulated
+ * equivalent of running one application under `perf stat`.
+ */
+
+#ifndef SPEC17_SIM_SIMULATOR_HH_
+#define SPEC17_SIM_SIMULATOR_HH_
+
+#include <memory>
+
+#include "counters/perf_event.hh"
+#include "sim/branch.hh"
+#include "sim/core_model.hh"
+#include "sim/footprint.hh"
+#include "sim/hierarchy.hh"
+#include "sim/system_config.hh"
+#include "sim/tlb.hh"
+#include "trace/source.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** Outcome of one simulated run. */
+struct SimResult
+{
+    counters::CounterSet counters;
+    double cycles = 0.0;
+    double seconds = 0.0;
+
+    /** inst_retired.any / cpu_clk_unhalted.ref_tsc, the paper's IPC. */
+    double ipc() const;
+};
+
+/**
+ * One core with private L1I/L1D/L2 and an (optionally shared) L3.
+ * Construct per run; state is not reusable across runs.
+ */
+class CpuSimulator
+{
+  public:
+    /**
+     * @param config machine description.
+     * @param seed randomness seed for stochastic components.
+     * @param shared_l3 optional L3 shared with other simulators.
+     * @param shared_bus optional DRAM channel shared with other
+     *        simulators (multicore bandwidth contention).
+     */
+    explicit CpuSimulator(const SystemConfig &config,
+                          std::uint64_t seed = 0,
+                          std::shared_ptr<SetAssocCache> shared_l3
+                          = nullptr,
+                          std::shared_ptr<MemoryBus> shared_bus
+                          = nullptr);
+
+    /** Runs @p source to exhaustion and returns the counters. */
+    SimResult run(trace::TraceSource &source);
+
+    /**
+     * Installs the lines of [base, base+bytes) into the hierarchy
+     * down to @p level without counting demand traffic -- models the
+     * steady-state residency a long-running application would have
+     * built before the measured sample begins.
+     */
+    void prefillData(std::uint64_t base, std::uint64_t bytes,
+                     HitLevel level);
+
+    /**
+     * Consumes at most @p max_ops micro-ops from @p source (used by
+     * the multicore interleaver and phase analysis).
+     * @return number of micro-ops actually consumed.
+     */
+    std::uint64_t step(trace::TraceSource &source, std::uint64_t max_ops);
+
+    /** Snapshot of counters accumulated so far (gauges refreshed). */
+    counters::CounterSet snapshot() const;
+
+    /** Finalizes after stepping manually. */
+    SimResult finish(const trace::TraceSource &source);
+
+    const CoreModel &core() const { return core_; }
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+    const BranchUnit &branchUnit() const { return branches_; }
+    const FootprintTracker &footprint() const { return footprint_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    const Tlb &itlb() const { return itlb_; }
+
+  private:
+    void consume(const isa::MicroOp &op);
+
+    SystemConfig config_;
+    CacheHierarchy hierarchy_;
+    BranchUnit branches_;
+    CoreModel core_;
+    FootprintTracker footprint_;
+    Tlb dtlb_;
+    Tlb itlb_;
+    counters::CounterSet counters_;
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_SIMULATOR_HH_

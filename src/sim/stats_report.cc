@@ -1,0 +1,144 @@
+#include "sim/stats_report.hh"
+
+#include <iomanip>
+
+#include "sim/multicore.hh"
+
+namespace spec17 {
+namespace sim {
+
+namespace {
+
+/** One stats.txt-style line. */
+void
+line(std::ostream &os, const std::string &name, double value,
+     const char *description)
+{
+    os << std::left << std::setw(44) << name << std::right
+       << std::setw(16) << std::setprecision(6) << std::fixed << value
+       << "  # " << description << "\n";
+}
+
+void
+dumpCache(const SetAssocCache &cache, std::ostream &os,
+          const std::string &prefix)
+{
+    const CacheStats &stats = cache.stats();
+    const std::string base = prefix + cache.config().name + ".";
+    line(os, base + "accesses", double(stats.accesses()),
+         "demand accesses");
+    line(os, base + "hits", double(stats.hits), "demand hits");
+    line(os, base + "misses", double(stats.misses), "demand misses");
+    line(os, base + "miss_rate", stats.missRate(),
+         "misses / accesses");
+    line(os, base + "evictions", double(stats.evictions),
+         "valid lines replaced");
+    line(os, base + "writebacks", double(stats.writebacks),
+         "dirty lines written back");
+    line(os, base + "prefetch_fills", double(stats.prefetchFills),
+         "lines installed by prefetch");
+}
+
+void
+dumpTlb(const Tlb &tlb, std::ostream &os, const std::string &name)
+{
+    const TlbStats &stats = tlb.stats();
+    line(os, name + ".accesses", double(stats.accesses),
+         "translations requested");
+    line(os, name + ".l1_misses", double(stats.l1Misses),
+         "first-level TLB misses");
+    line(os, name + ".walks", double(stats.walks),
+         "full misses (page walks)");
+    line(os, name + ".walk_rate", stats.walkRate(),
+         "walks / accesses");
+}
+
+} // namespace
+
+void
+dumpStats(const CpuSimulator &simulator, std::ostream &os,
+          const std::string &prefix)
+{
+    line(os, prefix + "core.retired",
+         double(simulator.core().retired()), "micro-ops retired");
+    line(os, prefix + "core.cycles", simulator.core().cycles(),
+         "cycles consumed");
+    const double retired = double(simulator.core().retired());
+    line(os, prefix + "core.ipc",
+         simulator.core().cycles() > 0.0
+             ? retired / simulator.core().cycles()
+             : 0.0,
+         "retired / cycles");
+
+    const CpiStack stack =
+        simulator.core().cpiStack().perInstruction(
+            simulator.core().retired());
+    line(os, prefix + "core.cpi.base", stack.base,
+         "dispatch-bandwidth cycles per op");
+    line(os, prefix + "core.cpi.frontend", stack.frontend,
+         "fetch-stall cycles per op");
+    line(os, prefix + "core.cpi.branch", stack.branch,
+         "mispredict cycles per op");
+    line(os, prefix + "core.cpi.memory", stack.memory,
+         "load-miss-blocked cycles per op");
+    line(os, prefix + "core.cpi.compute", stack.compute,
+         "compute-latency-blocked cycles per op");
+
+    dumpCache(simulator.hierarchy().l1i(), os, prefix);
+    dumpCache(simulator.hierarchy().l1d(), os, prefix);
+    dumpCache(simulator.hierarchy().l2(), os, prefix);
+    dumpCache(simulator.hierarchy().l3(), os, prefix);
+    if (simulator.hierarchy().prefetcher()) {
+        line(os,
+             prefix + "prefetcher."
+                 + simulator.hierarchy().prefetcher()->name()
+                 + ".issued",
+             double(simulator.hierarchy().prefetcher()->issued()),
+             "prefetches issued");
+    }
+
+    const BranchStats &branches = simulator.branchUnit().totals();
+    line(os, prefix + "branch.executed", double(branches.executed),
+         "branches resolved");
+    line(os, prefix + "branch.mispredicted",
+         double(branches.mispredicted), "mispredicted branches");
+    line(os, prefix + "branch.mispredict_rate",
+         branches.mispredictRate(), "mispredicted / executed");
+    for (int k = 1; k <= int(isa::kNumBranchKinds); ++k) {
+        const auto kind = static_cast<isa::BranchKind>(k);
+        const BranchStats &per_kind =
+            simulator.branchUnit().byKind(kind);
+        if (per_kind.executed == 0)
+            continue;
+        line(os,
+             prefix + "branch." + isa::branchKindName(kind)
+                 + ".executed",
+             double(per_kind.executed), "branches of this kind");
+        line(os,
+             prefix + "branch." + isa::branchKindName(kind)
+                 + ".mispredict_rate",
+             per_kind.mispredictRate(), "per-kind mispredict rate");
+    }
+
+    dumpTlb(simulator.dtlb(), os, prefix + "dtlb");
+    dumpTlb(simulator.itlb(), os, prefix + "itlb");
+
+    line(os, prefix + "footprint.pages",
+         double(simulator.footprint().pagesTouched()),
+         "distinct 4 KiB pages touched");
+    line(os, prefix + "footprint.rss_bytes",
+         double(simulator.footprint().rssBytes()),
+         "touched-page bytes");
+}
+
+void
+dumpStats(const MulticoreSimulator &simulator, std::ostream &os)
+{
+    for (unsigned c = 0; c < simulator.numCores(); ++c) {
+        dumpStats(simulator.core(c), os,
+                  "core" + std::to_string(c) + ".");
+    }
+}
+
+} // namespace sim
+} // namespace spec17

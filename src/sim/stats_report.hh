@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hierarchical statistics dump in the gem5 stats.txt idiom: one
+ * `component.statistic  value  # description` line per statistic,
+ * covering every modelled component of a CpuSimulator. This is the
+ * debugging surface for "why is this workload behaving like that".
+ */
+
+#ifndef SPEC17_SIM_STATS_REPORT_HH_
+#define SPEC17_SIM_STATS_REPORT_HH_
+
+#include <ostream>
+
+#include "sim/multicore.hh"
+#include "sim/simulator.hh"
+
+namespace spec17 {
+namespace sim {
+
+/**
+ * Writes every component statistic of @p simulator to @p os.
+ * @param prefix prepended to each statistic name (e.g. "core0.").
+ */
+void dumpStats(const CpuSimulator &simulator, std::ostream &os,
+               const std::string &prefix = "");
+
+/** Dumps every core of a multicore simulation plus merged totals. */
+void dumpStats(const MulticoreSimulator &simulator, std::ostream &os);
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_STATS_REPORT_HH_

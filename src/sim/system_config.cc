@@ -1,0 +1,51 @@
+#include "sim/system_config.hh"
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace spec17 {
+namespace sim {
+
+SystemConfig
+SystemConfig::haswellXeonE52650Lv3()
+{
+    // Defaults in CoreParams and HierarchyConfig already describe the
+    // Table I machine; this factory exists to make the intent
+    // explicit at call sites and as the single place to adjust if the
+    // reference machine ever changes.
+    return SystemConfig{};
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "system configuration (paper Table I analogue)\n";
+    os << "  core: " << core.dispatchWidth << "-wide OoO, ROB "
+       << core.robSize << ", " << core.numMshrs << " MSHRs, "
+       << core.frequencyGHz << " GHz, predictor " << branchPredictor
+       << "\n";
+    auto cache_line = [&](const CacheConfig &c) {
+        os << "  " << c.name << ": " << fmtBytes(double(c.sizeBytes))
+           << ", " << c.assoc << "-way, " << c.lineBytes << " B lines, "
+           << replacementPolicyName(c.policy) << ", hit "
+           << c.hitLatency << " cycles\n";
+    };
+    cache_line(hierarchy.l1i);
+    cache_line(hierarchy.l1d);
+    cache_line(hierarchy.l2);
+    cache_line(hierarchy.l3);
+    os << "  memory: " << hierarchy.memLatency << " cycles"
+       << ", prefetcher " << hierarchy.prefetcher << "\n";
+    if (enableTlb) {
+        os << "  tlb: dtlb " << dtlb.l1Entries << "+" << dtlb.l2Entries
+           << " entries, itlb " << itlb.l1Entries << "+"
+           << itlb.l2Entries << " entries, walk "
+           << dtlb.walkLatency << " cycles\n";
+    }
+    return os.str();
+}
+
+} // namespace sim
+} // namespace spec17

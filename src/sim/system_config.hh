@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-system configuration, defaulting to the paper's Table I
+ * machine (Intel Xeon E5-2650L v3, Haswell).
+ */
+
+#ifndef SPEC17_SIM_SYSTEM_CONFIG_HH_
+#define SPEC17_SIM_SYSTEM_CONFIG_HH_
+
+#include <string>
+
+#include "sim/core_model.hh"
+#include "sim/hierarchy.hh"
+#include "sim/tlb.hh"
+
+namespace spec17 {
+namespace sim {
+
+/** Core + hierarchy + branch predictor selection. */
+struct SystemConfig
+{
+    CoreParams core;
+    HierarchyConfig hierarchy;
+    /** Direction predictor: static-taken|bimodal|gshare|tournament. */
+    std::string branchPredictor = "tournament";
+    /**
+     * Two-level TLB modelling. Disabled in the Table-I baseline (the
+     * paper's counter set has no TLB events); the ablation bench
+     * turns it on.
+     */
+    bool enableTlb = false;
+    TlbConfig dtlb;
+    TlbConfig itlb{128, 1024, 4096, 7, 30};
+
+    /**
+     * The experimental machine of the paper's Table I: Haswell,
+     * 32 KB 8-way L1I/L1D, 256 KB 8-way L2, 30 MB shared L3, 64 B
+     * lines, 4-wide OoO at 1.8 GHz.
+     */
+    static SystemConfig haswellXeonE52650Lv3();
+
+    /** Multi-line human-readable echo of the configuration. */
+    std::string describe() const;
+};
+
+} // namespace sim
+} // namespace spec17
+
+#endif // SPEC17_SIM_SYSTEM_CONFIG_HH_

@@ -1,0 +1,124 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "mean of empty sample");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "stddev of empty sample");
+    if (xs.size() == 1)
+        return 0.0;
+    const double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+variancePopulation(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "variance of empty sample");
+    const double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return ss / static_cast<double>(xs.size());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "min of empty sample");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "max of empty sample");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+median(std::vector<double> xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "median of empty sample");
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    SPEC17_ASSERT(xs.size() == ys.size(), "pearson: size mismatch");
+    SPEC17_ASSERT(xs.size() >= 2, "pearson: need at least two points");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    SPEC17_ASSERT(!xs.empty(), "geomean of empty sample");
+    double acc = 0.0;
+    for (double x : xs) {
+        SPEC17_ASSERT(x > 0.0, "geomean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the characterization pipeline
+ * (suite averages, standard deviations, and the counter-vs-IPC
+ * correlations reported in Section IV of the paper).
+ */
+
+#ifndef SPEC17_STATS_DESCRIPTIVE_HH_
+#define SPEC17_STATS_DESCRIPTIVE_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace spec17 {
+namespace stats {
+
+/** Arithmetic mean; panics on an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Sample standard deviation (n-1 denominator, matching the paper's
+ * "Std. Dev." columns). A single-element sample yields 0.
+ */
+double stddev(const std::vector<double> &xs);
+
+/** Population variance (n denominator). */
+double variancePopulation(const std::vector<double> &xs);
+
+/** Minimum; panics on an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; panics on an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/** Median (average of middle two for even n); panics on empty. */
+double median(std::vector<double> xs);
+
+/**
+ * Pearson correlation coefficient. Returns 0 when either sample has
+ * zero variance (the paper's correlations are all over dispersed data).
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Geometric mean; panics if any element is non-positive or empty. */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Online accumulator (Welford) for streaming mean/variance, used by
+ * the phase-analysis extension over long counter streams.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Sample variance (n-1); 0 for fewer than two observations. */
+    double variance() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace stats
+} // namespace spec17
+
+#endif // SPEC17_STATS_DESCRIPTIVE_HH_

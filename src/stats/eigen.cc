@@ -1,0 +1,115 @@
+#include "stats/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace stats {
+
+namespace {
+
+/** Sum of squares of strictly off-diagonal entries. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j)
+                s += a.at(i, j) * a.at(i, j);
+    return s;
+}
+
+} // namespace
+
+EigenDecomposition
+jacobiEigenSymmetric(const Matrix &a, double tol)
+{
+    const std::size_t n = a.rows();
+    SPEC17_ASSERT(n == a.cols(), "eigen: matrix must be square");
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            SPEC17_ASSERT(std::fabs(a.at(i, j) - a.at(j, i)) < 1e-9,
+                          "eigen: matrix not symmetric at (", i, ",", j,
+                          ")");
+
+    Matrix d = a;                 // becomes diagonal
+    Matrix v = Matrix::identity(n); // accumulates rotations
+
+    EigenDecomposition out;
+    constexpr int kMaxSweeps = 100;
+    for (out.sweeps = 0; out.sweeps < kMaxSweeps; ++out.sweeps) {
+        if (offDiagonalNorm(d) <= tol)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = d.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = d.at(p, p);
+                const double aqq = d.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                const double t = (theta >= 0.0 ? 1.0 : -1.0)
+                    / (std::fabs(theta)
+                       + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dkp = d.at(k, p);
+                    const double dkq = d.at(k, q);
+                    d.at(k, p) = c * dkp - s * dkq;
+                    d.at(k, q) = s * dkp + c * dkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dpk = d.at(p, k);
+                    const double dqk = d.at(q, k);
+                    d.at(p, k) = c * dpk - s * dqk;
+                    d.at(q, k) = s * dpk + c * dqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    SPEC17_ASSERT(offDiagonalNorm(d) <= std::max(tol, 1e-10),
+                  "Jacobi failed to converge in ", out.sweeps, " sweeps");
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return d.at(x, x) > d.at(y, y);
+    });
+
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t src = order[c];
+        out.values[c] = d.at(src, src);
+        // Deterministic sign: largest-magnitude component positive.
+        std::size_t arg = 0;
+        double best = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (std::fabs(v.at(r, src)) > best) {
+                best = std::fabs(v.at(r, src));
+                arg = r;
+            }
+        }
+        const double sign = v.at(arg, src) < 0.0 ? -1.0 : 1.0;
+        for (std::size_t r = 0; r < n; ++r)
+            out.vectors.at(r, c) = sign * v.at(r, src);
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Symmetric eigenproblem solver (cyclic Jacobi rotations). The PCA
+ * input here is at most a 20x20 correlation matrix, for which Jacobi
+ * is simple, numerically robust, and plenty fast.
+ */
+
+#ifndef SPEC17_STATS_EIGEN_HH_
+#define SPEC17_STATS_EIGEN_HH_
+
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace spec17 {
+namespace stats {
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct EigenDecomposition
+{
+    /** Eigenvalues sorted descending. */
+    std::vector<double> values;
+    /** Column c of this matrix is the eigenvector for values[c]. */
+    Matrix vectors;
+    /** Number of Jacobi sweeps performed. */
+    int sweeps = 0;
+};
+
+/**
+ * Decomposes a symmetric matrix with the cyclic Jacobi method.
+ *
+ * @param a symmetric input matrix (asymmetry beyond 1e-9 panics).
+ * @param tol convergence threshold on the off-diagonal Frobenius norm.
+ * @return eigenpairs sorted by descending eigenvalue. Each eigenvector
+ *         is sign-normalized so its largest-magnitude entry is positive,
+ *         which keeps PCA output deterministic.
+ */
+EigenDecomposition jacobiEigenSymmetric(const Matrix &a,
+                                        double tol = 1e-20);
+
+} // namespace stats
+} // namespace spec17
+
+#endif // SPEC17_STATS_EIGEN_HH_

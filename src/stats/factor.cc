@@ -1,0 +1,59 @@
+#include "stats/factor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace stats {
+
+std::vector<FactorSummary>
+summarizeFactors(const PcaResult &pca, const std::vector<std::string> &names,
+                 std::size_t numComponents, double threshold,
+                 std::size_t topK)
+{
+    SPEC17_ASSERT(names.size() == pca.loadings.rows(),
+                  "factor names (", names.size(),
+                  ") must match characteristics (", pca.loadings.rows(),
+                  ")");
+    SPEC17_ASSERT(numComponents <= pca.loadings.cols(),
+                  "asked for more components than PCA produced");
+
+    std::vector<FactorSummary> out;
+    out.reserve(numComponents);
+    for (std::size_t c = 0; c < numComponents; ++c) {
+        FactorSummary fs;
+        fs.component = c;
+        fs.explainedVariance = pca.explainedVariance[c];
+
+        std::vector<FactorContribution> all;
+        all.reserve(names.size());
+        for (std::size_t r = 0; r < names.size(); ++r)
+            all.push_back({names[r], pca.loadings.at(r, c)});
+
+        std::vector<FactorContribution> pos, neg;
+        for (const auto &fc : all) {
+            if (fc.loading >= threshold)
+                pos.push_back(fc);
+            else if (fc.loading <= -threshold)
+                neg.push_back(fc);
+        }
+        std::sort(pos.begin(), pos.end(), [](auto &a, auto &b) {
+            return a.loading > b.loading;
+        });
+        std::sort(neg.begin(), neg.end(), [](auto &a, auto &b) {
+            return a.loading < b.loading;
+        });
+        if (pos.size() > topK)
+            pos.resize(topK);
+        if (neg.size() > topK)
+            neg.resize(topK);
+        fs.positiveDominators = std::move(pos);
+        fs.negativeDominators = std::move(neg);
+        out.push_back(std::move(fs));
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace spec17

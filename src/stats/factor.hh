@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Factor analysis over PCA loadings (the paper's Fig. 8): for each
+ * retained principal component, report which original characteristics
+ * dominate it positively and negatively.
+ */
+
+#ifndef SPEC17_STATS_FACTOR_HH_
+#define SPEC17_STATS_FACTOR_HH_
+
+#include <string>
+#include <vector>
+
+#include "stats/pca.hh"
+
+namespace spec17 {
+namespace stats {
+
+/** One characteristic's influence on one principal component. */
+struct FactorContribution
+{
+    std::string characteristic;
+    double loading = 0.0;
+};
+
+/** Dominance summary for a single principal component. */
+struct FactorSummary
+{
+    std::size_t component = 0;       //!< 0-based PC index
+    double explainedVariance = 0.0;  //!< fraction of total variance
+    /** Characteristics sorted by descending loading (most positive). */
+    std::vector<FactorContribution> positiveDominators;
+    /** Characteristics sorted by ascending loading (most negative). */
+    std::vector<FactorContribution> negativeDominators;
+};
+
+/**
+ * Summarizes the first @p numComponents PCs of @p pca.
+ *
+ * @param pca a computed PCA result.
+ * @param names one name per original characteristic (must match the
+ *              PCA's column count).
+ * @param numComponents PCs to summarize.
+ * @param threshold absolute loading below which a characteristic is
+ *                  not considered a dominator.
+ * @param topK maximum dominators reported per direction.
+ */
+std::vector<FactorSummary> summarizeFactors(
+    const PcaResult &pca, const std::vector<std::string> &names,
+    std::size_t numComponents, double threshold = 0.3,
+    std::size_t topK = 6);
+
+} // namespace stats
+} // namespace spec17
+
+#endif // SPEC17_STATS_FACTOR_HH_

@@ -1,0 +1,180 @@
+#include "stats/matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    SPEC17_ASSERT(!rows.empty(), "fromRows: no rows");
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        SPEC17_ASSERT(rows[r].size() == m.cols_,
+                      "fromRows: ragged row ", r);
+        for (std::size_t c = 0; c < m.cols_; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    SPEC17_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c,
+                  ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    SPEC17_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c,
+                  ") out of ", rows_, "x", cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    std::vector<double> out(cols_);
+    for (std::size_t c = 0; c < cols_; ++c)
+        out[c] = at(r, c);
+    return out;
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    SPEC17_ASSERT(cols_ == rhs.rows_, "multiply: ", rows_, "x", cols_,
+                  " by ", rhs.rows_, "x", rhs.cols_);
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = at(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out.at(r, c) += a * rhs.at(k, c);
+        }
+    }
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &rhs) const
+{
+    SPEC17_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "maxAbsDiff: shape mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::fabs(data_[i] - rhs.data_[i]));
+    return worst;
+}
+
+Matrix
+Matrix::covariance() const
+{
+    SPEC17_ASSERT(rows_ >= 2, "covariance needs >= 2 observations");
+    std::vector<double> mu(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            mu[c] += at(r, c);
+    for (double &m : mu)
+        m /= static_cast<double>(rows_);
+
+    Matrix cov(cols_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double di = at(r, i) - mu[i];
+            for (std::size_t j = i; j < cols_; ++j)
+                cov.at(i, j) += di * (at(r, j) - mu[j]);
+        }
+    }
+    const double denom = static_cast<double>(rows_ - 1);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = i; j < cols_; ++j) {
+            cov.at(i, j) /= denom;
+            cov.at(j, i) = cov.at(i, j);
+        }
+    }
+    return cov;
+}
+
+Matrix
+Matrix::correlation() const
+{
+    Matrix cov = covariance();
+    Matrix corr(cols_, cols_);
+    for (std::size_t i = 0; i < cols_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const double denom =
+                std::sqrt(cov.at(i, i) * cov.at(j, j));
+            if (denom == 0.0)
+                corr.at(i, j) = (i == j) ? 1.0 : 0.0;
+            else
+                corr.at(i, j) = cov.at(i, j) / denom;
+        }
+    }
+    return corr;
+}
+
+Matrix
+standardizeColumns(const Matrix &m)
+{
+    SPEC17_ASSERT(m.rows() >= 2, "standardize needs >= 2 observations");
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        double mu = 0.0;
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            mu += m.at(r, c);
+        mu /= static_cast<double>(m.rows());
+        double ss = 0.0;
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            ss += (m.at(r, c) - mu) * (m.at(r, c) - mu);
+        const double sd =
+            std::sqrt(ss / static_cast<double>(m.rows() - 1));
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            out.at(r, c) = sd > 0.0 ? (m.at(r, c) - mu) / sd : 0.0;
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace spec17

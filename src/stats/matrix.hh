@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Small dense row-major matrix used by the PCA / factor-analysis
+ * pipeline. The data sets here are tiny (194 x 20), so clarity wins
+ * over blocking or expression templates.
+ */
+
+#ifndef SPEC17_STATS_MATRIX_HH_
+#define SPEC17_STATS_MATRIX_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace spec17 {
+namespace stats {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Creates a rows x cols matrix initialized to @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Builds from nested vectors; all rows must have equal length. */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    /** Identity matrix of order @p n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Returns row @p r as a vector copy. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Returns column @p c as a vector copy. */
+    std::vector<double> col(std::size_t c) const;
+
+    Matrix transpose() const;
+
+    /** Matrix product; panics on incompatible shapes. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Element-wise maximum absolute difference against @p rhs. */
+    double maxAbsDiff(const Matrix &rhs) const;
+
+    /**
+     * Covariance matrix of the columns (rows are observations);
+     * uses the n-1 denominator. Requires at least two rows.
+     */
+    Matrix covariance() const;
+
+    /** Correlation matrix of the columns; zero-variance columns get
+     *  unit self-correlation and zero cross-correlation. */
+    Matrix correlation() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Column standardization: subtracts the column mean and divides by the
+ * sample standard deviation. Zero-variance columns become all-zero
+ * (they carry no information for PCA). Returns the standardized matrix.
+ */
+Matrix standardizeColumns(const Matrix &m);
+
+} // namespace stats
+} // namespace spec17
+
+#endif // SPEC17_STATS_MATRIX_HH_

@@ -1,0 +1,80 @@
+#include "stats/pca.hh"
+
+#include <cmath>
+
+#include "stats/eigen.hh"
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace stats {
+
+std::size_t
+PcaResult::componentsForVariance(double fraction) const
+{
+    SPEC17_ASSERT(fraction > 0.0 && fraction <= 1.0,
+                  "variance fraction must be in (0, 1]");
+    for (std::size_t k = 0; k < cumulativeVariance.size(); ++k) {
+        if (cumulativeVariance[k] >= fraction)
+            return k + 1;
+    }
+    return cumulativeVariance.size();
+}
+
+Matrix
+PcaResult::truncatedScores(std::size_t k) const
+{
+    SPEC17_ASSERT(k >= 1 && k <= scores.cols(),
+                  "truncation rank ", k, " out of range");
+    Matrix out(scores.rows(), k);
+    for (std::size_t r = 0; r < scores.rows(); ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            out.at(r, c) = scores.at(r, c);
+    return out;
+}
+
+PcaResult
+computePca(const Matrix &observations)
+{
+    SPEC17_ASSERT(observations.rows() >= 2,
+                  "PCA needs at least two observations");
+    SPEC17_ASSERT(observations.cols() >= 1,
+                  "PCA needs at least one characteristic");
+
+    const Matrix z = standardizeColumns(observations);
+    const Matrix corr = z.covariance();
+    EigenDecomposition eig = jacobiEigenSymmetric(corr);
+
+    PcaResult out;
+    out.eigenvalues = eig.values;
+    // Numerical noise can push tiny eigenvalues slightly negative.
+    for (double &v : out.eigenvalues)
+        if (v < 0.0 && v > -1e-9)
+            v = 0.0;
+
+    double total = 0.0;
+    for (double v : out.eigenvalues)
+        total += v;
+    SPEC17_ASSERT(total > 0.0, "PCA input has no variance at all");
+
+    out.explainedVariance.resize(out.eigenvalues.size());
+    out.cumulativeVariance.resize(out.eigenvalues.size());
+    double running = 0.0;
+    for (std::size_t i = 0; i < out.eigenvalues.size(); ++i) {
+        out.explainedVariance[i] = out.eigenvalues[i] / total;
+        running += out.explainedVariance[i];
+        out.cumulativeVariance[i] = running;
+    }
+
+    out.components = eig.vectors;
+    out.loadings = Matrix(eig.vectors.rows(), eig.vectors.cols());
+    for (std::size_t c = 0; c < eig.vectors.cols(); ++c) {
+        const double scale = std::sqrt(std::max(0.0, out.eigenvalues[c]));
+        for (std::size_t r = 0; r < eig.vectors.rows(); ++r)
+            out.loadings.at(r, c) = eig.vectors.at(r, c) * scale;
+    }
+    out.scores = z.multiply(out.components);
+    return out;
+}
+
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Principal Component Analysis, the core statistical tool of the
+ * paper's Section V. Observations are standardized per characteristic
+ * (the PCA therefore operates on the correlation matrix, as is standard
+ * for workload characterization following Eeckhout et al.), decomposed
+ * into uncorrelated principal components, and truncated at a requested
+ * explained-variance fraction.
+ */
+
+#ifndef SPEC17_STATS_PCA_HH_
+#define SPEC17_STATS_PCA_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace spec17 {
+namespace stats {
+
+/** Output of a PCA run. */
+struct PcaResult
+{
+    /** Per-component eigenvalues (variances), descending. */
+    std::vector<double> eigenvalues;
+    /** Fraction of total variance explained by each component. */
+    std::vector<double> explainedVariance;
+    /** Cumulative explained variance. */
+    std::vector<double> cumulativeVariance;
+    /**
+     * Loadings matrix [p x p]: column c holds the weights a_cj that map
+     * standardized characteristics onto PC c, scaled by sqrt(lambda_c)
+     * so each entry is the correlation between characteristic and PC
+     * (the quantity plotted in the paper's Fig. 8).
+     */
+    Matrix loadings;
+    /** Raw (unit-norm) eigenvector matrix [p x p]. */
+    Matrix components;
+    /** Scores matrix [n x p]: observations projected onto all PCs. */
+    Matrix scores;
+
+    /**
+     * Smallest k whose cumulative explained variance reaches
+     * @p fraction (the paper keeps 4 PCs at 76.321%).
+     */
+    std::size_t componentsForVariance(double fraction) const;
+
+    /** Scores truncated to the first k components. */
+    Matrix truncatedScores(std::size_t k) const;
+};
+
+/**
+ * Runs PCA over @p observations (rows = observations, columns =
+ * characteristics). Columns are standardized internally; constant
+ * columns contribute a zero-variance component and never dominate.
+ */
+PcaResult computePca(const Matrix &observations);
+
+} // namespace stats
+} // namespace spec17
+
+#endif // SPEC17_STATS_PCA_HH_

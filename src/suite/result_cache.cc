@@ -1,0 +1,182 @@
+#include "suite/result_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace suite {
+
+using counters::PerfEvent;
+using workloads::InputSize;
+using workloads::WorkloadProfile;
+
+namespace {
+
+std::string
+fingerprint(const SuiteRunner &runner)
+{
+    // FNV-1a over the full config key; collisions would need a
+    // deliberately crafted configuration.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : runner.configKey()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::string
+sectionFile(const std::string &base, const WorkloadProfile &any,
+            InputSize size)
+{
+    const char *generation =
+        any.generation == workloads::SuiteGeneration::Cpu2017
+        ? "cpu2017" : "cpu2006";
+    return base + "." + generation + "."
+        + workloads::inputSizeName(size) + ".csv";
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+}
+
+std::string
+ResultCache::defaultPath()
+{
+    if (const char *env = std::getenv("SPEC17_CACHE"))
+        return env;
+    return "spec17_results";
+}
+
+std::optional<std::vector<PairResult>>
+ResultCache::load(const SuiteRunner &runner,
+                  const std::vector<WorkloadProfile> &suite,
+                  InputSize size) const
+{
+    if (path_.empty() || suite.empty())
+        return std::nullopt;
+    std::ifstream in(sectionFile(path_, suite.front(), size));
+    if (!in)
+        return std::nullopt;
+
+    std::string line;
+    if (!std::getline(in, line) || line != fingerprint(runner))
+        return std::nullopt;
+    // The header row doubles as a format check: a cache written by a
+    // build with a different counter set must read as a miss, not as
+    // corrupt data.
+    std::string expected_header =
+        "name,input,errored,wall_cycles,instr_billions,seconds";
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        expected_header +=
+            "," + perfEventName(static_cast<PerfEvent>(e));
+    }
+    if (!std::getline(in, line) || line != expected_header)
+        return std::nullopt;
+
+    const auto pairs = enumeratePairs(suite, size);
+    std::vector<PairResult> results;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream cells(line);
+        std::string cell;
+        PairResult r;
+        auto next = [&]() {
+            SPEC17_ASSERT(std::getline(cells, cell, ','),
+                          "truncated cache row");
+            return cell;
+        };
+        r.name = next();
+        r.size = size;
+        r.inputIndex = static_cast<unsigned>(std::stoul(next()));
+        r.errored = next() == "1";
+        r.wallCycles = std::stod(next());
+        r.instrBillions = std::stod(next());
+        r.seconds = std::stod(next());
+        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+            r.counters.set(static_cast<PerfEvent>(e),
+                           std::stoull(next()));
+        }
+        results.push_back(std::move(r));
+    }
+    if (results.size() != pairs.size())
+        return std::nullopt;
+    // Rebind profile pointers by position (pair order is stable).
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].name != pairs[i].displayName())
+            return std::nullopt;
+        results[i].profile = pairs[i].profile;
+    }
+    return results;
+}
+
+void
+ResultCache::save(const SuiteRunner &runner,
+                  const std::vector<WorkloadProfile> &suite,
+                  InputSize size,
+                  const std::vector<PairResult> &results) const
+{
+    if (path_.empty() || suite.empty())
+        return;
+    const std::string file = sectionFile(path_, suite.front(), size);
+    std::ofstream out(file, std::ios::trunc);
+    if (!out) {
+        warn("cannot write result cache at ", file);
+        return;
+    }
+    out << fingerprint(runner) << "\n";
+    out << "name,input,errored,wall_cycles,instr_billions,seconds";
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
+        out << "," << perfEventName(static_cast<PerfEvent>(e));
+    out << "\n";
+    out.precision(17);
+    for (const PairResult &r : results) {
+        out << r.name << "," << r.inputIndex << ","
+            << (r.errored ? 1 : 0) << "," << r.wallCycles << ","
+            << r.instrBillions << "," << r.seconds;
+        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+            out << ","
+                << r.counters.get(static_cast<PerfEvent>(e));
+        }
+        out << "\n";
+    }
+}
+
+std::vector<PairResult>
+ResultCache::runOrLoad(const SuiteRunner &runner,
+                       const std::vector<WorkloadProfile> &suite,
+                       InputSize size)
+{
+    if (auto cached = load(runner, suite, size))
+        return std::move(*cached);
+    std::vector<PairResult> results = runner.runAll(suite, size);
+    save(runner, suite, size, results);
+    return results;
+}
+
+void
+ResultCache::invalidate()
+{
+    if (path_.empty())
+        return;
+    for (const char *generation : {"cpu2017", "cpu2006"}) {
+        for (InputSize size : workloads::kAllInputSizes) {
+            const std::string file = path_ + "." + generation + "."
+                + workloads::inputSizeName(size) + ".csv";
+            std::remove(file.c_str());
+        }
+    }
+}
+
+} // namespace suite
+} // namespace spec17

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * On-disk cache of suite-run results.
+ *
+ * A full characterization sweep simulates hundreds of millions of
+ * micro-ops; every bench binary needs the same sweep. The cache
+ * persists PairResults to a CSV file keyed by a fingerprint of the
+ * runner configuration, so the first binary pays for the sweep and
+ * the rest replay it. Deleting the file (or changing any
+ * configuration knob) invalidates it.
+ */
+
+#ifndef SPEC17_SUITE_RESULT_CACHE_HH_
+#define SPEC17_SUITE_RESULT_CACHE_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "suite/runner.hh"
+
+namespace spec17 {
+namespace suite {
+
+/**
+ * CSV-backed result store. Results are keyed by (suite generation,
+ * input size) and validated against the runner's config fingerprint.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param path CSV file; created on first save. Empty path
+     *        disables persistence (pure pass-through).
+     */
+    explicit ResultCache(std::string path);
+
+    /** Default cache location: $SPEC17_CACHE or spec17_results.csv. */
+    static std::string defaultPath();
+
+    /**
+     * Loads cached results for (@p suite, @p size) recorded under
+     * @p runner's fingerprint, or runs the sweep and persists it.
+     * Profile pointers in returned results are rebound into @p suite.
+     */
+    std::vector<PairResult> runOrLoad(
+        const SuiteRunner &runner,
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size);
+
+    /** Drops everything persisted at this path. */
+    void invalidate();
+
+  private:
+    std::optional<std::vector<PairResult>> load(
+        const SuiteRunner &runner,
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size) const;
+    void save(const SuiteRunner &runner,
+              const std::vector<workloads::WorkloadProfile> &suite,
+              workloads::InputSize size,
+              const std::vector<PairResult> &results) const;
+
+    std::string path_;
+};
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_RESULT_CACHE_HH_

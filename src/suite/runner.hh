@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Suite execution: runs application-input pairs on the simulator the
+ * way the paper runs SPEC under `perf stat` -- one pair at a time,
+ * collecting the full counter set -- and scales sampled measurements
+ * back to paper units (billions of instructions, seconds).
+ */
+
+#ifndef SPEC17_SUITE_RUNNER_HH_
+#define SPEC17_SUITE_RUNNER_HH_
+
+#include <string>
+#include <vector>
+
+#include "counters/perf_event.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "workloads/builder.hh"
+#include "workloads/profile.hh"
+
+namespace spec17 {
+namespace suite {
+
+/**
+ * Installs the steady-state cache residency a long-running process
+ * would have built: each data region of @p generator that fits a
+ * cache level is pre-filled into that level, and the code footprint
+ * into L2/L3. Used by the runner before every measured sample; also
+ * useful for standalone experiments that bypass the runner.
+ */
+void prefillSteadyState(sim::CpuSimulator &core,
+                        const trace::SyntheticTraceGenerator &generator);
+
+/** Runner configuration. */
+struct RunnerOptions
+{
+    sim::SystemConfig system = sim::SystemConfig::haswellXeonE52650Lv3();
+    /** Micro-ops measured per pair (after warmup). */
+    std::uint64_t sampleOps = 2'000'000;
+    /** Micro-ops executed before measurement starts (cold caches). */
+    std::uint64_t warmupOps = 600'000;
+    /** Root seed for all stochastic components. */
+    std::uint64_t seed = 0x5bec17;
+};
+
+/** Result of one application-input pair. */
+struct PairResult
+{
+    std::string name;                      //!< e.g. "502.gcc_r-in3"
+    const workloads::WorkloadProfile *profile = nullptr;
+    workloads::InputSize size = workloads::InputSize::Ref;
+    unsigned inputIndex = 0;
+    /** True when the paper could not collect this pair (excluded
+     *  from all aggregate analysis, like in the paper). */
+    bool errored = false;
+
+    /** Counters over the measured interval (simulation scale). */
+    counters::CounterSet counters;
+    /** Measured-interval cycles (max across threads). */
+    double wallCycles = 0.0;
+
+    /** Paper-scale instruction count for this pair, in billions. */
+    double instrBillions = 0.0;
+    /** Paper-scale execution time in seconds. */
+    double seconds = 0.0;
+
+    /** inst_retired.any / cpu_clk_unhalted.ref_tsc. */
+    double ipc() const;
+};
+
+/**
+ * Runs pairs on a fresh simulator each (no cross-pair pollution).
+ * Deterministic: identical options produce identical results.
+ */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(RunnerOptions options = {});
+
+    /** Runs a single pair. */
+    PairResult runPair(const workloads::AppInputPair &pair) const;
+
+    /** Runs every pair of @p suite at @p size, in suite order. */
+    std::vector<PairResult> runAll(
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size) const;
+
+    const RunnerOptions &options() const { return options_; }
+
+    /** Stable fingerprint of everything that affects results. */
+    std::string configKey() const;
+
+  private:
+    RunnerOptions options_;
+};
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_RUNNER_HH_

@@ -1,0 +1,47 @@
+#include "trace/phased.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace trace {
+
+PhasedTrace::PhasedTrace(std::vector<std::shared_ptr<TraceSource>> phases)
+    : phases_(std::move(phases))
+{
+    SPEC17_ASSERT(!phases_.empty(), "phased trace needs >= 1 phase");
+    for (const auto &phase : phases_)
+        SPEC17_ASSERT(phase != nullptr, "null phase source");
+}
+
+bool
+PhasedTrace::next(isa::MicroOp &op)
+{
+    while (current_ < phases_.size()) {
+        if (phases_[current_]->next(op))
+            return true;
+        ++current_;
+    }
+    return false;
+}
+
+void
+PhasedTrace::reset()
+{
+    for (const auto &phase : phases_)
+        phase->reset();
+    current_ = 0;
+}
+
+std::uint64_t
+PhasedTrace::virtualReserveBytes() const
+{
+    std::uint64_t most = 0;
+    for (const auto &phase : phases_) {
+        if (phase->virtualReserveBytes() > most)
+            most = phase->virtualReserveBytes();
+    }
+    return most;
+}
+
+} // namespace trace
+} // namespace spec17

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract micro-op trace source consumed by the CPU simulator.
+ */
+
+#ifndef SPEC17_TRACE_SOURCE_HH_
+#define SPEC17_TRACE_SOURCE_HH_
+
+#include <cstdint>
+
+#include "isa/uop.hh"
+
+namespace spec17 {
+namespace trace {
+
+/**
+ * A finite stream of micro-ops. Sources are pull-based: the simulator
+ * calls next() until it returns false. reset() rewinds to the first
+ * micro-op and must reproduce the identical stream (the framework's
+ * determinism guarantee hinges on this).
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produces the next micro-op.
+     * @param op output micro-op; untouched when the stream is done.
+     * @return true if @p op was produced, false at end of stream.
+     */
+    virtual bool next(isa::MicroOp &op) = 0;
+
+    /** Rewinds to the beginning of the identical stream. */
+    virtual void reset() = 0;
+
+    /**
+     * Virtual address space the workload reserves beyond what it
+     * touches (the paper's VSZ vs RSS gap). Defaults to zero.
+     */
+    virtual std::uint64_t virtualReserveBytes() const { return 0; }
+};
+
+} // namespace trace
+} // namespace spec17
+
+#endif // SPEC17_TRACE_SOURCE_HH_

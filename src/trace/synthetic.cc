@@ -1,0 +1,352 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace trace {
+
+namespace {
+
+/** Page granularity used to separate region base addresses. */
+constexpr std::uint64_t kPageBytes = 4096;
+
+std::uint64_t
+pageAlignUp(std::uint64_t bytes)
+{
+    return (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+}
+
+void
+checkFraction(double value, const char *what)
+{
+    SPEC17_ASSERT(value >= 0.0 && value <= 1.0,
+                  what, " must be in [0, 1], got ", value);
+}
+
+} // namespace
+
+const char *
+accessPatternName(AccessPattern pattern)
+{
+    switch (pattern) {
+      case AccessPattern::Sequential: return "sequential";
+      case AccessPattern::Strided: return "strided";
+      case AccessPattern::Random: return "random";
+      case AccessPattern::PointerChase: return "pointer_chase";
+    }
+    SPEC17_PANIC("unknown AccessPattern");
+}
+
+void
+SyntheticTraceParams::validate() const
+{
+    checkFraction(loadFrac, "loadFrac");
+    checkFraction(storeFrac, "storeFrac");
+    checkFraction(branchFrac, "branchFrac");
+    SPEC17_ASSERT(loadFrac + storeFrac + branchFrac <= 1.0 + 1e-9,
+                  "instruction mix exceeds 100%");
+    checkFraction(fpFrac, "fpFrac");
+    checkFraction(mulFrac, "mulFrac");
+    checkFraction(divFrac, "divFrac");
+    checkFraction(hardBranchFrac, "hardBranchFrac");
+    checkFraction(easyTakenBias, "easyTakenBias");
+    checkFraction(branchDepOnLoadFrac, "branchDepOnLoadFrac");
+    checkFraction(computeDepFrac, "computeDepFrac");
+    checkFraction(indirectSwitchProb, "indirectSwitchProb");
+    checkFraction(hotCodeFrac, "hotCodeFrac");
+    const double kinds = condFrac + directJumpFrac + nearCallFrac
+        + indirectJumpFrac + nearReturnFrac;
+    SPEC17_ASSERT(kinds <= 1.0 + 1e-9,
+                  "branch kind fractions exceed 100%");
+    SPEC17_ASSERT(numBranchSites >= 2, "need at least two branch sites");
+    SPEC17_ASSERT(codeFootprintBytes >= 4096,
+                  "code footprint implausibly small");
+    if (loadFrac > 0.0 || storeFrac > 0.0) {
+        SPEC17_ASSERT(!regions.empty(),
+                      "memory mix requires at least one region");
+    }
+    double load_w = 0.0, store_w = 0.0;
+    for (const auto &region : regions) {
+        SPEC17_ASSERT(region.sizeBytes >= 64,
+                      "region smaller than one cache line");
+        SPEC17_ASSERT(region.loadWeight >= 0.0 && region.storeWeight >= 0.0,
+                      "region weights must be non-negative");
+        load_w += region.loadWeight;
+        store_w += region.storeWeight;
+    }
+    if (loadFrac > 0.0)
+        SPEC17_ASSERT(load_w > 0.0, "loads emitted but no load weight");
+    if (storeFrac > 0.0)
+        SPEC17_ASSERT(store_w > 0.0, "stores emitted but no store weight");
+}
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticTraceParams params)
+    : params_(std::move(params)),
+      rng_(deriveSeed(params_.seed, "uop-stream"))
+{
+    params_.validate();
+    rebuildStaticStructure();
+    reset();
+}
+
+void
+SyntheticTraceGenerator::rebuildStaticStructure()
+{
+    // The static program shape (branch sites, indirect targets, region
+    // bases) comes from its own RNG stream so that reset() does not
+    // need to rebuild it.
+    Rng srng(deriveSeed(params_.seed, "static-structure"));
+
+    const std::uint64_t code_span = params_.codeFootprintBytes;
+    // Branch sites concentrate in the hot (L1I-resident) code like
+    // the rest of the fetch stream; a small tail lives in cold code.
+    const std::uint64_t hot_span =
+        std::min<std::uint64_t>(code_span, 16 * 1024);
+    // Sites get distinct, evenly spaced PCs inside the hot span so
+    // that predictor-table aliasing reflects table capacity, not
+    // random birthday collisions the per-site bias model would read
+    // as noise. The population is capped at one site per 8 bytes.
+    const std::size_t num_sites = std::min<std::size_t>(
+        params_.numBranchSites,
+        static_cast<std::size_t>(hot_span / 8));
+    const std::uint64_t spacing =
+        std::max<std::uint64_t>(4, hot_span / num_sites / 4 * 4);
+    condSites_.clear();
+    condSites_.reserve(num_sites);
+    // At least one hard site so hardBranchFrac > 0 always has a source.
+    const std::size_t num_hard = std::max<std::size_t>(1, num_sites / 8);
+    for (std::size_t i = 0; i < num_sites; ++i) {
+        BranchSite site;
+        site.pc = kCodeBase + (i * spacing) % hot_span;
+        site.hard = i < num_hard;
+        if (site.hard) {
+            site.takenProb = 0.5;
+        } else {
+            // Biased one way or the other. The per-site jitter is
+            // multiplicative in the miss side (1 - bias) so that very
+            // predictable workloads keep their tiny floors.
+            const double floor = 1.0 - params_.easyTakenBias;
+            const double jittered =
+                floor * (0.75 + 0.5 * srng.nextDouble());
+            const double clamped =
+                std::clamp(1.0 - jittered, 0.5, 0.99995);
+            site.takenProb =
+                srng.nextBernoulli(0.5) ? clamped : 1.0 - clamped;
+        }
+        condSites_.push_back(site);
+    }
+
+    const std::size_t num_indirect_sites =
+        std::max<std::size_t>(1, params_.numIndirectSites);
+    indirectSitePcs_.clear();
+    indirectSiteTargets_.clear();
+    for (std::size_t i = 0; i < num_indirect_sites; ++i) {
+        // Spread through hot code; BTB entries are distinct from the
+        // direction tables, so overlap with conditional sites is
+        // harmless.
+        indirectSitePcs_.push_back(kCodeBase
+                                   + (i * 64 + 32) % hot_span);
+        std::vector<std::uint64_t> targets;
+        const std::size_t fanout =
+            std::max<std::size_t>(1, params_.indirectTargets);
+        for (std::size_t t = 0; t < fanout; ++t) {
+            targets.push_back(
+                kCodeBase + (srng.nextBounded(code_span / 4) * 4));
+        }
+        indirectSiteTargets_.push_back(std::move(targets));
+    }
+
+    regionState_.clear();
+    loadWeights_.clear();
+    storeWeights_.clear();
+    std::uint64_t next_base = kDataBase + params_.addressOffset;
+    for (const auto &region : params_.regions) {
+        RegionState state;
+        state.base = next_base;
+        state.cursor = 0;
+        regionState_.push_back(state);
+        // Guard page between regions keeps them disjoint.
+        next_base += pageAlignUp(region.sizeBytes) + kPageBytes;
+        loadWeights_.push_back(region.loadWeight);
+        storeWeights_.push_back(region.storeWeight);
+    }
+}
+
+void
+SyntheticTraceGenerator::reset()
+{
+    rng_ = Rng(deriveSeed(params_.seed, "uop-stream"));
+    emitted_ = 0;
+    pc_ = kCodeBase;
+    for (auto &state : regionState_)
+        state.cursor = 0;
+}
+
+std::uint64_t
+SyntheticTraceGenerator::virtualReserveBytes() const
+{
+    std::uint64_t total =
+        pageAlignUp(params_.codeFootprintBytes) + params_.extraVirtualBytes;
+    for (const auto &region : params_.regions)
+        total += pageAlignUp(region.sizeBytes) + kPageBytes;
+    return total;
+}
+
+std::uint64_t
+SyntheticTraceGenerator::regionBase(std::size_t index) const
+{
+    SPEC17_ASSERT(index < regionState_.size(), "region index out of range");
+    return regionState_[index].base;
+}
+
+std::uint64_t
+SyntheticTraceGenerator::pickAddress(std::size_t region_index,
+                                     bool &dep_on_load)
+{
+    const MemoryRegionParams &region = params_.regions[region_index];
+    RegionState &state = regionState_[region_index];
+    const std::uint64_t span = region.sizeBytes / 8 * 8;
+    dep_on_load = false;
+
+    switch (region.pattern) {
+      case AccessPattern::Sequential:
+        state.cursor = (state.cursor + 8) % span;
+        return state.base + state.cursor;
+      case AccessPattern::Strided: {
+        const std::uint64_t stride =
+            std::max<std::uint64_t>(8, region.strideBytes / 8 * 8);
+        state.cursor = (state.cursor + stride) % span;
+        return state.base + state.cursor;
+      }
+      case AccessPattern::Random:
+        return state.base + rng_.nextBounded(span / 8) * 8;
+      case AccessPattern::PointerChase:
+        dep_on_load = true;
+        return state.base + rng_.nextBounded(span / 8) * 8;
+    }
+    SPEC17_PANIC("unknown AccessPattern");
+}
+
+std::uint64_t
+SyntheticTraceGenerator::pickBranchTarget()
+{
+    const std::uint64_t span = params_.codeFootprintBytes;
+    // Hot targets concentrate in an L1I-resident prefix of the code
+    // (inner loops), matching the strong fetch locality real
+    // applications show even with multi-megabyte binaries.
+    const std::uint64_t hot_span =
+        std::min<std::uint64_t>(span, 16 * 1024);
+    const std::uint64_t zone =
+        rng_.nextBernoulli(params_.hotCodeFrac) ? hot_span : span;
+    return kCodeBase + rng_.nextBounded(zone / 4) * 4;
+}
+
+bool
+SyntheticTraceGenerator::next(isa::MicroOp &op)
+{
+    if (emitted_ >= params_.numOps)
+        return false;
+    ++emitted_;
+
+    // Sequential fetch. Execution loops within the hot (L1I-sized)
+    // code prefix; a fall-through from colder code walks linearly
+    // until some taken branch redirects it (usually back to hot
+    // code), mirroring the loop-dominated fetch behaviour of real
+    // programs.
+    const std::uint64_t hot_span =
+        std::min<std::uint64_t>(params_.codeFootprintBytes, 16 * 1024);
+    const std::uint64_t offset = pc_ - kCodeBase + 4;
+    if (offset <= hot_span)
+        pc_ = kCodeBase + offset % hot_span;
+    else
+        pc_ = kCodeBase + offset % params_.codeFootprintBytes;
+
+    const double roll = rng_.nextDouble();
+    if (roll < params_.loadFrac) {
+        const std::size_t region = rng_.nextDiscrete(loadWeights_);
+        bool dep = false;
+        const std::uint64_t addr = pickAddress(region, dep);
+        op = isa::makeLoad(pc_, addr, 8, dep);
+        return true;
+    }
+    if (roll < params_.loadFrac + params_.storeFrac) {
+        const std::size_t region = rng_.nextDiscrete(storeWeights_);
+        bool dep = false;
+        const std::uint64_t addr = pickAddress(region, dep);
+        op = isa::makeStore(pc_, addr, 8);
+        return true;
+    }
+    if (roll < params_.loadFrac + params_.storeFrac + params_.branchFrac) {
+        const double kind_roll = rng_.nextDouble();
+        const double c = params_.condFrac;
+        const double dj = c + params_.directJumpFrac;
+        const double nc = dj + params_.nearCallFrac;
+        const double ij = nc + params_.indirectJumpFrac;
+        const double nr = ij + params_.nearReturnFrac;
+
+        if (kind_roll < c || kind_roll >= nr) {
+            // Conditional branch from a static site population.
+            const bool hard = rng_.nextBernoulli(params_.hardBranchFrac);
+            const std::size_t num_hard =
+                std::max<std::size_t>(1, condSites_.size() / 8);
+            std::size_t site_index;
+            if (hard) {
+                site_index = rng_.nextBounded(num_hard);
+            } else {
+                site_index = num_hard == condSites_.size()
+                    ? rng_.nextBounded(condSites_.size())
+                    : num_hard + rng_.nextBounded(
+                          condSites_.size() - num_hard);
+            }
+            const BranchSite &site = condSites_[site_index];
+            const bool taken = rng_.nextBernoulli(site.takenProb);
+            const bool dep =
+                rng_.nextBernoulli(params_.branchDepOnLoadFrac);
+            op = isa::makeBranch(site.pc, isa::BranchKind::Conditional,
+                                 taken, pickBranchTarget(), dep);
+        } else if (kind_roll < dj) {
+            op = isa::makeBranch(pc_, isa::BranchKind::DirectJump, true,
+                                 pickBranchTarget());
+        } else if (kind_roll < nc) {
+            op = isa::makeBranch(pc_, isa::BranchKind::DirectNearCall,
+                                 true, pickBranchTarget());
+        } else if (kind_roll < ij) {
+            const std::size_t site =
+                rng_.nextBounded(indirectSitePcs_.size());
+            const auto &targets = indirectSiteTargets_[site];
+            // Mostly-monomorphic dispatch: the first target dominates.
+            std::size_t pick = 0;
+            if (targets.size() > 1
+                && rng_.nextBernoulli(params_.indirectSwitchProb))
+                pick = 1 + rng_.nextBounded(targets.size() - 1);
+            op = isa::makeBranch(indirectSitePcs_[site],
+                                 isa::BranchKind::IndirectJumpNonCallRet,
+                                 true, targets[pick]);
+        } else {
+            op = isa::makeBranch(pc_, isa::BranchKind::IndirectNearReturn,
+                                 true, pickBranchTarget());
+        }
+        if (op.taken)
+            pc_ = op.target;
+        return true;
+    }
+
+    // Compute op.
+    isa::UopClass cls;
+    const bool fp = rng_.nextBernoulli(params_.fpFrac);
+    const double unit_roll = rng_.nextDouble();
+    if (unit_roll < params_.divFrac)
+        cls = fp ? isa::UopClass::FpDiv : isa::UopClass::IntDiv;
+    else if (unit_roll < params_.divFrac + params_.mulFrac)
+        cls = fp ? isa::UopClass::FpMul : isa::UopClass::IntMul;
+    else
+        cls = fp ? isa::UopClass::FpAdd : isa::UopClass::IntAlu;
+    op = isa::makeAlu(pc_, cls);
+    op.depOnPrev = rng_.nextBernoulli(params_.computeDepFrac);
+    return true;
+}
+
+} // namespace trace
+} // namespace spec17

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 idiom.
+ *
+ * Severity taxonomy (mirrors gem5's src/base/logging.hh contract):
+ *  - panic():  an internal invariant was violated -- a framework bug.
+ *              Prints and calls std::abort().
+ *  - fatal():  the run cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Prints and exits(1).
+ *  - warn():   something is degraded but the run continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef SPEC17_UTIL_LOGGING_HH_
+#define SPEC17_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace spec17 {
+
+namespace detail {
+
+/** Joins any stream-formattable arguments into a single string. */
+template <typename... Args>
+std::string
+concatArgs(Args &&...args)
+{
+    std::ostringstream os;
+    ((os << std::forward<Args>(args)), ...);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort on an internal invariant violation (framework bug).
+ * Usage: panic("bad state: ", x);
+ */
+#define SPEC17_PANIC(...) \
+    ::spec17::detail::panicImpl(__FILE__, __LINE__, \
+        ::spec17::detail::concatArgs(__VA_ARGS__))
+
+/** Exit with an error on a user-caused unrecoverable condition. */
+#define SPEC17_FATAL(...) \
+    ::spec17::detail::fatalImpl(__FILE__, __LINE__, \
+        ::spec17::detail::concatArgs(__VA_ARGS__))
+
+/** Warn and continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concatArgs(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concatArgs(std::forward<Args>(args)...));
+}
+
+/**
+ * Assert-like guard for internal invariants that must hold in release
+ * builds too. Panics with the formatted message when the condition fails.
+ */
+#define SPEC17_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SPEC17_PANIC("assertion '" #cond "' failed: ", \
+                         ::spec17::detail::concatArgs(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace spec17
+
+#endif // SPEC17_UTIL_LOGGING_HH_

@@ -1,0 +1,117 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SPEC17_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SPEC17_ASSERT(cells.size() <= headers_.size(),
+                  "row has more cells than headers");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c]
+               << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t rule = 0;
+    for (std::size_t w : width)
+        rule += w + 2;
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+TextTable::renderCsv(std::ostream &os) const
+{
+    auto emit_cell = [&](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") != std::string::npos) {
+            os << '"';
+            for (char ch : cell) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        } else {
+            os << cell;
+        }
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            emit_cell(row[c]);
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+fmtDouble(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    static const char *const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    return fmtDouble(bytes, 3) + " " + kUnits[unit];
+}
+
+std::string
+fmtCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t lead = digits.size() % 3 ? digits.size() % 3 : 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i >= lead && (i - lead) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+} // namespace spec17

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Plain-text table and CSV writers used by the bench harness to print
+ * the paper's tables and figure series.
+ */
+
+#ifndef SPEC17_UTIL_TABLE_HH_
+#define SPEC17_UTIL_TABLE_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spec17 {
+
+/**
+ * Accumulates rows of string cells and renders them as an aligned
+ * monospace table (first row treated as the header) or as CSV.
+ */
+class TextTable
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Appends a row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows (excluding the header). */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Renders with aligned columns and a header rule. */
+    void render(std::ostream &os) const;
+
+    /** Renders as RFC-4180-ish CSV (quotes cells containing , " \n). */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with @p digits fractional digits. */
+std::string fmtDouble(double value, int digits = 3);
+
+/** Formats a byte count as B/KiB/MiB/GiB with three digits. */
+std::string fmtBytes(double bytes);
+
+/** Formats an integer with thousands separators ("1,234,567"). */
+std::string fmtCount(std::uint64_t value);
+
+} // namespace spec17
+
+#endif // SPEC17_UTIL_TABLE_HH_

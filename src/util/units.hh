@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Size and unit constants shared across the simulator and workloads.
+ */
+
+#ifndef SPEC17_UTIL_UNITS_HH_
+#define SPEC17_UTIL_UNITS_HH_
+
+#include <cstdint>
+
+namespace spec17 {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** One billion, the unit the paper uses for instruction counts. */
+inline constexpr double kBillion = 1e9;
+
+} // namespace spec17
+
+#endif // SPEC17_UTIL_UNITS_HH_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lowers a WorkloadProfile + input selection to the synthetic trace
+ * generator's parameters.
+ *
+ * The lowering implements the profile's cache-pressure targets with
+ * a four-region working set sized against the Table I hierarchy:
+ *
+ *   hot  (16 KiB, random)          -> L1-resident
+ *   l2   (160 KiB)                 -> misses L1, hits L2
+ *   l3   (2 MiB)                   -> misses L2, hits L3
+ *   mem  (64 MiB)                  -> misses L3 (DRAM)
+ *
+ * Load weights are solved from the target per-level miss rates (and
+ * each region's expected per-access miss probability); the chase
+ * fraction routes a share of the two deep levels through
+ * pointer-chase regions; streaming profiles walk deep regions with a
+ * line-sized stride (prefetch-friendly, fully missing) instead of
+ * randomly. The mispredict-rate target is decomposed into an
+ * easy-site floor, a hard-site fraction, and an indirect-switch
+ * probability.
+ *
+ * Multiple inputs of one application perturb magnitudes and targets
+ * by a few percent (deterministically per input index), mirroring how
+ * e.g. 603.bwaves_s's two ref inputs behave almost identically in the
+ * paper's Table IX.
+ */
+
+#ifndef SPEC17_WORKLOADS_BUILDER_HH_
+#define SPEC17_WORKLOADS_BUILDER_HH_
+
+#include "trace/synthetic.hh"
+#include "workloads/profile.hh"
+
+namespace spec17 {
+namespace workloads {
+
+/** Options for lowering a pair to trace parameters. */
+struct BuildOptions
+{
+    /** Micro-ops to simulate for this pair (whole pair, all threads). */
+    std::uint64_t sampleOps = 2'000'000;
+    /** Root seed mixed with the pair identity. */
+    std::uint64_t seed = 0x5bec17;
+};
+
+/**
+ * Builds generator parameters for one thread of an application-input
+ * pair. Threads of a threaded application share the same targets but
+ * receive distinct streams, and private address offsets when the
+ * profile declares a mostly-private working set.
+ *
+ * @param pair which application + input to lower.
+ * @param options sampling configuration.
+ * @param thread_index 0-based thread (< pair.profile->numThreads).
+ */
+trace::SyntheticTraceParams buildTraceParams(const AppInputPair &pair,
+                                             const BuildOptions &options,
+                                             unsigned thread_index = 0);
+
+} // namespace workloads
+} // namespace spec17
+
+#endif // SPEC17_WORKLOADS_BUILDER_HH_

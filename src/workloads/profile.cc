@@ -1,0 +1,188 @@
+#include "workloads/profile.hh"
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace workloads {
+
+std::string
+suiteKindName(SuiteKind kind)
+{
+    switch (kind) {
+      case SuiteKind::RateInt: return "rate int";
+      case SuiteKind::RateFp: return "rate fp";
+      case SuiteKind::SpeedInt: return "speed int";
+      case SuiteKind::SpeedFp: return "speed fp";
+    }
+    SPEC17_PANIC("unknown SuiteKind");
+}
+
+bool
+isIntSuite(SuiteKind kind)
+{
+    return kind == SuiteKind::RateInt || kind == SuiteKind::SpeedInt;
+}
+
+bool
+isSpeedSuite(SuiteKind kind)
+{
+    return kind == SuiteKind::SpeedInt || kind == SuiteKind::SpeedFp;
+}
+
+std::string
+inputSizeName(InputSize size)
+{
+    switch (size) {
+      case InputSize::Test: return "test";
+      case InputSize::Train: return "train";
+      case InputSize::Ref: return "ref";
+    }
+    SPEC17_PANIC("unknown InputSize");
+}
+
+double
+WorkloadProfile::instrBillions(InputSize size) const
+{
+    switch (size) {
+      case InputSize::Test: return refInstrBillions * testScale;
+      case InputSize::Train: return refInstrBillions * trainScale;
+      case InputSize::Ref: return refInstrBillions;
+    }
+    SPEC17_PANIC("unknown InputSize");
+}
+
+namespace {
+
+/** Footprint shrink factor of the smaller input sizes vs ref. */
+double
+footprintScale(InputSize size)
+{
+    switch (size) {
+      case InputSize::Test: return 0.3;
+      case InputSize::Train: return 0.6;
+      case InputSize::Ref: return 1.0;
+    }
+    SPEC17_PANIC("unknown InputSize");
+}
+
+} // namespace
+
+double
+WorkloadProfile::rssMiB(InputSize size) const
+{
+    return rssRefMiB * footprintScale(size);
+}
+
+double
+WorkloadProfile::vszMiB(InputSize size) const
+{
+    return vszRefMiB * footprintScale(size);
+}
+
+bool
+WorkloadProfile::isErrored(InputSize size, unsigned input_index) const
+{
+    for (const auto &[errored_size, errored_index] : erroredInputs) {
+        if (errored_size == size && errored_index == input_index)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+checkFraction(double value, const char *what, const std::string &name)
+{
+    SPEC17_ASSERT(value >= 0.0 && value <= 1.0,
+                  name, ": ", what, " must be in [0, 1], got ", value);
+}
+
+} // namespace
+
+void
+WorkloadProfile::validate() const
+{
+    SPEC17_ASSERT(!name.empty(), "profile without a name");
+    SPEC17_ASSERT(benchmarkId > 0, name, ": benchmark id missing");
+    checkFraction(loadFrac, "loadFrac", name);
+    checkFraction(storeFrac, "storeFrac", name);
+    checkFraction(branchFrac, "branchFrac", name);
+    SPEC17_ASSERT(loadFrac + storeFrac + branchFrac < 1.0,
+                  name, ": mix leaves no room for compute");
+    checkFraction(fpFrac, "fpFrac", name);
+    checkFraction(computeDepFrac, "computeDepFrac", name);
+    checkFraction(memory.l1MissRate, "l1MissRate", name);
+    checkFraction(memory.l2MissRate, "l2MissRate", name);
+    checkFraction(memory.l3MissRate, "l3MissRate", name);
+    checkFraction(memory.chaseFrac, "chaseFrac", name);
+    checkFraction(branches.condFrac, "condFrac", name);
+    checkFraction(branches.mispredictRate, "mispredictRate", name);
+    checkFraction(branches.depOnLoadFrac, "depOnLoadFrac", name);
+    checkFraction(threadPrivateFrac, "threadPrivateFrac", name);
+    const double kinds = branches.condFrac + branches.directJumpFrac
+        + branches.nearCallFrac + branches.indirectJumpFrac
+        + branches.nearReturnFrac;
+    SPEC17_ASSERT(kinds <= 1.0 + 1e-9, name,
+                  ": branch kinds exceed 100%");
+    SPEC17_ASSERT(refInstrBillions > 0.0, name,
+                  ": instruction count must be positive");
+    SPEC17_ASSERT(rssRefMiB > 0.0 && vszRefMiB >= rssRefMiB, name,
+                  ": need 0 < RSS <= VSZ");
+    SPEC17_ASSERT(testScale > 0.0 && trainScale > 0.0, name,
+                  ": input scales must be positive");
+    SPEC17_ASSERT(numThreads >= 1, name, ": needs at least one thread");
+    for (unsigned n : numInputs)
+        SPEC17_ASSERT(n >= 1, name, ": every size needs >= 1 input");
+    SPEC17_ASSERT(codeFootprintKiB >= 4, name, ": code too small");
+}
+
+std::string
+AppInputPair::displayName() const
+{
+    SPEC17_ASSERT(profile != nullptr, "pair without profile");
+    const unsigned inputs =
+        profile->numInputs[static_cast<std::size_t>(size)];
+    if (inputs <= 1)
+        return profile->name;
+    return profile->name + "-in" + std::to_string(inputIndex + 1);
+}
+
+std::vector<AppInputPair>
+enumeratePairs(const std::vector<WorkloadProfile> &suite, InputSize size)
+{
+    std::vector<AppInputPair> pairs;
+    for (const WorkloadProfile &profile : suite) {
+        const unsigned inputs =
+            profile.numInputs[static_cast<std::size_t>(size)];
+        for (unsigned i = 0; i < inputs; ++i)
+            pairs.push_back({&profile, size, i});
+    }
+    return pairs;
+}
+
+std::vector<AppInputPair>
+enumeratePairs(const std::vector<WorkloadProfile> &suite, InputSize size,
+               SuiteKind kind)
+{
+    std::vector<AppInputPair> pairs;
+    for (const AppInputPair &pair : enumeratePairs(suite, size)) {
+        if (pair.profile->suite == kind)
+            pairs.push_back(pair);
+    }
+    return pairs;
+}
+
+const WorkloadProfile &
+findProfile(const std::vector<WorkloadProfile> &suite,
+            const std::string &name)
+{
+    for (const WorkloadProfile &profile : suite) {
+        if (profile.name == name)
+            return profile;
+    }
+    SPEC17_PANIC("no profile named '", name, "'");
+}
+
+} // namespace workloads
+} // namespace spec17

@@ -1,0 +1,182 @@
+#include "cluster/hierarchical.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace cluster {
+namespace {
+
+using stats::Matrix;
+
+/** Three well-separated 2-D blobs of @p per points each. */
+Matrix
+threeBlobs(std::size_t per, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    Matrix m(3 * per, 2);
+    for (std::size_t b = 0; b < 3; ++b) {
+        for (std::size_t i = 0; i < per; ++i) {
+            const std::size_t r = b * per + i;
+            m.at(r, 0) = centers[b][0] + 0.3 * rng.nextGaussian();
+            m.at(r, 1) = centers[b][1] + 0.3 * rng.nextGaussian();
+        }
+    }
+    return m;
+}
+
+TEST(Hierarchical, EuclideanDistance)
+{
+    const Matrix m = Matrix::fromRows({{0, 0}, {3, 4}});
+    EXPECT_DOUBLE_EQ(euclidean(m, 0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(euclidean(m, 0, 0), 0.0);
+}
+
+TEST(Hierarchical, MergesClosestPairFirst)
+{
+    // Points at 0, 1, 10 on a line: {0,1} merge first at distance 1.
+    const Matrix m = Matrix::fromRows({{0.0}, {1.0}, {10.0}});
+    const Dendrogram d = agglomerate(m, Linkage::Single);
+    ASSERT_EQ(d.steps().size(), 2u);
+    EXPECT_EQ(d.steps()[0].left, 0u);
+    EXPECT_EQ(d.steps()[0].right, 1u);
+    EXPECT_DOUBLE_EQ(d.steps()[0].distance, 1.0);
+    EXPECT_EQ(d.steps()[0].size, 2u);
+    EXPECT_EQ(d.steps()[1].size, 3u);
+}
+
+TEST(Hierarchical, MergeDistancesAreMonotoneForReducibleLinkages)
+{
+    const Matrix m = threeBlobs(8, 1);
+    for (Linkage linkage : {Linkage::Single, Linkage::Complete,
+                            Linkage::Average, Linkage::Ward}) {
+        const Dendrogram d = agglomerate(m, linkage);
+        for (std::size_t i = 1; i < d.steps().size(); ++i) {
+            EXPECT_GE(d.steps()[i].distance,
+                      d.steps()[i - 1].distance - 1e-9)
+                << linkageName(linkage) << " step " << i;
+        }
+    }
+}
+
+TEST(Hierarchical, CutRecoversPlantedBlobs)
+{
+    const std::size_t per = 10;
+    const Matrix m = threeBlobs(per, 2);
+    for (Linkage linkage : {Linkage::Single, Linkage::Complete,
+                            Linkage::Average, Linkage::Ward}) {
+        const Dendrogram d = agglomerate(m, linkage);
+        const std::vector<std::size_t> labels = d.cut(3);
+        // All members of a planted blob share a label, and the three
+        // blobs get three distinct labels.
+        std::set<std::size_t> blob_labels;
+        for (std::size_t b = 0; b < 3; ++b) {
+            const std::size_t expect = labels[b * per];
+            blob_labels.insert(expect);
+            for (std::size_t i = 1; i < per; ++i)
+                EXPECT_EQ(labels[b * per + i], expect)
+                    << linkageName(linkage);
+        }
+        EXPECT_EQ(blob_labels.size(), 3u) << linkageName(linkage);
+    }
+}
+
+TEST(Hierarchical, CutExtremes)
+{
+    const Matrix m = threeBlobs(4, 3);
+    const Dendrogram d = agglomerate(m, Linkage::Average);
+    const auto all_one = d.cut(1);
+    for (std::size_t label : all_one)
+        EXPECT_EQ(label, 0u);
+    const auto singletons = d.cut(m.rows());
+    std::set<std::size_t> distinct(singletons.begin(), singletons.end());
+    EXPECT_EQ(distinct.size(), m.rows());
+    EXPECT_DEATH(d.cut(0), "out of");
+    EXPECT_DEATH(d.cut(m.rows() + 1), "out of");
+}
+
+TEST(Hierarchical, ClustersAtPartitionsAllLeaves)
+{
+    const Matrix m = threeBlobs(5, 4);
+    const Dendrogram d = agglomerate(m, Linkage::Ward);
+    const auto groups = d.clustersAt(4);
+    ASSERT_EQ(groups.size(), 4u);
+    std::set<std::size_t> seen;
+    for (const auto &g : groups) {
+        EXPECT_FALSE(g.empty());
+        EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+        for (std::size_t leaf : g) {
+            EXPECT_TRUE(seen.insert(leaf).second)
+                << "leaf appears twice";
+        }
+    }
+    EXPECT_EQ(seen.size(), m.rows());
+}
+
+TEST(Hierarchical, SingleVsCompleteDifferOnChainedData)
+{
+    // A chain of points: single linkage chains them into one early;
+    // complete linkage resists. Verify the dendrograms differ.
+    Matrix chain(6, 1);
+    for (std::size_t i = 0; i < 6; ++i)
+        chain.at(i, 0) = static_cast<double>(i) * 1.0;
+    const Dendrogram s = agglomerate(chain, Linkage::Single);
+    const Dendrogram c = agglomerate(chain, Linkage::Complete);
+    EXPECT_DOUBLE_EQ(s.steps().back().distance, 1.0);
+    EXPECT_GT(c.steps().back().distance, 2.0);
+}
+
+TEST(Hierarchical, DeterministicAcrossRuns)
+{
+    const Matrix m = threeBlobs(7, 5);
+    const Dendrogram a = agglomerate(m, Linkage::Average);
+    const Dendrogram b = agglomerate(m, Linkage::Average);
+    ASSERT_EQ(a.steps().size(), b.steps().size());
+    for (std::size_t i = 0; i < a.steps().size(); ++i) {
+        EXPECT_EQ(a.steps()[i].left, b.steps()[i].left);
+        EXPECT_EQ(a.steps()[i].right, b.steps()[i].right);
+        EXPECT_DOUBLE_EQ(a.steps()[i].distance, b.steps()[i].distance);
+    }
+}
+
+TEST(Hierarchical, SinglePointDendrogram)
+{
+    const Matrix m = Matrix::fromRows({{1.0, 2.0}});
+    const Dendrogram d = agglomerate(m, Linkage::Average);
+    EXPECT_EQ(d.numLeaves(), 1u);
+    EXPECT_TRUE(d.steps().empty());
+    EXPECT_EQ(d.cut(1), std::vector<std::size_t>{0});
+    EXPECT_EQ(d.renderAscii({"only"}), "only\n");
+}
+
+TEST(Hierarchical, AsciiDendrogramContainsEveryLabel)
+{
+    const Matrix m = threeBlobs(3, 6);
+    const Dendrogram d = agglomerate(m, Linkage::Average);
+    std::vector<std::string> labels;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        labels.push_back("app" + std::to_string(i));
+    const std::string art = d.renderAscii(labels, 40);
+    for (const auto &label : labels)
+        EXPECT_NE(art.find(label), std::string::npos) << label;
+    // Exactly one text line per leaf.
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'),
+              static_cast<long>(m.rows()));
+}
+
+TEST(Hierarchical, LinkageNames)
+{
+    EXPECT_EQ(linkageName(Linkage::Single), "single");
+    EXPECT_EQ(linkageName(Linkage::Complete), "complete");
+    EXPECT_EQ(linkageName(Linkage::Average), "average");
+    EXPECT_EQ(linkageName(Linkage::Ward), "ward");
+}
+
+} // namespace
+} // namespace cluster
+} // namespace spec17

@@ -1,0 +1,137 @@
+#include "cluster/kmeans.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace cluster {
+namespace {
+
+using stats::Matrix;
+
+Matrix
+blobs(std::size_t per, std::size_t k, double spread, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(per * k, 2);
+    for (std::size_t b = 0; b < k; ++b) {
+        for (std::size_t i = 0; i < per; ++i) {
+            m.at(b * per + i, 0) =
+                30.0 * double(b) + spread * rng.nextGaussian();
+            m.at(b * per + i, 1) = spread * rng.nextGaussian();
+        }
+    }
+    return m;
+}
+
+TEST(KMeans, RecoversPlantedBlobs)
+{
+    const std::size_t per = 12;
+    const Matrix m = blobs(per, 3, 0.5, 1);
+    const KMeansResult result = kMeans(m, 3, 7);
+    EXPECT_TRUE(result.converged);
+    std::set<std::size_t> blob_labels;
+    for (std::size_t b = 0; b < 3; ++b) {
+        const std::size_t expect = result.labels[b * per];
+        blob_labels.insert(expect);
+        for (std::size_t i = 1; i < per; ++i)
+            EXPECT_EQ(result.labels[b * per + i], expect);
+    }
+    EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, SseDecreasesWithK)
+{
+    const Matrix m = blobs(10, 4, 1.0, 2);
+    double prev = std::numeric_limits<double>::infinity();
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+        const KMeansResult result = kMeans(m, k, 3);
+        EXPECT_LE(result.sse, prev + 1e-9) << "k=" << k;
+        prev = result.sse;
+    }
+}
+
+TEST(KMeans, KEqualsOneGivesGlobalCentroid)
+{
+    const Matrix m = blobs(8, 2, 0.5, 3);
+    const KMeansResult result = kMeans(m, 1, 4);
+    for (std::size_t label : result.labels)
+        EXPECT_EQ(label, 0u);
+    double mean0 = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        mean0 += m.at(r, 0);
+    mean0 /= double(m.rows());
+    EXPECT_NEAR(result.centroids.at(0, 0), mean0, 1e-9);
+}
+
+TEST(KMeans, KEqualsNGivesZeroSse)
+{
+    const Matrix m = blobs(3, 2, 0.8, 4);
+    const KMeansResult result = kMeans(m, m.rows(), 5);
+    EXPECT_NEAR(result.sse, 0.0, 1e-9);
+}
+
+TEST(KMeans, DeterministicPerSeed)
+{
+    const Matrix m = blobs(9, 3, 1.5, 5);
+    const KMeansResult a = kMeans(m, 3, 11);
+    const KMeansResult b = kMeans(m, 3, 11);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeans, EveryClusterSurvives)
+{
+    // Duplicated points force potential empty clusters.
+    Matrix m(6, 1);
+    for (std::size_t r = 0; r < 6; ++r)
+        m.at(r, 0) = r < 3 ? 0.0 : 100.0;
+    const KMeansResult result = kMeans(m, 4, 6);
+    std::set<std::size_t> used(result.labels.begin(),
+                               result.labels.end());
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(KMeansDeathTest, RejectsBadK)
+{
+    const Matrix m = blobs(4, 2, 0.5, 7);
+    EXPECT_DEATH(kMeans(m, 0), "k must be");
+    EXPECT_DEATH(kMeans(m, m.rows() + 1), "k must be");
+}
+
+TEST(Silhouette, HighForSeparatedLowForSplitBlob)
+{
+    const Matrix separated = blobs(10, 2, 0.4, 8);
+    const KMeansResult good = kMeans(separated, 2, 9);
+    EXPECT_GT(silhouetteScore(separated, good.labels), 0.85);
+
+    // One blob split in half: poor separation.
+    const Matrix single = blobs(20, 1, 1.0, 9);
+    const KMeansResult forced = kMeans(single, 2, 10);
+    EXPECT_LT(silhouetteScore(single, forced.labels), 0.6);
+}
+
+TEST(Silhouette, PerfectClustersScoreNearOne)
+{
+    Matrix m(8, 1);
+    for (std::size_t r = 0; r < 8; ++r)
+        m.at(r, 0) = r < 4 ? 0.0 + 0.01 * double(r) : 1000.0 + double(r);
+    std::vector<std::size_t> labels = {0, 0, 0, 0, 1, 1, 1, 1};
+    EXPECT_GT(silhouetteScore(m, labels), 0.99);
+}
+
+TEST(SilhouetteDeathTest, NeedsTwoNonEmptyClusters)
+{
+    const Matrix m = blobs(4, 1, 0.5, 11);
+    std::vector<std::size_t> one_cluster(m.rows(), 0);
+    EXPECT_DEATH(silhouetteScore(m, one_cluster), "two clusters");
+    std::vector<std::size_t> short_labels(m.rows() - 1, 0);
+    EXPECT_DEATH(silhouetteScore(m, short_labels), "one label per");
+}
+
+} // namespace
+} // namespace cluster
+} // namespace spec17

@@ -1,0 +1,122 @@
+#include "cluster/sse.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace cluster {
+namespace {
+
+using stats::Matrix;
+
+Matrix
+blobs(std::size_t per, std::size_t k, double spread, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(per * k, 2);
+    for (std::size_t b = 0; b < k; ++b) {
+        for (std::size_t i = 0; i < per; ++i) {
+            const std::size_t r = b * per + i;
+            m.at(r, 0) = 20.0 * static_cast<double>(b)
+                + spread * rng.nextGaussian();
+            m.at(r, 1) = spread * rng.nextGaussian();
+        }
+    }
+    return m;
+}
+
+TEST(Sse, ZeroWhenEveryPointIsItsOwnCluster)
+{
+    const Matrix m = blobs(4, 2, 1.0, 1);
+    std::vector<std::size_t> labels(m.rows());
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        labels[i] = i;
+    EXPECT_DOUBLE_EQ(sumSquaredError(m, labels), 0.0);
+}
+
+TEST(Sse, HandComputedTwoClusters)
+{
+    // Cluster 0: {0, 2} centroid 1 -> SSE 2. Cluster 1: {10} -> 0.
+    const Matrix m = Matrix::fromRows({{0.0}, {2.0}, {10.0}});
+    EXPECT_DOUBLE_EQ(sumSquaredError(m, {0, 0, 1}), 2.0);
+}
+
+TEST(Sse, MonotoneNonDecreasingAsClustersMerge)
+{
+    const Matrix m = blobs(6, 3, 0.5, 2);
+    const Dendrogram d = agglomerate(m, Linkage::Ward);
+    double prev = -1.0;
+    for (std::size_t k = m.rows(); k >= 1; --k) {
+        const double sse = sumSquaredError(m, d.cut(k));
+        EXPECT_GE(sse, prev - 1e-9) << "k=" << k;
+        prev = sse;
+    }
+}
+
+TEST(SseDeathTest, LabelSizeMismatchPanics)
+{
+    const Matrix m = blobs(2, 2, 0.5, 3);
+    EXPECT_DEATH(sumSquaredError(m, {0, 1}), "one label per observation");
+}
+
+TEST(Tradeoff, SweepCoversAllClusterCounts)
+{
+    const Matrix m = blobs(4, 3, 0.4, 4);
+    const Dendrogram d = agglomerate(m, Linkage::Average);
+    std::vector<double> cost(m.rows(), 1.0);
+    const auto sweep = sweepTradeoff(m, d, cost);
+    ASSERT_EQ(sweep.size(), m.rows());
+    EXPECT_EQ(sweep.front().numClusters, 1u);
+    EXPECT_EQ(sweep.back().numClusters, m.rows());
+    // With unit costs, subset cost == number of clusters.
+    for (const auto &tp : sweep)
+        EXPECT_DOUBLE_EQ(tp.cost, static_cast<double>(tp.numClusters));
+}
+
+TEST(Tradeoff, CostUsesCheapestMemberPerCluster)
+{
+    // Two tight pairs; each pair's representative is its cheaper one.
+    const Matrix m = Matrix::fromRows({{0.0}, {0.1}, {50.0}, {50.1}});
+    const Dendrogram d = agglomerate(m, Linkage::Average);
+    const std::vector<double> cost = {5.0, 1.0, 7.0, 2.0};
+    const auto sweep = sweepTradeoff(m, d, cost);
+    const auto &at2 = sweep[1]; // k == 2
+    ASSERT_EQ(at2.numClusters, 2u);
+    EXPECT_DOUBLE_EQ(at2.cost, 3.0); // 1.0 + 2.0
+}
+
+TEST(Tradeoff, KneePrefersTrueClusterCount)
+{
+    // Five clean blobs: SSE collapses at k=5 while cost grows
+    // linearly, so the knee should land at (or next to) k=5.
+    const Matrix m = blobs(8, 5, 0.3, 5);
+    const Dendrogram d = agglomerate(m, Linkage::Ward);
+    Rng rng(6);
+    std::vector<double> cost(m.rows());
+    for (double &c : cost)
+        c = 100.0 + 10.0 * rng.nextDouble();
+    const auto sweep = sweepTradeoff(m, d, cost);
+    const std::size_t knee = paretoKnee(sweep);
+    EXPECT_GE(sweep[knee].numClusters, 4u);
+    EXPECT_LE(sweep[knee].numClusters, 7u);
+}
+
+TEST(Tradeoff, KneeTieBreaksTowardFewerClusters)
+{
+    std::vector<TradeoffPoint> sweep = {
+        {1, 1.0, 0.0},
+        {2, 0.0, 1.0}, // symmetric to k=1 after normalization
+        {3, 1.0, 1.0},
+    };
+    EXPECT_EQ(paretoKnee(sweep), 0u);
+}
+
+TEST(TradeoffDeathTest, EmptySweepPanics)
+{
+    EXPECT_DEATH(paretoKnee({}), "empty");
+}
+
+} // namespace
+} // namespace cluster
+} // namespace spec17

@@ -1,0 +1,86 @@
+#include "core/characterizer.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace core {
+namespace {
+
+using workloads::InputSize;
+using workloads::SuiteGeneration;
+
+CharacterizerOptions
+fastOptions(const char *tag)
+{
+    CharacterizerOptions options;
+    options.runner.sampleOps = 120000;
+    options.runner.warmupOps = 40000;
+    options.cachePath =
+        std::string(::testing::TempDir()) + "/spec17_char_" + tag;
+    return options;
+}
+
+TEST(Characterizer, MemoizesResultsInProcess)
+{
+    Characterizer session(fastOptions("memo"));
+    const auto &first =
+        session.results(SuiteGeneration::Cpu2017, InputSize::Ref);
+    const auto &second =
+        session.results(SuiteGeneration::Cpu2017, InputSize::Ref);
+    EXPECT_EQ(&first, &second); // same vector, no recompute
+    EXPECT_EQ(first.size(), 64u);
+}
+
+TEST(Characterizer, MetricsMatchResults)
+{
+    Characterizer session(fastOptions("metrics"));
+    const auto metrics =
+        session.metrics(SuiteGeneration::Cpu2006, InputSize::Ref);
+    EXPECT_EQ(metrics.size(), 29u);
+    for (const auto &m : metrics) {
+        EXPECT_GT(m.ipc, 0.0);
+        EXPECT_GT(m.seconds, 0.0);
+    }
+}
+
+TEST(Characterizer, RateAndSpeedSlicesPartitionThePairs)
+{
+    Characterizer session(fastOptions("slices"));
+    const auto rate = session.redundancyFor(/*speed=*/false);
+    const auto speed = session.redundancyFor(/*speed=*/true);
+    // 64 ref pairs - 1 errored (cam4_s, a speed pair):
+    // rate = 20 + 16 = 36; speed = 17 + 10 - 1 = 27... minus? cam4_s
+    // is speed fp with 1 ref input; speed fp has 11 ref pairs
+    // (bwaves_s x2), so speed = 17 + 11 - 1 = 27 usable pairs.
+    EXPECT_EQ(rate.pairNames.size(), 36u);
+    EXPECT_EQ(speed.pairNames.size(), 27u);
+    for (const auto &name : rate.pairNames)
+        EXPECT_EQ(name.front(), '5') << name; // rate apps are 5xx
+    for (const auto &name : speed.pairNames)
+        EXPECT_EQ(name.front(), '6') << name; // speed apps are 6xx
+}
+
+TEST(Characterizer, SecondSessionLoadsFromDiskCache)
+{
+    const auto options = fastOptions("disk");
+    suite::ResultCache(options.cachePath).invalidate();
+    double first_seconds, second_seconds;
+    {
+        Characterizer session(options);
+        first_seconds = session
+            .results(SuiteGeneration::Cpu2006, InputSize::Test)
+            .front().seconds;
+    }
+    {
+        Characterizer session(options);
+        second_seconds = session
+            .results(SuiteGeneration::Cpu2006, InputSize::Test)
+            .front().seconds;
+    }
+    EXPECT_DOUBLE_EQ(first_seconds, second_seconds);
+    suite::ResultCache(options.cachePath).invalidate();
+}
+
+} // namespace
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,127 @@
+#include "core/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/compare.hh"
+
+namespace spec17 {
+namespace core {
+namespace {
+
+using counters::PerfEvent;
+using workloads::InputSize;
+using workloads::SuiteKind;
+
+/** Builds a synthetic PairResult with hand-set counters. */
+suite::PairResult
+madeUpResult()
+{
+    static const workloads::WorkloadProfile &profile =
+        workloads::findProfile(workloads::cpu2017Suite(), "505.mcf_r");
+    suite::PairResult r;
+    r.name = "505.mcf_r";
+    r.profile = &profile;
+    r.size = InputSize::Ref;
+    r.instrBillions = 1000.0;
+    r.seconds = 600.0;
+    auto &c = r.counters;
+    c.set(PerfEvent::InstRetiredAny, 1000000);
+    c.set(PerfEvent::UopsRetiredAll, 1000000);
+    c.set(PerfEvent::CpuClkUnhaltedRefTsc, 1250000);
+    c.set(PerfEvent::MemUopsRetiredAllLoads, 270000);
+    c.set(PerfEvent::MemUopsRetiredAllStores, 90000);
+    c.set(PerfEvent::BrInstExecAllBranches, 312770);
+    c.set(PerfEvent::BrInstExecAllConditional, 250000);
+    c.set(PerfEvent::BrMispExecAllBranches, 17202);
+    c.set(PerfEvent::MemLoadUopsRetiredL1Hit, 245700);
+    c.set(PerfEvent::MemLoadUopsRetiredL1Miss, 24300);
+    c.set(PerfEvent::MemLoadUopsRetiredL2Hit, 8330);
+    c.set(PerfEvent::MemLoadUopsRetiredL2Miss, 15970);
+    c.set(PerfEvent::MemLoadUopsRetiredL3Hit, 11180);
+    c.set(PerfEvent::MemLoadUopsRetiredL3Miss, 4790);
+    c.set(PerfEvent::RssBytes, 550ull << 20);
+    c.set(PerfEvent::VszBytes, 620ull << 20);
+    return r;
+}
+
+TEST(Metrics, DerivesThePaperDefinitions)
+{
+    const Metrics m = deriveMetrics(madeUpResult());
+    EXPECT_NEAR(m.ipc, 0.8, 1e-9);
+    EXPECT_NEAR(m.loadPct, 27.0, 1e-9);
+    EXPECT_NEAR(m.storePct, 9.0, 1e-9);
+    EXPECT_NEAR(m.branchPct, 31.277, 1e-9);
+    EXPECT_NEAR(m.condBranchPct, 100.0 * 250000 / 312770, 1e-9);
+    EXPECT_NEAR(m.l1MissPct, 9.0, 1e-9);
+    EXPECT_NEAR(m.l2MissPct, 100.0 * 15970 / 24300, 1e-9);
+    EXPECT_NEAR(m.l3MissPct, 100.0 * 4790 / 15970, 1e-9);
+    EXPECT_NEAR(m.mispredictPct, 100.0 * 17202 / 312770, 1e-9);
+    EXPECT_NEAR(m.rssGiB, 550.0 / 1024, 1e-9);
+    EXPECT_NEAR(m.vszGiB, 620.0 / 1024, 1e-9);
+    EXPECT_DOUBLE_EQ(m.instrBillions, 1000.0);
+    EXPECT_DOUBLE_EQ(m.seconds, 600.0);
+}
+
+TEST(Metrics, ZeroDenominatorsYieldZeroNotNan)
+{
+    suite::PairResult r = madeUpResult();
+    r.counters = counters::CounterSet();
+    r.counters.set(PerfEvent::InstRetiredAny, 100);
+    r.counters.set(PerfEvent::UopsRetiredAll, 100);
+    const Metrics m = deriveMetrics(r);
+    EXPECT_DOUBLE_EQ(m.ipc, 0.0);
+    EXPECT_DOUBLE_EQ(m.l1MissPct, 0.0);
+    EXPECT_DOUBLE_EQ(m.mispredictPct, 0.0);
+}
+
+TEST(Metrics, FiltersAndGroupings)
+{
+    std::vector<Metrics> ms(4);
+    ms[0].suite = SuiteKind::RateInt;
+    ms[1].suite = SuiteKind::RateFp;
+    ms[2].suite = SuiteKind::SpeedInt;
+    ms[2].errored = true;
+    ms[3].suite = SuiteKind::SpeedFp;
+    EXPECT_EQ(withoutErrored(ms).size(), 3u);
+    EXPECT_EQ(bySuite(ms, SuiteKind::RateInt).size(), 1u);
+    EXPECT_EQ(intSubset(ms).size(), 2u);
+    EXPECT_EQ(fpSubset(ms).size(), 2u);
+}
+
+TEST(Aggregate, MeanAndStdDevOverPairs)
+{
+    std::vector<Metrics> ms(3);
+    ms[0].ipc = 1.0;
+    ms[1].ipc = 2.0;
+    ms[2].ipc = 3.0;
+    ms[0].seconds = 10;
+    ms[1].seconds = 20;
+    ms[2].seconds = 30;
+    const SuiteAggregates agg = aggregate(ms);
+    EXPECT_EQ(agg.count, 3u);
+    EXPECT_DOUBLE_EQ(agg.ipc.mean, 2.0);
+    EXPECT_DOUBLE_EQ(agg.ipc.stddev, 1.0);
+    EXPECT_DOUBLE_EQ(agg.totalSeconds, 60.0);
+    EXPECT_DOUBLE_EQ(agg.meanSeconds, 20.0);
+}
+
+TEST(Aggregate, CorrelationWithIpcIsSigned)
+{
+    std::vector<Metrics> ms(5);
+    for (int i = 0; i < 5; ++i) {
+        ms[i].ipc = 1.0 + i;
+        ms[i].rssGiB = 10.0 - i;     // anti-correlated
+        ms[i].l1MissPct = 2.0 + i;   // correlated
+    }
+    EXPECT_LT(correlationWithIpc(ms, &Metrics::rssGiB), -0.99);
+    EXPECT_GT(correlationWithIpc(ms, &Metrics::l1MissPct), 0.99);
+}
+
+TEST(AggregateDeathTest, EmptySetPanics)
+{
+    EXPECT_DEATH(aggregate({}), "empty");
+}
+
+} // namespace
+} // namespace core
+} // namespace spec17

@@ -1,0 +1,205 @@
+#include "core/phase.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/phased.hh"
+#include "trace/synthetic.hh"
+
+namespace spec17 {
+namespace core {
+namespace {
+
+/** A compute-bound synthetic segment. */
+std::shared_ptr<trace::TraceSource>
+computePhase(std::uint64_t ops, std::uint64_t seed)
+{
+    trace::SyntheticTraceParams params;
+    params.numOps = ops;
+    params.seed = seed;
+    params.loadFrac = 0.10;
+    params.storeFrac = 0.05;
+    params.branchFrac = 0.10;
+    // Fully predictable branches: phase signatures must reflect the
+    // planted structure, not predictor warmup drift.
+    params.hardBranchFrac = 0.0;
+    params.easyTakenBias = 0.9995;
+    params.indirectSwitchProb = 0.0;
+    params.numBranchSites = 64;            // warms within one interval
+    params.codeFootprintBytes = 16 * 1024; // no cold-code warmup
+    params.regions = {
+        {trace::AccessPattern::Random, 16 * 1024, 64, 1.0, 1.0},
+    };
+    return std::make_shared<trace::SyntheticTraceGenerator>(params);
+}
+
+/** A memory-thrashing synthetic segment. */
+std::shared_ptr<trace::TraceSource>
+memoryPhase(std::uint64_t ops, std::uint64_t seed)
+{
+    trace::SyntheticTraceParams params;
+    params.numOps = ops;
+    params.seed = seed;
+    params.loadFrac = 0.45;
+    params.storeFrac = 0.05;
+    params.branchFrac = 0.10;
+    params.hardBranchFrac = 0.0;
+    params.easyTakenBias = 0.9995;
+    params.indirectSwitchProb = 0.0;
+    params.numBranchSites = 64;            // warms within one interval
+    params.codeFootprintBytes = 16 * 1024; // no cold-code warmup
+    params.regions = {
+        {trace::AccessPattern::Random, 64 * 1024 * 1024, 64, 1.0, 1.0},
+    };
+    return std::make_shared<trace::SyntheticTraceGenerator>(params);
+}
+
+sim::SystemConfig
+machine()
+{
+    return sim::SystemConfig::haswellXeonE52650Lv3();
+}
+
+TEST(PhaseAnalysis, RecoversPlantedTwoPhaseStructure)
+{
+    trace::PhasedTrace program({
+        computePhase(450000, 1), // +50k consumed as warmup
+        memoryPhase(400000, 2),
+    });
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(program, machine(), options);
+
+    ASSERT_EQ(analysis.intervals.size(), 16u);
+    EXPECT_EQ(analysis.phases.size(), 2u);
+    // The first 8 intervals are one phase, the last 8 the other.
+    const std::size_t first_label = analysis.labels[0];
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(analysis.labels[i], first_label) << i;
+    for (int i = 8; i < 16; ++i)
+        EXPECT_NE(analysis.labels[i], first_label) << i;
+    // Weights are about half and half.
+    for (const Phase &phase : analysis.phases)
+        EXPECT_NEAR(phase.weight, 0.5, 0.01);
+}
+
+TEST(PhaseAnalysis, PhaseIpcsReflectBehaviour)
+{
+    trace::PhasedTrace program({
+        computePhase(350000, 3), // +50k consumed as warmup
+        memoryPhase(300000, 4),
+    });
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(program, machine(), options);
+    ASSERT_EQ(analysis.phases.size(), 2u);
+    const double fast = std::max(analysis.phases[0].meanIpc,
+                                 analysis.phases[1].meanIpc);
+    const double slow = std::min(analysis.phases[0].meanIpc,
+                                 analysis.phases[1].meanIpc);
+    EXPECT_GT(fast, 2.0 * slow);
+}
+
+TEST(PhaseAnalysis, UniformWorkloadIsOnePhase)
+{
+    auto uniform = computePhase(450000, 5);
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(*uniform, machine(), options);
+    EXPECT_EQ(analysis.phases.size(), 1u);
+    EXPECT_NEAR(analysis.phases[0].weight, 1.0, 1e-12);
+}
+
+TEST(PhaseAnalysis, SampledIpcApproximatesFullRun)
+{
+    trace::PhasedTrace program({
+        computePhase(350000, 6), // +50k consumed as warmup
+        memoryPhase(200000, 7),
+        computePhase(100000, 8),
+    });
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(program, machine(), options);
+    // Simulating only the representatives must estimate whole-run
+    // IPC within 15% -- the entire point of simulation points.
+    EXPECT_NEAR(analysis.sampledIpcEstimate(), analysis.fullIpc(),
+                analysis.fullIpc() * 0.15);
+}
+
+TEST(PhaseAnalysis, RepresentativeBelongsToItsPhase)
+{
+    trace::PhasedTrace program({
+        computePhase(250000, 9), // +50k consumed as warmup
+        memoryPhase(200000, 10),
+    });
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(program, machine(), options);
+    for (const Phase &phase : analysis.phases) {
+        const std::set<std::size_t> members(phase.intervals.begin(),
+                                            phase.intervals.end());
+        EXPECT_TRUE(members.count(phase.representative));
+        EXPECT_EQ(analysis.labels[phase.representative], phase.id);
+    }
+}
+
+TEST(PhaseAnalysis, MaxPhasesBoundsDetection)
+{
+    trace::PhasedTrace program({
+        computePhase(200000, 11), // +50k consumed as warmup
+        memoryPhase(150000, 12),
+        computePhase(150000, 13),
+        memoryPhase(150000, 14),
+    });
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    options.warmupOps = 50000;
+    options.maxPhases = 2;
+    const PhaseAnalysis analysis =
+        analyzePhases(program, machine(), options);
+    EXPECT_LE(analysis.phases.size(), 2u);
+    // The alternating structure still maps to two recurring phases.
+    EXPECT_EQ(analysis.phases.size(), 2u);
+}
+
+TEST(PhaseAnalysis, ShortTraceDegeneratesToOneInterval)
+{
+    auto tiny = computePhase(20000, 15);
+    PhaseOptions options;
+    options.intervalOps = 50000;
+    const PhaseAnalysis analysis =
+        analyzePhases(*tiny, machine(), options);
+    EXPECT_EQ(analysis.intervals.size(), 1u);
+    EXPECT_EQ(analysis.phases.size(), 1u);
+    EXPECT_DOUBLE_EQ(analysis.fullIpc(),
+                     analysis.sampledIpcEstimate());
+}
+
+TEST(PhaseAnalysis, SignatureNamesExported)
+{
+    EXPECT_EQ(phaseSignatureNames().size(), kPhaseSignatureDims);
+}
+
+TEST(PhaseAnalysisDeathTest, RejectsDegenerateOptions)
+{
+    auto source = computePhase(10000, 16);
+    PhaseOptions options;
+    options.intervalOps = 10;
+    EXPECT_DEATH(analyzePhases(*source, machine(), options),
+                 "too small");
+}
+
+} // namespace
+} // namespace core
+} // namespace spec17

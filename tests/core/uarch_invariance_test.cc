@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The paper's methodological premise, tested: because the PCA
+ * consumes only microarchitecture-INDEPENDENT characteristics
+ * (Table VIII), the redundancy structure -- and therefore the
+ * suggested subset -- must be essentially the same no matter which
+ * machine measured the suite. We characterize the rate pairs on two
+ * deliberately different machines and compare the clusterings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/redundancy.hh"
+#include "core/subset.hh"
+#include "suite/runner.hh"
+
+namespace spec17 {
+namespace core {
+namespace {
+
+using workloads::InputSize;
+
+std::vector<suite::PairResult>
+ratePairsOn(const sim::SystemConfig &system)
+{
+    suite::RunnerOptions options;
+    options.system = system;
+    options.sampleOps = 250000;
+    options.warmupOps = 80000;
+    suite::SuiteRunner runner(options);
+    std::vector<suite::PairResult> results;
+    for (const auto &pair :
+         enumeratePairs(workloads::cpu2017Suite(), InputSize::Ref)) {
+        if (!workloads::isSpeedSuite(pair.profile->suite))
+            results.push_back(runner.runPair(pair));
+    }
+    return results;
+}
+
+/** Pairwise co-clustering agreement (Rand index) of two cuts. */
+double
+randIndex(const std::vector<std::size_t> &a,
+          const std::vector<std::size_t> &b)
+{
+    std::size_t agree = 0, total = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = i + 1; j < a.size(); ++j) {
+            agree += (a[i] == a[j]) == (b[i] == b[j]);
+            ++total;
+        }
+    }
+    return double(agree) / double(total);
+}
+
+TEST(UarchInvariance, SubsetStructureSurvivesAMachineChange)
+{
+    // Machine A: the paper's Table I Haswell.
+    const auto baseline = ratePairsOn(
+        sim::SystemConfig::haswellXeonE52650Lv3());
+
+    // Machine B: a very different box -- half-width core, quarter
+    // L3, weak bimodal predictor, stride prefetcher.
+    sim::SystemConfig other = sim::SystemConfig::haswellXeonE52650Lv3();
+    other.core.dispatchWidth = 2;
+    other.core.robSize = 96;
+    other.hierarchy.l3.sizeBytes = 8 * 1024 * 1024;
+    other.hierarchy.l3.assoc = 16;
+    other.branchPredictor = "bimodal";
+    other.hierarchy.prefetcher = "stride";
+    const auto changed = ratePairsOn(other);
+
+    // Sanity: the machines really do measure differently.
+    double ipc_gap = 0.0;
+    for (std::size_t i = 0; i < baseline.size(); ++i)
+        ipc_gap += std::abs(baseline[i].ipc() - changed[i].ipc());
+    EXPECT_GT(ipc_gap / double(baseline.size()), 0.2);
+
+    // But the microarchitecture-independent analysis agrees.
+    const auto analysis_a = analyzeRedundancy(baseline);
+    const auto analysis_b = analyzeRedundancy(changed);
+    ASSERT_EQ(analysis_a.pairNames, analysis_b.pairNames);
+
+    const std::size_t k = 12; // the paper's rate cluster count
+    const double agreement = randIndex(analysis_a.dendrogram.cut(k),
+                                       analysis_b.dendrogram.cut(k));
+    EXPECT_GT(agreement, 0.9)
+        << "clustering should be microarchitecture-invariant";
+
+    // The chosen representatives overlap heavily too (execution-time
+    // rankings inside a cluster can shuffle, membership cannot).
+    const auto subset_a = suggestSubset(analysis_a, k);
+    const auto subset_b = suggestSubset(analysis_b, k);
+    std::set<std::string> members_a, members_b;
+    for (const auto &rep : subset_a.representatives)
+        members_a.insert(rep.name);
+    for (const auto &rep : subset_b.representatives)
+        members_b.insert(rep.name);
+    std::size_t common = 0;
+    for (const auto &name : members_a)
+        common += members_b.count(name);
+    EXPECT_GE(common, members_a.size() * 2 / 3);
+}
+
+TEST(UarchInvariance, PcaFeaturesThemselvesBarelyMove)
+{
+    const auto baseline = ratePairsOn(
+        sim::SystemConfig::haswellXeonE52650Lv3());
+    sim::SystemConfig other = sim::SystemConfig::haswellXeonE52650Lv3();
+    other.branchPredictor = "static-taken";
+    other.hierarchy.l2.sizeBytes = 1024 * 1024;
+    other.hierarchy.l2.assoc = 16;
+    const auto changed = ratePairsOn(other);
+
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        const auto fa = pcaFeatureVector(baseline[i]);
+        const auto fb = pcaFeatureVector(changed[i]);
+        // Mix percentages (indices 3..5, 7, 13..17) are measured from
+        // the same trace: identical streams, so near-identical values.
+        for (std::size_t d : {3u, 4u, 5u, 7u}) {
+            EXPECT_NEAR(fa[d], fb[d], 0.1)
+                << baseline[i].name << " dim " << d;
+        }
+        // Footprints are profile-declared: exactly equal.
+        EXPECT_DOUBLE_EQ(fa[18], fb[18]) << baseline[i].name;
+        EXPECT_DOUBLE_EQ(fa[19], fb[19]) << baseline[i].name;
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace spec17

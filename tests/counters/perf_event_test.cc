@@ -1,0 +1,85 @@
+#include "counters/perf_event.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace counters {
+namespace {
+
+TEST(PerfEvent, NamesMatchThePaperFlags)
+{
+    EXPECT_EQ(perfEventName(PerfEvent::InstRetiredAny),
+              "inst_retired.any");
+    EXPECT_EQ(perfEventName(PerfEvent::CpuClkUnhaltedRefTsc),
+              "cpu_clk_unhalted.ref_tsc");
+    EXPECT_EQ(perfEventName(PerfEvent::MemUopsRetiredAllLoads),
+              "mem_uops_retired.all_loads");
+    EXPECT_EQ(perfEventName(PerfEvent::BrInstExecAllIndirectJumpNonCallRet),
+              "br_inst_exec.all_indirect_jump_non_call_ret");
+    EXPECT_EQ(perfEventName(PerfEvent::MemLoadUopsRetiredL3Miss),
+              "mem_load_uops_retired.l3_miss");
+}
+
+TEST(PerfEvent, RoundTripsEveryEvent)
+{
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        const auto event = static_cast<PerfEvent>(i);
+        EXPECT_EQ(perfEventFromName(perfEventName(event)), event);
+    }
+}
+
+TEST(PerfEventDeathTest, UnknownNamePanics)
+{
+    EXPECT_DEATH(perfEventFromName("no_such.counter"), "unknown");
+}
+
+TEST(CounterSet, StartsZeroAndAccumulates)
+{
+    CounterSet cs;
+    EXPECT_EQ(cs.get(PerfEvent::InstRetiredAny), 0u);
+    cs.add(PerfEvent::InstRetiredAny);
+    cs.add(PerfEvent::InstRetiredAny, 9);
+    EXPECT_EQ(cs.get(PerfEvent::InstRetiredAny), 10u);
+}
+
+TEST(CounterSet, RaiseToIsARunningMax)
+{
+    CounterSet cs;
+    cs.raiseTo(PerfEvent::RssBytes, 100);
+    cs.raiseTo(PerfEvent::RssBytes, 50);
+    EXPECT_EQ(cs.get(PerfEvent::RssBytes), 100u);
+    cs.raiseTo(PerfEvent::RssBytes, 200);
+    EXPECT_EQ(cs.get(PerfEvent::RssBytes), 200u);
+}
+
+TEST(CounterSet, AccumulateMergesAllSlots)
+{
+    CounterSet a, b;
+    a.add(PerfEvent::InstRetiredAny, 5);
+    b.add(PerfEvent::InstRetiredAny, 7);
+    b.add(PerfEvent::MemUopsRetiredAllStores, 3);
+    a.accumulate(b);
+    EXPECT_EQ(a.get(PerfEvent::InstRetiredAny), 12u);
+    EXPECT_EQ(a.get(PerfEvent::MemUopsRetiredAllStores), 3u);
+}
+
+TEST(CounterSet, DiffComputesInterval)
+{
+    CounterSet early, late;
+    early.add(PerfEvent::InstRetiredAny, 10);
+    late.add(PerfEvent::InstRetiredAny, 25);
+    const CounterSet delta = late.diff(early);
+    EXPECT_EQ(delta.get(PerfEvent::InstRetiredAny), 15u);
+}
+
+TEST(CounterSetDeathTest, DiffRejectsBackwardsCounters)
+{
+    CounterSet early, late;
+    early.add(PerfEvent::UopsRetiredAll, 10);
+    late.add(PerfEvent::UopsRetiredAll, 5);
+    EXPECT_DEATH(late.diff(early), "went backwards");
+}
+
+} // namespace
+} // namespace counters
+} // namespace spec17

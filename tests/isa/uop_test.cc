@@ -1,0 +1,69 @@
+#include "isa/uop.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace isa {
+namespace {
+
+TEST(Uop, FactoryLoad)
+{
+    const MicroOp op = makeLoad(0x400000, 0xdeadbeef, 4, true);
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMemory());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isBranch());
+    EXPECT_EQ(op.effAddr, 0xdeadbeefu);
+    EXPECT_EQ(op.size, 4);
+    EXPECT_TRUE(op.depOnLoad);
+}
+
+TEST(Uop, FactoryStore)
+{
+    const MicroOp op = makeStore(0x400004, 0x1000);
+    EXPECT_TRUE(op.isStore());
+    EXPECT_TRUE(op.isMemory());
+    EXPECT_FALSE(op.isLoad());
+    EXPECT_EQ(op.size, 8);
+}
+
+TEST(Uop, FactoryBranch)
+{
+    const MicroOp op =
+        makeBranch(0x400008, BranchKind::Conditional, true, 0x400000);
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_TRUE(op.isConditionalBranch());
+    EXPECT_FALSE(op.isMemory());
+    EXPECT_TRUE(op.taken);
+    EXPECT_EQ(op.target, 0x400000u);
+}
+
+TEST(Uop, FactoryAluDefaultsAndClasses)
+{
+    const MicroOp alu = makeAlu(0x40000c);
+    EXPECT_EQ(alu.cls, UopClass::IntAlu);
+    EXPECT_EQ(alu.branch, BranchKind::None);
+    EXPECT_FALSE(alu.isMemory());
+    const MicroOp fp = makeAlu(0x400010, UopClass::FpMul);
+    EXPECT_EQ(fp.cls, UopClass::FpMul);
+}
+
+TEST(UopDeathTest, FactoriesRejectMisuse)
+{
+    EXPECT_DEATH(makeAlu(0, UopClass::Load), "non-ALU");
+    EXPECT_DEATH(makeAlu(0, UopClass::Branch), "non-ALU");
+    EXPECT_DEATH(makeBranch(0, BranchKind::None, false, 0), "real kind");
+}
+
+TEST(Uop, NamesAreStable)
+{
+    EXPECT_EQ(uopClassName(UopClass::Load), "load");
+    EXPECT_EQ(uopClassName(UopClass::FpDiv), "fp_div");
+    EXPECT_EQ(branchKindName(BranchKind::Conditional), "conditional");
+    EXPECT_EQ(branchKindName(BranchKind::IndirectJumpNonCallRet),
+              "indirect_jump_non_call_ret");
+}
+
+} // namespace
+} // namespace isa
+} // namespace spec17

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Property tests swept across cache geometries and replacement
+ * policies: invariants that must hold for EVERY configuration, not
+ * just the Table-I one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sim/cache.hh"
+#include "util/random.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+using CacheParam =
+    std::tuple<std::uint64_t /*size*/, unsigned /*assoc*/,
+               ReplacementPolicy>;
+
+class CacheProperties : public ::testing::TestWithParam<CacheParam>
+{
+  protected:
+    CacheConfig
+    config() const
+    {
+        CacheConfig c;
+        c.name = "prop";
+        c.sizeBytes = std::get<0>(GetParam());
+        c.assoc = std::get<1>(GetParam());
+        c.policy = std::get<2>(GetParam());
+        return c;
+    }
+};
+
+TEST_P(CacheProperties, HitsPlusMissesEqualsAccesses)
+{
+    SetAssocCache cache(config(), 1);
+    Rng rng(7);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        cache.access(rng.nextBounded(1 << 22), rng.nextBernoulli(0.3));
+    EXPECT_EQ(cache.stats().hits + cache.stats().misses,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(cache.stats().accesses(), static_cast<std::uint64_t>(n));
+}
+
+TEST_P(CacheProperties, ResidentWorkingSetStopsMissing)
+{
+    // A sweep that exactly fills every set can never evict under any
+    // policy (invalid ways are always preferred victims), so the
+    // second pass is all hits.
+    SetAssocCache cache(config(), 2);
+    const std::uint64_t bytes = config().sizeBytes;
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t addr = 0; addr < bytes; addr += 64)
+            cache.access(addr, false);
+    const std::uint64_t lines = bytes / 64;
+    EXPECT_EQ(cache.stats().misses, lines);
+    EXPECT_EQ(cache.stats().hits, lines);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_P(CacheProperties, MissesAtLeastCompulsory)
+{
+    SetAssocCache cache(config(), 3);
+    Rng rng(9);
+    std::set<std::uint64_t> lines;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t addr = rng.nextBounded(1 << 24);
+        lines.insert(addr / 64);
+        cache.access(addr, false);
+    }
+    EXPECT_GE(cache.stats().misses, lines.size());
+}
+
+TEST_P(CacheProperties, EvictionsNeverExceedMisses)
+{
+    SetAssocCache cache(config(), 4);
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i)
+        cache.access(rng.nextBounded(1 << 24), rng.nextBernoulli(0.5));
+    EXPECT_LE(cache.stats().evictions, cache.stats().misses);
+    EXPECT_LE(cache.stats().writebacks, cache.stats().evictions);
+}
+
+TEST_P(CacheProperties, DeterministicPerSeed)
+{
+    SetAssocCache a(config(), 5);
+    SetAssocCache b(config(), 5);
+    Rng rng_a(13), rng_b(13);
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_EQ(a.access(rng_a.nextBounded(1 << 22), false),
+                  b.access(rng_b.nextBounded(1 << 22), false));
+    }
+    EXPECT_EQ(a.stats().hits, b.stats().hits);
+    EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+}
+
+TEST_P(CacheProperties, ProbeNeverChangesOutcome)
+{
+    // Interleaving probes between accesses must not alter the
+    // hit/miss sequence.
+    SetAssocCache with_probes(config(), 6);
+    SetAssocCache plain(config(), 6);
+    Rng rng_a(17), rng_b(17);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t addr_a = rng_a.nextBounded(1 << 22);
+        const std::uint64_t addr_b = rng_b.nextBounded(1 << 22);
+        with_probes.probe(addr_a ^ 0x12345);
+        ASSERT_EQ(with_probes.access(addr_a, false),
+                  plain.access(addr_b, false));
+    }
+}
+
+TEST_P(CacheProperties, FlushRestoresColdBehaviour)
+{
+    SetAssocCache cache(config(), 7);
+    for (std::uint64_t addr = 0; addr < 4096; addr += 64)
+        cache.access(addr, false);
+    cache.flushAll();
+    cache.clearStats();
+    for (std::uint64_t addr = 0; addr < 4096; addr += 64)
+        EXPECT_FALSE(cache.access(addr, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperties,
+    ::testing::Combine(
+        ::testing::Values(std::uint64_t(4096), std::uint64_t(32 * 1024),
+                          std::uint64_t(256 * 1024)),
+        ::testing::Values(1u, 2u, 8u),
+        ::testing::Values(ReplacementPolicy::Lru,
+                          ReplacementPolicy::TreePlru,
+                          ReplacementPolicy::Random)),
+    [](const ::testing::TestParamInfo<CacheParam> &info) {
+        const char *policy = "lru";
+        if (std::get<2>(info.param) == ReplacementPolicy::TreePlru)
+            policy = "plru";
+        else if (std::get<2>(info.param) == ReplacementPolicy::Random)
+            policy = "random";
+        return std::to_string(std::get<0>(info.param)) + "B_"
+            + std::to_string(std::get<1>(info.param)) + "way_"
+            + policy;
+    });
+
+} // namespace
+} // namespace sim
+} // namespace spec17

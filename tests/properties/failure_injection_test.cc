@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Failure injection: corrupt inputs, hostile filesystem state and
+ * degenerate workloads must produce clean, diagnosable failures (or
+ * graceful degradation) -- never silent corruption or undefined
+ * behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "sim/simulator.hh"
+#include "suite/result_cache.hh"
+#include "trace/file.hh"
+#include "trace/kernels.hh"
+#include "trace/synthetic.hh"
+
+namespace spec17 {
+namespace {
+
+suite::RunnerOptions
+fastOptions()
+{
+    suite::RunnerOptions options;
+    options.sampleOps = 40000;
+    options.warmupOps = 10000;
+    return options;
+}
+
+TEST(FailureInjection, CacheInUnwritableDirectoryStillReturnsResults)
+{
+    // Saving warns; the sweep result must still come back intact.
+    suite::SuiteRunner runner(fastOptions());
+    suite::ResultCache cache("/proc/definitely/not/writable/base");
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), workloads::InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+}
+
+TEST(FailureInjection, CacheFileThatIsADirectoryIsAMiss)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/spec17_dircache";
+    const std::string file = base + ".cpu2006.test.csv";
+    ::mkdir(file.c_str(), 0755);
+    suite::SuiteRunner runner(fastOptions());
+    suite::ResultCache cache(base);
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), workloads::InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+    ::rmdir(file.c_str());
+}
+
+TEST(FailureInjection, StaleCacheHeaderIsAMissNotACrash)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/spec17_stale";
+    suite::SuiteRunner runner(fastOptions());
+    suite::ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner, workloads::cpu2006Suite(),
+                    workloads::InputSize::Test);
+
+    // Rewrite the counter-header row as an older build would have.
+    const std::string file = base + ".cpu2006.test.csv";
+    std::ifstream in(file);
+    std::string fingerprint, header, rest, line;
+    std::getline(in, fingerprint);
+    std::getline(in, header);
+    while (std::getline(in, line))
+        rest += line + "\n";
+    in.close();
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << fingerprint << "\n"
+            << "name,input,errored,wall_cycles,old_column\n"
+            << rest;
+    }
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), workloads::InputSize::Test);
+    EXPECT_EQ(results.size(), 29u); // re-ran, did not parse stale rows
+    cache.invalidate();
+}
+
+TEST(FailureInjectionDeathTest, FuzzedTraceRecordsFailCleanly)
+{
+    // Valid header, garbage records: replay must panic with a
+    // diagnostic, not wander into undefined enum values.
+    const std::string path =
+        std::string(::testing::TempDir()) + "/spec17_fuzz.s17t";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write("S17T", 4);
+        const std::uint32_t version = 1;
+        const std::uint64_t count = 4, reserve = 0;
+        out.write(reinterpret_cast<const char *>(&version), 4);
+        out.write(reinterpret_cast<const char *>(&count), 8);
+        out.write(reinterpret_cast<const char *>(&reserve), 8);
+        std::vector<unsigned char> garbage(4 * 28, 0xFF);
+        out.write(reinterpret_cast<const char *>(garbage.data()),
+                  static_cast<std::streamsize>(garbage.size()));
+    }
+    trace::FileTrace replay(path);
+    isa::MicroOp op;
+    EXPECT_DEATH(replay.next(op), "corrupt trace record");
+    std::remove(path.c_str());
+}
+
+TEST(FailureInjection, EmptyTraceRunsToABenignResult)
+{
+    trace::VectorTrace empty({});
+    sim::CpuSimulator simulator(
+        sim::SystemConfig::haswellXeonE52650Lv3());
+    const sim::SimResult result = simulator.run(empty);
+    EXPECT_EQ(result.counters.get(
+                  counters::PerfEvent::InstRetiredAny),
+              0u);
+    EXPECT_DOUBLE_EQ(result.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(result.cycles, 0.0);
+}
+
+TEST(FailureInjection, GeneratorWithZeroOpsTerminatesImmediately)
+{
+    trace::SyntheticTraceParams params;
+    params.numOps = 0;
+    params.regions = {
+        {trace::AccessPattern::Random, 4096, 64, 1.0, 1.0}};
+    trace::SyntheticTraceGenerator gen(params);
+    isa::MicroOp op;
+    EXPECT_FALSE(gen.next(op));
+}
+
+TEST(FailureInjectionDeathTest, RunnerRejectsMeaninglessSample)
+{
+    suite::RunnerOptions options;
+    options.sampleOps = 10;
+    EXPECT_DEATH(suite::SuiteRunner{options}, "too small");
+}
+
+TEST(FailureInjection, MinimumSizeRegionWorks)
+{
+    trace::SyntheticTraceParams params;
+    params.numOps = 1000;
+    params.regions = {
+        {trace::AccessPattern::Sequential, 64, 64, 1.0, 1.0}};
+    trace::SyntheticTraceGenerator gen(params);
+    isa::MicroOp op;
+    std::uint64_t count = 0;
+    while (gen.next(op))
+        ++count;
+    EXPECT_EQ(count, 1000u);
+}
+
+} // namespace
+} // namespace spec17

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property tests swept across the direction predictors: sanity
+ * bounds every predictor must satisfy, plus capability expectations
+ * per type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/branch.hh"
+#include "util/random.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+class PredictorProperties
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<DirectionPredictor>
+    make() const
+    {
+        return makeDirectionPredictor(GetParam());
+    }
+
+    /** Mispredict rate over n Bernoulli(p) branches at @p sites. */
+    double
+    rate(DirectionPredictor &predictor, double p, int n,
+         int sites, std::uint64_t seed) const
+    {
+        Rng rng(seed);
+        int wrong = 0;
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t pc =
+                0x400000 + rng.nextBounded(sites) * 16;
+            const bool taken = rng.nextBernoulli(p);
+            wrong += predictor.predict(pc) != taken;
+            predictor.update(pc, taken);
+        }
+        return wrong / static_cast<double>(n);
+    }
+};
+
+TEST_P(PredictorProperties, NameRoundTripsThroughFactory)
+{
+    EXPECT_EQ(make()->name(), GetParam());
+}
+
+TEST_P(PredictorProperties, AlwaysTakenStreamIsLearnedPerfectly)
+{
+    auto predictor = make();
+    int wrong_after_warmup = 0;
+    // Warmup must exceed the history length: gshare touches a fresh
+    // counter for every new history value until it saturates.
+    for (int i = 0; i < 2000; ++i) {
+        const bool correct = predictor->predict(0x1000);
+        predictor->update(0x1000, true);
+        if (i >= 32)
+            wrong_after_warmup += !correct;
+    }
+    EXPECT_EQ(wrong_after_warmup, 0) << GetParam();
+}
+
+TEST_P(PredictorProperties, RandomBranchesCannotBeatCoinFlipMuch)
+{
+    auto predictor = make();
+    const double r = rate(*predictor, 0.5, 40000, 64, 3);
+    // No predictor beats ~50% on i.i.d. coin flips; none should be
+    // adversarially worse either.
+    EXPECT_GT(r, 0.42) << GetParam();
+    EXPECT_LT(r, 0.58) << GetParam();
+}
+
+TEST_P(PredictorProperties, DeterministicAcrossInstances)
+{
+    auto a = make();
+    auto b = make();
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t pc = 0x2000 + rng.nextBounded(128) * 4;
+        const bool taken = rng.nextBernoulli(0.7);
+        ASSERT_EQ(a->predict(pc), b->predict(pc)) << GetParam();
+        a->update(pc, taken);
+        b->update(pc, taken);
+    }
+}
+
+TEST_P(PredictorProperties, AdaptiveTypesLearnBiasedPopulations)
+{
+    if (GetParam() == "static-taken")
+        GTEST_SKIP() << "static prediction does not adapt";
+    auto predictor = make();
+    const double r = rate(*predictor, 0.97, 40000, 32, 7);
+    // Intrinsic floor is 3%; adaptive predictors should be near it.
+    EXPECT_LT(r, 0.06) << GetParam();
+}
+
+TEST_P(PredictorProperties, HistoryTypesLearnAlternation)
+{
+    const bool has_history =
+        GetParam() == "gshare" || GetParam() == "tournament";
+    auto predictor = make();
+    int wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = (i % 2) == 0;
+        wrong += predictor->predict(0x3000) != taken;
+        predictor->update(0x3000, taken);
+    }
+    const double r = wrong / static_cast<double>(n);
+    if (has_history)
+        EXPECT_LT(r, 0.05) << GetParam();
+    else
+        EXPECT_GT(r, 0.30) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPredictors, PredictorProperties,
+    ::testing::Values("static-taken", "bimodal", "gshare",
+                      "tournament"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Property tests swept across representative workload profiles: for
+ * every application lowered through the builder, the emitted trace
+ * must honour the profile's mix and structure, and the simulated
+ * counters must satisfy the perf-event identities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "suite/runner.hh"
+#include "trace/synthetic.hh"
+#include "workloads/builder.hh"
+
+namespace spec17 {
+namespace workloads {
+namespace {
+
+using counters::PerfEvent;
+
+class WorkloadProperties
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadProfile &
+    profile() const
+    {
+        return findProfile(cpu2017Suite(), GetParam());
+    }
+
+    AppInputPair
+    pair() const
+    {
+        return {&profile(), InputSize::Ref, 0};
+    }
+};
+
+TEST_P(WorkloadProperties, TraceMixTracksProfile)
+{
+    BuildOptions build;
+    build.sampleOps = 300000;
+    auto params = buildTraceParams(pair(), build,
+                                   0 /* first thread */);
+    trace::SyntheticTraceGenerator gen(params);
+    isa::MicroOp op;
+    std::uint64_t loads = 0, stores = 0, branches = 0, total = 0;
+    while (gen.next(op)) {
+        ++total;
+        loads += op.isLoad();
+        stores += op.isStore();
+        branches += op.isBranch();
+    }
+    ASSERT_GT(total, 0u);
+    const double n = static_cast<double>(total);
+    // Within jitter (3%) plus sampling noise.
+    EXPECT_NEAR(loads / n, profile().loadFrac,
+                profile().loadFrac * 0.08 + 0.005);
+    EXPECT_NEAR(stores / n, profile().storeFrac,
+                profile().storeFrac * 0.08 + 0.005);
+    EXPECT_NEAR(branches / n, profile().branchFrac,
+                profile().branchFrac * 0.08 + 0.005);
+}
+
+TEST_P(WorkloadProperties, CounterIdentitiesHold)
+{
+    suite::RunnerOptions options;
+    options.sampleOps = 150000;
+    options.warmupOps = 50000;
+    suite::SuiteRunner runner(options);
+    const suite::PairResult result = runner.runPair(pair());
+    auto get = [&](PerfEvent event) {
+        return result.counters.get(event);
+    };
+
+    // Retirement identities.
+    EXPECT_EQ(get(PerfEvent::InstRetiredAny),
+              get(PerfEvent::UopsRetiredAll));
+    // Load hit/miss partition per level.
+    EXPECT_EQ(get(PerfEvent::MemLoadUopsRetiredL1Hit)
+                  + get(PerfEvent::MemLoadUopsRetiredL1Miss),
+              get(PerfEvent::MemUopsRetiredAllLoads));
+    EXPECT_EQ(get(PerfEvent::MemLoadUopsRetiredL2Hit)
+                  + get(PerfEvent::MemLoadUopsRetiredL2Miss),
+              get(PerfEvent::MemLoadUopsRetiredL1Miss));
+    EXPECT_EQ(get(PerfEvent::MemLoadUopsRetiredL3Hit)
+                  + get(PerfEvent::MemLoadUopsRetiredL3Miss),
+              get(PerfEvent::MemLoadUopsRetiredL2Miss));
+    // Branch kinds partition branches.
+    EXPECT_EQ(get(PerfEvent::BrInstExecAllConditional)
+                  + get(PerfEvent::BrInstExecAllDirectJmp)
+                  + get(PerfEvent::BrInstExecAllDirectNearCall)
+                  + get(PerfEvent::BrInstExecAllIndirectJumpNonCallRet)
+                  + get(PerfEvent::BrInstExecAllIndirectNearReturn),
+              get(PerfEvent::BrInstExecAllBranches));
+    // Mispredicts bounded by branches; cycles positive.
+    EXPECT_LE(get(PerfEvent::BrMispExecAllBranches),
+              get(PerfEvent::BrInstExecAllBranches));
+    EXPECT_GT(get(PerfEvent::CpuClkUnhaltedRefTsc), 0u);
+    // RSS <= VSZ.
+    EXPECT_LE(get(PerfEvent::RssBytes), get(PerfEvent::VszBytes));
+}
+
+TEST_P(WorkloadProperties, IpcWithinPhysicalBounds)
+{
+    suite::RunnerOptions options;
+    options.sampleOps = 150000;
+    options.warmupOps = 50000;
+    suite::SuiteRunner runner(options);
+    const suite::PairResult result = runner.runPair(pair());
+    EXPECT_GT(result.ipc(), 0.01);
+    EXPECT_LE(result.ipc(), options.system.core.dispatchWidth);
+    EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST_P(WorkloadProperties, ThreadsEmitDisjointStreams)
+{
+    const WorkloadProfile &p = profile();
+    if (p.numThreads < 2)
+        GTEST_SKIP() << "single-threaded profile";
+    BuildOptions build;
+    build.sampleOps = 40000;
+    auto t0 = buildTraceParams(pair(), build, 0);
+    auto t1 = buildTraceParams(pair(), build, 1);
+    trace::SyntheticTraceGenerator g0(t0), g1(t1);
+    isa::MicroOp a, b;
+    int identical = 0, count = 0;
+    while (g0.next(a) && g1.next(b)) {
+        identical += (a.cls == b.cls && a.effAddr == b.effAddr
+                      && a.pc == b.pc);
+        ++count;
+    }
+    EXPECT_LT(identical, count / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeApps, WorkloadProperties,
+    ::testing::Values("505.mcf_r", "525.x264_r", "541.leela_r",
+                      "519.lbm_r", "549.fotonik3d_r", "548.exchange2_r",
+                      "507.cactuBSSN_r", "619.lbm_s", "657.xz_s",
+                      "628.pop2_s", "654.roms_s", "602.gcc_s"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace workloads
+} // namespace spec17

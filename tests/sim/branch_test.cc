@@ -1,0 +1,176 @@
+#include "sim/branch.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+using isa::BranchKind;
+using isa::makeBranch;
+
+/** Runs @p n Bernoulli(p) branches at one PC; returns mispredict rate. */
+double
+bernoulliRate(DirectionPredictor &predictor, double p, int n,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    int wrong = 0;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = rng.nextBernoulli(p);
+        wrong += predictor.predict(0x4000) != taken;
+        predictor.update(0x4000, taken);
+    }
+    return wrong / static_cast<double>(n);
+}
+
+TEST(StaticTaken, AlwaysPredictsTaken)
+{
+    StaticTakenPredictor predictor;
+    EXPECT_TRUE(predictor.predict(0x1000));
+    predictor.update(0x1000, false);
+    EXPECT_TRUE(predictor.predict(0x1000));
+    EXPECT_EQ(predictor.name(), "static-taken");
+}
+
+TEST(Bimodal, LearnsBiasedBranches)
+{
+    BimodalPredictor predictor;
+    EXPECT_LT(bernoulliRate(predictor, 0.95, 20000, 1), 0.08);
+    BimodalPredictor predictor2;
+    EXPECT_LT(bernoulliRate(predictor2, 0.05, 20000, 2), 0.08);
+}
+
+TEST(Bimodal, CannotLearnAlternatingPattern)
+{
+    // T,N,T,N ... defeats a 2-bit counter but not global history.
+    BimodalPredictor bimodal;
+    GsharePredictor gshare;
+    int bimodal_wrong = 0, gshare_wrong = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const bool taken = (i % 2) == 0;
+        bimodal_wrong += bimodal.predict(0x4000) != taken;
+        bimodal.update(0x4000, taken);
+        gshare_wrong += gshare.predict(0x4000) != taken;
+        gshare.update(0x4000, taken);
+    }
+    EXPECT_GT(bimodal_wrong, 3000);
+    EXPECT_LT(gshare_wrong, 200); // learns after warmup
+}
+
+TEST(Gshare, LearnsShortPeriodicPatterns)
+{
+    GsharePredictor predictor;
+    int wrong = 0;
+    const bool pattern[] = {true, true, false, true, false, false};
+    for (int i = 0; i < 12000; ++i) {
+        const bool taken = pattern[i % 6];
+        wrong += predictor.predict(0x8000) != taken;
+        predictor.update(0x8000, taken);
+    }
+    EXPECT_LT(wrong / 12000.0, 0.05);
+}
+
+TEST(Gshare, RandomBranchesMispredictNearHalf)
+{
+    GsharePredictor predictor;
+    const double rate = bernoulliRate(predictor, 0.5, 50000, 3);
+    EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(Tournament, AtLeastAsGoodAsBothComponentsOnMixedLoad)
+{
+    // Alternating branch at one PC (gshare-friendly) plus a biased
+    // branch at another (bimodal-friendly).
+    TournamentPredictor tournament;
+    Rng rng(4);
+    int wrong = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        const bool alt_taken = (i % 2) == 0;
+        wrong += tournament.predict(0x4000) != alt_taken;
+        tournament.update(0x4000, alt_taken);
+        const bool biased_taken = rng.nextBernoulli(0.9);
+        wrong += tournament.predict(0x8000) != biased_taken;
+        tournament.update(0x8000, biased_taken);
+    }
+    EXPECT_LT(wrong / double(2 * n), 0.10);
+}
+
+TEST(Factory, MakesEveryKnownPredictor)
+{
+    EXPECT_EQ(makeDirectionPredictor("static-taken")->name(),
+              "static-taken");
+    EXPECT_EQ(makeDirectionPredictor("bimodal")->name(), "bimodal");
+    EXPECT_EQ(makeDirectionPredictor("gshare")->name(), "gshare");
+    EXPECT_EQ(makeDirectionPredictor("tournament")->name(), "tournament");
+    EXPECT_EXIT(makeDirectionPredictor("tage9000"),
+                ::testing::ExitedWithCode(1), "unknown direction");
+}
+
+TEST(BranchUnit, DirectBranchesNeverMispredict)
+{
+    BranchUnit unit(makeDirectionPredictor("gshare"));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(unit.execute(makeBranch(
+            0x1000, BranchKind::DirectJump, true, 0x9000)));
+        EXPECT_FALSE(unit.execute(makeBranch(
+            0x2000, BranchKind::DirectNearCall, true, 0xa000)));
+        EXPECT_FALSE(unit.execute(makeBranch(
+            0x3000, BranchKind::IndirectNearReturn, true, 0xb000)));
+    }
+    EXPECT_EQ(unit.totals().mispredicted, 0u);
+    EXPECT_EQ(unit.totals().executed, 300u);
+}
+
+TEST(BranchUnit, IndirectJumpMispredictsOnTargetChange)
+{
+    BranchUnit unit(makeDirectionPredictor("gshare"));
+    // First sight: BTB cold -> mispredict.
+    EXPECT_TRUE(unit.execute(makeBranch(
+        0x5000, BranchKind::IndirectJumpNonCallRet, true, 0x9000)));
+    // Stable target -> predicted.
+    EXPECT_FALSE(unit.execute(makeBranch(
+        0x5000, BranchKind::IndirectJumpNonCallRet, true, 0x9000)));
+    // Target change -> mispredict once, then learned.
+    EXPECT_TRUE(unit.execute(makeBranch(
+        0x5000, BranchKind::IndirectJumpNonCallRet, true, 0xc000)));
+    EXPECT_FALSE(unit.execute(makeBranch(
+        0x5000, BranchKind::IndirectJumpNonCallRet, true, 0xc000)));
+}
+
+TEST(BranchUnit, PerKindStatsAreTracked)
+{
+    BranchUnit unit(makeDirectionPredictor("bimodal"));
+    for (int i = 0; i < 50; ++i) {
+        unit.execute(makeBranch(0x100, BranchKind::Conditional,
+                                true, 0x200));
+        unit.execute(makeBranch(0x300, BranchKind::DirectJump,
+                                true, 0x400));
+    }
+    EXPECT_EQ(unit.byKind(BranchKind::Conditional).executed, 50u);
+    EXPECT_EQ(unit.byKind(BranchKind::DirectJump).executed, 50u);
+    EXPECT_EQ(unit.byKind(BranchKind::DirectJump).mispredicted, 0u);
+    EXPECT_EQ(unit.totals().executed, 100u);
+}
+
+TEST(BranchUnit, MispredictRateHelper)
+{
+    BranchStats stats;
+    EXPECT_DOUBLE_EQ(stats.mispredictRate(), 0.0);
+    stats.executed = 200;
+    stats.mispredicted = 5;
+    EXPECT_DOUBLE_EQ(stats.mispredictRate(), 0.025);
+}
+
+TEST(BranchUnitDeathTest, RejectsNonBranchOps)
+{
+    BranchUnit unit(makeDirectionPredictor("gshare"));
+    EXPECT_DEATH(unit.execute(isa::makeAlu(0x100)), "non-branch");
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,197 @@
+#include "sim/cache.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+CacheConfig
+tinyCache(ReplacementPolicy policy = ReplacementPolicy::Lru)
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    CacheConfig config;
+    config.name = "tiny";
+    config.sizeBytes = 512;
+    config.assoc = 2;
+    config.lineBytes = 64;
+    config.policy = policy;
+    return config;
+}
+
+TEST(CacheConfig, GeometryValidation)
+{
+    EXPECT_EQ(tinyCache().numSets(), 4u);
+    CacheConfig l1;
+    l1.sizeBytes = 32 * 1024;
+    l1.assoc = 8;
+    EXPECT_EQ(l1.numSets(), 64u);
+
+    CacheConfig bad = tinyCache();
+    bad.lineBytes = 48;
+    EXPECT_DEATH(bad.numSets(), "power of two");
+    bad = tinyCache();
+    bad.sizeBytes = 500;
+    EXPECT_DEATH(bad.numSets(), "not divisible");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache cache(tinyCache());
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1038, false)); // same 64B line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    SetAssocCache cache(tinyCache());
+    // Three lines mapping to set 0 (stride = numSets * line = 256).
+    cache.access(0 * 256, false);  // A
+    cache.access(1 * 256, false);  // B
+    cache.access(0 * 256, false);  // touch A -> B is LRU
+    cache.access(2 * 256, false);  // C evicts B
+    EXPECT_TRUE(cache.probe(0 * 256));
+    EXPECT_FALSE(cache.probe(1 * 256));
+    EXPECT_TRUE(cache.probe(2 * 256));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(Cache, WritebackOnlyForDirtyVictims)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0 * 256, true);   // dirty A
+    cache.access(1 * 256, false);  // clean B
+    cache.access(2 * 256, false);  // evicts A (LRU) -> writeback
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    cache.access(3 * 256, false);  // evicts B (clean) -> no writeback
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(Cache, ProbeDoesNotPerturbState)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0 * 256, false); // A
+    cache.access(1 * 256, false); // B; A is LRU
+    // Probing A must NOT refresh it.
+    EXPECT_TRUE(cache.probe(0 * 256));
+    cache.access(2 * 256, false); // evicts A
+    EXPECT_FALSE(cache.probe(0 * 256));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(Cache, FillInstallsWithoutDemandStats)
+{
+    SetAssocCache cache(tinyCache());
+    cache.fill(0x2000);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().prefetchFills, 1u);
+    EXPECT_TRUE(cache.access(0x2000, false));
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssocCache cache(tinyCache());
+    cache.access(0x1000, false);
+    cache.access(0x2000, false);
+    cache.flushAll();
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.probe(0x2000));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheEventuallyAllHits)
+{
+    CacheConfig config;
+    config.sizeBytes = 32 * 1024;
+    config.assoc = 8;
+    SetAssocCache cache(config);
+    // 16 KiB working set, swept twice.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64)
+            cache.access(addr, false);
+    // Second pass must be all hits.
+    EXPECT_EQ(cache.stats().misses, 16u * 1024 / 64);
+    EXPECT_EQ(cache.stats().hits, 16u * 1024 / 64);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashesWithLru)
+{
+    CacheConfig config = tinyCache();
+    SetAssocCache cache(config);
+    // 2x the cache size swept repeatedly: LRU + round-robin sweep is
+    // the pathological case -> ~100% misses after warmup.
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t addr = 0; addr < 1024; addr += 64)
+            cache.access(addr, false);
+    EXPECT_GT(cache.stats().missRate(), 0.95);
+}
+
+TEST(Cache, TreePlruBehavesSanely)
+{
+    SetAssocCache cache(tinyCache(ReplacementPolicy::TreePlru));
+    cache.access(0 * 256, false);
+    cache.access(1 * 256, false);
+    EXPECT_TRUE(cache.access(0 * 256, false));
+    EXPECT_TRUE(cache.access(1 * 256, false));
+    // A third line evicts exactly one of the two residents.
+    cache.access(2 * 256, false);
+    const int resident = cache.probe(0 * 256) + cache.probe(1 * 256);
+    EXPECT_EQ(resident, 1);
+    EXPECT_TRUE(cache.probe(2 * 256));
+}
+
+TEST(Cache, TreePlruVictimFollowsProtection)
+{
+    // 1-set, 4-way PLRU: after touching ways for A,B,C,D then
+    // re-touching A, the next victim must not be A.
+    CacheConfig config;
+    config.name = "plru4";
+    config.sizeBytes = 4 * 64;
+    config.assoc = 4;
+    config.policy = ReplacementPolicy::TreePlru;
+    SetAssocCache cache(config);
+    cache.access(0x000, false);
+    cache.access(0x100, false);
+    cache.access(0x200, false);
+    cache.access(0x300, false);
+    cache.access(0x000, false); // protect A
+    cache.access(0x400, false); // eviction
+    EXPECT_TRUE(cache.probe(0x000));
+}
+
+TEST(Cache, RandomPolicyIsDeterministicPerSeed)
+{
+    SetAssocCache a(tinyCache(ReplacementPolicy::Random), 5);
+    SetAssocCache b(tinyCache(ReplacementPolicy::Random), 5);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        const std::uint64_t addr = (i * 7919) % 4096 / 64 * 64;
+        ASSERT_EQ(a.access(addr, false), b.access(addr, false));
+    }
+    EXPECT_EQ(a.stats().hits, b.stats().hits);
+}
+
+TEST(Cache, StatsMissRate)
+{
+    CacheStats stats;
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.0);
+    stats.hits = 3;
+    stats.misses = 1;
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.25);
+}
+
+TEST(Cache, PolicyNames)
+{
+    EXPECT_EQ(replacementPolicyName(ReplacementPolicy::Lru), "lru");
+    EXPECT_EQ(replacementPolicyName(ReplacementPolicy::TreePlru),
+              "tree-plru");
+    EXPECT_EQ(replacementPolicyName(ReplacementPolicy::Random), "random");
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+#include "sim/simulator.hh"
+#include "trace/kernels.hh"
+#include "trace/synthetic.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+using isa::makeAlu;
+using isa::makeBranch;
+using isa::makeLoad;
+
+TEST(CpiStack, PureAluIsAllBase)
+{
+    CoreModel core(CoreParams{});
+    for (int i = 0; i < 10000; ++i)
+        core.retire(makeAlu(0x1000 + 4 * i), 0, false, 0, false);
+    const CpiStack stack = core.cpiStack();
+    EXPECT_NEAR(stack.base, core.cycles(), 2.0);
+    EXPECT_DOUBLE_EQ(stack.frontend, 0.0);
+    EXPECT_DOUBLE_EQ(stack.branch, 0.0);
+    EXPECT_DOUBLE_EQ(stack.memory, 0.0);
+    EXPECT_DOUBLE_EQ(stack.compute, 0.0);
+}
+
+TEST(CpiStack, DependentMissesShowAsMemory)
+{
+    CoreModel core(CoreParams{});
+    for (int i = 0; i < 2000; ++i) {
+        core.retire(makeLoad(0x1000, 0x100000 + i * 64, 8, true), 210,
+                    true, 0, false);
+    }
+    const CpiStack stack = core.cpiStack();
+    EXPECT_GT(stack.memory, 0.8 * stack.total());
+}
+
+TEST(CpiStack, MispredictsShowAsBranch)
+{
+    CoreModel core(CoreParams{});
+    for (int i = 0; i < 2000; ++i) {
+        core.retire(makeBranch(0x1000, isa::BranchKind::Conditional,
+                               true, 0x2000),
+                    0, false, 0, /*mispredicted=*/true);
+    }
+    const CpiStack stack = core.cpiStack();
+    EXPECT_GT(stack.branch, 0.8 * stack.total());
+}
+
+TEST(CpiStack, FetchStallsShowAsFrontend)
+{
+    CoreModel core(CoreParams{});
+    for (int i = 0; i < 1000; ++i)
+        core.retire(makeAlu(0x1000), 0, false, 12, false);
+    const CpiStack stack = core.cpiStack();
+    EXPECT_NEAR(stack.frontend, 12000.0, 1.0);
+}
+
+TEST(CpiStack, SerialFpChainsShowAsCompute)
+{
+    CoreModel core(CoreParams{});
+    for (int i = 0; i < 5000; ++i) {
+        isa::MicroOp op = makeAlu(0x1000, isa::UopClass::FpAdd);
+        op.depOnPrev = true;
+        core.retire(op, 0, false, 0, false);
+    }
+    const CpiStack stack = core.cpiStack();
+    EXPECT_GT(stack.compute, 0.6 * stack.total());
+}
+
+TEST(CpiStack, ComponentsSumToDispatchCycles)
+{
+    // A mixed workload: the stack must account for every consumed
+    // dispatch cycle (the execution tail past the last dispatch is
+    // the only slack).
+    trace::SyntheticTraceParams params;
+    params.numOps = 100000;
+    params.regions = {
+        {trace::AccessPattern::Random, 8 << 20, 64, 1.0, 1.0}};
+    trace::SyntheticTraceGenerator gen(params);
+    CpuSimulator simulator(SystemConfig::haswellXeonE52650Lv3());
+    simulator.run(gen);
+    const CpiStack stack = simulator.core().cpiStack();
+    EXPECT_NEAR(stack.total(), simulator.core().cycles(),
+                simulator.core().cycles() * 0.01);
+}
+
+TEST(CpiStack, PerInstructionNormalizes)
+{
+    CpiStack stack;
+    stack.base = 100.0;
+    stack.memory = 300.0;
+    const CpiStack per = stack.perInstruction(200);
+    EXPECT_DOUBLE_EQ(per.base, 0.5);
+    EXPECT_DOUBLE_EQ(per.memory, 1.5);
+    EXPECT_DOUBLE_EQ(per.total(), 2.0);
+    // Zero retirement is benign.
+    EXPECT_DOUBLE_EQ(stack.perInstruction(0).total(), stack.total());
+}
+
+TEST(CpiStack, WorkloadCharacterDeterminesDominantComponent)
+{
+    auto stack_of = [](trace::TraceSource &source) {
+        CpuSimulator simulator(SystemConfig::haswellXeonE52650Lv3());
+        simulator.run(source);
+        return simulator.core().cpiStack().perInstruction(
+            simulator.core().retired());
+    };
+    trace::PointerChaseKernel chase(64 << 20, 30000);
+    const CpiStack chase_stack = stack_of(chase);
+    EXPECT_GT(chase_stack.memory, chase_stack.base);
+    EXPECT_GT(chase_stack.memory, chase_stack.branch);
+
+    trace::StreamKernel resident(16 * 1024, 50000);
+    const CpiStack resident_stack = stack_of(resident);
+    EXPECT_GT(resident_stack.base, resident_stack.memory);
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

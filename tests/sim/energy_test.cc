@@ -1,0 +1,108 @@
+#include "sim/energy.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/kernels.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+using counters::CounterSet;
+using counters::PerfEvent;
+
+TEST(Energy, HandComputedBreakdown)
+{
+    CounterSet c;
+    c.set(PerfEvent::UopsRetiredAll, 1000);
+    c.set(PerfEvent::MemUopsRetiredAllLoads, 200);
+    c.set(PerfEvent::MemUopsRetiredAllStores, 100);
+    c.set(PerfEvent::MemLoadUopsRetiredL1Miss, 50);
+    c.set(PerfEvent::MemLoadUopsRetiredL2Miss, 20);
+    c.set(PerfEvent::MemLoadUopsRetiredL3Miss, 5);
+    c.set(PerfEvent::BrMispExecAllBranches, 10);
+
+    EnergyParams params;
+    params.uopPj = 10;
+    params.l1AccessPj = 2;
+    params.l2AccessPj = 20;
+    params.l3AccessPj = 100;
+    params.dramLinePj = 1000;
+    params.mispredictPj = 50;
+    params.leakageWatts = 1.0;
+    params.frequencyGHz = 1.0;
+
+    const EnergyBreakdown e = computeEnergy(c, 2000.0, params);
+    EXPECT_NEAR(e.coreDynamicJ, 1000 * 10e-12, 1e-15);
+    EXPECT_NEAR(e.l1J, 1300 * 2e-12, 1e-15);
+    EXPECT_NEAR(e.l2J, 50 * 20e-12, 1e-15);
+    EXPECT_NEAR(e.l3J, 20 * 100e-12, 1e-15);
+    EXPECT_NEAR(e.dramJ, 5 * 1000e-12, 1e-15);
+    EXPECT_NEAR(e.mispredictJ, 10 * 50e-12, 1e-15);
+    // 2000 cycles at 1 GHz = 2 us of 1 W leakage.
+    EXPECT_NEAR(e.staticJ, 2e-6, 1e-12);
+    EXPECT_NEAR(e.totalJ(),
+                e.coreDynamicJ + e.l1J + e.l2J + e.l3J + e.dramJ
+                    + e.mispredictJ + e.staticJ,
+                1e-18);
+}
+
+TEST(Energy, DerivedMetrics)
+{
+    EnergyBreakdown e;
+    e.coreDynamicJ = 2.0;
+    e.staticJ = 1.0;
+    EXPECT_DOUBLE_EQ(e.totalJ(), 3.0);
+    EXPECT_DOUBLE_EQ(e.watts(1.5), 2.0);
+    EXPECT_DOUBLE_EQ(e.epiNj(3e9), 1.0);
+    EXPECT_DOUBLE_EQ(e.edp(2.0), 6.0);
+    EXPECT_DOUBLE_EQ(e.watts(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(e.epiNj(0.0), 0.0);
+}
+
+TEST(Energy, ZeroCountersGiveOnlyStaticEnergy)
+{
+    const EnergyBreakdown e = computeEnergy(CounterSet(), 1.8e9);
+    EXPECT_DOUBLE_EQ(e.coreDynamicJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.dramJ, 0.0);
+    // One second at the default 3 W leakage.
+    EXPECT_NEAR(e.staticJ, 3.0, 1e-9);
+}
+
+TEST(Energy, MemoryBoundCostsMoreEnergyPerInstruction)
+{
+    const SystemConfig config = SystemConfig::haswellXeonE52650Lv3();
+    trace::StreamKernel cheap(16 * 1024, 100000);
+    CpuSimulator sim_cheap(config);
+    const SimResult cheap_result = sim_cheap.run(cheap);
+
+    trace::PointerChaseKernel expensive(64 * 1024 * 1024, 50000);
+    CpuSimulator sim_expensive(config);
+    const SimResult expensive_result = sim_expensive.run(expensive);
+
+    const auto cheap_e =
+        computeEnergy(cheap_result.counters, cheap_result.cycles);
+    const auto exp_e = computeEnergy(expensive_result.counters,
+                                     expensive_result.cycles);
+    const double cheap_epi = cheap_e.epiNj(double(
+        cheap_result.counters.get(PerfEvent::InstRetiredAny)));
+    const double exp_epi = exp_e.epiNj(double(
+        expensive_result.counters.get(PerfEvent::InstRetiredAny)));
+    // DRAM traffic plus stall leakage dominate: at least 5x the EPI.
+    EXPECT_GT(exp_epi, 5.0 * cheap_epi);
+    // And the DRAM component itself is material for the chaser.
+    EXPECT_GT(exp_e.dramJ, exp_e.coreDynamicJ);
+}
+
+TEST(EnergyDeathTest, RejectsNegativeCoefficients)
+{
+    EnergyParams params;
+    params.l3AccessPj = -1.0;
+    EXPECT_DEATH(computeEnergy(counters::CounterSet(), 0.0, params),
+                 "non-negative");
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

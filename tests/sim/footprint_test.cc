@@ -1,0 +1,67 @@
+#include "sim/footprint.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/system_config.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+TEST(Footprint, CountsDistinctPages)
+{
+    FootprintTracker tracker;
+    EXPECT_EQ(tracker.pagesTouched(), 0u);
+    tracker.touch(0);
+    tracker.touch(100);      // same page
+    tracker.touch(4095);     // same page
+    EXPECT_EQ(tracker.pagesTouched(), 1u);
+    tracker.touch(4096);     // next page
+    EXPECT_EQ(tracker.pagesTouched(), 2u);
+    EXPECT_EQ(tracker.rssBytes(), 2 * 4096u);
+}
+
+TEST(Footprint, AlternatingPagesAreBothCounted)
+{
+    // The last-page fast path must not lose alternating touches.
+    FootprintTracker tracker;
+    for (int i = 0; i < 10; ++i) {
+        tracker.touch(0x10000);
+        tracker.touch(0x20000);
+    }
+    EXPECT_EQ(tracker.pagesTouched(), 2u);
+}
+
+TEST(Footprint, ClearResets)
+{
+    FootprintTracker tracker;
+    tracker.touch(0x5000);
+    tracker.clear();
+    EXPECT_EQ(tracker.pagesTouched(), 0u);
+    tracker.touch(0x5000);
+    EXPECT_EQ(tracker.pagesTouched(), 1u);
+}
+
+TEST(Footprint, LargeSweepMatchesPageMath)
+{
+    FootprintTracker tracker;
+    const std::uint64_t bytes = 1024 * 1024;
+    for (std::uint64_t addr = 0; addr < bytes; addr += 64)
+        tracker.touch(addr);
+    EXPECT_EQ(tracker.rssBytes(), bytes);
+}
+
+TEST(SystemConfig, DescribeMentionsTableOneParameters)
+{
+    const auto config = SystemConfig::haswellXeonE52650Lv3();
+    const std::string text = config.describe();
+    EXPECT_NE(text.find("32.000 KiB"), std::string::npos);
+    EXPECT_NE(text.find("256.000 KiB"), std::string::npos);
+    EXPECT_NE(text.find("30.000 MiB"), std::string::npos);
+    EXPECT_NE(text.find("8-way"), std::string::npos);
+    EXPECT_NE(text.find("1.8 GHz"), std::string::npos);
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

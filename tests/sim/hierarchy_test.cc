@@ -1,0 +1,138 @@
+#include "sim/hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+HierarchyConfig
+smallConfig()
+{
+    HierarchyConfig config;
+    config.l1d = {"l1d", 1024, 2, 64, ReplacementPolicy::Lru, 4};
+    config.l1i = {"l1i", 1024, 2, 64, ReplacementPolicy::Lru, 1};
+    config.l2 = {"l2", 4096, 4, 64, ReplacementPolicy::Lru, 12};
+    config.l3 = {"l3", 16384, 4, 64, ReplacementPolicy::Lru, 38};
+    return config;
+}
+
+TEST(Hierarchy, MissPathFillsAllLevels)
+{
+    CacheHierarchy hierarchy(smallConfig());
+    EXPECT_EQ(hierarchy.accessData(0x1000, false), HitLevel::Memory);
+    // Now resident everywhere.
+    EXPECT_EQ(hierarchy.accessData(0x1000, false), HitLevel::L1);
+    EXPECT_EQ(hierarchy.l1d().stats().hits, 1u);
+    EXPECT_EQ(hierarchy.l2().stats().misses, 1u);
+    EXPECT_EQ(hierarchy.l3().stats().misses, 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    CacheHierarchy hierarchy(smallConfig());
+    // L1d: 8 sets x 2 ways. Fill set 0 with 3 lines (stride 512).
+    hierarchy.accessData(0 * 512, false);
+    hierarchy.accessData(1 * 512, false);
+    hierarchy.accessData(2 * 512, false); // evicts line 0 from L1
+    EXPECT_EQ(hierarchy.accessData(0 * 512, false), HitLevel::L2);
+}
+
+TEST(Hierarchy, LatencyOrderingIsMonotone)
+{
+    CacheHierarchy hierarchy(smallConfig());
+    EXPECT_LT(hierarchy.latencyOf(HitLevel::L1),
+              hierarchy.latencyOf(HitLevel::L2));
+    EXPECT_LT(hierarchy.latencyOf(HitLevel::L2),
+              hierarchy.latencyOf(HitLevel::L3));
+    EXPECT_LT(hierarchy.latencyOf(HitLevel::L3),
+              hierarchy.latencyOf(HitLevel::Memory));
+}
+
+TEST(Hierarchy, InstAndDataPathsAreSeparateL1s)
+{
+    CacheHierarchy hierarchy(smallConfig());
+    hierarchy.accessInst(0x2000);
+    // Same address on the data side still misses L1D (but hits L2,
+    // which the fetch filled).
+    EXPECT_EQ(hierarchy.accessData(0x2000, false), HitLevel::L2);
+}
+
+TEST(Hierarchy, SharedL3IsVisibleAcrossHierarchies)
+{
+    const HierarchyConfig config = smallConfig();
+    auto l3 = CacheHierarchy::makeSharedL3(config);
+    CacheHierarchy core0(config, l3);
+    CacheHierarchy core1(config, l3);
+
+    core0.accessData(0x4000, false); // fills shared L3
+    // Core 1 misses its private L1/L2 but hits the shared L3.
+    EXPECT_EQ(core1.accessData(0x4000, false), HitLevel::L3);
+}
+
+TEST(Hierarchy, SharedL3ContentionEvictsNeighborData)
+{
+    HierarchyConfig config = smallConfig();
+    auto l3 = CacheHierarchy::makeSharedL3(config);
+    CacheHierarchy core0(config, l3);
+    CacheHierarchy core1(config, l3);
+
+    core0.accessData(0x0, false);
+    // Core 1 streams 4x the L3 capacity, evicting core 0's line.
+    for (std::uint64_t addr = 0x100000; addr < 0x100000 + 4 * 16384;
+         addr += 64) {
+        core1.accessData(addr, false);
+    }
+    // Also push it out of core 0's private L1/L2 via conflict misses
+    // is not needed -- just verify the L3 itself lost the line.
+    EXPECT_FALSE(l3->probe(0x0));
+}
+
+TEST(Hierarchy, NextLinePrefetcherCutsSequentialMisses)
+{
+    HierarchyConfig without = smallConfig();
+    HierarchyConfig with = smallConfig();
+    with.prefetcher = "next-line";
+
+    CacheHierarchy plain(without);
+    CacheHierarchy prefetching(with);
+    std::uint64_t plain_misses = 0, pf_misses = 0;
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 8) {
+        plain_misses += plain.accessData(addr, false) != HitLevel::L1;
+        pf_misses +=
+            prefetching.accessData(addr, false) != HitLevel::L1;
+    }
+    EXPECT_LT(pf_misses, plain_misses / 2);
+    EXPECT_GT(prefetching.prefetcher()->issued(), 0u);
+}
+
+TEST(Hierarchy, StridePrefetcherLearnsLargeStrides)
+{
+    HierarchyConfig with = smallConfig();
+    with.prefetcher = "stride";
+    CacheHierarchy prefetching(with);
+    HierarchyConfig without = smallConfig();
+    CacheHierarchy plain(without);
+
+    // Stride of 192 bytes (3 lines) from one PC: next-line would not
+    // help, stride prefetch should.
+    std::uint64_t pf_misses = 0, plain_misses = 0;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+        const std::uint64_t addr = 0x100000 + i * 192;
+        pf_misses +=
+            prefetching.accessData(addr, false, 0x4000) != HitLevel::L1;
+        plain_misses +=
+            plain.accessData(addr, false, 0x4000) != HitLevel::L1;
+    }
+    EXPECT_LT(pf_misses, plain_misses / 2);
+}
+
+TEST(Hierarchy, HitLevelNames)
+{
+    EXPECT_EQ(hitLevelName(HitLevel::L1), "L1");
+    EXPECT_EQ(hitLevelName(HitLevel::Memory), "memory");
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

@@ -1,0 +1,77 @@
+#include "sim/stats_report.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/multicore.hh"
+#include "trace/kernels.hh"
+
+namespace spec17 {
+namespace sim {
+namespace {
+
+TEST(StatsReport, CoversEveryComponent)
+{
+    trace::StreamKernel kernel(1 << 20, 20000, true);
+    SystemConfig config = SystemConfig::haswellXeonE52650Lv3();
+    config.hierarchy.prefetcher = "stride";
+    config.enableTlb = true;
+    CpuSimulator simulator(config);
+    simulator.run(kernel);
+
+    std::ostringstream os;
+    dumpStats(simulator, os);
+    const std::string text = os.str();
+    for (const char *needle :
+         {"core.retired", "core.ipc", "l1i.miss_rate", "l1d.misses",
+          "l2.accesses", "l3.writebacks", "branch.mispredict_rate",
+          "branch.conditional.executed", "dtlb.walks",
+          "itlb.walk_rate", "footprint.pages",
+          "prefetcher.stride.issued"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+    // gem5 idiom: every line carries a '#' description.
+    std::istringstream lines(text);
+    std::string one;
+    while (std::getline(lines, one))
+        EXPECT_NE(one.find('#'), std::string::npos) << one;
+}
+
+TEST(StatsReport, ValuesMatchComponentStats)
+{
+    trace::StreamKernel kernel(64 * 1024, 10000);
+    CpuSimulator simulator(SystemConfig::haswellXeonE52650Lv3());
+    simulator.run(kernel);
+
+    std::ostringstream os;
+    dumpStats(simulator, os);
+    const std::string text = os.str();
+    // Spot-check one value round-trips exactly.
+    const std::string key = "core.retired";
+    const auto pos = text.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    const double reported =
+        std::stod(text.substr(pos + key.size(),
+                              text.find('#', pos) - pos - key.size()));
+    EXPECT_DOUBLE_EQ(reported, double(simulator.core().retired()));
+}
+
+TEST(StatsReport, MulticorePrefixesEachCore)
+{
+    MulticoreSimulator multicore(SystemConfig::haswellXeonE52650Lv3(),
+                                 2);
+    std::vector<std::shared_ptr<trace::TraceSource>> sources = {
+        std::make_shared<trace::StreamKernel>(4096, 1000),
+        std::make_shared<trace::StreamKernel>(4096, 1000),
+    };
+    multicore.run(sources);
+    std::ostringstream os;
+    dumpStats(multicore, os);
+    EXPECT_NE(os.str().find("core0.core.retired"), std::string::npos);
+    EXPECT_NE(os.str().find("core1.l1d.misses"), std::string::npos);
+}
+
+} // namespace
+} // namespace sim
+} // namespace spec17

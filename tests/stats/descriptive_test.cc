@@ -1,0 +1,108 @@
+#include "stats/descriptive.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace stats {
+namespace {
+
+TEST(Descriptive, MeanAndStddevOfKnownSample)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    // Sample stddev with n-1 denominator.
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(variancePopulation(xs), 4.0);
+}
+
+TEST(Descriptive, SingleElementHasZeroSpread)
+{
+    const std::vector<double> xs = {3.25};
+    EXPECT_DOUBLE_EQ(mean(xs), 3.25);
+    EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(DescriptiveDeathTest, EmptySamplePanics)
+{
+    const std::vector<double> empty;
+    EXPECT_DEATH(mean(empty), "empty");
+    EXPECT_DEATH(stddev(empty), "empty");
+    EXPECT_DEATH(median(empty), "empty");
+    EXPECT_DEATH(minOf(empty), "empty");
+}
+
+TEST(Descriptive, MinMaxMedian)
+{
+    const std::vector<double> xs = {5.0, 1.0, 9.0, 3.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 9.0);
+    EXPECT_DOUBLE_EQ(median(xs), 4.0);
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 9.0}), 5.0);
+}
+
+TEST(Descriptive, PearsonPerfectAndInverseCorrelation)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> up = {2, 4, 6, 8, 10};
+    const std::vector<double> down = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonZeroVarianceReturnsZero)
+{
+    const std::vector<double> xs = {1, 2, 3};
+    const std::vector<double> flat = {4, 4, 4};
+    EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Descriptive, PearsonOfIndependentStreamsIsSmall)
+{
+    Rng rng(123);
+    std::vector<double> a(5000), b(5000);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = rng.nextDouble();
+        b[i] = rng.nextDouble();
+    }
+    EXPECT_LT(std::fabs(pearson(a, b)), 0.05);
+}
+
+TEST(Descriptive, GeomeanOfPowersOfTwo)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+TEST(RunningStats, MatchesBatchStatistics)
+{
+    Rng rng(55);
+    RunningStats rs;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextGaussian() * 3.0 + 10.0;
+        rs.add(x);
+        xs.push_back(x);
+    }
+    EXPECT_EQ(rs.count(), 1000u);
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+    EXPECT_DOUBLE_EQ(rs.min(), minOf(xs));
+    EXPECT_DOUBLE_EQ(rs.max(), maxOf(xs));
+}
+
+TEST(RunningStats, EmptyAccumulatorIsBenign)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,129 @@
+#include "stats/eigen.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace stats {
+namespace {
+
+TEST(Eigen, DiagonalMatrixReturnsSortedDiagonal)
+{
+    Matrix a(3, 3);
+    a.at(0, 0) = 2.0;
+    a.at(1, 1) = 5.0;
+    a.at(2, 2) = 1.0;
+    const EigenDecomposition e = jacobiEigenSymmetric(a);
+    ASSERT_EQ(e.values.size(), 3u);
+    EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 2}});
+    const EigenDecomposition e = jacobiEigenSymmetric(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+    // Eigenvector for lambda=3 is (1,1)/sqrt(2) with positive sign.
+    EXPECT_NEAR(e.vectors.at(0, 0), 1.0 / std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(e.vectors.at(1, 0), 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Eigen, ReconstructsInputMatrix)
+{
+    Rng rng(42);
+    const std::size_t n = 8;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a.at(i, j) = a.at(j, i) = rng.nextGaussian();
+
+    const EigenDecomposition e = jacobiEigenSymmetric(a);
+    // Rebuild V diag(w) V^T.
+    Matrix vd(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            vd.at(r, c) = e.vectors.at(r, c) * e.values[c];
+    const Matrix rebuilt = vd.multiply(e.vectors.transpose());
+    EXPECT_LT(rebuilt.maxAbsDiff(a), 1e-8);
+}
+
+TEST(Eigen, VectorsAreOrthonormal)
+{
+    Rng rng(7);
+    const std::size_t n = 10;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a.at(i, j) = a.at(j, i) = rng.nextDouble();
+
+    const EigenDecomposition e = jacobiEigenSymmetric(a);
+    const Matrix vtv = e.vectors.transpose().multiply(e.vectors);
+    EXPECT_LT(vtv.maxAbsDiff(Matrix::identity(n)), 1e-9);
+}
+
+TEST(Eigen, TraceIsPreserved)
+{
+    Rng rng(91);
+    const std::size_t n = 6;
+    Matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a.at(i, j) = a.at(j, i) = rng.nextGaussian() * 2.0;
+
+    const EigenDecomposition e = jacobiEigenSymmetric(a);
+    double trace = 0.0, sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace += a.at(i, i);
+        sum += e.values[i];
+    }
+    EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(Eigen, PositiveSemidefiniteInputHasNonnegativeSpectrum)
+{
+    // Gram matrix B^T B is PSD.
+    Rng rng(3);
+    Matrix b(12, 5);
+    for (std::size_t r = 0; r < b.rows(); ++r)
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            b.at(r, c) = rng.nextGaussian();
+    const Matrix gram = b.transpose().multiply(b);
+    const EigenDecomposition e = jacobiEigenSymmetric(gram);
+    for (double v : e.values)
+        EXPECT_GE(v, -1e-9);
+}
+
+TEST(EigenDeathTest, RejectsNonSymmetricAndNonSquare)
+{
+    const Matrix bad = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_DEATH(jacobiEigenSymmetric(bad), "not symmetric");
+    const Matrix rect(2, 3);
+    EXPECT_DEATH(jacobiEigenSymmetric(rect), "square");
+}
+
+TEST(Eigen, SignConventionIsDeterministic)
+{
+    const Matrix a = Matrix::fromRows({{4, 1, 0}, {1, 3, 1}, {0, 1, 2}});
+    const EigenDecomposition e1 = jacobiEigenSymmetric(a);
+    const EigenDecomposition e2 = jacobiEigenSymmetric(a);
+    EXPECT_DOUBLE_EQ(e1.vectors.maxAbsDiff(e2.vectors), 0.0);
+    // Largest-magnitude entry of each eigenvector is positive.
+    for (std::size_t c = 0; c < 3; ++c) {
+        double best = 0.0;
+        for (std::size_t r = 0; r < 3; ++r)
+            if (std::fabs(e1.vectors.at(r, c)) > std::fabs(best))
+                best = e1.vectors.at(r, c);
+        EXPECT_GT(best, 0.0);
+    }
+}
+
+} // namespace
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,108 @@
+#include "stats/factor.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace spec17 {
+namespace stats {
+namespace {
+
+/** Two blocks of correlated characteristics => two clean factors. */
+Matrix
+twoFactorData(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(n, 4);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double f1 = rng.nextGaussian();
+        const double f2 = rng.nextGaussian();
+        m.at(r, 0) = f1 + 0.05 * rng.nextGaussian();
+        m.at(r, 1) = -f1 + 0.05 * rng.nextGaussian(); // anti-correlated
+        m.at(r, 2) = f2 + 0.05 * rng.nextGaussian();
+        m.at(r, 3) = f2 + 0.05 * rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(Factor, IdentifiesPositiveAndNegativeDominators)
+{
+    const PcaResult pca = computePca(twoFactorData(500, 1));
+    const std::vector<std::string> names = {"a", "anti_a", "b1", "b2"};
+    const auto summaries = summarizeFactors(pca, names, 2, 0.5, 4);
+    ASSERT_EQ(summaries.size(), 2u);
+
+    // Each of the first two PCs must be dominated by one block; the
+    // anti-correlated characteristic shows up with opposite sign to
+    // its partner on whichever PC carries the "a" block.
+    bool found_a_block = false;
+    for (const auto &fs : summaries) {
+        std::vector<std::string> pos, neg;
+        for (const auto &fc : fs.positiveDominators)
+            pos.push_back(fc.characteristic);
+        for (const auto &fc : fs.negativeDominators)
+            neg.push_back(fc.characteristic);
+        const bool a_pos =
+            std::find(pos.begin(), pos.end(), "a") != pos.end();
+        const bool a_neg =
+            std::find(neg.begin(), neg.end(), "a") != neg.end();
+        const bool anti_pos =
+            std::find(pos.begin(), pos.end(), "anti_a") != pos.end();
+        const bool anti_neg =
+            std::find(neg.begin(), neg.end(), "anti_a") != neg.end();
+        if (a_pos || a_neg) {
+            found_a_block = true;
+            EXPECT_TRUE((a_pos && anti_neg) || (a_neg && anti_pos))
+                << "a and anti_a must load with opposite signs";
+        }
+    }
+    EXPECT_TRUE(found_a_block);
+}
+
+TEST(Factor, ExplainedVarianceMatchesPca)
+{
+    const PcaResult pca = computePca(twoFactorData(300, 2));
+    const auto summaries =
+        summarizeFactors(pca, {"a", "anti_a", "b1", "b2"}, 3);
+    for (const auto &fs : summaries) {
+        EXPECT_DOUBLE_EQ(fs.explainedVariance,
+                         pca.explainedVariance[fs.component]);
+    }
+}
+
+TEST(Factor, ThresholdFiltersWeakLoadings)
+{
+    const PcaResult pca = computePca(twoFactorData(300, 3));
+    const auto strict =
+        summarizeFactors(pca, {"a", "anti_a", "b1", "b2"}, 2, 0.99);
+    for (const auto &fs : strict) {
+        for (const auto &fc : fs.positiveDominators)
+            EXPECT_GE(fc.loading, 0.99);
+        for (const auto &fc : fs.negativeDominators)
+            EXPECT_LE(fc.loading, -0.99);
+    }
+}
+
+TEST(Factor, TopKCapsOutput)
+{
+    const PcaResult pca = computePca(twoFactorData(300, 4));
+    const auto capped =
+        summarizeFactors(pca, {"a", "anti_a", "b1", "b2"}, 2, 0.0, 1);
+    for (const auto &fs : capped) {
+        EXPECT_LE(fs.positiveDominators.size(), 1u);
+        EXPECT_LE(fs.negativeDominators.size(), 1u);
+    }
+}
+
+TEST(FactorDeathTest, NameCountMustMatch)
+{
+    const PcaResult pca = computePca(twoFactorData(100, 5));
+    EXPECT_DEATH(summarizeFactors(pca, {"only", "three", "names"}, 2),
+                 "must match");
+    EXPECT_DEATH(summarizeFactors(pca, {"a", "b", "c", "d"}, 9),
+                 "more components");
+}
+
+} // namespace
+} // namespace stats
+} // namespace spec17

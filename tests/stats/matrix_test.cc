@@ -1,0 +1,124 @@
+#include "stats/matrix.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spec17 {
+namespace stats {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+    m.at(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixDeathTest, OutOfRangeIndexPanics)
+{
+    Matrix m(2, 2);
+    EXPECT_DEATH(m.at(2, 0), "out of");
+    EXPECT_DEATH(m.at(0, 5), "out of");
+}
+
+TEST(Matrix, FromRowsRejectsRagged)
+{
+    EXPECT_DEATH(Matrix::fromRows({{1.0, 2.0}, {3.0}}), "ragged");
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, TransposeRoundTrips)
+{
+    const Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    const Matrix t = m.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(m.maxAbsDiff(t.transpose()), 0.0);
+}
+
+TEST(Matrix, MultiplyAgainstHandComputedProduct)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    const Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop)
+{
+    const Matrix a = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_DOUBLE_EQ(a.multiply(Matrix::identity(3)).maxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixDeathTest, MultiplyShapeMismatchPanics)
+{
+    const Matrix a(2, 3);
+    const Matrix b(2, 3);
+    EXPECT_DEATH(a.multiply(b), "multiply");
+}
+
+TEST(Matrix, CovarianceOfKnownData)
+{
+    // Columns: x = {1,2,3}, y = {2,4,6} => var(x)=1, var(y)=4, cov=2.
+    const Matrix m = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+    const Matrix cov = m.covariance();
+    EXPECT_NEAR(cov.at(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(cov.at(1, 1), 4.0, 1e-12);
+    EXPECT_NEAR(cov.at(0, 1), 2.0, 1e-12);
+    EXPECT_NEAR(cov.at(1, 0), 2.0, 1e-12);
+}
+
+TEST(Matrix, CorrelationIsUnitDiagonalAndBounded)
+{
+    const Matrix m =
+        Matrix::fromRows({{1, 5, 2}, {2, 3, 2}, {4, 1, 2}, {8, 0, 2}});
+    const Matrix corr = m.correlation();
+    for (std::size_t i = 0; i < corr.rows(); ++i) {
+        EXPECT_NEAR(corr.at(i, i), 1.0, 1e-12);
+        for (std::size_t j = 0; j < corr.cols(); ++j)
+            EXPECT_LE(std::fabs(corr.at(i, j)), 1.0 + 1e-12);
+    }
+    // Column 2 is constant: self-correlation 1, cross-correlation 0.
+    EXPECT_DOUBLE_EQ(corr.at(2, 0), 0.0);
+    EXPECT_DOUBLE_EQ(corr.at(2, 2), 1.0);
+}
+
+TEST(Matrix, StandardizeColumnsYieldsZeroMeanUnitVariance)
+{
+    const Matrix m =
+        Matrix::fromRows({{1, 10, 7}, {2, 20, 7}, {3, 30, 7}, {4, 40, 7}});
+    const Matrix z = standardizeColumns(m);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double mu = 0.0, ss = 0.0;
+        for (std::size_t r = 0; r < z.rows(); ++r)
+            mu += z.at(r, c);
+        mu /= static_cast<double>(z.rows());
+        for (std::size_t r = 0; r < z.rows(); ++r)
+            ss += (z.at(r, c) - mu) * (z.at(r, c) - mu);
+        EXPECT_NEAR(mu, 0.0, 1e-12);
+        EXPECT_NEAR(ss / (z.rows() - 1), 1.0, 1e-12);
+    }
+    // Constant column becomes all zeros.
+    for (std::size_t r = 0; r < z.rows(); ++r)
+        EXPECT_DOUBLE_EQ(z.at(r, 2), 0.0);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    const Matrix m = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.row(1), (std::vector<double>{3, 4}));
+    EXPECT_EQ(m.col(0), (std::vector<double>{1, 3, 5}));
+}
+
+} // namespace
+} // namespace stats
+} // namespace spec17

@@ -1,0 +1,143 @@
+#include "stats/pca.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "util/random.hh"
+
+namespace spec17 {
+namespace stats {
+namespace {
+
+/** Synthesizes n observations where col1 = 2*col0 + noise and col2 is
+ *  independent, so one strong component plus one weak one exist. */
+Matrix
+correlatedData(std::size_t n, double noise, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(n, 3);
+    for (std::size_t r = 0; r < n; ++r) {
+        const double x = rng.nextGaussian();
+        m.at(r, 0) = x;
+        m.at(r, 1) = 2.0 * x + noise * rng.nextGaussian();
+        m.at(r, 2) = rng.nextGaussian();
+    }
+    return m;
+}
+
+TEST(Pca, ExplainedVarianceSumsToOne)
+{
+    const PcaResult pca = computePca(correlatedData(200, 0.1, 1));
+    double total = 0.0;
+    for (double v : pca.explainedVariance)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(pca.cumulativeVariance.back(), 1.0, 1e-9);
+}
+
+TEST(Pca, EigenvaluesAreDescending)
+{
+    const PcaResult pca = computePca(correlatedData(200, 0.5, 2));
+    for (std::size_t i = 1; i < pca.eigenvalues.size(); ++i)
+        EXPECT_GE(pca.eigenvalues[i - 1], pca.eigenvalues[i] - 1e-12);
+}
+
+TEST(Pca, StrongCorrelationConcentratesVarianceInPc1)
+{
+    const PcaResult pca = computePca(correlatedData(500, 0.01, 3));
+    // Two of three standardized dims are nearly identical: PC1 should
+    // hold ~2/3 of the variance.
+    EXPECT_GT(pca.explainedVariance[0], 0.60);
+    EXPECT_LT(pca.explainedVariance[2], 0.05);
+}
+
+TEST(Pca, ScoresAreUncorrelatedAcrossComponents)
+{
+    const PcaResult pca = computePca(correlatedData(400, 1.0, 4));
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = i + 1; j < 3; ++j) {
+            const double r = pearson(pca.scores.col(i),
+                                     pca.scores.col(j));
+            EXPECT_NEAR(r, 0.0, 1e-6)
+                << "PC" << i << " vs PC" << j;
+        }
+    }
+}
+
+TEST(Pca, ScoreVarianceEqualsEigenvalue)
+{
+    const PcaResult pca = computePca(correlatedData(300, 0.7, 5));
+    for (std::size_t c = 0; c < 3; ++c) {
+        const std::vector<double> s = pca.scores.col(c);
+        const double var = stddev(s) * stddev(s);
+        EXPECT_NEAR(var, pca.eigenvalues[c], 1e-9);
+    }
+}
+
+TEST(Pca, ComponentsForVarianceFindsSmallestRank)
+{
+    const PcaResult pca = computePca(correlatedData(500, 0.01, 6));
+    EXPECT_EQ(pca.componentsForVariance(0.6), 1u);
+    EXPECT_EQ(pca.componentsForVariance(1.0), 3u);
+}
+
+TEST(Pca, TruncatedScoresKeepLeadingColumns)
+{
+    const PcaResult pca = computePca(correlatedData(50, 0.3, 7));
+    const Matrix t = pca.truncatedScores(2);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t.rows(), 50u);
+    for (std::size_t r = 0; r < t.rows(); ++r)
+        for (std::size_t c = 0; c < 2; ++c)
+            EXPECT_DOUBLE_EQ(t.at(r, c), pca.scores.at(r, c));
+    EXPECT_DEATH(pca.truncatedScores(0), "out of range");
+    EXPECT_DEATH(pca.truncatedScores(4), "out of range");
+}
+
+TEST(Pca, ConstantColumnDoesNotPoisonResult)
+{
+    Rng rng(8);
+    Matrix m(100, 3);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        m.at(r, 0) = rng.nextGaussian();
+        m.at(r, 1) = rng.nextGaussian();
+        m.at(r, 2) = 42.0; // constant
+    }
+    const PcaResult pca = computePca(m);
+    // The constant column contributes a zero eigenvalue.
+    EXPECT_NEAR(pca.eigenvalues.back(), 0.0, 1e-9);
+    EXPECT_NEAR(pca.cumulativeVariance.back(), 1.0, 1e-9);
+}
+
+TEST(Pca, LoadingsAreComponentTimesSqrtEigenvalue)
+{
+    const PcaResult pca = computePca(correlatedData(100, 0.4, 9));
+    for (std::size_t c = 0; c < 3; ++c) {
+        const double s = std::sqrt(std::max(0.0, pca.eigenvalues[c]));
+        for (std::size_t r = 0; r < 3; ++r) {
+            EXPECT_NEAR(pca.loadings.at(r, c),
+                        pca.components.at(r, c) * s, 1e-12);
+        }
+    }
+}
+
+TEST(Pca, DeterministicAcrossRuns)
+{
+    const Matrix data = correlatedData(150, 0.2, 10);
+    const PcaResult a = computePca(data);
+    const PcaResult b = computePca(data);
+    EXPECT_DOUBLE_EQ(a.scores.maxAbsDiff(b.scores), 0.0);
+}
+
+TEST(PcaDeathTest, RejectsDegenerateInput)
+{
+    EXPECT_DEATH(computePca(Matrix(1, 3)), "two observations");
+    // All-constant data has zero total variance.
+    EXPECT_DEATH(computePca(Matrix(5, 3, 1.0)), "no variance");
+}
+
+} // namespace
+} // namespace stats
+} // namespace spec17

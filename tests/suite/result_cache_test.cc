@@ -1,0 +1,119 @@
+#include "suite/result_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace spec17 {
+namespace suite {
+namespace {
+
+using workloads::InputSize;
+
+RunnerOptions
+fastOptions()
+{
+    RunnerOptions options;
+    options.sampleOps = 60000;
+    options.warmupOps = 20000;
+    return options;
+}
+
+/** Temp path unique per test to avoid cross-test pollution. */
+std::string
+tempBase(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/spec17_cache_" + tag;
+}
+
+TEST(ResultCache, RoundTripsExactCounters)
+{
+    const std::string base = tempBase("roundtrip");
+    SuiteRunner runner(fastOptions());
+    const auto &suite = workloads::cpu2006Suite();
+
+    ResultCache cache(base);
+    cache.invalidate();
+    const auto fresh = cache.runOrLoad(runner, suite, InputSize::Test);
+    const auto reloaded = cache.runOrLoad(runner, suite, InputSize::Test);
+
+    ASSERT_EQ(fresh.size(), reloaded.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(fresh[i].name, reloaded[i].name);
+        EXPECT_EQ(fresh[i].errored, reloaded[i].errored);
+        EXPECT_DOUBLE_EQ(fresh[i].wallCycles, reloaded[i].wallCycles);
+        EXPECT_DOUBLE_EQ(fresh[i].seconds, reloaded[i].seconds);
+        EXPECT_EQ(fresh[i].profile, reloaded[i].profile);
+        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+            const auto event = static_cast<counters::PerfEvent>(e);
+            EXPECT_EQ(fresh[i].counters.get(event),
+                      reloaded[i].counters.get(event));
+        }
+    }
+    cache.invalidate();
+}
+
+TEST(ResultCache, ConfigChangeInvalidates)
+{
+    const std::string base = tempBase("config");
+    const auto &suite = workloads::cpu2006Suite();
+
+    SuiteRunner runner_a(fastOptions());
+    ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner_a, suite, InputSize::Test);
+
+    // A different configuration must not read runner_a's results:
+    // the sweep reruns (detectable via differing sample counts).
+    RunnerOptions other = fastOptions();
+    other.sampleOps = 90000;
+    SuiteRunner runner_b(other);
+    const auto results = cache.runOrLoad(runner_b, suite,
+                                         InputSize::Test);
+    const auto instr = results.front().counters.get(
+        counters::PerfEvent::InstRetiredAny);
+    EXPECT_NEAR(double(instr), 90000.0, 2000.0);
+    cache.invalidate();
+}
+
+TEST(ResultCache, CorruptFileFallsBackToRun)
+{
+    const std::string base = tempBase("corrupt");
+    SuiteRunner runner(fastOptions());
+    const auto &suite = workloads::cpu2006Suite();
+    ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner, suite, InputSize::Test);
+
+    // Truncate the cache file.
+    const std::string file = base + ".cpu2006.test.csv";
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << "garbage\n";
+    }
+    const auto results = cache.runOrLoad(runner, suite, InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+    cache.invalidate();
+}
+
+TEST(ResultCache, EmptyPathDisablesPersistence)
+{
+    SuiteRunner runner(fastOptions());
+    ResultCache cache("");
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+}
+
+TEST(ResultCache, DefaultPathHonorsEnvironment)
+{
+    ::setenv("SPEC17_CACHE", "/tmp/custom_cache_loc", 1);
+    EXPECT_EQ(ResultCache::defaultPath(), "/tmp/custom_cache_loc");
+    ::unsetenv("SPEC17_CACHE");
+    EXPECT_EQ(ResultCache::defaultPath(), "spec17_results");
+}
+
+} // namespace
+} // namespace suite
+} // namespace spec17

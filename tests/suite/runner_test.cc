@@ -1,0 +1,132 @@
+#include "suite/runner.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace suite {
+namespace {
+
+using counters::PerfEvent;
+using workloads::AppInputPair;
+using workloads::InputSize;
+
+RunnerOptions
+fastOptions()
+{
+    RunnerOptions options;
+    options.sampleOps = 200000;
+    options.warmupOps = 50000;
+    return options;
+}
+
+AppInputPair
+pairFor(const std::string &name, InputSize size = InputSize::Ref,
+        unsigned input = 0)
+{
+    return {&workloads::findProfile(workloads::cpu2017Suite(), name),
+            size, input};
+}
+
+TEST(Runner, ProducesPlausibleCountersForSingleThreadPair)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult result = runner.runPair(pairFor("505.mcf_r"));
+    EXPECT_EQ(result.name, "505.mcf_r");
+    EXPECT_FALSE(result.errored);
+    const auto instr = result.counters.get(PerfEvent::InstRetiredAny);
+    EXPECT_NEAR(double(instr), 200000.0, 2000.0);
+    EXPECT_GT(result.ipc(), 0.1);
+    EXPECT_LT(result.ipc(), 4.0);
+    EXPECT_GT(result.wallCycles, 0.0);
+}
+
+TEST(Runner, MultiThreadPairAggregatesThreads)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult result = runner.runPair(pairFor("619.lbm_s"));
+    const auto instr = result.counters.get(PerfEvent::InstRetiredAny);
+    // 4 threads x (sample+warmup)/4 - warmup/4 each ~= sampleOps.
+    EXPECT_NEAR(double(instr), 200000.0, 8000.0);
+    EXPECT_GT(result.ipc(), 0.01);
+}
+
+TEST(Runner, PaperScaleQuantitiesAreReported)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult result = runner.runPair(pairFor("505.mcf_r"));
+    EXPECT_DOUBLE_EQ(result.instrBillions, 1000.0);
+    EXPECT_GT(result.seconds, 10.0);     // a real SPEC run is minutes
+    EXPECT_LT(result.seconds, 100000.0);
+    // Declared footprints survive into the counters.
+    const double rss_mib =
+        double(result.counters.get(PerfEvent::RssBytes)) / (1 << 20);
+    EXPECT_NEAR(rss_mib, 269.5, 1.0);
+}
+
+TEST(Runner, ErroredPairsAreFlaggedButStillRun)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult result = runner.runPair(pairFor("627.cam4_s"));
+    EXPECT_TRUE(result.errored);
+    EXPECT_GT(result.counters.get(PerfEvent::InstRetiredAny), 0u);
+}
+
+TEST(Runner, DeterministicAcrossRunnerInstances)
+{
+    SuiteRunner a(fastOptions());
+    SuiteRunner b(fastOptions());
+    const PairResult ra = a.runPair(pairFor("541.leela_r"));
+    const PairResult rb = b.runPair(pairFor("541.leela_r"));
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<PerfEvent>(e);
+        EXPECT_EQ(ra.counters.get(event), rb.counters.get(event))
+            << perfEventName(event);
+    }
+    EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+}
+
+TEST(Runner, InputsOfOneAppDifferButModestly)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult in1 =
+        runner.runPair(pairFor("502.gcc_r", InputSize::Ref, 0));
+    const PairResult in2 =
+        runner.runPair(pairFor("502.gcc_r", InputSize::Ref, 1));
+    EXPECT_NE(in1.counters.get(PerfEvent::MemUopsRetiredAllLoads),
+              in2.counters.get(PerfEvent::MemUopsRetiredAllLoads));
+    EXPECT_NEAR(in1.ipc(), in2.ipc(), in1.ipc() * 0.2);
+}
+
+TEST(Runner, TestInputsRunFasterThanRef)
+{
+    SuiteRunner runner(fastOptions());
+    const PairResult test =
+        runner.runPair(pairFor("505.mcf_r", InputSize::Test));
+    const PairResult ref =
+        runner.runPair(pairFor("505.mcf_r", InputSize::Ref));
+    EXPECT_LT(test.seconds, ref.seconds);
+    EXPECT_LT(test.instrBillions, ref.instrBillions);
+}
+
+TEST(Runner, RunAllCoversEveryPair)
+{
+    SuiteRunner runner(fastOptions());
+    const auto results =
+        runner.runAll(workloads::cpu2006Suite(), InputSize::Ref);
+    EXPECT_EQ(results.size(), 29u);
+}
+
+TEST(Runner, ConfigKeyReflectsOptions)
+{
+    SuiteRunner a(fastOptions());
+    RunnerOptions other = fastOptions();
+    other.sampleOps *= 2;
+    SuiteRunner b(other);
+    EXPECT_NE(a.configKey(), b.configKey());
+    SuiteRunner c(fastOptions());
+    EXPECT_EQ(a.configKey(), c.configKey());
+}
+
+} // namespace
+} // namespace suite
+} // namespace spec17

@@ -1,0 +1,218 @@
+#include "tools/cli.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spec17 {
+namespace cli {
+namespace {
+
+CommandLine
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv(args);
+    return parseCommandLine(static_cast<int>(argv.size()),
+                            argv.data());
+}
+
+TEST(CliParse, SplitsPositionalsAndFlags)
+{
+    const CommandLine c =
+        parse({"stat", "505.mcf_r", "--size=test", "--csv"});
+    EXPECT_EQ(c.command, "stat");
+    ASSERT_EQ(c.positional.size(), 2u);
+    EXPECT_EQ(c.positional[1], "505.mcf_r");
+    EXPECT_EQ(c.flag("size"), "test");
+    EXPECT_TRUE(c.hasFlag("csv"));
+    EXPECT_FALSE(c.hasFlag("size-missing"));
+}
+
+TEST(CliParse, FlagDefaultsAndNumbers)
+{
+    const CommandLine c = parse({"stat", "--sample=12345"});
+    EXPECT_EQ(c.flag("nope", "fallback"), "fallback");
+    EXPECT_EQ(c.flagUint("sample", 1), 12345u);
+    EXPECT_EQ(c.flagUint("warmup", 777), 777u);
+}
+
+TEST(CliParseDeathTest, MalformedNumberIsFatal)
+{
+    const CommandLine c = parse({"stat", "--sample=abc"});
+    EXPECT_EXIT(c.flagUint("sample", 1),
+                ::testing::ExitedWithCode(1), "wants a number");
+}
+
+TEST(CliParse, EmptyArgvGivesEmptyCommand)
+{
+    const CommandLine c = parse({});
+    EXPECT_TRUE(c.command.empty());
+}
+
+TEST(CliRun, NoCommandPrintsUsageAndFails)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({}), out, err), 2);
+    EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, HelpFlagSucceeds)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"list", "--help"}), out, err), 0);
+    EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, UnknownCommandFails)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"frobnicate"}), out, err), 2);
+    EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+}
+
+TEST(CliRun, ConfigPrintsTableOneMachine)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"config"}), out, err), 0);
+    EXPECT_NE(out.str().find("30.000 MiB"), std::string::npos);
+    EXPECT_NE(out.str().find("tournament"), std::string::npos);
+}
+
+TEST(CliRun, ConfigHonorsPredictorFlag)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"config", "--predictor=gshare"}), out,
+                         err),
+              0);
+    EXPECT_NE(out.str().find("gshare"), std::string::npos);
+}
+
+TEST(CliRun, ListCountsThePaperPairs)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"list", "--size=ref"}), out, err), 0);
+    EXPECT_NE(out.str().find("64 application-input pairs"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("505.mcf_r"), std::string::npos);
+    EXPECT_NE(out.str().find("errored-in-paper"), std::string::npos);
+
+    std::ostringstream out06;
+    EXPECT_EQ(runCommand(parse({"list", "--suite=cpu2006"}), out06,
+                         err),
+              0);
+    EXPECT_NE(out06.str().find("29 application-input pairs"),
+              std::string::npos);
+}
+
+TEST(CliRun, ListRejectsBadSuiteAndSize)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"list", "--suite=cpu95"}), out, err),
+              2);
+    EXPECT_NE(err.str().find("unknown --suite"), std::string::npos);
+    std::ostringstream err2;
+    EXPECT_EQ(runCommand(parse({"list", "--size=gigantic"}), out,
+                         err2),
+              2);
+    EXPECT_NE(err2.str().find("unknown --size"), std::string::npos);
+}
+
+TEST(CliRun, StatRequiresKnownApplication)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat"}), out, err), 2);
+    std::ostringstream err2;
+    EXPECT_EQ(runCommand(parse({"stat", "999.none_r"}), out, err2), 2);
+    EXPECT_NE(err2.str().find("no application"), std::string::npos);
+    std::ostringstream err3;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r", "--input=5"}),
+                         out, err3),
+              2);
+    EXPECT_NE(err3.str().find("has 1 ref inputs"), std::string::npos);
+}
+
+TEST(CliRun, StatEmitsCountersAndMetrics)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "548.exchange2_r",
+                                "--sample=60000", "--warmup=20000"}),
+                         out, err),
+              0);
+    EXPECT_NE(out.str().find("inst_retired.any"), std::string::npos);
+    EXPECT_NE(out.str().find("IPC"), std::string::npos);
+    EXPECT_NE(out.str().find("estimated native run"),
+              std::string::npos);
+}
+
+TEST(CliRun, SubsetValidatesSetFlag)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"subset", "--set=all"}), out, err), 2);
+    EXPECT_NE(err.str().find("rate or speed"), std::string::npos);
+}
+
+TEST(CliRun, PhasesRequiresApplication)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"phases"}), out, err), 2);
+    EXPECT_NE(err.str().find("needs an application"),
+              std::string::npos);
+}
+
+TEST(CliRun, PhasesRunsOnRealProfile)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"phases", "519.lbm_r",
+                                "--sample=100000",
+                                "--warmup=20000"}),
+                         out, err),
+              0);
+    EXPECT_NE(out.str().find("timeline:"), std::string::npos);
+    EXPECT_NE(out.str().find("phase A"), std::string::npos);
+}
+
+
+TEST(CliRun, RecordAndReplayRoundTrip)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/cli_record.s17t";
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"record", "548.exchange2_r",
+                                "--sample=50000",
+                                ("--out=" + path).c_str()}),
+                         out, err),
+              0);
+    EXPECT_NE(out.str().find("50,000"), std::string::npos);
+    std::ostringstream out2;
+    EXPECT_EQ(runCommand(parse({"replay", path.c_str()}), out2, err),
+              0);
+    EXPECT_NE(out2.str().find("IPC"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, RecordRequiresKnownApplication)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"record"}), out, err), 2);
+    std::ostringstream err2;
+    EXPECT_EQ(runCommand(parse({"record", "123.bogus_r"}), out, err2),
+              2);
+    EXPECT_NE(err2.str().find("no application"), std::string::npos);
+}
+
+
+TEST(CliRun, ValidateReportsDeviations)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"validate", "--suite=cpu2006",
+                                "--sample=60000", "--warmup=20000",
+                                "--tolerance=100"}),
+                         out, err),
+              0);
+    EXPECT_NE(out.str().find("deviate more than"), std::string::npos);
+    EXPECT_NE(out.str().find("429.mcf"), std::string::npos);
+}
+
+} // namespace
+} // namespace cli
+} // namespace spec17

@@ -1,0 +1,40 @@
+#include "util/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace spec17 {
+namespace {
+
+TEST(Logging, ConcatArgsFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concatArgs("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concatArgs(), "");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH({ SPEC17_PANIC("boom ", 7); }, "panic: boom 7");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT({ SPEC17_FATAL("bad config"); },
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnlyWhenFalse)
+{
+    SPEC17_ASSERT(1 + 1 == 2, "never fires");
+    EXPECT_DEATH({ SPEC17_ASSERT(false, "ctx ", 3); },
+                 "assertion 'false' failed: ctx 3");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("warning ", 1);
+    inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace spec17

@@ -1,0 +1,160 @@
+#include "util/random.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace spec17 {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInBoundAndCoversRange)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t x = rng.nextBounded(7);
+        ASSERT_LT(x, 7u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BoundedIsApproximatelyUniform)
+{
+    Rng rng(17);
+    std::vector<int> hist(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.nextBounded(10)];
+    for (int count : hist)
+        EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, RangeInclusiveEndpointsReachable)
+{
+    Rng rng(21);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t x = rng.nextRange(-3, 3);
+        ASSERT_GE(x, -3);
+        ASSERT_LE(x, 3);
+        saw_lo |= (x == -3);
+        saw_hi |= (x == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCasesAndRate)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.nextBernoulli(0.0));
+        ASSERT_TRUE(rng.nextBernoulli(1.0));
+    }
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBernoulli(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal)
+{
+    Rng rng(11);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.nextGaussian();
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> hist(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.nextDiscrete(weights)];
+    EXPECT_EQ(hist[1], 0);
+    EXPECT_NEAR(hist[0] / static_cast<double>(n), 0.25, 0.02);
+    EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST(RngDeathTest, DiscreteRejectsDegenerateWeights)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.nextDiscrete({0.0, 0.0}), "weights sum to zero");
+    EXPECT_DEATH(rng.nextDiscrete({1.0, -0.5}), "negative weight");
+}
+
+TEST(DeriveSeed, LabelsSeparateStreams)
+{
+    const std::uint64_t root = 42;
+    EXPECT_NE(deriveSeed(root, "icache"), deriveSeed(root, "dcache"));
+    EXPECT_EQ(deriveSeed(root, "icache"), deriveSeed(root, "icache"));
+    EXPECT_NE(deriveSeed(root, "icache"), deriveSeed(43, "icache"));
+}
+
+TEST(DeriveSeed, NumericSaltsSeparateStreams)
+{
+    EXPECT_NE(deriveSeed(1, 0, 0), deriveSeed(1, 1, 0));
+    EXPECT_NE(deriveSeed(1, 0, 0), deriveSeed(1, 0, 1));
+    EXPECT_EQ(deriveSeed(9, 4, 2), deriveSeed(9, 4, 2));
+}
+
+TEST(SplitMix64, KnownReferenceValues)
+{
+    // Reference values from the canonical SplitMix64 with seed 0.
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitMix64(state), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(splitMix64(state), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(splitMix64(state), 0x06c45d188009454fULL);
+}
+
+} // namespace
+} // namespace spec17

@@ -1,0 +1,74 @@
+#include "util/table.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spec17 {
+namespace {
+
+TEST(TextTable, RendersAlignedColumnsWithHeaderRule)
+{
+    TextTable t({"name", "ipc"});
+    t.addRow({"505.mcf_r", "0.886"});
+    t.addRow({"525.x264_r", "3.024"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_NE(out.find("505.mcf_r"), std::string::npos);
+    // Header rule is the second line.
+    const auto first_nl = out.find('\n');
+    EXPECT_EQ(out[first_nl + 1], '-');
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.render(os);
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(TextTableDeathTest, RejectsOverlongRows)
+{
+    TextTable t({"a"});
+    EXPECT_DEATH(t.addRow({"1", "2"}), "more cells than headers");
+}
+
+TEST(TextTable, CsvQuotesSpecialCells)
+{
+    TextTable t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.renderCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Format, FmtDoubleRespectsDigits)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(-0.5, 3), "-0.500");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Format, FmtBytesPicksUnits)
+{
+    EXPECT_EQ(fmtBytes(512), "512.000 B");
+    EXPECT_EQ(fmtBytes(2048), "2.000 KiB");
+    EXPECT_EQ(fmtBytes(3.5 * 1024 * 1024), "3.500 MiB");
+    EXPECT_EQ(fmtBytes(12.385 * 1024 * 1024 * 1024), "12.385 GiB");
+}
+
+TEST(Format, FmtCountInsertsSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567890), "1,234,567,890");
+}
+
+} // namespace
+} // namespace spec17

@@ -1,0 +1,165 @@
+#include "workloads/builder.hh"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hh"
+
+namespace spec17 {
+namespace workloads {
+namespace {
+
+AppInputPair
+pairFor(const std::string &name, InputSize size = InputSize::Ref,
+        unsigned input = 0)
+{
+    return {&findProfile(cpu2017Suite(), name), size, input};
+}
+
+TEST(Builder, ParamsValidateForEveryPairAndThread)
+{
+    BuildOptions options;
+    options.sampleOps = 100000;
+    for (InputSize size : kAllInputSizes) {
+        for (const auto &pair : enumeratePairs(cpu2017Suite(), size)) {
+            for (unsigned t = 0; t < pair.profile->numThreads; ++t) {
+                const auto params =
+                    buildTraceParams(pair, options, t);
+                params.validate(); // panics on nonsense
+            }
+        }
+    }
+    SUCCEED();
+}
+
+TEST(Builder, MixMatchesProfileUpToJitter)
+{
+    const auto params = buildTraceParams(pairFor("505.mcf_r"), {});
+    const auto &profile = findProfile(cpu2017Suite(), "505.mcf_r");
+    EXPECT_NEAR(params.loadFrac, profile.loadFrac,
+                profile.loadFrac * 0.05);
+    EXPECT_NEAR(params.storeFrac, profile.storeFrac,
+                profile.storeFrac * 0.05);
+    EXPECT_NEAR(params.branchFrac, profile.branchFrac,
+                profile.branchFrac * 0.05);
+}
+
+TEST(Builder, OpsAreSplitAcrossThreads)
+{
+    BuildOptions options;
+    options.sampleOps = 1000000;
+    const auto params =
+        buildTraceParams(pairFor("619.lbm_s"), options, 0);
+    EXPECT_EQ(params.numOps, 250000u); // 4 threads
+    const auto solo = buildTraceParams(pairFor("505.mcf_r"), options);
+    EXPECT_EQ(solo.numOps, 1000000u);
+}
+
+TEST(Builder, ThreadsGetDistinctSeedsAndOffsets)
+{
+    const auto t0 = buildTraceParams(pairFor("619.lbm_s"), {}, 0);
+    const auto t1 = buildTraceParams(pairFor("619.lbm_s"), {}, 1);
+    EXPECT_NE(t0.seed, t1.seed);
+    // lbm_s declares a mostly-private working set.
+    EXPECT_NE(t0.addressOffset, t1.addressOffset);
+    // pop2_s declares a mostly-shared one.
+    const auto p0 = buildTraceParams(pairFor("628.pop2_s"), {}, 0);
+    const auto p1 = buildTraceParams(pairFor("628.pop2_s"), {}, 1);
+    EXPECT_EQ(p0.addressOffset, p1.addressOffset);
+}
+
+TEST(Builder, InputsPerturbDeterministically)
+{
+    const auto in1 = buildTraceParams(pairFor("502.gcc_r", InputSize::Ref,
+                                              0), {});
+    const auto in2 = buildTraceParams(pairFor("502.gcc_r", InputSize::Ref,
+                                              1), {});
+    const auto in1_again = buildTraceParams(
+        pairFor("502.gcc_r", InputSize::Ref, 0), {});
+    EXPECT_NE(in1.seed, in2.seed);
+    EXPECT_NE(in1.loadFrac, in2.loadFrac); // jittered differently
+    EXPECT_DOUBLE_EQ(in1.loadFrac, in1_again.loadFrac);
+}
+
+TEST(Builder, StreamingProfilesGetStridedDeepRegions)
+{
+    const auto lbm = buildTraceParams(pairFor("519.lbm_r"), {});
+    bool strided = false;
+    for (const auto &region : lbm.regions)
+        strided |= region.pattern == trace::AccessPattern::Strided;
+    EXPECT_TRUE(strided);
+
+    const auto mcf = buildTraceParams(pairFor("505.mcf_r"), {});
+    bool chase = false;
+    for (const auto &region : mcf.regions) {
+        EXPECT_NE(region.pattern, trace::AccessPattern::Strided);
+        chase |= region.pattern == trace::AccessPattern::PointerChase;
+    }
+    EXPECT_TRUE(chase);
+}
+
+TEST(Builder, HigherMissTargetsShiftWeightDeeper)
+{
+    const auto light = buildTraceParams(pairFor("548.exchange2_r"), {});
+    const auto heavy = buildTraceParams(pairFor("619.lbm_s"), {});
+    auto hot_weight = [](const trace::SyntheticTraceParams &p) {
+        double total = 0.0, hot = 0.0;
+        for (const auto &region : p.regions) {
+            total += region.loadWeight;
+            if (region.sizeBytes <= 32 * 1024)
+                hot += region.loadWeight;
+        }
+        return hot / total;
+    };
+    EXPECT_GT(hot_weight(light), 0.97);
+    EXPECT_LT(hot_weight(heavy), 0.92);
+    EXPECT_LT(hot_weight(heavy), hot_weight(light));
+}
+
+TEST(Builder, MispredictTargetLowersHardFraction)
+{
+    const auto leela = buildTraceParams(pairFor("541.leela_r"), {});
+    const auto lbm = buildTraceParams(pairFor("519.lbm_r"), {});
+    EXPECT_GT(leela.hardBranchFrac, lbm.hardBranchFrac);
+    EXPECT_GT(leela.hardBranchFrac, 0.1);
+    EXPECT_LT(lbm.hardBranchFrac, 0.01);
+    // Easy-site floor also scales with the target.
+    EXPECT_LT(leela.easyTakenBias, lbm.easyTakenBias);
+}
+
+TEST(Builder, SitePopulationsScaleWithSample)
+{
+    BuildOptions small;
+    small.sampleOps = 50000;
+    BuildOptions big;
+    big.sampleOps = 5000000;
+    const auto few =
+        buildTraceParams(pairFor("519.lbm_r"), small); // 1.2% branches
+    const auto many = buildTraceParams(pairFor("505.mcf_r"), big);
+    EXPECT_LT(few.numBranchSites, many.numBranchSites);
+    EXPECT_GE(few.numBranchSites, 16u);
+}
+
+TEST(BuilderDeathTest, RejectsOutOfRangeSelections)
+{
+    EXPECT_DEATH(buildTraceParams(pairFor("505.mcf_r", InputSize::Ref, 3),
+                                  {}),
+                 "input 3 out of");
+    EXPECT_DEATH(buildTraceParams(pairFor("505.mcf_r"), {}, 2),
+                 "thread 2 out of");
+}
+
+TEST(Builder, GeneratorRunsOnBuiltParams)
+{
+    auto params = buildTraceParams(pairFor("523.xalancbmk_r"), {});
+    params.numOps = 20000;
+    trace::SyntheticTraceGenerator gen(params);
+    isa::MicroOp op;
+    std::uint64_t count = 0;
+    while (gen.next(op))
+        ++count;
+    EXPECT_EQ(count, 20000u);
+}
+
+} // namespace
+} // namespace workloads
+} // namespace spec17

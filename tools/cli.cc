@@ -1,0 +1,565 @@
+#include "tools/cli.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/characterizer.hh"
+#include "util/logging.hh"
+#include "core/phase.hh"
+#include "core/subset.hh"
+#include "sim/energy.hh"
+#include "sim/simulator.hh"
+#include "trace/file.hh"
+#include "trace/synthetic.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "workloads/builder.hh"
+
+namespace spec17 {
+namespace cli {
+
+namespace {
+
+using workloads::InputSize;
+using workloads::SuiteGeneration;
+
+/** Maps --suite= to a generation; defaults to CPU2017. */
+SuiteGeneration
+generationOf(const CommandLine &command, std::ostream &err, bool &ok)
+{
+    const std::string suite = command.flag("suite", "cpu2017");
+    ok = true;
+    if (suite == "cpu2017")
+        return SuiteGeneration::Cpu2017;
+    if (suite == "cpu2006")
+        return SuiteGeneration::Cpu2006;
+    err << "error: unknown --suite '" << suite
+        << "' (want cpu2017|cpu2006)\n";
+    ok = false;
+    return SuiteGeneration::Cpu2017;
+}
+
+/** Maps --size= to an input size; defaults to ref. */
+InputSize
+sizeOf(const CommandLine &command, std::ostream &err, bool &ok)
+{
+    const std::string size = command.flag("size", "ref");
+    ok = true;
+    if (size == "test")
+        return InputSize::Test;
+    if (size == "train")
+        return InputSize::Train;
+    if (size == "ref")
+        return InputSize::Ref;
+    err << "error: unknown --size '" << size
+        << "' (want test|train|ref)\n";
+    ok = false;
+    return InputSize::Ref;
+}
+
+suite::RunnerOptions
+runnerOptionsOf(const CommandLine &command)
+{
+    suite::RunnerOptions options;
+    options.sampleOps = command.flagUint("sample", 1'000'000);
+    options.warmupOps = command.flagUint("warmup", 300'000);
+    if (command.hasFlag("predictor"))
+        options.system.branchPredictor = command.flag("predictor");
+    if (command.hasFlag("prefetcher"))
+        options.system.hierarchy.prefetcher =
+            command.flag("prefetcher");
+    return options;
+}
+
+int
+cmdConfig(const CommandLine &command, std::ostream &out)
+{
+    out << runnerOptionsOf(command).system.describe();
+    return 0;
+}
+
+int
+cmdList(const CommandLine &command, std::ostream &out,
+        std::ostream &err)
+{
+    bool ok = false;
+    const SuiteGeneration generation = generationOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const auto &suite = generation == SuiteGeneration::Cpu2017
+        ? workloads::cpu2017Suite()
+        : workloads::cpu2006Suite();
+
+    TextTable table({"pair", "mini-suite", "language", "threads",
+                     "instr (B)", "RSS", "status"});
+    const auto pairs = enumeratePairs(suite, size);
+    for (const auto &pair : pairs) {
+        const auto &profile = *pair.profile;
+        table.addRow({pair.displayName(),
+                      workloads::suiteKindName(profile.suite),
+                      profile.language,
+                      std::to_string(profile.numThreads),
+                      fmtDouble(profile.instrBillions(size), 1),
+                      fmtBytes(profile.rssMiB(size) * double(kMiB)),
+                      profile.isErrored(size, pair.inputIndex)
+                          ? "errored-in-paper"
+                          : "ok"});
+    }
+    table.render(out);
+    out << pairs.size() << " application-input pairs\n";
+    return 0;
+}
+
+int
+cmdStat(const CommandLine &command, std::ostream &out,
+        std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: stat needs an application name (try: spec17 "
+               "stat 505.mcf_r)\n";
+        return 2;
+    }
+    bool ok = false;
+    const SuiteGeneration generation = generationOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const auto &suite = generation == SuiteGeneration::Cpu2017
+        ? workloads::cpu2017Suite()
+        : workloads::cpu2006Suite();
+    const std::string &name = command.positional[1];
+    const workloads::WorkloadProfile *profile = nullptr;
+    for (const auto &candidate : suite) {
+        if (candidate.name == name)
+            profile = &candidate;
+    }
+    if (profile == nullptr) {
+        err << "error: no application named '" << name
+            << "' (try: spec17 list)\n";
+        return 2;
+    }
+    const unsigned input =
+        static_cast<unsigned>(command.flagUint("input", 1)) - 1;
+    const unsigned available =
+        profile->numInputs[static_cast<std::size_t>(size)];
+    if (input >= available) {
+        err << "error: " << name << " has " << available << " "
+            << workloads::inputSizeName(size) << " inputs\n";
+        return 2;
+    }
+
+    suite::SuiteRunner runner(runnerOptionsOf(command));
+    const auto result = runner.runPair({profile, size, input});
+
+    out << "perf-style counters for " << result.name << " ("
+        << workloads::inputSizeName(size) << "):\n";
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<counters::PerfEvent>(e);
+        out << "  " << fmtCount(result.counters.get(event)) << "\t"
+            << counters::perfEventName(event) << "\n";
+    }
+    const auto metrics = core::deriveMetrics(result);
+    out << "\n  IPC " << fmtDouble(metrics.ipc, 3) << ", mispredict "
+        << fmtDouble(metrics.mispredictPct, 2) << "%, L1/L2/L3 miss "
+        << fmtDouble(metrics.l1MissPct, 2) << "/"
+        << fmtDouble(metrics.l2MissPct, 2) << "/"
+        << fmtDouble(metrics.l3MissPct, 2) << "%\n";
+    const auto energy = sim::computeEnergy(
+        result.counters,
+        double(result.counters.get(
+            counters::PerfEvent::CpuClkUnhaltedRefTsc)));
+    out << "  energy (model): "
+        << fmtDouble(energy.epiNj(double(result.counters.get(
+               counters::PerfEvent::InstRetiredAny))), 2)
+        << " nJ/instr, DRAM share "
+        << fmtDouble(100.0 * energy.dramJ / energy.totalJ(), 1)
+        << "%\n";
+    out << "  estimated native run: " << fmtDouble(metrics.seconds, 1)
+        << " s for " << fmtDouble(metrics.instrBillions, 1)
+        << " billion instructions\n";
+    return 0;
+}
+
+int
+cmdEvents(const CommandLine &, std::ostream &out)
+{
+    // The paper generates its candidate counter list with
+    // `perf list`; this is the simulated equivalent.
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        out << counters::perfEventName(
+            static_cast<counters::PerfEvent>(e))
+            << "\n";
+    }
+    return 0;
+}
+
+int
+cmdValidate(const CommandLine &command, std::ostream &out,
+            std::ostream &err)
+{
+    bool ok = false;
+    const SuiteGeneration generation = generationOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const auto &suite = generation == SuiteGeneration::Cpu2017
+        ? workloads::cpu2017Suite()
+        : workloads::cpu2006Suite();
+    suite::RunnerOptions options = runnerOptionsOf(command);
+    // Calibration checks need less precision than the study runs.
+    options.sampleOps = command.flagUint("sample", 400'000);
+    options.warmupOps = command.flagUint("warmup", 150'000);
+    suite::SuiteRunner runner(options);
+
+    const double tolerance_pp =
+        double(command.flagUint("tolerance", 12));
+    TextTable table({"application", "L1m% tgt/got", "L2m% tgt/got",
+                     "L3m% tgt/got", "misp% tgt/got", "worst dev"});
+    int failures = 0;
+    for (const auto &profile : suite) {
+        const auto result = runner.runPair(
+            {&profile, InputSize::Ref, 0});
+        const auto metrics = core::deriveMetrics(result);
+        const double targets[4] = {
+            100.0 * profile.memory.l1MissRate,
+            100.0 * profile.memory.l2MissRate,
+            100.0 * profile.memory.l3MissRate,
+            100.0 * profile.branches.mispredictRate,
+        };
+        const double got[4] = {metrics.l1MissPct, metrics.l2MissPct,
+                               metrics.l3MissPct,
+                               metrics.mispredictPct};
+        double worst = 0.0;
+        for (int i = 0; i < 4; ++i)
+            worst = std::max(worst, std::abs(got[i] - targets[i]));
+        failures += worst > tolerance_pp;
+        auto cell = [&](int i) {
+            return fmtDouble(targets[i], 1) + " / "
+                + fmtDouble(got[i], 1);
+        };
+        table.addRow({profile.name, cell(0), cell(1), cell(2),
+                      cell(3),
+                      fmtDouble(worst, 1)
+                          + (worst > tolerance_pp ? " !" : "")});
+    }
+    table.render(out);
+    out << failures << " of " << suite.size()
+        << " applications deviate more than " << tolerance_pp
+        << "pp from their profile targets\n";
+    return command.hasFlag("strict") && failures > 0 ? 1 : 0;
+}
+
+int
+cmdRecord(const CommandLine &command, std::ostream &out,
+          std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: record needs an application name\n";
+        return 2;
+    }
+    bool ok = false;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const std::string &name = command.positional[1];
+    const auto &suite = workloads::cpu2017Suite();
+    const workloads::WorkloadProfile *profile = nullptr;
+    for (const auto &candidate : suite) {
+        if (candidate.name == name)
+            profile = &candidate;
+    }
+    if (profile == nullptr) {
+        err << "error: no application named '" << name << "'\n";
+        return 2;
+    }
+    const std::string path =
+        command.flag("out", name + "." + inputSizeName(size) + ".s17t");
+    workloads::BuildOptions build;
+    build.sampleOps = command.flagUint("sample", 1'000'000);
+    trace::SyntheticTraceGenerator source(
+        workloads::buildTraceParams({profile, size, 0}, build, 0));
+    const std::uint64_t written = trace::writeTrace(path, source);
+    out << "wrote " << fmtCount(written) << " micro-ops to " << path
+        << "\n";
+    return 0;
+}
+
+int
+cmdReplay(const CommandLine &command, std::ostream &out,
+          std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: replay needs a trace file path\n";
+        return 2;
+    }
+    trace::FileTrace source(command.positional[1]);
+    sim::CpuSimulator simulator(runnerOptionsOf(command).system);
+    const sim::SimResult result = simulator.run(source);
+
+    out << "replayed " << fmtCount(source.size())
+        << " micro-ops from " << command.positional[1] << "\n";
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<counters::PerfEvent>(e);
+        out << "  " << fmtCount(result.counters.get(event)) << "\t"
+            << counters::perfEventName(event) << "\n";
+    }
+    out << "\n  IPC " << fmtDouble(result.ipc(), 3) << " over "
+        << fmtDouble(result.cycles, 0) << " cycles\n";
+    return 0;
+}
+
+int
+cmdCharacterize(const CommandLine &command, std::ostream &out,
+                std::ostream &err)
+{
+    bool ok = false;
+    const SuiteGeneration generation = generationOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+
+    core::CharacterizerOptions options;
+    options.runner = runnerOptionsOf(command);
+    if (command.hasFlag("no-cache"))
+        options.cachePath.clear();
+    core::Characterizer session(options);
+    const auto metrics = session.metrics(generation, size);
+
+    TextTable table({"pair", "IPC", "ld%", "st%", "br%", "L1m%",
+                     "L2m%", "L3m%", "misp%", "RSS GiB", "time s"});
+    for (const auto &m : metrics) {
+        if (m.errored)
+            continue;
+        table.addRow({m.name, fmtDouble(m.ipc, 3),
+                      fmtDouble(m.loadPct, 2),
+                      fmtDouble(m.storePct, 2),
+                      fmtDouble(m.branchPct, 2),
+                      fmtDouble(m.l1MissPct, 2),
+                      fmtDouble(m.l2MissPct, 2),
+                      fmtDouble(m.l3MissPct, 2),
+                      fmtDouble(m.mispredictPct, 2),
+                      fmtDouble(m.rssGiB, 3),
+                      fmtDouble(m.seconds, 1)});
+    }
+    if (command.hasFlag("csv"))
+        table.renderCsv(out);
+    else
+        table.render(out);
+    return 0;
+}
+
+int
+cmdSubset(const CommandLine &command, std::ostream &out,
+          std::ostream &err)
+{
+    const std::string which = command.flag("set", "rate");
+    if (which != "rate" && which != "speed") {
+        err << "error: --set must be rate or speed\n";
+        return 2;
+    }
+    core::CharacterizerOptions options;
+    options.runner = runnerOptionsOf(command);
+    if (command.hasFlag("no-cache"))
+        options.cachePath.clear();
+    core::Characterizer session(options);
+    const auto analysis = session.redundancyFor(which == "speed");
+    const auto subset = core::suggestSubset(
+        analysis,
+        static_cast<std::size_t>(command.flagUint("clusters", 0)));
+
+    out << "suggested " << which << " subset (" << subset.numClusters()
+        << " of " << analysis.pairNames.size() << " pairs, "
+        << fmtDouble(subset.savingPct(), 1) << "% time saved):\n";
+    for (const auto &rep : subset.representatives) {
+        out << "  " << rep.name << "  ("
+            << fmtDouble(rep.seconds, 1) << " s)\n";
+    }
+    return 0;
+}
+
+int
+cmdPhases(const CommandLine &command, std::ostream &out,
+          std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: phases needs an application name\n";
+        return 2;
+    }
+    bool ok = false;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const std::string &name = command.positional[1];
+    const auto &suite = workloads::cpu2017Suite();
+    const workloads::WorkloadProfile *profile = nullptr;
+    for (const auto &candidate : suite) {
+        if (candidate.name == name)
+            profile = &candidate;
+    }
+    if (profile == nullptr) {
+        err << "error: no application named '" << name << "'\n";
+        return 2;
+    }
+
+    const auto runner_options = runnerOptionsOf(command);
+    workloads::BuildOptions build;
+    build.sampleOps = runner_options.sampleOps * 4;
+    trace::SyntheticTraceGenerator source(
+        workloads::buildTraceParams({profile, size, 0}, build, 0));
+
+    core::PhaseOptions phase_options;
+    phase_options.intervalOps =
+        std::max<std::uint64_t>(20'000, build.sampleOps / 20);
+    phase_options.warmupOps = phase_options.intervalOps;
+    const auto analysis = core::analyzePhases(
+        source, runner_options.system, phase_options);
+
+    out << "timeline: ";
+    for (std::size_t label : analysis.labels)
+        out << static_cast<char>('A' + label);
+    out << "\n";
+    for (const auto &phase : analysis.phases) {
+        out << "phase " << static_cast<char>('A' + phase.id) << ": "
+            << fmtDouble(100.0 * phase.weight, 1) << "% of the run, "
+            << "mean IPC " << fmtDouble(phase.meanIpc, 3)
+            << ", simulation point at interval "
+            << phase.representative << "\n";
+    }
+    out << "sampled-IPC estimate " <<
+        fmtDouble(analysis.sampledIpcEstimate(), 3) << " vs full "
+        << fmtDouble(analysis.fullIpc(), 3) << "\n";
+    return 0;
+}
+
+} // namespace
+
+std::string
+CommandLine::flag(const std::string &key,
+                  const std::string &fallback) const
+{
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t
+CommandLine::flagUint(const std::string &key,
+                      std::uint64_t fallback) const
+{
+    const auto it = flags.find(key);
+    if (it == flags.end())
+        return fallback;
+    try {
+        return std::stoull(it->second);
+    } catch (const std::exception &) {
+        SPEC17_FATAL("flag --", key, " wants a number, got '",
+                     it->second, "'");
+    }
+}
+
+bool
+CommandLine::hasFlag(const std::string &key) const
+{
+    return flags.count(key) > 0;
+}
+
+CommandLine
+parseCommandLine(int argc, const char *const *argv)
+{
+    CommandLine command;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                command.flags[arg.substr(2)] = "";
+            else
+                command.flags[arg.substr(2, eq - 2)] =
+                    arg.substr(eq + 1);
+        } else {
+            command.positional.push_back(arg);
+        }
+    }
+    if (!command.positional.empty())
+        command.command = command.positional.front();
+    return command;
+}
+
+std::string
+usage()
+{
+    return
+        "spec17 -- SPEC CPU2017 workload characterization framework\n"
+        "usage: spec17 <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  list                         enumerate application-input "
+        "pairs\n"
+        "  stat <app>                   run one pair, print perf "
+        "counters\n"
+        "  characterize                 sweep a suite, tabulate "
+        "metrics\n"
+        "  subset                       suggest a representative "
+        "subset\n"
+        "  phases <app>                 phase analysis of one pair\n"
+        "  record <app> [--out=FILE]    save a micro-op trace to disk\n"
+        "  replay <file>                run a saved trace\n"
+        "  validate [--strict]          profile targets vs measured\n"
+        "  events                       list the simulated perf events\n"
+        "  config                       print machine configuration\n"
+        "\n"
+        "common flags:\n"
+        "  --suite=cpu2017|cpu2006      which suite (default cpu2017)\n"
+        "  --size=test|train|ref        input size (default ref)\n"
+        "  --input=N                    1-based input index "
+        "(default 1)\n"
+        "  --sample=N --warmup=N        simulated micro-ops\n"
+        "  --predictor=NAME             static-taken|bimodal|gshare|"
+        "tournament\n"
+        "  --prefetcher=NAME            none|next-line|stride\n"
+        "  --set=rate|speed             pair set for subset\n"
+        "  --clusters=N                 force the subset size\n"
+        "  --csv                        CSV output (characterize)\n"
+        "  --no-cache                   ignore the result cache\n";
+}
+
+int
+runCommand(const CommandLine &command, std::ostream &out,
+           std::ostream &err)
+{
+    if (command.command.empty() || command.hasFlag("help")) {
+        out << usage();
+        return command.command.empty() ? 2 : 0;
+    }
+    if (command.command == "config")
+        return cmdConfig(command, out);
+    if (command.command == "list")
+        return cmdList(command, out, err);
+    if (command.command == "stat")
+        return cmdStat(command, out, err);
+    if (command.command == "characterize")
+        return cmdCharacterize(command, out, err);
+    if (command.command == "subset")
+        return cmdSubset(command, out, err);
+    if (command.command == "phases")
+        return cmdPhases(command, out, err);
+    if (command.command == "record")
+        return cmdRecord(command, out, err);
+    if (command.command == "replay")
+        return cmdReplay(command, out, err);
+    if (command.command == "validate")
+        return cmdValidate(command, out, err);
+    if (command.command == "events")
+        return cmdEvents(command, out);
+    err << "error: unknown command '" << command.command << "'\n\n"
+        << usage();
+    return 2;
+}
+
+} // namespace cli
+} // namespace spec17

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the `spec17` command-line tool's subcommands,
+ * factored out of main() so they are unit-testable. Each command
+ * writes its report to a stream and returns a process exit code.
+ *
+ * Subcommands:
+ *   list          enumerate applications / application-input pairs
+ *   stat          run one pair under the simulated perf monitor
+ *   characterize  sweep a whole suite and tabulate Section-IV metrics
+ *   subset        suggest a representative subset (paper Section V)
+ *   phases        phase analysis of one pair (paper future work)
+ *   config        print the simulated machine configuration
+ */
+
+#ifndef SPEC17_TOOLS_CLI_HH_
+#define SPEC17_TOOLS_CLI_HH_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spec17 {
+namespace cli {
+
+/** Parsed command line: subcommand, positionals, --key=value flags. */
+struct CommandLine
+{
+    std::string command;
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    /** Flag value or @p fallback. */
+    std::string flag(const std::string &key,
+                     const std::string &fallback = "") const;
+    /** Numeric flag or @p fallback; malformed values are fatal. */
+    std::uint64_t flagUint(const std::string &key,
+                           std::uint64_t fallback) const;
+    bool hasFlag(const std::string &key) const;
+};
+
+/**
+ * Parses argv (beyond argv[0]). Flags are "--key=value" or bare
+ * "--key"; everything else is positional, with the first positional
+ * being the subcommand.
+ */
+CommandLine parseCommandLine(int argc, const char *const *argv);
+
+/** Runs the parsed command; returns the process exit code. */
+int runCommand(const CommandLine &command, std::ostream &out,
+               std::ostream &err);
+
+/** Usage text. */
+std::string usage();
+
+} // namespace cli
+} // namespace spec17
+
+#endif // SPEC17_TOOLS_CLI_HH_

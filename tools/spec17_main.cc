@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Entry point of the `spec17` command-line tool.
+ */
+
+#include <iostream>
+
+#include "tools/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    const auto command =
+        spec17::cli::parseCommandLine(argc - 1, argv + 1);
+    return spec17::cli::runCommand(command, std::cout, std::cerr);
+}
