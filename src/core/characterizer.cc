@@ -9,7 +9,7 @@ using workloads::InputSize;
 using workloads::SuiteGeneration;
 
 Characterizer::Characterizer(CharacterizerOptions options)
-    : runner_(options.runner), cache_(options.cachePath)
+    : runner_(options.runner), cache_(options.cachePath, options.resume)
 {
 }
 
@@ -39,6 +39,17 @@ std::vector<Metrics>
 Characterizer::metrics(SuiteGeneration generation, InputSize size)
 {
     return deriveMetrics(results(generation, size));
+}
+
+std::vector<const suite::PairResult *>
+Characterizer::failures(SuiteGeneration generation, InputSize size)
+{
+    std::vector<const suite::PairResult *> affected;
+    for (const auto &result : results(generation, size)) {
+        if (result.errored || !result.failures.empty())
+            affected.push_back(&result);
+    }
+    return affected;
 }
 
 RedundancyAnalysis

@@ -27,6 +27,9 @@ struct CharacterizerOptions
     suite::RunnerOptions runner;
     /** Result-cache base path; empty disables caching. */
     std::string cachePath = suite::ResultCache::defaultPath();
+    /** Resume interrupted sweeps from the on-disk journal instead of
+     *  restarting them (crash-safe checkpointed sweeps). */
+    bool resume = false;
 };
 
 /**
@@ -46,6 +49,14 @@ class Characterizer
     /** Derived Section-IV metrics (including errored pairs, marked). */
     std::vector<Metrics> metrics(workloads::SuiteGeneration generation,
                                  workloads::InputSize size);
+
+    /**
+     * Pairs of the sweep that errored or needed retries, for failure
+     * summaries. Pointers borrow from the memoized results and stay
+     * valid for the session's lifetime.
+     */
+    std::vector<const suite::PairResult *> failures(
+        workloads::SuiteGeneration generation, workloads::InputSize size);
 
     /**
      * Redundancy analysis over a filtered slice of the CPU2017 ref

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured failure records for fault-isolated suite execution.
+ *
+ * The paper's own measurement campaign had to tolerate pairs it could
+ * not collect (627.cam4_s, perlbench's test.pl); this framework's
+ * sweeps face the software analogues: bad profiles, runaway trace
+ * generation, transiently flaky components. A FailureRecord captures
+ * one failed attempt in a machine-readable form that survives the
+ * result cache, so downstream analysis can exclude the pair (paper
+ * semantics) while operators can still diagnose what went wrong.
+ */
+
+#ifndef SPEC17_SUITE_FAILURE_HH_
+#define SPEC17_SUITE_FAILURE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spec17 {
+namespace suite {
+
+/** Why an attempt at a pair failed. */
+enum class FailureCategory : std::uint8_t
+{
+    Exception,  //!< an unclassified exception escaped the pair
+    Invariant,  //!< a runner invariant failed (e.g. nothing retired)
+    BadProfile, //!< the workload profile did not validate
+    Deadline,   //!< the watchdog op/wall-clock budget expired
+    Injected,   //!< a test-controlled injected fault
+};
+
+/** Stable machine-readable category name ("deadline" etc.). */
+const char *failureCategoryName(FailureCategory category);
+
+/** Inverse of failureCategoryName(); nullopt for unknown names. */
+std::optional<FailureCategory> failureCategoryFromName(
+    std::string_view name);
+
+/** One failed attempt at one application-input pair. */
+struct FailureRecord
+{
+    FailureCategory category = FailureCategory::Exception;
+    /** Human-readable diagnosis (sanitized before persisting). */
+    std::string message;
+    /** 0-based attempt that produced this failure. */
+    unsigned attempt = 0;
+    /** Micro-ops the attempt completed before failing. */
+    std::uint64_t opsCompleted = 0;
+};
+
+/**
+ * Thrown inside the per-pair failure boundary to abort one attempt
+ * with a classified cause. The runner converts it (and any other
+ * exception) into FailureRecords; it never escapes a sweep.
+ */
+class PairExecutionError : public std::runtime_error
+{
+  public:
+    PairExecutionError(FailureCategory category, const std::string &msg,
+                       std::uint64_t ops_completed = 0)
+        : std::runtime_error(msg), category_(category),
+          opsCompleted_(ops_completed)
+    {
+    }
+
+    FailureCategory category() const { return category_; }
+    std::uint64_t opsCompleted() const { return opsCompleted_; }
+
+  private:
+    FailureCategory category_;
+    std::uint64_t opsCompleted_;
+};
+
+/**
+ * Serializes an attempt history into a single CSV-safe cell:
+ * records joined by '|', fields by '@', messages sanitized. An empty
+ * history serializes to "-".
+ */
+std::string serializeFailures(const std::vector<FailureRecord> &failures);
+
+/** Inverse of serializeFailures(); nullopt on malformed input. */
+std::optional<std::vector<FailureRecord>> parseFailures(
+    const std::string &cell);
+
+/** Replaces serializer/CSV metacharacters in a diagnosis with '_'. */
+std::string sanitizeFailureMessage(std::string message);
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_FAILURE_HH_

@@ -1,0 +1,33 @@
+#include "suite/fault_injection.hh"
+
+namespace spec17 {
+namespace suite {
+
+FaultInjector::~FaultInjector() = default;
+
+void
+ScriptedFaultInjector::set(const std::string &pair, unsigned attempt,
+                           Action action)
+{
+    plan_[{pair, attempt}] = action;
+}
+
+void
+ScriptedFaultInjector::failFirstAttempts(const std::string &pair,
+                                         unsigned fail_count)
+{
+    for (unsigned attempt = 0; attempt < fail_count; ++attempt)
+        set(pair, attempt, Action::Throw);
+}
+
+FaultInjector::Action
+ScriptedFaultInjector::onAttempt(const std::string &pair,
+                                 unsigned attempt)
+{
+    consulted_.emplace_back(pair, attempt);
+    const auto it = plan_.find({pair, attempt});
+    return it == plan_.end() ? Action::None : it->second;
+}
+
+} // namespace suite
+} // namespace spec17

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic fault-injection hooks for suite execution.
+ *
+ * The runner consults an optional FaultInjector once per attempt at
+ * each application-input pair, before simulation starts. Tests use
+ * this to force throws, runaway (stalled) trace generation and
+ * transient attempt-1 failures at chosen pairs, making every recovery
+ * path of the fault-isolation layer exercisable without timing races:
+ * injection decisions are keyed on (pair name, attempt index), both
+ * of which are deterministic under a fixed root seed.
+ */
+
+#ifndef SPEC17_SUITE_FAULT_INJECTION_HH_
+#define SPEC17_SUITE_FAULT_INJECTION_HH_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spec17 {
+namespace suite {
+
+/** Injection interface the runner consults once per pair attempt. */
+class FaultInjector
+{
+  public:
+    /** What to inject into the consulted attempt. */
+    enum class Action
+    {
+        None,  //!< run normally
+        Throw, //!< raise an exception before simulation starts
+        Stall, //!< make trace generation run past its op budget
+    };
+
+    virtual ~FaultInjector();
+
+    /**
+     * Called at the start of every attempt (including replays under
+     * retry). @p pair is the display name, @p attempt is 0-based.
+     */
+    virtual Action onAttempt(const std::string &pair,
+                             unsigned attempt) = 0;
+};
+
+/**
+ * Scripted injector for tests: actions are programmed per
+ * (pair, attempt) and every consultation is recorded, so tests can
+ * also use it as a probe for which pairs a sweep actually simulated
+ * (e.g. to prove resume-from-journal skips completed pairs).
+ */
+class ScriptedFaultInjector : public FaultInjector
+{
+  public:
+    /** Injects @p action when @p pair reaches @p attempt. */
+    void set(const std::string &pair, unsigned attempt, Action action);
+
+    /** Throws on attempts [0, fail_count): a transient failure that
+     *  succeeds once retries get past it. */
+    void failFirstAttempts(const std::string &pair, unsigned fail_count);
+
+    Action onAttempt(const std::string &pair,
+                     unsigned attempt) override;
+
+    /** Every (pair, attempt) the runner consulted, in order. */
+    const std::vector<std::pair<std::string, unsigned>> &
+    consulted() const
+    {
+        return consulted_;
+    }
+
+  private:
+    std::map<std::pair<std::string, unsigned>, Action> plan_;
+    std::vector<std::pair<std::string, unsigned>> consulted_;
+};
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_FAULT_INJECTION_HH_

@@ -1,7 +1,9 @@
 #include "suite/result_cache.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -43,9 +45,152 @@ sectionFile(const std::string &base, const WorkloadProfile &any,
         + workloads::inputSizeName(size) + ".csv";
 }
 
+std::string
+expectedHeader()
+{
+    std::string header = "name,input,errored,attempts,failures,"
+                         "wall_cycles,instr_billions,seconds";
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
+        header += "," + perfEventName(static_cast<PerfEvent>(e));
+    return header;
+}
+
+/** Fixed cells before the per-event counter columns. */
+constexpr std::size_t kFixedFields = 8;
+
+std::optional<double>
+parseDouble(const std::string &cell)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (cell.empty() || end == nullptr || *end != '\0' || errno != 0)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<std::uint64_t>
+parseUint(const std::string &cell)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value =
+        std::strtoull(cell.c_str(), &end, 10);
+    if (cell.empty() || end == nullptr || *end != '\0' || errno != 0)
+        return std::nullopt;
+    return value;
+}
+
+/**
+ * Parses one journal row into a PairResult (profile left unbound).
+ * Returns nullopt -- with @p reason set -- on any malformation: wrong
+ * field count, unparsable number, undecodable failure history. The
+ * caller decides whether that means a miss or a torn tail.
+ */
+std::optional<PairResult>
+parseRow(const std::string &line, InputSize size, std::string &reason)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream stream(line);
+    while (std::getline(stream, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.push_back("");
+    const std::size_t want = kFixedFields + counters::kNumPerfEvents;
+    if (cells.size() != want) {
+        reason = "expected " + std::to_string(want) + " fields, got "
+            + std::to_string(cells.size());
+        return std::nullopt;
+    }
+
+    PairResult r;
+    r.name = cells[0];
+    r.size = size;
+    const auto input = parseUint(cells[1]);
+    const auto errored = parseUint(cells[2]);
+    const auto attempts = parseUint(cells[3]);
+    const auto failures = parseFailures(cells[4]);
+    const auto wall = parseDouble(cells[5]);
+    const auto instr = parseDouble(cells[6]);
+    const auto seconds = parseDouble(cells[7]);
+    if (!input || !errored || !attempts || !failures || !wall || !instr
+        || !seconds) {
+        reason = "unparsable fixed field";
+        return std::nullopt;
+    }
+    r.inputIndex = static_cast<unsigned>(*input);
+    r.errored = *errored != 0;
+    r.attempts = static_cast<unsigned>(*attempts);
+    r.failures = *failures;
+    r.wallCycles = *wall;
+    r.instrBillions = *instr;
+    r.seconds = *seconds;
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto count = parseUint(cells[kFixedFields + e]);
+        if (!count) {
+            reason = "unparsable counter "
+                + std::string(perfEventName(static_cast<PerfEvent>(e)));
+            return std::nullopt;
+        }
+        r.counters.set(static_cast<PerfEvent>(e), *count);
+    }
+    return r;
+}
+
+void
+writeRow(std::ostream &out, const PairResult &r)
+{
+    out << r.name << "," << r.inputIndex << "," << (r.errored ? 1 : 0)
+        << "," << r.attempts << "," << serializeFailures(r.failures)
+        << "," << r.wallCycles << "," << r.instrBillions << ","
+        << r.seconds;
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
+        out << "," << r.counters.get(static_cast<PerfEvent>(e));
+    out << "\n";
+}
+
+/**
+ * Reads fingerprint + header + rows. Rows are parsed up to the first
+ * malformation; @p torn reports whether trailing content was
+ * quarantined (torn tail or stale rows after a valid prefix).
+ */
+std::vector<PairResult>
+readRows(std::istream &in, const SuiteRunner &runner, InputSize size,
+         bool &header_ok, bool &torn)
+{
+    header_ok = false;
+    torn = false;
+    std::vector<PairResult> rows;
+    std::string line;
+    if (!std::getline(in, line) || line != fingerprint(runner))
+        return rows;
+    // The header row doubles as a format check: a cache written by a
+    // build with a different counter set must read as a miss, not as
+    // corrupt data.
+    if (!std::getline(in, line) || line != expectedHeader())
+        return rows;
+    header_ok = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string reason;
+        auto row = parseRow(line, size, reason);
+        if (!row) {
+            warn("quarantining journal tail (", reason,
+                 ") after ", rows.size(), " valid rows");
+            torn = true;
+            break;
+        }
+        rows.push_back(std::move(*row));
+    }
+    return rows;
+}
+
 } // namespace
 
-ResultCache::ResultCache(std::string path) : path_(std::move(path))
+ResultCache::ResultCache(std::string path, bool resume)
+    : path_(std::move(path)), resume_(resume)
 {
 }
 
@@ -68,47 +213,12 @@ ResultCache::load(const SuiteRunner &runner,
     if (!in)
         return std::nullopt;
 
-    std::string line;
-    if (!std::getline(in, line) || line != fingerprint(runner))
-        return std::nullopt;
-    // The header row doubles as a format check: a cache written by a
-    // build with a different counter set must read as a miss, not as
-    // corrupt data.
-    std::string expected_header =
-        "name,input,errored,wall_cycles,instr_billions,seconds";
-    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
-        expected_header +=
-            "," + perfEventName(static_cast<PerfEvent>(e));
-    }
-    if (!std::getline(in, line) || line != expected_header)
+    bool header_ok = false, torn = false;
+    auto results = readRows(in, runner, size, header_ok, torn);
+    if (!header_ok || torn)
         return std::nullopt;
 
     const auto pairs = enumeratePairs(suite, size);
-    std::vector<PairResult> results;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::istringstream cells(line);
-        std::string cell;
-        PairResult r;
-        auto next = [&]() {
-            SPEC17_ASSERT(std::getline(cells, cell, ','),
-                          "truncated cache row");
-            return cell;
-        };
-        r.name = next();
-        r.size = size;
-        r.inputIndex = static_cast<unsigned>(std::stoul(next()));
-        r.errored = next() == "1";
-        r.wallCycles = std::stod(next());
-        r.instrBillions = std::stod(next());
-        r.seconds = std::stod(next());
-        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
-            r.counters.set(static_cast<PerfEvent>(e),
-                           std::stoull(next()));
-        }
-        results.push_back(std::move(r));
-    }
     if (results.size() != pairs.size())
         return std::nullopt;
     // Rebind profile pointers by position (pair order is stable).
@@ -120,35 +230,80 @@ ResultCache::load(const SuiteRunner &runner,
     return results;
 }
 
+std::vector<PairResult>
+ResultCache::loadPartial(const SuiteRunner &runner,
+                         const std::vector<WorkloadProfile> &suite,
+                         InputSize size) const
+{
+    std::vector<PairResult> prefix;
+    if (path_.empty() || suite.empty())
+        return prefix;
+    std::ifstream in(sectionFile(path_, suite.front(), size));
+    if (!in)
+        return prefix;
+
+    bool header_ok = false, torn = false;
+    auto rows = readRows(in, runner, size, header_ok, torn);
+    if (!header_ok)
+        return prefix;
+
+    // Only a prefix that matches the sweep's pair order is a valid
+    // checkpoint; anything beyond a name mismatch is quarantined.
+    const auto pairs = enumeratePairs(suite, size);
+    for (std::size_t i = 0; i < rows.size() && i < pairs.size(); ++i) {
+        if (rows[i].name != pairs[i].displayName()) {
+            warn("journal row ", i, " names '", rows[i].name,
+                 "' where '", pairs[i].displayName(),
+                 "' was expected; discarding the rest");
+            break;
+        }
+        rows[i].profile = pairs[i].profile;
+        prefix.push_back(std::move(rows[i]));
+    }
+    return prefix;
+}
+
 void
 ResultCache::save(const SuiteRunner &runner,
                   const std::vector<WorkloadProfile> &suite,
-                  InputSize size,
-                  const std::vector<PairResult> &results) const
+                  InputSize size, const std::vector<PairResult> &results,
+                  bool quiet) const
 {
     if (path_.empty() || suite.empty())
         return;
-    const std::string file = sectionFile(path_, suite.front(), size);
-    std::ofstream out(file, std::ios::trunc);
-    if (!out) {
-        warn("cannot write result cache at ", file);
+    if (quiet && journalWarned_)
         return;
-    }
-    out << fingerprint(runner) << "\n";
-    out << "name,input,errored,wall_cycles,instr_billions,seconds";
-    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
-        out << "," << perfEventName(static_cast<PerfEvent>(e));
-    out << "\n";
-    out.precision(17);
-    for (const PairResult &r : results) {
-        out << r.name << "," << r.inputIndex << ","
-            << (r.errored ? 1 : 0) << "," << r.wallCycles << ","
-            << r.instrBillions << "," << r.seconds;
-        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
-            out << ","
-                << r.counters.get(static_cast<PerfEvent>(e));
+    const std::string file = sectionFile(path_, suite.front(), size);
+    // Write-temp-then-rename: a crash mid-save can never leave a
+    // half-written cache, and concurrent readers see either the old
+    // or the new journal, both complete.
+    const std::string temp = file + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out) {
+            if (!quiet || !journalWarned_)
+                warn("cannot write result cache at ", temp);
+            journalWarned_ = true;
+            return;
         }
-        out << "\n";
+        out << fingerprint(runner) << "\n" << expectedHeader() << "\n";
+        out.precision(17);
+        for (const PairResult &r : results)
+            writeRow(out, r);
+        out.flush();
+        if (!out) {
+            warn("short write to ", temp, "; cache not committed");
+            journalWarned_ = true;
+            std::remove(temp.c_str());
+            return;
+        }
+    }
+    if (std::rename(temp.c_str(), file.c_str()) != 0) {
+        if (!quiet || !journalWarned_)
+            warn("cannot commit result cache to ", file, ": ",
+                 std::strerror(errno));
+        journalWarned_ = true;
+        std::remove(temp.c_str());
     }
 }
 
@@ -159,7 +314,27 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
 {
     if (auto cached = load(runner, suite, size))
         return std::move(*cached);
-    std::vector<PairResult> results = runner.runAll(suite, size);
+
+    std::vector<PairResult> results;
+    if (resume_) {
+        results = loadPartial(runner, suite, size);
+        if (!results.empty()) {
+            inform("resuming sweep from journal: ", results.size(),
+                   " pair(s) replayed without re-simulation");
+        }
+    }
+
+    const auto pairs = enumeratePairs(suite, size);
+    journalWarned_ = false;
+    for (std::size_t i = results.size(); i < pairs.size(); ++i) {
+        results.push_back(runner.runPair(pairs[i]));
+        // Checkpoint after every pair: an interrupted sweep resumes
+        // from here instead of restarting. Quiet on unwritable paths
+        // (one warning per sweep, not one per pair).
+        save(runner, suite, size, results, /*quiet=*/true);
+    }
+    // Final commit doubles as the loud failure report for unwritable
+    // cache locations.
     save(runner, suite, size, results);
     return results;
 }
@@ -174,6 +349,7 @@ ResultCache::invalidate()
             const std::string file = path_ + "." + generation + "."
                 + workloads::inputSizeName(size) + ".csv";
             std::remove(file.c_str());
+            std::remove((file + ".tmp").c_str());
         }
     }
 }

@@ -1,13 +1,22 @@
 /**
  * @file
- * On-disk cache of suite-run results.
+ * On-disk cache of suite-run results, doubling as a crash-safe sweep
+ * journal.
  *
  * A full characterization sweep simulates hundreds of millions of
  * micro-ops; every bench binary needs the same sweep. The cache
  * persists PairResults to a CSV file keyed by a fingerprint of the
  * runner configuration, so the first binary pays for the sweep and
- * the rest replay it. Deleting the file (or changing any
- * configuration knob) invalidates it.
+ * the rest replay it.
+ *
+ * Crash safety: during a sweep the file is re-committed after every
+ * completed pair via write-temp-then-rename, so readers only ever see
+ * a complete prefix of rows (an append-only journal with atomic
+ * commits). An interrupted sweep leaves a valid partial journal;
+ * with resume enabled, the next run replays the completed prefix and
+ * simulates only the remainder. Malformed rows (torn tails, stale
+ * formats) are quarantined as cache misses with a logged reason --
+ * never a crash, never garbage results.
  */
 
 #ifndef SPEC17_SUITE_RESULT_CACHE_HH_
@@ -32,15 +41,22 @@ class ResultCache
     /**
      * @param path CSV file; created on first save. Empty path
      *        disables persistence (pure pass-through).
+     * @param resume when true, a partial journal left by an
+     *        interrupted sweep is replayed instead of discarded.
      */
-    explicit ResultCache(std::string path);
+    explicit ResultCache(std::string path, bool resume = false);
 
     /** Default cache location: $SPEC17_CACHE or spec17_results.csv. */
     static std::string defaultPath();
 
+    /** Enables/disables resuming from a partial journal. */
+    void setResume(bool resume) { resume_ = resume; }
+
     /**
      * Loads cached results for (@p suite, @p size) recorded under
-     * @p runner's fingerprint, or runs the sweep and persists it.
+     * @p runner's fingerprint, or runs the sweep and persists it,
+     * journaling each completed pair. With resume enabled, a partial
+     * journal seeds the sweep and only missing pairs are simulated.
      * Profile pointers in returned results are rebound into @p suite.
      */
     std::vector<PairResult> runOrLoad(
@@ -56,12 +72,24 @@ class ResultCache
         const SuiteRunner &runner,
         const std::vector<workloads::WorkloadProfile> &suite,
         workloads::InputSize size) const;
+    /** Longest valid journal prefix matching the expected pair order
+     *  (empty on fingerprint/header mismatch). */
+    std::vector<PairResult> loadPartial(
+        const SuiteRunner &runner,
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size) const;
+    /** Atomically commits @p results (write temp, then rename). */
     void save(const SuiteRunner &runner,
               const std::vector<workloads::WorkloadProfile> &suite,
               workloads::InputSize size,
-              const std::vector<PairResult> &results) const;
+              const std::vector<PairResult> &results,
+              bool quiet = false) const;
 
     std::string path_;
+    bool resume_ = false;
+    /** Set after one failed journal commit so a read-only location
+     *  warns once per sweep instead of once per pair. */
+    mutable bool journalWarned_ = false;
 };
 
 } // namespace suite

@@ -1,7 +1,9 @@
 #include "suite/runner.hh"
 
+#include <chrono>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
@@ -41,7 +43,7 @@ prefillSteadyState(sim::CpuSimulator &core,
     }
     // The binary itself is equally warm in steady state: without
     // this, every cold-code excursion reads as a compulsory DRAM
-    // fetch the real full-length run would never see.
+    // fetch the full-length run would never see.
     const std::uint64_t code = generator.params().codeFootprintBytes;
     core.prefillData(generator.codeBase(), code,
                      code <= 96 * kKiB ? sim::HitLevel::L2
@@ -59,6 +61,12 @@ PairResult::ipc() const
         / static_cast<double>(cycles);
 }
 
+const FailureRecord *
+PairResult::finalFailure() const
+{
+    return errored && !failures.empty() ? &failures.back() : nullptr;
+}
+
 SuiteRunner::SuiteRunner(RunnerOptions options)
     : options_(std::move(options))
 {
@@ -71,23 +79,75 @@ SuiteRunner::configKey() const
 {
     // kResultVersion changes whenever simulator or workload semantics
     // change, invalidating on-disk caches produced by older builds.
-    static constexpr const char *kResultVersion = "spec17-results-v2";
+    static constexpr const char *kResultVersion = "spec17-results-v3";
     std::ostringstream os;
     os << kResultVersion << "|" << options_.system.describe()
        << "|sample=" << options_.sampleOps
-       << "|warmup=" << options_.warmupOps << "|seed=" << options_.seed;
+       << "|warmup=" << options_.warmupOps << "|seed=" << options_.seed
+       << "|retries=" << options_.maxRetries
+       << "|deadline_ops=" << options_.pairDeadlineOps
+       << "|deadline_ms=" << options_.pairDeadlineMs;
     return os.str();
 }
 
+namespace {
+
+/**
+ * Per-attempt watchdog: deterministic micro-op budget plus a coarse
+ * wall-clock limit. Consulted at chunk boundaries of the simulation
+ * loop; on expiry it raises a Deadline failure carrying how far the
+ * attempt got.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(std::uint64_t op_budget, std::uint64_t ms_budget)
+        : opBudget_(op_budget), msBudget_(ms_budget),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    check(std::uint64_t executed_ops, bool &cancel_flag) const
+    {
+        if (opBudget_ != 0 && executed_ops > opBudget_) {
+            cancel_flag = true;
+            std::ostringstream os;
+            os << "op budget expired: " << executed_ops << " > "
+               << opBudget_ << " micro-ops";
+            throw PairExecutionError(FailureCategory::Deadline,
+                                     os.str(), executed_ops);
+        }
+        if (msBudget_ != 0) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed) > msBudget_) {
+                cancel_flag = true;
+                std::ostringstream os;
+                os << "wall-clock budget expired: " << elapsed << " > "
+                   << msBudget_ << " ms";
+                throw PairExecutionError(FailureCategory::Deadline,
+                                         os.str(), executed_ops);
+            }
+        }
+    }
+
+  private:
+    std::uint64_t opBudget_;
+    std::uint64_t msBudget_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
 PairResult
-SuiteRunner::runPair(const AppInputPair &pair) const
+SuiteRunner::runPairAttempt(const AppInputPair &pair,
+                            unsigned attempt) const
 {
     SPEC17_ASSERT(pair.profile != nullptr, "pair without profile");
     const WorkloadProfile &profile = *pair.profile;
-
-    workloads::BuildOptions build;
-    build.sampleOps = options_.sampleOps + options_.warmupOps;
-    build.seed = options_.seed;
 
     PairResult result;
     result.name = pair.displayName();
@@ -96,33 +156,88 @@ SuiteRunner::runPair(const AppInputPair &pair) const
     result.inputIndex = pair.inputIndex;
     result.errored = profile.isErrored(pair.size, pair.inputIndex);
 
+    // A malformed profile is a contained, diagnosable failure -- not
+    // a NaN row and not a process abort mid-sweep.
+    const std::string profile_error = profile.validationError();
+    if (!profile_error.empty()) {
+        throw PairExecutionError(FailureCategory::BadProfile,
+                                 profile_error);
+    }
+
+    FaultInjector::Action injected = FaultInjector::Action::None;
+    if (options_.faultInjector != nullptr)
+        injected = options_.faultInjector->onAttempt(result.name, attempt);
+    if (injected == FaultInjector::Action::Throw) {
+        throw PairExecutionError(FailureCategory::Injected,
+                                 "injected fault before simulation");
+    }
+
+    workloads::BuildOptions build;
+    build.sampleOps = options_.sampleOps + options_.warmupOps;
+    // Attempt 0 uses the unperturbed seed (byte-identical to a run
+    // without the fault layer); retries perturb it deterministically
+    // so transiently unlucky stochastic states are not replayed.
+    build.seed = attempt == 0
+        ? options_.seed
+        : deriveSeed(deriveSeed(options_.seed, "retry"), attempt);
+    if (injected == FaultInjector::Action::Stall) {
+        // Runaway trace generation: emit far past the declared sample
+        // so only the watchdog can stop the attempt.
+        const std::uint64_t runaway = options_.pairDeadlineOps != 0
+            ? options_.pairDeadlineOps * 4
+            : (options_.sampleOps + options_.warmupOps) * 64;
+        build.sampleOps = std::max(build.sampleOps, runaway);
+    }
+
     const std::uint64_t pair_seed =
-        deriveSeed(deriveSeed(options_.seed, profile.name),
+        deriveSeed(deriveSeed(build.seed, profile.name),
                    static_cast<std::uint64_t>(pair.size),
                    pair.inputIndex);
 
+    const Watchdog watchdog(options_.pairDeadlineOps,
+                            options_.pairDeadlineMs);
+    bool cancelled = false;
+
     sim::SimResult sim_result;
     if (profile.numThreads > 1) {
+        // The multicore interleaver runs to completion in one call, so
+        // the op budget is enforced up front against the statically
+        // known total; cooperative cancellation still bounds the
+        // generators if the budget trips after the fact.
+        watchdog.check(build.sampleOps, cancelled);
         std::vector<std::shared_ptr<trace::TraceSource>> sources;
         sim::MulticoreSimulator multicore(options_.system,
                                           profile.numThreads, pair_seed);
         for (unsigned t = 0; t < profile.numThreads; ++t) {
             auto gen = std::make_shared<trace::SyntheticTraceGenerator>(
                 workloads::buildTraceParams(pair, build, t));
+            gen->setCancelFlag(&cancelled);
             prefillSteadyState(multicore.mutableCore(t), *gen);
             sources.push_back(std::move(gen));
         }
         sim_result = multicore.run(
             sources, 10'000, options_.warmupOps / profile.numThreads);
+        watchdog.check(
+            sim_result.counters.get(PerfEvent::InstRetiredAny),
+            cancelled);
     } else {
         trace::SyntheticTraceGenerator source(
             workloads::buildTraceParams(pair, build, 0));
+        source.setCancelFlag(&cancelled);
         sim::CpuSimulator simulator(options_.system, pair_seed);
         prefillSteadyState(simulator, source);
-        simulator.step(source, options_.warmupOps);
+        std::uint64_t executed =
+            simulator.step(source, options_.warmupOps);
+        watchdog.check(executed, cancelled);
         const CounterSet warm = simulator.snapshot();
         const double warm_cycles = simulator.core().cycles();
-        while (simulator.step(source, 1 << 20) == (1 << 20)) {
+        constexpr std::uint64_t kChunk = 1 << 20;
+        while (true) {
+            const std::uint64_t done = simulator.step(source, kChunk);
+            executed += done;
+            watchdog.check(executed, cancelled);
+            if (done < kChunk)
+                break;
         }
         sim_result = simulator.finish(source);
         const std::uint64_t vsz =
@@ -145,8 +260,11 @@ SuiteRunner::runPair(const AppInputPair &pair) const
     result.instrBillions = profile.instrBillions(pair.size);
     const double sim_instr = static_cast<double>(
         result.counters.get(PerfEvent::InstRetiredAny));
-    SPEC17_ASSERT(sim_instr > 0.0, result.name,
-                  ": measured interval retired nothing");
+    if (!(sim_instr > 0.0)) {
+        throw PairExecutionError(
+            FailureCategory::Invariant,
+            result.name + ": measured interval retired nothing");
+    }
     const double wall_seconds = result.wallCycles
         / (options_.system.core.frequencyGHz * 1e9);
     result.seconds =
@@ -173,13 +291,87 @@ SuiteRunner::runPair(const AppInputPair &pair) const
     return result;
 }
 
+PairResult
+SuiteRunner::runPair(const AppInputPair &pair) const
+{
+    SPEC17_ASSERT(pair.profile != nullptr, "pair without profile");
+    const std::string name = pair.displayName();
+
+    std::vector<FailureRecord> failures;
+    const unsigned max_attempts = options_.maxRetries + 1;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0 && options_.retryBackoffMs > 0) {
+            const auto delay = std::chrono::milliseconds(
+                options_.retryBackoffMs << (attempt - 1));
+            std::this_thread::sleep_for(delay);
+        }
+        try {
+            PairResult result = runPairAttempt(pair, attempt);
+            result.attempts = attempt + 1;
+            result.failures = std::move(failures);
+            if (result.recovered()) {
+                logEvent("pair_recovered",
+                         {{"pair", name},
+                          {"attempts",
+                           std::to_string(result.attempts)}});
+            }
+            return result;
+        } catch (const PairExecutionError &error) {
+            failures.push_back({error.category(), error.what(), attempt,
+                                error.opsCompleted()});
+        } catch (const std::exception &error) {
+            failures.push_back({FailureCategory::Exception, error.what(),
+                                attempt, 0});
+        }
+        const FailureRecord &last = failures.back();
+        logEvent("pair_attempt_failed",
+                 {{"pair", name},
+                  {"attempt", std::to_string(attempt)},
+                  {"category", failureCategoryName(last.category)},
+                  {"ops", std::to_string(last.opsCompleted)},
+                  {"message", last.message}});
+    }
+
+    // Every attempt failed: surface an errored result mirroring the
+    // paper's "could not collect" semantics so aggregate analysis
+    // excludes the pair while the sweep carries on.
+    PairResult failed;
+    failed.name = name;
+    failed.profile = pair.profile;
+    failed.size = pair.size;
+    failed.inputIndex = pair.inputIndex;
+    failed.errored = true;
+    failed.attempts = max_attempts;
+    failed.failures = std::move(failures);
+    logEvent("pair_errored",
+             {{"pair", name},
+              {"attempts", std::to_string(max_attempts)},
+              {"category",
+               failureCategoryName(failed.failures.back().category)}});
+    return failed;
+}
+
 std::vector<PairResult>
 SuiteRunner::runAll(const std::vector<WorkloadProfile> &suite,
                     workloads::InputSize size) const
 {
+    return runAll(suite, size, PairObserver());
+}
+
+std::vector<PairResult>
+SuiteRunner::runAll(const std::vector<WorkloadProfile> &suite,
+                    workloads::InputSize size,
+                    const PairObserver &observer) const
+{
+    const auto pairs = enumeratePairs(suite, size);
     std::vector<PairResult> results;
-    for (const AppInputPair &pair : enumeratePairs(suite, size))
+    results.reserve(pairs.size());
+    for (const AppInputPair &pair : pairs) {
         results.push_back(runPair(pair));
+        if (observer) {
+            observer(results.back(), results.size() - 1, pairs.size());
+        }
+    }
     return results;
 }
 

@@ -9,12 +9,15 @@
 #ifndef SPEC17_SUITE_RUNNER_HH_
 #define SPEC17_SUITE_RUNNER_HH_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "counters/perf_event.hh"
 #include "sim/simulator.hh"
 #include "sim/system_config.hh"
+#include "suite/failure.hh"
+#include "suite/fault_injection.hh"
 #include "workloads/builder.hh"
 #include "workloads/profile.hh"
 
@@ -41,6 +44,28 @@ struct RunnerOptions
     std::uint64_t warmupOps = 600'000;
     /** Root seed for all stochastic components. */
     std::uint64_t seed = 0x5bec17;
+
+    /** @name Fault isolation */
+    /// @{
+    /** Additional attempts after a failed first try (0 = fail fast). */
+    unsigned maxRetries = 0;
+    /**
+     * Watchdog: micro-op budget per attempt, detecting runaway trace
+     * generation deterministically. 0 disables. Must comfortably
+     * exceed sampleOps + warmupOps or every pair trips it.
+     */
+    std::uint64_t pairDeadlineOps = 0;
+    /** Watchdog: wall-clock budget per attempt in ms (0 disables).
+     *  Catches genuine stalls; unlike the op budget it is inherently
+     *  non-deterministic, so keep it generous. */
+    std::uint64_t pairDeadlineMs = 0;
+    /** Base delay before retry attempt k of 2^(k-1) * this (ms).
+     *  0 retries immediately (the deterministic-test default). */
+    std::uint64_t retryBackoffMs = 0;
+    /** Test-only injection hook; not part of the config key.
+     *  Borrowed pointer, nullptr in production. */
+    FaultInjector *faultInjector = nullptr;
+    /// @}
 };
 
 /** Result of one application-input pair. */
@@ -50,9 +75,22 @@ struct PairResult
     const workloads::WorkloadProfile *profile = nullptr;
     workloads::InputSize size = workloads::InputSize::Ref;
     unsigned inputIndex = 0;
-    /** True when the paper could not collect this pair (excluded
-     *  from all aggregate analysis, like in the paper). */
+    /** True when the pair must be excluded from aggregate analysis:
+     *  either the paper could not collect it, or every attempt at it
+     *  failed at runtime (same downstream semantics). */
     bool errored = false;
+    /** Attempts consumed (1 = first try succeeded). */
+    unsigned attempts = 1;
+    /** One record per failed attempt, oldest first. Non-empty with
+     *  errored == false means the pair recovered under retry. */
+    std::vector<FailureRecord> failures;
+
+    /** Last failure when the pair errored at runtime, else nullptr
+     *  (paper-errored pairs carry no runtime failure). */
+    const FailureRecord *finalFailure() const;
+
+    /** True when retries recovered the pair after transient failures. */
+    bool recovered() const { return !failures.empty() && !errored; }
 
     /** Counters over the measured interval (simulation scale). */
     counters::CounterSet counters;
@@ -71,13 +109,28 @@ struct PairResult
 /**
  * Runs pairs on a fresh simulator each (no cross-pair pollution).
  * Deterministic: identical options produce identical results.
+ *
+ * Every pair runs inside a failure boundary: exceptions, invariant
+ * violations, malformed profiles and watchdog expiries become an
+ * errored PairResult with a FailureRecord per failed attempt, so one
+ * bad pair can never sink a sweep. Failed attempts are retried up to
+ * RunnerOptions::maxRetries times with exponential backoff and a
+ * deterministic per-attempt seed perturbation (attempt 0 always uses
+ * the unperturbed seed, so fault-free sweeps are byte-identical
+ * whether or not retries are enabled).
  */
 class SuiteRunner
 {
   public:
+    /** Called after each pair of a sweep completes (observer gets the
+     *  result plus the pair's index and the sweep size). */
+    using PairObserver = std::function<void(
+        const PairResult &, std::size_t index, std::size_t total)>;
+
     explicit SuiteRunner(RunnerOptions options = {});
 
-    /** Runs a single pair. */
+    /** Runs a single pair inside the failure boundary; never throws
+     *  for per-pair faults (the result is marked errored instead). */
     PairResult runPair(const workloads::AppInputPair &pair) const;
 
     /** Runs every pair of @p suite at @p size, in suite order. */
@@ -85,12 +138,22 @@ class SuiteRunner
         const std::vector<workloads::WorkloadProfile> &suite,
         workloads::InputSize size) const;
 
+    /** runAll() variant notifying @p observer after each pair, which
+     *  is how the result cache journals completed pairs. */
+    std::vector<PairResult> runAll(
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size, const PairObserver &observer) const;
+
     const RunnerOptions &options() const { return options_; }
 
     /** Stable fingerprint of everything that affects results. */
     std::string configKey() const;
 
   private:
+    /** One uncontained attempt; throws PairExecutionError on faults. */
+    PairResult runPairAttempt(const workloads::AppInputPair &pair,
+                              unsigned attempt) const;
+
     RunnerOptions options_;
 };
 

@@ -246,6 +246,8 @@ SyntheticTraceGenerator::pickBranchTarget()
 bool
 SyntheticTraceGenerator::next(isa::MicroOp &op)
 {
+    if (cancel_ != nullptr && *cancel_)
+        return false;
     if (emitted_ >= params_.numOps)
         return false;
     ++emitted_;

@@ -160,6 +160,14 @@ class SyntheticTraceGenerator : public TraceSource
 
     const SyntheticTraceParams &params() const { return params_; }
 
+    /**
+     * Cooperative cancellation: while @p flag points at a true value,
+     * next() emits nothing and reports end-of-stream, letting a
+     * watchdog stop runaway generation at the next micro-op boundary.
+     * The flag is borrowed, not owned; pass nullptr to detach.
+     */
+    void setCancelFlag(const bool *flag) { cancel_ = flag; }
+
     /** Base virtual address of data region @p index (for tests). */
     std::uint64_t regionBase(std::size_t index) const;
 
@@ -186,6 +194,7 @@ class SyntheticTraceGenerator : public TraceSource
 
     SyntheticTraceParams params_;
     Rng rng_;
+    const bool *cancel_ = nullptr;
     std::uint64_t emitted_ = 0;
     std::uint64_t pc_ = 0;
 

@@ -3,6 +3,22 @@
 #include <cstdio>
 
 namespace spec17 {
+
+void
+logEvent(const std::string &name,
+         std::initializer_list<LogField> fields)
+{
+    std::string line = "event: " + name;
+    for (const LogField &field : fields) {
+        line += " " + field.key + "=";
+        if (field.value.find(' ') == std::string::npos)
+            line += field.value;
+        else
+            line += "\"" + field.value + "\"";
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 namespace detail {
 
 void

@@ -15,11 +15,28 @@
 #define SPEC17_UTIL_LOGGING_HH_
 
 #include <cstdlib>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <utility>
 
 namespace spec17 {
+
+/** One key of a structured log event. */
+struct LogField
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Structured machine-parsable event line on stderr:
+ * `event: <name> key=value key="value with spaces" ...`.
+ * Used for failure/retry telemetry so sweep logs can be grepped and
+ * post-processed without parsing prose.
+ */
+void logEvent(const std::string &name,
+              std::initializer_list<LogField> fields);
 
 namespace detail {
 

@@ -1,5 +1,9 @@
 #include "workloads/profile.hh"
 
+#include <cmath>
+#include <sstream>
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace spec17 {
@@ -91,50 +95,75 @@ WorkloadProfile::isErrored(InputSize size, unsigned input_index) const
 
 namespace {
 
-void
-checkFraction(double value, const char *what, const std::string &name)
+std::string
+fractionError(double value, const char *what, const std::string &name)
 {
-    SPEC17_ASSERT(value >= 0.0 && value <= 1.0,
-                  name, ": ", what, " must be in [0, 1], got ", value);
+    if (std::isfinite(value) && value >= 0.0 && value <= 1.0)
+        return "";
+    std::ostringstream os;
+    os << name << ": " << what << " must be in [0, 1], got " << value;
+    return os.str();
 }
 
 } // namespace
 
-void
-WorkloadProfile::validate() const
+std::string
+WorkloadProfile::validationError() const
 {
-    SPEC17_ASSERT(!name.empty(), "profile without a name");
-    SPEC17_ASSERT(benchmarkId > 0, name, ": benchmark id missing");
-    checkFraction(loadFrac, "loadFrac", name);
-    checkFraction(storeFrac, "storeFrac", name);
-    checkFraction(branchFrac, "branchFrac", name);
-    SPEC17_ASSERT(loadFrac + storeFrac + branchFrac < 1.0,
-                  name, ": mix leaves no room for compute");
-    checkFraction(fpFrac, "fpFrac", name);
-    checkFraction(computeDepFrac, "computeDepFrac", name);
-    checkFraction(memory.l1MissRate, "l1MissRate", name);
-    checkFraction(memory.l2MissRate, "l2MissRate", name);
-    checkFraction(memory.l3MissRate, "l3MissRate", name);
-    checkFraction(memory.chaseFrac, "chaseFrac", name);
-    checkFraction(branches.condFrac, "condFrac", name);
-    checkFraction(branches.mispredictRate, "mispredictRate", name);
-    checkFraction(branches.depOnLoadFrac, "depOnLoadFrac", name);
-    checkFraction(threadPrivateFrac, "threadPrivateFrac", name);
+    if (name.empty())
+        return "profile without a name";
+    if (benchmarkId <= 0)
+        return name + ": benchmark id missing";
+    const std::pair<double, const char *> fractions[] = {
+        {loadFrac, "loadFrac"},
+        {storeFrac, "storeFrac"},
+        {branchFrac, "branchFrac"},
+        {fpFrac, "fpFrac"},
+        {computeDepFrac, "computeDepFrac"},
+        {memory.l1MissRate, "l1MissRate"},
+        {memory.l2MissRate, "l2MissRate"},
+        {memory.l3MissRate, "l3MissRate"},
+        {memory.chaseFrac, "chaseFrac"},
+        {branches.condFrac, "condFrac"},
+        {branches.mispredictRate, "mispredictRate"},
+        {branches.depOnLoadFrac, "depOnLoadFrac"},
+        {threadPrivateFrac, "threadPrivateFrac"},
+    };
+    for (const auto &[value, what] : fractions) {
+        const std::string error = fractionError(value, what, name);
+        if (!error.empty())
+            return error;
+    }
+    if (!(loadFrac + storeFrac + branchFrac < 1.0))
+        return name + ": mix leaves no room for compute";
     const double kinds = branches.condFrac + branches.directJumpFrac
         + branches.nearCallFrac + branches.indirectJumpFrac
         + branches.nearReturnFrac;
-    SPEC17_ASSERT(kinds <= 1.0 + 1e-9, name,
-                  ": branch kinds exceed 100%");
-    SPEC17_ASSERT(refInstrBillions > 0.0, name,
-                  ": instruction count must be positive");
-    SPEC17_ASSERT(rssRefMiB > 0.0 && vszRefMiB >= rssRefMiB, name,
-                  ": need 0 < RSS <= VSZ");
-    SPEC17_ASSERT(testScale > 0.0 && trainScale > 0.0, name,
-                  ": input scales must be positive");
-    SPEC17_ASSERT(numThreads >= 1, name, ": needs at least one thread");
-    for (unsigned n : numInputs)
-        SPEC17_ASSERT(n >= 1, name, ": every size needs >= 1 input");
-    SPEC17_ASSERT(codeFootprintKiB >= 4, name, ": code too small");
+    if (!(kinds <= 1.0 + 1e-9))
+        return name + ": branch kinds exceed 100%";
+    if (!(std::isfinite(refInstrBillions) && refInstrBillions > 0.0))
+        return name + ": instruction count must be positive";
+    if (!(std::isfinite(rssRefMiB) && std::isfinite(vszRefMiB)
+          && rssRefMiB > 0.0 && vszRefMiB >= rssRefMiB))
+        return name + ": need 0 < RSS <= VSZ";
+    if (!(testScale > 0.0 && trainScale > 0.0))
+        return name + ": input scales must be positive";
+    if (numThreads < 1)
+        return name + ": needs at least one thread";
+    for (unsigned n : numInputs) {
+        if (n < 1)
+            return name + ": every size needs >= 1 input";
+    }
+    if (codeFootprintKiB < 4)
+        return name + ": code too small";
+    return "";
+}
+
+void
+WorkloadProfile::validate() const
+{
+    const std::string error = validationError();
+    SPEC17_ASSERT(error.empty(), error);
 }
 
 std::string

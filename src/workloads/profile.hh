@@ -192,6 +192,15 @@ struct WorkloadProfile
     /** True when the paper failed to collect the given pair. */
     bool isErrored(InputSize size, unsigned input_index) const;
 
+    /**
+     * Diagnoses the first malformed field (fraction outside [0, 1],
+     * NaN, non-positive magnitude, mix leaving no room for compute),
+     * or returns "" when the profile is well-formed. The suite runner
+     * uses this to reject a bad profile as a contained per-pair
+     * failure instead of producing NaN metrics.
+     */
+    std::string validationError() const;
+
     /** Validates all fractions and magnitudes; panics on nonsense. */
     void validate() const;
 };

@@ -85,6 +85,87 @@ TEST(FailureInjection, StaleCacheHeaderIsAMissNotACrash)
     cache.invalidate();
 }
 
+TEST(FailureInjection, CacheRowWithWrongFieldCountIsAMiss)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/spec17_shortrow";
+    suite::SuiteRunner runner(fastOptions());
+    suite::ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner, workloads::cpu2006Suite(),
+                    workloads::InputSize::Test);
+
+    // Drop the last few cells of the first data row (a torn write of
+    // pre-atomic-commit vintage). The whole file must read as a miss.
+    const std::string file = base + ".cpu2006.test.csv";
+    std::ifstream in(file);
+    std::string content, line;
+    for (int i = 0; std::getline(in, line); ++i) {
+        if (i == 2)
+            line = line.substr(0, line.size() / 2);
+        content += line + "\n";
+    }
+    in.close();
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << content;
+    }
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), workloads::InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+    cache.invalidate();
+}
+
+TEST(FailureInjection, CacheRowWithUnparsableNumbersIsAMiss)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/spec17_nanrow";
+    suite::SuiteRunner runner(fastOptions());
+    suite::ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner, workloads::cpu2006Suite(),
+                    workloads::InputSize::Test);
+
+    // Corrupt one numeric cell with text; parsing must degrade to a
+    // logged miss, never a std::stod throw mid-load.
+    const std::string file = base + ".cpu2006.test.csv";
+    std::ifstream in(file);
+    std::string content, line;
+    for (int i = 0; std::getline(in, line); ++i) {
+        if (i == 4) {
+            const auto comma = line.rfind(',');
+            line = line.substr(0, comma + 1) + "not-a-number";
+        }
+        content += line + "\n";
+    }
+    in.close();
+    {
+        std::ofstream out(file, std::ios::trunc);
+        out << content;
+    }
+    const auto results = cache.runOrLoad(
+        runner, workloads::cpu2006Suite(), workloads::InputSize::Test);
+    EXPECT_EQ(results.size(), 29u);
+    cache.invalidate();
+}
+
+TEST(FailureInjection, MalformedProfileIsAContainedDiagnosableFailure)
+{
+    // A profile violating its invariants must produce an errored
+    // result naming the defect -- not NaNs, not a mid-sweep abort.
+    workloads::WorkloadProfile broken = workloads::cpu2006Suite()[0];
+    broken.memory.l1MissRate = 1.7;
+    suite::SuiteRunner runner(fastOptions());
+    const auto result = runner.runPair(
+        {&broken, workloads::InputSize::Test, 0});
+    EXPECT_TRUE(result.errored);
+    ASSERT_NE(result.finalFailure(), nullptr);
+    EXPECT_EQ(result.finalFailure()->category,
+              suite::FailureCategory::BadProfile);
+    EXPECT_NE(result.finalFailure()->message.find("l1MissRate"),
+              std::string::npos);
+}
+
 TEST(FailureInjectionDeathTest, FuzzedTraceRecordsFailCleanly)
 {
     // Valid header, garbage records: replay must panic with a

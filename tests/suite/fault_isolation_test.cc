@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Fault-isolated suite execution: one bad pair must never sink a
+ * sweep. Exercises the failure boundary (injected throws, watchdog
+ * expiry), the retry policy (transient failures, attempt history,
+ * determinism), and crash-safe checkpointed sweeps (resume from the
+ * journal, torn-tail quarantine, byte-identical final results).
+ */
+
+#include "suite/result_cache.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/metrics.hh"
+
+namespace spec17 {
+namespace suite {
+namespace {
+
+using workloads::InputSize;
+
+RunnerOptions
+fastOptions()
+{
+    RunnerOptions options;
+    options.sampleOps = 60000;
+    options.warmupOps = 20000;
+    return options;
+}
+
+std::string
+tempBase(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/spec17_fault_" + tag;
+}
+
+std::vector<std::string>
+pairNames(InputSize size)
+{
+    std::vector<std::string> names;
+    for (const auto &pair :
+         enumeratePairs(workloads::cpu2006Suite(), size))
+        names.push_back(pair.displayName());
+    return names;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(FaultIsolation, InjectedThrowIsContainedToOnePair)
+{
+    const auto names = pairNames(InputSize::Test);
+    const std::string &victim = names[names.size() / 2];
+
+    ScriptedFaultInjector injector;
+    injector.set(victim, 0, FaultInjector::Action::Throw);
+    RunnerOptions options = fastOptions();
+    options.faultInjector = &injector;
+    SuiteRunner runner(options);
+
+    const auto results =
+        runner.runAll(workloads::cpu2006Suite(), InputSize::Test);
+    ASSERT_EQ(results.size(), names.size());
+    for (const auto &result : results) {
+        if (result.name == victim) {
+            EXPECT_TRUE(result.errored);
+            EXPECT_EQ(result.attempts, 1u);
+            ASSERT_NE(result.finalFailure(), nullptr);
+            EXPECT_EQ(result.finalFailure()->category,
+                      FailureCategory::Injected);
+            EXPECT_FALSE(result.finalFailure()->message.empty());
+        } else {
+            EXPECT_FALSE(result.errored) << result.name;
+            EXPECT_TRUE(result.failures.empty()) << result.name;
+            EXPECT_GT(result.counters.get(
+                          counters::PerfEvent::InstRetiredAny),
+                      0u)
+                << result.name;
+        }
+    }
+
+    // Downstream, the errored pair drops out of aggregate analysis
+    // exactly like the paper's uncollectable benchmarks.
+    const auto aggregate =
+        core::withoutErrored(core::deriveMetrics(results));
+    EXPECT_EQ(aggregate.size(), names.size() - 1);
+    for (const auto &m : aggregate)
+        EXPECT_NE(m.name, victim);
+}
+
+TEST(FaultIsolation, RetryRecoversTransientFailure)
+{
+    const auto names = pairNames(InputSize::Test);
+    const std::string &flaky = names.front();
+
+    ScriptedFaultInjector injector;
+    injector.failFirstAttempts(flaky, 1);
+    RunnerOptions options = fastOptions();
+    options.faultInjector = &injector;
+    options.maxRetries = 2;
+    SuiteRunner runner(options);
+
+    const auto results =
+        runner.runAll(workloads::cpu2006Suite(), InputSize::Test);
+    const auto &recovered = results.front();
+    ASSERT_EQ(recovered.name, flaky);
+    EXPECT_FALSE(recovered.errored);
+    EXPECT_TRUE(recovered.recovered());
+    EXPECT_EQ(recovered.attempts, 2u);
+    ASSERT_EQ(recovered.failures.size(), 1u);
+    EXPECT_EQ(recovered.failures[0].attempt, 0u);
+    EXPECT_EQ(recovered.failures[0].category,
+              FailureCategory::Injected);
+    EXPECT_GT(recovered.counters.get(
+                  counters::PerfEvent::InstRetiredAny),
+              0u);
+}
+
+TEST(FaultIsolation, ExhaustedRetriesErrorThePairWithFullHistory)
+{
+    const auto names = pairNames(InputSize::Test);
+    const std::string &doomed = names.back();
+
+    ScriptedFaultInjector injector;
+    injector.failFirstAttempts(doomed, 5);
+    RunnerOptions options = fastOptions();
+    options.faultInjector = &injector;
+    options.maxRetries = 1;
+    SuiteRunner runner(options);
+
+    const auto result = runner.runPair(
+        enumeratePairs(workloads::cpu2006Suite(), InputSize::Test)
+            .back());
+    EXPECT_TRUE(result.errored);
+    EXPECT_EQ(result.attempts, 2u);
+    ASSERT_EQ(result.failures.size(), 2u);
+    EXPECT_EQ(result.failures[0].attempt, 0u);
+    EXPECT_EQ(result.failures[1].attempt, 1u);
+    ASSERT_NE(result.finalFailure(), nullptr);
+    EXPECT_EQ(result.finalFailure(), &result.failures.back());
+}
+
+TEST(FaultIsolation, StalledGenerationTripsTheOpBudgetWatchdog)
+{
+    const auto pairs =
+        enumeratePairs(workloads::cpu2006Suite(), InputSize::Test);
+    const std::string victim = pairs.front().displayName();
+
+    ScriptedFaultInjector injector;
+    injector.set(victim, 0, FaultInjector::Action::Stall);
+    RunnerOptions options = fastOptions();
+    options.faultInjector = &injector;
+    options.pairDeadlineOps = 200000; // > sample + warmup
+    SuiteRunner runner(options);
+
+    const auto result = runner.runPair(pairs.front());
+    EXPECT_TRUE(result.errored);
+    ASSERT_NE(result.finalFailure(), nullptr);
+    EXPECT_EQ(result.finalFailure()->category,
+              FailureCategory::Deadline);
+    EXPECT_GT(result.finalFailure()->opsCompleted,
+              options.pairDeadlineOps);
+
+    // The same budget leaves healthy pairs untouched.
+    const auto healthy = runner.runPair(pairs.back());
+    EXPECT_FALSE(healthy.errored);
+}
+
+TEST(FaultIsolation, RetryConfigDoesNotPerturbFaultFreeResults)
+{
+    // Attempt 0 always runs with the unperturbed seed, so enabling
+    // the fault-isolation machinery must be invisible to a healthy
+    // sweep.
+    SuiteRunner plain(fastOptions());
+    RunnerOptions guarded_options = fastOptions();
+    guarded_options.maxRetries = 3;
+    guarded_options.pairDeadlineOps = 100'000'000;
+    SuiteRunner guarded(guarded_options);
+
+    const auto baseline =
+        plain.runAll(workloads::cpu2006Suite(), InputSize::Test);
+    const auto isolated =
+        guarded.runAll(workloads::cpu2006Suite(), InputSize::Test);
+    ASSERT_EQ(baseline.size(), isolated.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(baseline[i].name, isolated[i].name);
+        EXPECT_EQ(isolated[i].attempts, 1u);
+        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+            const auto event = static_cast<counters::PerfEvent>(e);
+            EXPECT_EQ(baseline[i].counters.get(event),
+                      isolated[i].counters.get(event))
+                << baseline[i].name;
+        }
+    }
+}
+
+/** Truncates the journal at @p base to its first @p keep_rows rows. */
+void
+truncateJournal(const std::string &file, std::size_t keep_rows)
+{
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good());
+    std::string line, kept;
+    for (std::size_t i = 0; i < keep_rows + 2; ++i) {
+        ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+        kept += line + "\n";
+    }
+    in.close();
+    std::ofstream out(file, std::ios::trunc);
+    out << kept;
+}
+
+TEST(FaultIsolation, ResumeReplaysJournalWithoutResimulating)
+{
+    const std::string base = tempBase("resume");
+    const std::string file = base + ".cpu2006.test.csv";
+    const auto &suite = workloads::cpu2006Suite();
+    SuiteRunner runner(fastOptions());
+
+    ResultCache cache(base);
+    cache.invalidate();
+    const auto golden = cache.runOrLoad(runner, suite, InputSize::Test);
+    const std::string golden_bytes = fileBytes(file);
+    ASSERT_FALSE(golden_bytes.empty());
+
+    // Simulate a sweep killed after 11 completed pairs: thanks to the
+    // per-pair atomic commits, the survivor file is exactly a valid
+    // prefix of the journal.
+    constexpr std::size_t kCompleted = 11;
+    truncateJournal(file, kCompleted);
+
+    // The probe injector never fires; its consultation log records
+    // which pairs the resumed sweep actually simulated.
+    ScriptedFaultInjector probe;
+    RunnerOptions probe_options = fastOptions();
+    probe_options.faultInjector = &probe;
+    SuiteRunner probe_runner(probe_options);
+
+    ResultCache resumed(base, /*resume=*/true);
+    const auto results =
+        resumed.runOrLoad(probe_runner, suite, InputSize::Test);
+
+    const auto names = pairNames(InputSize::Test);
+    ASSERT_EQ(results.size(), names.size());
+    ASSERT_EQ(probe.consulted().size(), names.size() - kCompleted);
+    for (std::size_t i = 0; i < probe.consulted().size(); ++i)
+        EXPECT_EQ(probe.consulted()[i].first, names[kCompleted + i]);
+
+    // Replayed prefix + re-simulated suffix must be byte-identical to
+    // the uninterrupted sweep -- results and journal alike.
+    EXPECT_EQ(fileBytes(file), golden_bytes);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].name, golden[i].name);
+        EXPECT_DOUBLE_EQ(results[i].seconds, golden[i].seconds);
+        for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+            const auto event = static_cast<counters::PerfEvent>(e);
+            EXPECT_EQ(results[i].counters.get(event),
+                      golden[i].counters.get(event));
+        }
+    }
+    resumed.invalidate();
+}
+
+TEST(FaultIsolation, TornJournalTailIsQuarantinedOnResume)
+{
+    const std::string base = tempBase("torn");
+    const std::string file = base + ".cpu2006.test.csv";
+    const auto &suite = workloads::cpu2006Suite();
+    SuiteRunner runner(fastOptions());
+
+    ResultCache cache(base);
+    cache.invalidate();
+    cache.runOrLoad(runner, suite, InputSize::Test);
+    const std::string golden_bytes = fileBytes(file);
+
+    // A crash mid-write of pre-atomic-commit vintage: valid rows
+    // followed by half a row.
+    truncateJournal(file, 7);
+    {
+        std::ofstream out(file, std::ios::app);
+        out << "458.sjeng,0,0,1,-,73";
+    }
+
+    ScriptedFaultInjector probe;
+    RunnerOptions probe_options = fastOptions();
+    probe_options.faultInjector = &probe;
+    SuiteRunner probe_runner(probe_options);
+    ResultCache resumed(base, /*resume=*/true);
+    const auto results =
+        resumed.runOrLoad(probe_runner, suite, InputSize::Test);
+
+    const auto names = pairNames(InputSize::Test);
+    ASSERT_EQ(results.size(), names.size());
+    // The 7 intact rows resumed; the torn eighth re-simulated.
+    EXPECT_EQ(probe.consulted().size(), names.size() - 7);
+    EXPECT_EQ(fileBytes(file), golden_bytes);
+    resumed.invalidate();
+}
+
+TEST(FaultIsolation, ErroredPairsRoundTripThroughTheJournal)
+{
+    const std::string base = tempBase("errored_rt");
+    const auto &suite = workloads::cpu2006Suite();
+    const auto names = pairNames(InputSize::Test);
+    const std::string &victim = names[3];
+
+    ScriptedFaultInjector injector;
+    injector.failFirstAttempts(victim, 2);
+    RunnerOptions options = fastOptions();
+    options.faultInjector = &injector;
+    options.maxRetries = 1;
+    SuiteRunner runner(options);
+
+    ResultCache cache(base);
+    cache.invalidate();
+    const auto fresh = cache.runOrLoad(runner, suite, InputSize::Test);
+    const auto reloaded =
+        cache.runOrLoad(runner, suite, InputSize::Test);
+
+    ASSERT_EQ(fresh.size(), reloaded.size());
+    const auto &cached_victim = reloaded[3];
+    ASSERT_EQ(cached_victim.name, victim);
+    EXPECT_TRUE(cached_victim.errored);
+    EXPECT_EQ(cached_victim.attempts, 2u);
+    ASSERT_EQ(cached_victim.failures.size(), 2u);
+    EXPECT_EQ(cached_victim.failures[1].category,
+              FailureCategory::Injected);
+    EXPECT_EQ(cached_victim.failures[1].attempt, 1u);
+    cache.invalidate();
+}
+
+TEST(FaultIsolation, FailureHistorySerializationRoundTrips)
+{
+    std::vector<FailureRecord> records = {
+        {FailureCategory::Deadline, "op budget expired: 9 > 8", 0, 9},
+        {FailureCategory::Exception, "weird, chars | here @ end", 1, 0},
+    };
+    const std::string cell = serializeFailures(records);
+    EXPECT_EQ(cell.find(','), std::string::npos);
+    const auto parsed = parseFailures(cell);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->size(), 2u);
+    EXPECT_EQ((*parsed)[0].category, FailureCategory::Deadline);
+    EXPECT_EQ((*parsed)[0].opsCompleted, 9u);
+    EXPECT_EQ((*parsed)[1].attempt, 1u);
+    // Sanitized message survives a second round trip unchanged.
+    EXPECT_EQ(serializeFailures(*parsed), cell);
+
+    EXPECT_TRUE(parseFailures("-").has_value());
+    EXPECT_TRUE(parseFailures("-")->empty());
+    EXPECT_FALSE(parseFailures("nonsense").has_value());
+    EXPECT_FALSE(parseFailures("deadline@x@0@msg").has_value());
+}
+
+} // namespace
+} // namespace suite
+} // namespace spec17

@@ -144,6 +144,29 @@ TEST(CliRun, StatEmitsCountersAndMetrics)
               std::string::npos);
 }
 
+TEST(CliRun, CharacterizeReportsPaperErroredPairsInFailureSummary)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2017",
+                                "--size=test", "--sample=1000",
+                                "--warmup=0", "--no-cache"}),
+                         out, err),
+              0);
+    // The paper could not collect perlbench's test.pl or any
+    // 627.cam4_s input; those pairs surface in the failure summary
+    // (and only there -- they are excluded from the metrics table).
+    EXPECT_NE(out.str().find("failure summary"), std::string::npos);
+    EXPECT_NE(out.str().find("errored-in-paper"), std::string::npos);
+    EXPECT_NE(out.str().find("627.cam4_s"), std::string::npos);
+}
+
+TEST(CliRun, UsageDocumentsFaultIsolationFlags)
+{
+    for (const char *flag : {"--retries", "--pair-deadline",
+                             "--resume", "--retry-backoff-ms"})
+        EXPECT_NE(usage().find(flag), std::string::npos) << flag;
+}
+
 TEST(CliRun, SubsetValidatesSetFlag)
 {
     std::ostringstream out, err;

@@ -68,7 +68,46 @@ runnerOptionsOf(const CommandLine &command)
     if (command.hasFlag("prefetcher"))
         options.system.hierarchy.prefetcher =
             command.flag("prefetcher");
+    options.maxRetries =
+        static_cast<unsigned>(command.flagUint("retries", 0));
+    options.pairDeadlineOps = command.flagUint("pair-deadline", 0);
+    options.pairDeadlineMs = command.flagUint("pair-deadline-ms", 0);
+    options.retryBackoffMs = command.flagUint("retry-backoff-ms", 0);
     return options;
+}
+
+/**
+ * Tabulates pairs that errored or needed retries -- the equivalent of
+ * the paper's "benchmarks excluded from aggregate analysis" note,
+ * plus recovered transients so flaky sweeps are visible.
+ */
+void
+renderFailureSummary(const std::vector<const suite::PairResult *>
+                         &affected,
+                     std::ostream &out)
+{
+    if (affected.empty())
+        return;
+    TextTable table({"pair", "status", "attempts", "category",
+                     "ops done", "last failure"});
+    for (const auto *result : affected) {
+        const suite::FailureRecord *last =
+            result->failures.empty() ? nullptr
+                                     : &result->failures.back();
+        table.addRow({result->name,
+                      result->errored
+                          ? (result->failures.empty()
+                                 ? "errored-in-paper" : "errored")
+                          : "recovered",
+                      std::to_string(result->attempts),
+                      last ? failureCategoryName(last->category) : "-",
+                      last ? fmtCount(last->opsCompleted) : "-",
+                      last ? last->message : "-"});
+    }
+    out << "\nfailure summary (" << affected.size()
+        << " pair(s) errored or retried; errored pairs are excluded "
+           "from aggregates):\n";
+    table.render(out);
 }
 
 int
@@ -328,6 +367,7 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
     options.runner = runnerOptionsOf(command);
     if (command.hasFlag("no-cache"))
         options.cachePath.clear();
+    options.resume = command.hasFlag("resume");
     core::Characterizer session(options);
     const auto metrics = session.metrics(generation, size);
 
@@ -347,10 +387,12 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
                       fmtDouble(m.rssGiB, 3),
                       fmtDouble(m.seconds, 1)});
     }
-    if (command.hasFlag("csv"))
+    if (command.hasFlag("csv")) {
         table.renderCsv(out);
-    else
+    } else {
         table.render(out);
+        renderFailureSummary(session.failures(generation, size), out);
+    }
     return 0;
 }
 
@@ -525,7 +567,18 @@ usage()
         "  --set=rate|speed             pair set for subset\n"
         "  --clusters=N                 force the subset size\n"
         "  --csv                        CSV output (characterize)\n"
-        "  --no-cache                   ignore the result cache\n";
+        "  --no-cache                   ignore the result cache\n"
+        "\n"
+        "fault isolation (characterize):\n"
+        "  --retries=N                  retry failed pairs up to N "
+        "times\n"
+        "  --retry-backoff-ms=N         base backoff between retries "
+        "(doubles per attempt)\n"
+        "  --pair-deadline=N            per-pair micro-op budget "
+        "(deterministic watchdog)\n"
+        "  --pair-deadline-ms=N         per-pair wall-clock budget\n"
+        "  --resume                     resume an interrupted sweep "
+        "from the journal\n";
 }
 
 int
