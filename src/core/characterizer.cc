@@ -9,7 +9,9 @@ using workloads::InputSize;
 using workloads::SuiteGeneration;
 
 Characterizer::Characterizer(CharacterizerOptions options)
-    : runner_(options.runner), cache_(options.cachePath, options.resume)
+    : runner_(options.runner),
+      cache_(options.cachePath, options.resume),
+      pairObserver_(std::move(options.pairObserver))
 {
 }
 
@@ -30,7 +32,8 @@ Characterizer::results(SuiteGeneration generation, InputSize size)
     if (it == memo_.end()) {
         it = memo_.emplace(key, cache_.runOrLoad(runner_,
                                                  suiteOf(generation),
-                                                 size)).first;
+                                                 size,
+                                                 pairObserver_)).first;
     }
     return it->second;
 }

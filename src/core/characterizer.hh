@@ -30,6 +30,9 @@ struct CharacterizerOptions
     /** Resume interrupted sweeps from the on-disk journal instead of
      *  restarting them (crash-safe checkpointed sweeps). */
     bool resume = false;
+    /** Notified after each pair of a simulated sweep (live progress
+     *  reporting); never invoked on full cache hits. */
+    suite::SuiteRunner::PairObserver pairObserver;
 };
 
 /**
@@ -80,6 +83,7 @@ class Characterizer
 
     suite::SuiteRunner runner_;
     suite::ResultCache cache_;
+    suite::SuiteRunner::PairObserver pairObserver_;
     std::map<std::pair<int, int>, std::vector<suite::PairResult>> memo_;
 };
 

@@ -77,6 +77,14 @@ class CpuSimulator
     /** Snapshot of counters accumulated so far (gauges refreshed). */
     counters::CounterSet snapshot() const;
 
+    /**
+     * Direct view of the accumulating counter bank (cycles and the
+     * rss/vsz gauges are NOT materialized here -- use snapshot() for
+     * a perf-complete view). Cheap enough to poll every interval;
+     * this is what the telemetry registry reads.
+     */
+    const counters::CounterSet &rawCounters() const { return counters_; }
+
     /** Finalizes after stepping manually. */
     SimResult finish(const trace::TraceSource &source);
 

@@ -310,7 +310,8 @@ ResultCache::save(const SuiteRunner &runner,
 std::vector<PairResult>
 ResultCache::runOrLoad(const SuiteRunner &runner,
                        const std::vector<WorkloadProfile> &suite,
-                       InputSize size)
+                       InputSize size,
+                       const SuiteRunner::PairObserver &observer)
 {
     if (auto cached = load(runner, suite, size))
         return std::move(*cached);
@@ -325,6 +326,10 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
     }
 
     const auto pairs = enumeratePairs(suite, size);
+    if (observer) {
+        for (std::size_t i = 0; i < results.size(); ++i)
+            observer(results[i], i, pairs.size());
+    }
     journalWarned_ = false;
     for (std::size_t i = results.size(); i < pairs.size(); ++i) {
         results.push_back(runner.runPair(pairs[i]));
@@ -332,6 +337,8 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
         // from here instead of restarting. Quiet on unwritable paths
         // (one warning per sweep, not one per pair).
         save(runner, suite, size, results, /*quiet=*/true);
+        if (observer)
+            observer(results.back(), i, pairs.size());
     }
     // Final commit doubles as the loud failure report for unwritable
     // cache locations.

@@ -58,11 +58,17 @@ class ResultCache
      * journaling each completed pair. With resume enabled, a partial
      * journal seeds the sweep and only missing pairs are simulated.
      * Profile pointers in returned results are rebound into @p suite.
+     *
+     * @param observer notified after each pair of a simulated sweep
+     *        (including journal-replayed prefix pairs, so progress
+     *        counts stay consistent); never invoked on a full cache
+     *        hit. Pass an empty function to disable.
      */
     std::vector<PairResult> runOrLoad(
         const SuiteRunner &runner,
         const std::vector<workloads::WorkloadProfile> &suite,
-        workloads::InputSize size);
+        workloads::InputSize size,
+        const SuiteRunner::PairObserver &observer = {});
 
     /** Drops everything persisted at this path. */
     void invalidate();

@@ -231,13 +231,46 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         watchdog.check(executed, cancelled);
         const CounterSet warm = simulator.snapshot();
         const double warm_cycles = simulator.core().cycles();
+
+        // Interval telemetry: the baseline lands exactly at the end
+        // of warmup, so interval deltas sum to the measured-window
+        // aggregates. Chunks are capped at the next boundary, which
+        // keeps samples on exact micro-op boundaries (determinism)
+        // without perturbing the simulated stream.
+        std::unique_ptr<telemetry::MetricsRegistry> registry;
+        std::unique_ptr<telemetry::IntervalSampler> sampler;
+        if (options_.sampleIntervalOps > 0) {
+            registry = std::make_unique<telemetry::MetricsRegistry>();
+            telemetry::registerSimulatorMetrics(*registry, simulator);
+            telemetry::registerTraceMetrics(*registry, source);
+            sampler = std::make_unique<telemetry::IntervalSampler>(
+                *registry, options_.sampleIntervalOps,
+                telemetry::defaultDerivedSpecs());
+            sampler->begin();
+        }
+
         constexpr std::uint64_t kChunk = 1 << 20;
+        std::uint64_t measured = 0;
         while (true) {
-            const std::uint64_t done = simulator.step(source, kChunk);
+            std::uint64_t chunk = kChunk;
+            if (sampler) {
+                chunk = std::min(
+                    chunk, sampler->opsUntilNextSample(measured));
+            }
+            const std::uint64_t done = simulator.step(source, chunk);
             executed += done;
+            measured += done;
             watchdog.check(executed, cancelled);
-            if (done < kChunk)
+            if (sampler)
+                sampler->onProgress(measured);
+            if (done < chunk)
                 break;
+        }
+        if (sampler) {
+            sampler->finish(measured);
+            result.series =
+                std::make_shared<const telemetry::TimeSeries>(
+                    sampler->series());
         }
         sim_result = simulator.finish(source);
         const std::uint64_t vsz =
@@ -309,6 +342,14 @@ SuiteRunner::runPair(const AppInputPair &pair) const
             PairResult result = runPairAttempt(pair, attempt);
             result.attempts = attempt + 1;
             result.failures = std::move(failures);
+            // Series from failed attempts never reach this point
+            // (the attempt threw and its sampler died with it); only
+            // the successful attempt's series is committed.
+            if (options_.telemetrySink != nullptr
+                && result.series != nullptr) {
+                options_.telemetrySink->write(result.name,
+                                              *result.series);
+            }
             if (result.recovered()) {
                 logEvent("pair_recovered",
                          {{"pair", name},

@@ -10,6 +10,7 @@
 #define SPEC17_SUITE_RUNNER_HH_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "sim/system_config.hh"
 #include "suite/failure.hh"
 #include "suite/fault_injection.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/sink.hh"
 #include "workloads/builder.hh"
 #include "workloads/profile.hh"
 
@@ -66,6 +69,22 @@ struct RunnerOptions
      *  Borrowed pointer, nullptr in production. */
     FaultInjector *faultInjector = nullptr;
     /// @}
+
+    /** @name Interval telemetry */
+    /// @{
+    /**
+     * Micro-op sampling interval for per-pair time series (the
+     * simulated `perf stat -I`); 0 (default) disables sampling.
+     * Sampling is observation-only: aggregate results are
+     * byte-identical with it on or off, so it is deliberately NOT
+     * part of the config key. Multi-threaded pairs run through the
+     * one-shot multicore interleaver and are not sampled.
+     */
+    std::uint64_t sampleIntervalOps = 0;
+    /** Where completed series go; borrowed pointer, may stay null to
+     *  only populate PairResult::series. */
+    telemetry::TelemetrySink *telemetrySink = nullptr;
+    /// @}
 };
 
 /** Result of one application-input pair. */
@@ -96,6 +115,15 @@ struct PairResult
     counters::CounterSet counters;
     /** Measured-interval cycles (max across threads). */
     double wallCycles = 0.0;
+
+    /**
+     * Per-interval time series of the measured window when interval
+     * sampling was enabled (single-threaded pairs only), else null.
+     * Only the successful attempt's series survives: retried
+     * attempts discard their partial series. Not persisted by the
+     * result cache -- cache replays carry no series.
+     */
+    std::shared_ptr<const telemetry::TimeSeries> series;
 
     /** Paper-scale instruction count for this pair, in billions. */
     double instrBillions = 0.0;

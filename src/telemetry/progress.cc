@@ -1,0 +1,78 @@
+#include "telemetry/progress.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+namespace {
+
+std::string
+fmtFixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(Options options)
+    : options_(options), start_(std::chrono::steady_clock::now()),
+      lastEmit_(start_ - std::chrono::hours(1))
+{
+}
+
+void
+ProgressReporter::onItemDone(const std::string &name, std::size_t index,
+                             std::size_t total, std::uint64_t ops,
+                             unsigned attempts, bool errored)
+{
+    ++done_;
+    totalOps_ += ops;
+    erroredCount_ += errored ? 1 : 0;
+
+    const auto now = std::chrono::steady_clock::now();
+    const bool last = index + 1 == total;
+    const auto since_emit =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - lastEmit_)
+            .count();
+    if (!last
+        && static_cast<std::uint64_t>(since_emit)
+            < options_.minIntervalMs)
+        return;
+    lastEmit_ = now;
+
+    const double elapsed_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            now - start_)
+            .count();
+    const double ops_per_s =
+        elapsed_s > 0.0 ? double(totalOps_) / elapsed_s : 0.0;
+    const double eta_s = done_ > 0 && total > done_
+        ? elapsed_s / double(done_) * double(total - done_)
+        : 0.0;
+
+    const std::vector<LogField> fields = {
+        {"pair", name},
+        {"done", std::to_string(index + 1) + "/"
+                     + std::to_string(total)},
+        {"attempts", std::to_string(attempts)},
+        {"errored", std::to_string(erroredCount_)},
+        {"ops_per_s", fmtFixed(ops_per_s, 0)},
+        {"elapsed_s", fmtFixed(elapsed_s, 1)},
+        {"eta_s", fmtFixed(eta_s, 1)},
+    };
+    if (options_.stream != nullptr)
+        *options_.stream << formatEvent("sweep_progress", fields)
+                         << "\n";
+    else
+        logEvent("sweep_progress", fields);
+}
+
+} // namespace telemetry
+} // namespace spec17

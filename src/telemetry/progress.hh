@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Live sweep progress: a throttled reporter that turns per-pair
+ * completions into structured `sweep_progress` log events (pair k/N,
+ * attempts, ops/s, ETA), so a multi-minute sweep is observable from
+ * its stderr stream instead of silent until the final table.
+ */
+
+#ifndef SPEC17_TELEMETRY_PROGRESS_HH_
+#define SPEC17_TELEMETRY_PROGRESS_HH_
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace spec17 {
+namespace telemetry {
+
+/**
+ * Emits at most one progress event per throttle window (plus always
+ * the final item), rate-limiting log volume on fast sweeps while
+ * keeping slow ones talkative. Stateless across sweeps: construct
+ * one reporter per sweep.
+ */
+class ProgressReporter
+{
+  public:
+    struct Options
+    {
+        /** Minimum milliseconds between events (0 = every item). */
+        std::uint64_t minIntervalMs = 1000;
+        /** Event destination; nullptr logs via logEvent (stderr). */
+        std::ostream *stream = nullptr;
+    };
+
+    ProgressReporter() : ProgressReporter(Options{}) {}
+    explicit ProgressReporter(Options options);
+
+    /**
+     * Records completion of 0-based item @p index of @p total.
+     * @param name the completed item (pair display name).
+     * @param ops micro-ops the item retired (0 when unknown).
+     * @param attempts attempts the item consumed.
+     * @param errored whether the item exhausted its attempts.
+     */
+    void onItemDone(const std::string &name, std::size_t index,
+                    std::size_t total, std::uint64_t ops,
+                    unsigned attempts, bool errored);
+
+    /** Items reported so far. */
+    std::size_t itemsDone() const { return done_; }
+
+  private:
+    Options options_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastEmit_;
+    std::size_t done_ = 0;
+    std::uint64_t totalOps_ = 0;
+    std::size_t erroredCount_ = 0;
+};
+
+} // namespace telemetry
+} // namespace spec17
+
+#endif // SPEC17_TELEMETRY_PROGRESS_HH_

@@ -1,0 +1,201 @@
+#include "telemetry/registry.hh"
+
+#include "counters/perf_event.hh"
+#include "sim/simulator.hh"
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+    }
+    SPEC17_PANIC("unknown MetricKind ", int(kind));
+}
+
+void
+MetricsRegistry::add(MetricDesc metric)
+{
+    SPEC17_ASSERT(!metric.name.empty(), "metric without a name");
+    SPEC17_ASSERT(metric.read != nullptr,
+                  "metric '", metric.name, "' without a reader");
+    SPEC17_ASSERT(index_.count(metric.name) == 0,
+                  "metric '", metric.name, "' registered twice");
+    index_[metric.name] = metrics_.size();
+    metrics_.push_back(std::move(metric));
+}
+
+void
+MetricsRegistry::registerCounter(std::string name,
+                                 std::string description,
+                                 std::function<double()> read)
+{
+    add({std::move(name), MetricKind::Counter, std::move(description),
+         std::move(read)});
+}
+
+void
+MetricsRegistry::registerGauge(std::string name, std::string description,
+                               std::function<double()> read)
+{
+    add({std::move(name), MetricKind::Gauge, std::move(description),
+         std::move(read)});
+}
+
+const MetricDesc &
+MetricsRegistry::at(std::size_t index) const
+{
+    SPEC17_ASSERT(index < metrics_.size(), "metric index ", index,
+                  " out of range");
+    return metrics_[index];
+}
+
+bool
+MetricsRegistry::contains(const std::string &name) const
+{
+    return index_.count(name) > 0;
+}
+
+std::size_t
+MetricsRegistry::indexOf(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    SPEC17_ASSERT(it != index_.end(), "no metric named '", name, "'");
+    return it->second;
+}
+
+std::vector<double>
+MetricsRegistry::readAll() const
+{
+    std::vector<double> values;
+    values.reserve(metrics_.size());
+    for (const MetricDesc &metric : metrics_)
+        values.push_back(metric.read());
+    return values;
+}
+
+namespace {
+
+void
+registerCache(MetricsRegistry &registry, const sim::SetAssocCache &cache,
+              const std::string &prefix)
+{
+    const std::string base = prefix + cache.config().name + ".";
+    registry.registerCounter(base + "accesses", "demand accesses",
+                             [&cache] {
+                                 return double(cache.stats().accesses());
+                             });
+    registry.registerCounter(base + "misses", "demand misses", [&cache] {
+        return double(cache.stats().misses);
+    });
+}
+
+void
+registerTlb(MetricsRegistry &registry, const sim::Tlb &tlb,
+            const std::string &name)
+{
+    registry.registerCounter(name + ".accesses",
+                             "translations requested", [&tlb] {
+                                 return double(tlb.stats().accesses);
+                             });
+    registry.registerCounter(name + ".walks",
+                             "full misses (page walks)", [&tlb] {
+                                 return double(tlb.stats().walks);
+                             });
+}
+
+} // namespace
+
+void
+registerSimulatorMetrics(MetricsRegistry &registry,
+                         const sim::CpuSimulator &simulator,
+                         const std::string &prefix)
+{
+    using counters::PerfEvent;
+
+    // The perf counter set first: these columns reconcile exactly
+    // with the aggregate CounterSet a run reports. Cycles read the
+    // core clock (CounterSet only materializes them on snapshot);
+    // rss is a gauge; vsz is only known at finish() and is skipped.
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<PerfEvent>(e);
+        const std::string name =
+            prefix + "perf." + counters::perfEventName(event);
+        if (event == PerfEvent::VszBytes)
+            continue;
+        if (event == PerfEvent::CpuClkUnhaltedRefTsc) {
+            registry.registerCounter(name, "core clock cycles",
+                                     [&simulator] {
+                                         return simulator.core().cycles();
+                                     });
+        } else if (event == PerfEvent::RssBytes) {
+            registry.registerGauge(
+                name, "touched-page bytes", [&simulator] {
+                    return double(simulator.footprint().rssBytes());
+                });
+        } else {
+            registry.registerCounter(
+                name, "simulated perf event", [&simulator, event] {
+                    return double(simulator.rawCounters().get(event));
+                });
+        }
+    }
+
+    registry.registerCounter(prefix + "core.retired",
+                             "micro-ops retired", [&simulator] {
+                                 return double(simulator.core().retired());
+                             });
+    registry.registerCounter(prefix + "core.cycles", "cycles consumed",
+                             [&simulator] {
+                                 return simulator.core().cycles();
+                             });
+
+    registerCache(registry, simulator.hierarchy().l1i(), prefix);
+    registerCache(registry, simulator.hierarchy().l1d(), prefix);
+    registerCache(registry, simulator.hierarchy().l2(), prefix);
+    registerCache(registry, simulator.hierarchy().l3(), prefix);
+
+    registry.registerCounter(prefix + "branch.executed",
+                             "branches resolved", [&simulator] {
+                                 return double(
+                                     simulator.branchUnit().totals()
+                                         .executed);
+                             });
+    registry.registerCounter(
+        prefix + "branch.mispredicted", "mispredicted branches",
+        [&simulator] {
+            return double(
+                simulator.branchUnit().totals().mispredicted);
+        });
+
+    registerTlb(registry, simulator.dtlb(), prefix + "dtlb");
+    registerTlb(registry, simulator.itlb(), prefix + "itlb");
+
+    registry.registerGauge(prefix + "footprint.pages",
+                           "distinct 4 KiB pages touched", [&simulator] {
+                               return double(
+                                   simulator.footprint().pagesTouched());
+                           });
+}
+
+void
+registerTraceMetrics(MetricsRegistry &registry,
+                     const trace::SyntheticTraceGenerator &generator,
+                     const std::string &prefix)
+{
+    registry.registerCounter(prefix + "trace.emitted",
+                             "micro-ops emitted by the generator",
+                             [&generator] {
+                                 return double(generator.emittedOps());
+                             });
+}
+
+} // namespace telemetry
+} // namespace spec17

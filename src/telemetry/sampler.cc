@@ -1,0 +1,169 @@
+#include "telemetry/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+std::size_t
+TimeSeries::columnIndex(const std::string &name) const
+{
+    const auto it = std::find(columns.begin(), columns.end(), name);
+    SPEC17_ASSERT(it != columns.end(), "no series column named '",
+                  name, "'");
+    return static_cast<std::size_t>(it - columns.begin());
+}
+
+std::vector<double>
+TimeSeries::column(const std::string &name) const
+{
+    const std::size_t index = columnIndex(name);
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const auto &row : rows)
+        values.push_back(row[index]);
+    return values;
+}
+
+double
+TimeSeries::columnSum(const std::string &name) const
+{
+    const std::size_t index = columnIndex(name);
+    double sum = 0.0;
+    for (const auto &row : rows)
+        sum += row[index];
+    return sum;
+}
+
+std::vector<DerivedSpec>
+defaultDerivedSpecs(const std::string &prefix)
+{
+    // The paper's Section-IV rate definitions, per interval: IPC,
+    // L1m = l1_miss/loads, L2m = l2_miss/l1_miss, L3m =
+    // l3_miss/l2_miss, mispredicts per executed branch.
+    const std::string p = prefix + "perf.";
+    return {
+        {prefix + "ipc", p + "inst_retired.any",
+         p + "cpu_clk_unhalted.ref_tsc"},
+        {prefix + "l1_miss_rate", p + "mem_load_uops_retired.l1_miss",
+         p + "mem_uops_retired.all_loads"},
+        {prefix + "l2_miss_rate", p + "mem_load_uops_retired.l2_miss",
+         p + "mem_load_uops_retired.l1_miss"},
+        {prefix + "l3_miss_rate", p + "mem_load_uops_retired.l3_miss",
+         p + "mem_load_uops_retired.l2_miss"},
+        {prefix + "mispredict_rate", p + "br_misp_exec.all_branches",
+         p + "br_inst_exec.all_branches"},
+    };
+}
+
+IntervalSampler::IntervalSampler(const MetricsRegistry &registry,
+                                 std::uint64_t interval_ops,
+                                 std::vector<DerivedSpec> derived)
+    : registry_(registry), derived_(std::move(derived))
+{
+    SPEC17_ASSERT(interval_ops > 0, "sampling interval must be > 0");
+    series_.intervalOps = interval_ops;
+}
+
+void
+IntervalSampler::begin()
+{
+    SPEC17_ASSERT(!begun_, "IntervalSampler is single-use");
+    begun_ = true;
+    series_.columns.clear();
+    for (std::size_t m = 0; m < registry_.size(); ++m)
+        series_.columns.push_back(registry_.at(m).name);
+    for (const DerivedSpec &spec : derived_) {
+        // Resolve eagerly so a typo'd spec fails at begin(), not on
+        // the first interval of a long run.
+        registry_.indexOf(spec.numerator);
+        registry_.indexOf(spec.denominator);
+        series_.columns.push_back(spec.name);
+    }
+    last_ = registry_.readAll();
+    nextBoundary_ = series_.intervalOps;
+}
+
+std::uint64_t
+IntervalSampler::opsUntilNextSample(std::uint64_t measured_ops) const
+{
+    SPEC17_ASSERT(begun_, "sampler not begun");
+    if (measured_ops >= nextBoundary_)
+        return 0;
+    return nextBoundary_ - measured_ops;
+}
+
+void
+IntervalSampler::emitRow(std::uint64_t at_ops)
+{
+    const std::vector<double> now = registry_.readAll();
+    std::vector<double> row;
+    row.reserve(series_.columns.size());
+    for (std::size_t m = 0; m < now.size(); ++m) {
+        row.push_back(registry_.at(m).kind == MetricKind::Counter
+                          ? now[m] - last_[m]
+                          : now[m]);
+    }
+    for (const DerivedSpec &spec : derived_) {
+        const std::size_t num = registry_.indexOf(spec.numerator);
+        const std::size_t den = registry_.indexOf(spec.denominator);
+        const double delta_den = now[den] - last_[den];
+        row.push_back(delta_den != 0.0
+                          ? (now[num] - last_[num]) / delta_den
+                          : 0.0);
+    }
+    series_.endOps.push_back(at_ops);
+    series_.rows.push_back(std::move(row));
+    last_ = now;
+}
+
+void
+IntervalSampler::onProgress(std::uint64_t measured_ops)
+{
+    SPEC17_ASSERT(begun_ && !finished_, "sampler not active");
+    SPEC17_ASSERT(measured_ops <= nextBoundary_,
+                  "chunk overran the sampling boundary: ", measured_ops,
+                  " > ", nextBoundary_);
+    if (measured_ops == nextBoundary_) {
+        emitRow(measured_ops);
+        nextBoundary_ += series_.intervalOps;
+    }
+}
+
+void
+IntervalSampler::finish(std::uint64_t measured_ops)
+{
+    SPEC17_ASSERT(begun_ && !finished_, "sampler not active");
+    finished_ = true;
+    const std::uint64_t last_boundary =
+        nextBoundary_ - series_.intervalOps;
+    if (measured_ops > last_boundary)
+        emitRow(measured_ops);
+}
+
+double
+coefficientOfVariation(const TimeSeries &series,
+                       const std::string &column)
+{
+    const std::vector<double> values = series.column(column);
+    if (values.size() < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (double v : values)
+        mean += v;
+    mean /= double(values.size());
+    if (mean == 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (double v : values)
+        var += (v - mean) * (v - mean);
+    var /= double(values.size());
+    return std::sqrt(var) / mean;
+}
+
+} // namespace telemetry
+} // namespace spec17

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Interval sampler: snapshots a MetricsRegistry at deterministic
+ * micro-op boundaries and accumulates a per-run TimeSeries, the
+ * simulated equivalent of `perf stat -I` over one application. The
+ * driver (the suite runner) bounds its simulation chunks with
+ * opsUntilNextSample() so samples land exactly on interval
+ * boundaries: same seed + same interval => byte-identical series.
+ */
+
+#ifndef SPEC17_TELEMETRY_SAMPLER_HH_
+#define SPEC17_TELEMETRY_SAMPLER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+/**
+ * One run's interval series: a named column per registered metric
+ * (counters as per-interval deltas, gauges as end-of-interval
+ * levels) plus derived ratio columns (IPC, miss rates, ...), one row
+ * per interval.
+ */
+struct TimeSeries
+{
+    /** Micro-ops per full interval (the last row may be shorter). */
+    std::uint64_t intervalOps = 0;
+    std::vector<std::string> columns;
+    /** Cumulative measured micro-ops at the end of each interval. */
+    std::vector<std::uint64_t> endOps;
+    /** rows[i][j] = value of columns[j] over interval i. */
+    std::vector<std::vector<double>> rows;
+
+    std::size_t numIntervals() const { return rows.size(); }
+    /** Index of @p name in columns; panics when absent. */
+    std::size_t columnIndex(const std::string &name) const;
+    /** Whole column by name. */
+    std::vector<double> column(const std::string &name) const;
+    /** Sum of a column (counter columns sum to the aggregate). */
+    double columnSum(const std::string &name) const;
+};
+
+/**
+ * A derived per-interval ratio: delta(numerator) / delta(denominator)
+ * within each interval, 0 when the denominator interval is empty.
+ */
+struct DerivedSpec
+{
+    std::string name;
+    std::string numerator;   //!< raw column name
+    std::string denominator; //!< raw column name
+};
+
+/**
+ * The standard derived set over registerSimulatorMetrics() columns
+ * prefixed with @p prefix: ipc, l1/l2/l3 load miss rates (the paper's
+ * Fig. 5 definitions) and the branch mispredict rate.
+ */
+std::vector<DerivedSpec> defaultDerivedSpecs(
+    const std::string &prefix = "");
+
+/**
+ * Drives snapshot-and-diff sampling over one registry. Lifecycle:
+ * begin() right after warmup (baseline), then after every simulation
+ * chunk onProgress(measured_ops); chunks must never overrun a
+ * boundary (cap them with opsUntilNextSample()). finish() flushes the
+ * final partial interval. A sampler is single-use.
+ */
+class IntervalSampler
+{
+  public:
+    /**
+     * @param registry metrics to sample (borrowed).
+     * @param interval_ops micro-ops per interval; must be > 0.
+     * @param derived ratio columns appended after the raw columns;
+     *        specs naming absent raw columns panic at begin().
+     */
+    IntervalSampler(const MetricsRegistry &registry,
+                    std::uint64_t interval_ops,
+                    std::vector<DerivedSpec> derived = {});
+
+    /** Takes the baseline snapshot; measured ops start counting at 0. */
+    void begin();
+
+    /** Micro-ops the driver may simulate before the next boundary. */
+    std::uint64_t opsUntilNextSample(std::uint64_t measured_ops) const;
+
+    /** Records progress; emits a row when a boundary is reached.
+     *  Panics if a chunk overran the boundary. */
+    void onProgress(std::uint64_t measured_ops);
+
+    /** Flushes the final partial interval (if any ops since the last
+     *  boundary) and freezes the series. */
+    void finish(std::uint64_t measured_ops);
+
+    const TimeSeries &series() const { return series_; }
+
+  private:
+    void emitRow(std::uint64_t at_ops);
+
+    const MetricsRegistry &registry_;
+    std::vector<DerivedSpec> derived_;
+    std::vector<double> last_;
+    std::uint64_t nextBoundary_ = 0;
+    bool begun_ = false;
+    bool finished_ = false;
+    TimeSeries series_;
+};
+
+/**
+ * Coefficient of variation (stddev/mean) of a column, the first-order
+ * phase-behaviour signal: 0 for flat runs, large for phased ones.
+ * Returns 0 with fewer than two intervals or a zero mean.
+ */
+double coefficientOfVariation(const TimeSeries &series,
+                              const std::string &column);
+
+} // namespace telemetry
+} // namespace spec17
+
+#endif // SPEC17_TELEMETRY_SAMPLER_HH_

@@ -1,0 +1,153 @@
+#include "telemetry/sink.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+namespace {
+
+/** JSON string escape (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+renderSeriesCsv(const TimeSeries &series, std::ostream &out)
+{
+    out.precision(17);
+    out << "interval,end_ops";
+    for (const std::string &column : series.columns)
+        out << "," << column;
+    out << "\n";
+    for (std::size_t i = 0; i < series.numIntervals(); ++i) {
+        out << i << "," << series.endOps[i];
+        for (double value : series.rows[i])
+            out << "," << value;
+        out << "\n";
+    }
+}
+
+void
+renderSeriesJsonl(const TimeSeries &series, std::ostream &out)
+{
+    out.precision(17);
+    for (std::size_t i = 0; i < series.numIntervals(); ++i) {
+        out << "{\"interval\":" << i << ",\"end_ops\":"
+            << series.endOps[i];
+        for (std::size_t c = 0; c < series.columns.size(); ++c) {
+            out << ",\"" << jsonEscape(series.columns[c])
+                << "\":" << series.rows[i][c];
+        }
+        out << "}\n";
+    }
+}
+
+void
+MemorySink::write(const std::string &pair_name, const TimeSeries &series)
+{
+    series_[pair_name] = series;
+}
+
+const TimeSeries *
+MemorySink::find(const std::string &pair_name) const
+{
+    const auto it = series_.find(pair_name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+FileSink::FileSink(std::string directory, Format format)
+    : directory_(std::move(directory)), format_(format)
+{
+    SPEC17_ASSERT(!directory_.empty(),
+                  "FileSink needs a target directory");
+}
+
+std::string
+FileSink::pathFor(const std::string &pair_name) const
+{
+    return directory_ + "/" + pair_name
+        + (format_ == Format::Csv ? ".telemetry.csv"
+                                  : ".telemetry.jsonl");
+}
+
+void
+FileSink::write(const std::string &pair_name, const TimeSeries &series)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    const std::string file = pathFor(pair_name);
+    // Same commit discipline as the result-cache journal: a crash
+    // mid-write can never leave a torn series behind.
+    const std::string temp = file + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out) {
+            if (!warned_)
+                warn("cannot write telemetry to ", temp,
+                     "; dropping series");
+            warned_ = true;
+            return;
+        }
+        if (format_ == Format::Csv)
+            renderSeriesCsv(series, out);
+        else
+            renderSeriesJsonl(series, out);
+        out.flush();
+        if (!out) {
+            warn("short write to ", temp, "; series not committed");
+            warned_ = true;
+            std::remove(temp.c_str());
+            return;
+        }
+    }
+    if (std::rename(temp.c_str(), file.c_str()) != 0) {
+        if (!warned_)
+            warn("cannot commit telemetry to ", file, ": ",
+                 std::strerror(errno));
+        warned_ = true;
+        std::remove(temp.c_str());
+    }
+}
+
+} // namespace telemetry
+} // namespace spec17

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Telemetry sinks: where completed per-pair interval series go. A
+ * file sink exports perf-stat-I-style CSV or JSON-lines, committed
+ * atomically (write temp, then rename) like the result-cache
+ * journal; an in-memory sink backs tests and in-process consumers.
+ */
+
+#ifndef SPEC17_TELEMETRY_SINK_HH_
+#define SPEC17_TELEMETRY_SINK_HH_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "telemetry/sampler.hh"
+
+namespace spec17 {
+namespace telemetry {
+
+/** Consumer of completed per-pair series. */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    /**
+     * Persists the completed series of one pair. Only successful
+     * attempts are ever written: a retried attempt's partial series
+     * is discarded by the runner, never handed to a sink.
+     */
+    virtual void write(const std::string &pair_name,
+                       const TimeSeries &series) = 0;
+};
+
+/** Renders `interval,end_ops,<column>...` CSV rows (17 significant
+ *  digits, so reruns compare byte-identically). */
+void renderSeriesCsv(const TimeSeries &series, std::ostream &out);
+
+/** Renders one JSON object per interval (JSON-lines). */
+void renderSeriesJsonl(const TimeSeries &series, std::ostream &out);
+
+/** In-memory sink for tests and in-process consumers. */
+class MemorySink : public TelemetrySink
+{
+  public:
+    void write(const std::string &pair_name,
+               const TimeSeries &series) override;
+
+    const std::map<std::string, TimeSeries> &all() const
+    {
+        return series_;
+    }
+    /** Series for @p pair_name, or nullptr. */
+    const TimeSeries *find(const std::string &pair_name) const;
+
+  private:
+    std::map<std::string, TimeSeries> series_;
+};
+
+/**
+ * Writes one file per pair into a directory (created on first
+ * write): `<dir>/<pair>.telemetry.csv` or `.jsonl`. Commits are
+ * atomic temp+rename; an unwritable directory warns once and drops
+ * subsequent writes instead of failing the sweep.
+ */
+class FileSink : public TelemetrySink
+{
+  public:
+    enum class Format : std::uint8_t { Csv, Jsonl };
+
+    FileSink(std::string directory, Format format = Format::Csv);
+
+    void write(const std::string &pair_name,
+               const TimeSeries &series) override;
+
+    /** Path write() would commit for @p pair_name. */
+    std::string pathFor(const std::string &pair_name) const;
+
+  private:
+    std::string directory_;
+    Format format_;
+    bool warned_ = false;
+};
+
+} // namespace telemetry
+} // namespace spec17
+
+#endif // SPEC17_TELEMETRY_SINK_HH_

@@ -168,6 +168,9 @@ class SyntheticTraceGenerator : public TraceSource
      */
     void setCancelFlag(const bool *flag) { cancel_ = flag; }
 
+    /** Micro-ops emitted so far (telemetry counter). */
+    std::uint64_t emittedOps() const { return emitted_; }
+
     /** Base virtual address of data region @p index (for tests). */
     std::uint64_t regionBase(std::size_t index) const;
 

@@ -1,22 +1,82 @@
 #include "util/logging.hh"
 
+#include <cctype>
 #include <cstdio>
 
 namespace spec17 {
+
+namespace {
+
+/** True when @p value survives unquoted in key=value framing. */
+bool
+isPlainValue(const std::string &value)
+{
+    if (value.empty())
+        return false;
+    for (char c : value) {
+        const auto uc = static_cast<unsigned char>(c);
+        if (std::isspace(uc) || uc < 0x20 || c == '"' || c == '\\'
+            || c == '=')
+            return false;
+    }
+    return true;
+}
+
+/** Double-quotes @p value, escaping framing metacharacters. */
+std::string
+quoteValue(const std::string &value)
+{
+    std::string out = "\"";
+    for (char c : value) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+std::string
+formatEvent(const std::string &name, const std::vector<LogField> &fields)
+{
+    std::string line = "event: " + name;
+    for (const LogField &field : fields) {
+        line += " " + field.key + "=";
+        line += isPlainValue(field.value) ? field.value
+                                          : quoteValue(field.value);
+    }
+    return line;
+}
+
+void
+logEvent(const std::string &name, const std::vector<LogField> &fields)
+{
+    std::fprintf(stderr, "%s\n", formatEvent(name, fields).c_str());
+}
 
 void
 logEvent(const std::string &name,
          std::initializer_list<LogField> fields)
 {
-    std::string line = "event: " + name;
-    for (const LogField &field : fields) {
-        line += " " + field.key + "=";
-        if (field.value.find(' ') == std::string::npos)
-            line += field.value;
-        else
-            line += "\"" + field.value + "\"";
-    }
-    std::fprintf(stderr, "%s\n", line.c_str());
+    logEvent(name, std::vector<LogField>(fields));
 }
 
 namespace detail {

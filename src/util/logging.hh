@@ -19,6 +19,7 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace spec17 {
 
@@ -30,11 +31,26 @@ struct LogField
 };
 
 /**
- * Structured machine-parsable event line on stderr:
+ * Formats a structured machine-parsable event line:
  * `event: <name> key=value key="value with spaces" ...`.
- * Used for failure/retry telemetry so sweep logs can be grepped and
- * post-processed without parsing prose.
+ *
+ * Values containing whitespace, quotes, '=', backslashes or control
+ * characters (or empty values) are double-quoted with `"`, `\`,
+ * newline, CR and tab escaped as `\"`, `\\`, `\n`, `\r`, `\t`, so a
+ * hostile value can never corrupt the key="value" framing.
  */
+std::string formatEvent(const std::string &name,
+                        const std::vector<LogField> &fields);
+
+/**
+ * Writes a formatEvent() line to stderr. Used for failure/retry and
+ * sweep-progress telemetry so logs can be grepped and post-processed
+ * without parsing prose.
+ */
+void logEvent(const std::string &name,
+              const std::vector<LogField> &fields);
+
+/** Overload so brace-literal field lists keep working. */
 void logEvent(const std::string &name,
               std::initializer_list<LogField> fields);
 

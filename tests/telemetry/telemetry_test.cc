@@ -1,0 +1,437 @@
+#include "telemetry/registry.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/simulator.hh"
+#include "suite/runner.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/sink.hh"
+#include "workloads/builder.hh"
+
+namespace spec17 {
+namespace telemetry {
+namespace {
+
+using counters::PerfEvent;
+using workloads::AppInputPair;
+using workloads::InputSize;
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, PreservesRegistrationOrderAndKinds)
+{
+    MetricsRegistry registry;
+    double a = 1.0, b = 2.0;
+    registry.registerCounter("x.count", "a counter", [&] { return a; });
+    registry.registerGauge("x.level", "a gauge", [&] { return b; });
+
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.at(0).name, "x.count");
+    EXPECT_EQ(registry.at(0).kind, MetricKind::Counter);
+    EXPECT_EQ(registry.at(1).name, "x.level");
+    EXPECT_EQ(registry.at(1).kind, MetricKind::Gauge);
+    EXPECT_TRUE(registry.contains("x.level"));
+    EXPECT_FALSE(registry.contains("x.nope"));
+    EXPECT_EQ(registry.indexOf("x.level"), 1u);
+
+    a = 7.0;
+    const auto values = registry.readAll();
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[0], 7.0);
+    EXPECT_DOUBLE_EQ(values[1], 2.0);
+}
+
+TEST(Registry, KindNamesAreStable)
+{
+    EXPECT_STREQ(metricKindName(MetricKind::Counter), "counter");
+    EXPECT_STREQ(metricKindName(MetricKind::Gauge), "gauge");
+}
+
+TEST(RegistryDeathTest, DuplicateNamePanics)
+{
+    MetricsRegistry registry;
+    registry.registerCounter("dup", "", [] { return 0.0; });
+    EXPECT_DEATH(registry.registerGauge("dup", "", [] { return 0.0; }),
+                 "dup");
+}
+
+TEST(RegistryDeathTest, AbsentNamePanicsOnIndexOf)
+{
+    MetricsRegistry registry;
+    EXPECT_DEATH(registry.indexOf("ghost"), "ghost");
+}
+
+TEST(Registry, SimulatorRegistrationCoversEveryComponent)
+{
+    const auto config = sim::SystemConfig::haswellXeonE52650Lv3();
+    sim::CpuSimulator simulator(config, /*seed=*/1);
+    MetricsRegistry registry;
+    registerSimulatorMetrics(registry, simulator);
+    for (const char *name :
+         {"perf.inst_retired.any", "perf.cpu_clk_unhalted.ref_tsc",
+          "core.retired", "core.cycles", "l1i.accesses", "l1d.misses",
+          "l2.accesses", "l3.misses", "branch.executed",
+          "branch.mispredicted", "dtlb.walks", "itlb.accesses",
+          "footprint.pages", "perf.rss"})
+        EXPECT_TRUE(registry.contains(name)) << name;
+    // A prefix namespaces a second core without name collisions.
+    registerSimulatorMetrics(registry, simulator, "core1.");
+    EXPECT_TRUE(registry.contains("core1.core.cycles"));
+}
+
+// ----------------------------------------------------------------- sampler
+
+/** Registry with one hand-driven counter and one gauge. */
+struct ManualMetrics
+{
+    double count = 0.0;
+    double level = 0.0;
+    MetricsRegistry registry;
+
+    ManualMetrics()
+    {
+        registry.registerCounter("ops", "", [this] { return count; });
+        registry.registerGauge("rss", "", [this] { return level; });
+    }
+};
+
+TEST(Sampler, EmitsDeltasForCountersAndLevelsForGauges)
+{
+    ManualMetrics m;
+    m.count = 100.0; // pre-baseline history must not leak into row 0
+    m.level = 5.0;
+    IntervalSampler sampler(m.registry, 10);
+    sampler.begin();
+
+    EXPECT_EQ(sampler.opsUntilNextSample(0), 10u);
+    m.count = 130.0;
+    m.level = 7.0;
+    sampler.onProgress(10);
+    m.count = 135.0;
+    m.level = 6.0;
+    sampler.onProgress(20);
+    sampler.finish(20);
+
+    const TimeSeries &series = sampler.series();
+    ASSERT_EQ(series.numIntervals(), 2u);
+    EXPECT_EQ(series.intervalOps, 10u);
+    EXPECT_EQ(series.endOps[0], 10u);
+    EXPECT_EQ(series.endOps[1], 20u);
+    EXPECT_DOUBLE_EQ(series.column("ops")[0], 30.0); // delta
+    EXPECT_DOUBLE_EQ(series.column("ops")[1], 5.0);
+    EXPECT_DOUBLE_EQ(series.column("rss")[0], 7.0);  // level
+    EXPECT_DOUBLE_EQ(series.column("rss")[1], 6.0);
+    EXPECT_DOUBLE_EQ(series.columnSum("ops"), 35.0);
+}
+
+TEST(Sampler, FinishFlushesPartialFinalInterval)
+{
+    ManualMetrics m;
+    IntervalSampler sampler(m.registry, 10);
+    sampler.begin();
+    m.count = 4.0;
+    sampler.onProgress(10);
+    m.count = 6.0;
+    sampler.onProgress(13); // mid-interval progress emits nothing
+    EXPECT_EQ(sampler.series().numIntervals(), 1u);
+    sampler.finish(13);
+    ASSERT_EQ(sampler.series().numIntervals(), 2u);
+    EXPECT_EQ(sampler.series().endOps[1], 13u);
+    EXPECT_DOUBLE_EQ(sampler.series().column("ops")[1], 2.0);
+}
+
+TEST(Sampler, FinishOnBoundaryEmitsNoEmptyRow)
+{
+    ManualMetrics m;
+    IntervalSampler sampler(m.registry, 10);
+    sampler.begin();
+    m.count = 1.0;
+    sampler.onProgress(10);
+    sampler.finish(10);
+    EXPECT_EQ(sampler.series().numIntervals(), 1u);
+}
+
+TEST(Sampler, OpsUntilNextSampleCapsAtBoundary)
+{
+    ManualMetrics m;
+    IntervalSampler sampler(m.registry, 10);
+    sampler.begin();
+    sampler.onProgress(7);
+    EXPECT_EQ(sampler.opsUntilNextSample(7), 3u);
+    sampler.onProgress(10);
+    EXPECT_EQ(sampler.opsUntilNextSample(10), 10u);
+}
+
+TEST(SamplerDeathTest, OverrunningABoundaryPanics)
+{
+    ManualMetrics m;
+    IntervalSampler sampler(m.registry, 10);
+    sampler.begin();
+    EXPECT_DEATH(sampler.onProgress(11), "boundary");
+}
+
+TEST(SamplerDeathTest, UnknownDerivedColumnPanicsAtBegin)
+{
+    ManualMetrics m;
+    IntervalSampler sampler(m.registry, 10, {{"bad", "ops", "ghost"}});
+    EXPECT_DEATH(sampler.begin(), "ghost");
+}
+
+TEST(Sampler, DerivedColumnsAreRatiosOfIntervalDeltas)
+{
+    MetricsRegistry registry;
+    double num = 0.0, den = 0.0;
+    registry.registerCounter("n", "", [&] { return num; });
+    registry.registerCounter("d", "", [&] { return den; });
+    IntervalSampler sampler(registry, 10, {{"ratio", "n", "d"}});
+    sampler.begin();
+    num = 6.0;
+    den = 2.0;
+    sampler.onProgress(10);
+    num = 6.0; // empty denominator interval: ratio reports 0
+    den = 2.0;
+    sampler.onProgress(20);
+    sampler.finish(20);
+    const auto ratio = sampler.series().column("ratio");
+    ASSERT_EQ(ratio.size(), 2u);
+    EXPECT_DOUBLE_EQ(ratio[0], 3.0);
+    EXPECT_DOUBLE_EQ(ratio[1], 0.0);
+}
+
+TEST(Sampler, DefaultDerivedSpecsMatchRegisteredColumns)
+{
+    const auto config = sim::SystemConfig::haswellXeonE52650Lv3();
+    sim::CpuSimulator simulator(config, /*seed=*/1);
+    MetricsRegistry registry;
+    registerSimulatorMetrics(registry, simulator);
+    // Every default spec resolves against a real registry (begin()
+    // would panic on a typo).
+    IntervalSampler sampler(registry, 1000, defaultDerivedSpecs());
+    sampler.begin();
+    sampler.finish(0);
+    EXPECT_NE(sampler.series().columnIndex("ipc"), size_t(-1));
+    EXPECT_NE(sampler.series().columnIndex("mispredict_rate"),
+              size_t(-1));
+}
+
+TEST(Sampler, CoefficientOfVariationBehaves)
+{
+    TimeSeries series;
+    series.columns = {"v"};
+    series.rows = {{2.0}, {2.0}, {2.0}};
+    series.endOps = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(series, "v"), 0.0);
+    series.rows = {{1.0}, {3.0}};
+    EXPECT_NEAR(coefficientOfVariation(series, "v"), 0.5, 1e-12);
+    series.rows = {{1.0}};
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(series, "v"), 0.0);
+}
+
+// ------------------------------------------------------------------- sinks
+
+TimeSeries
+tinySeries()
+{
+    TimeSeries series;
+    series.intervalOps = 10;
+    series.columns = {"a", "b"};
+    series.endOps = {10, 20};
+    series.rows = {{1.0, 0.5}, {2.0, 0.25}};
+    return series;
+}
+
+TEST(Sink, CsvRenderHasHeaderAndOneRowPerInterval)
+{
+    std::ostringstream out;
+    renderSeriesCsv(tinySeries(), out);
+    EXPECT_EQ(out.str(),
+              "interval,end_ops,a,b\n"
+              "0,10,1,0.5\n"
+              "1,20,2,0.25\n");
+}
+
+TEST(Sink, JsonlRenderEmitsOneObjectPerInterval)
+{
+    std::ostringstream out;
+    renderSeriesJsonl(tinySeries(), out);
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find("\"interval\":0"), std::string::npos);
+    EXPECT_NE(text.find("\"end_ops\":20"), std::string::npos);
+    EXPECT_NE(text.find("\"a\":2"), std::string::npos);
+}
+
+TEST(Sink, MemorySinkStoresSeriesByPair)
+{
+    MemorySink sink;
+    sink.write("505.mcf_r", tinySeries());
+    ASSERT_NE(sink.find("505.mcf_r"), nullptr);
+    EXPECT_EQ(sink.find("505.mcf_r")->numIntervals(), 2u);
+    EXPECT_EQ(sink.find("nope"), nullptr);
+    EXPECT_EQ(sink.all().size(), 1u);
+}
+
+TEST(Sink, FileSinkCommitsAtomicallyIntoDirectory)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "/telemetry_sink_test";
+    FileSink sink(dir, FileSink::Format::Csv);
+    const std::string path = sink.pathFor("505.mcf_r");
+    EXPECT_EQ(path, dir + "/505.mcf_r.telemetry.csv");
+    sink.write("505.mcf_r", tinySeries());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "interval,end_ops,a,b");
+    // No temp residue after the rename commit.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+    std::remove(path.c_str());
+}
+
+TEST(Sink, UnwritableDirectoryWarnsButDoesNotThrow)
+{
+    FileSink sink("/proc/definitely/not/writable");
+    sink.write("x", tinySeries());
+    sink.write("y", tinySeries()); // second write is silently dropped
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------- progress
+
+TEST(Progress, EmitsFirstAndLastAndThrottlesBetween)
+{
+    std::ostringstream out;
+    ProgressReporter::Options options;
+    options.minIntervalMs = 60'000; // nothing mid-sweep can pass
+    options.stream = &out;
+    ProgressReporter reporter(options);
+    for (std::size_t i = 0; i < 5; ++i)
+        reporter.onItemDone("pair" + std::to_string(i), i, 5, 1000, 1,
+                            false);
+    EXPECT_EQ(reporter.itemsDone(), 5u);
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find("pair0"), std::string::npos);
+    EXPECT_NE(text.find("pair4"), std::string::npos);
+    EXPECT_NE(text.find("done=5/5"), std::string::npos);
+    EXPECT_NE(text.find("eta_s=0.0"), std::string::npos);
+}
+
+TEST(Progress, ZeroThrottleEmitsEveryItem)
+{
+    std::ostringstream out;
+    ProgressReporter::Options options;
+    options.minIntervalMs = 0;
+    options.stream = &out;
+    ProgressReporter reporter(options);
+    for (std::size_t i = 0; i < 3; ++i)
+        reporter.onItemDone("p", i, 3, 10, 2, i == 2);
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    EXPECT_NE(text.find("errored=1"), std::string::npos);
+    EXPECT_NE(text.find("attempts=2"), std::string::npos);
+}
+
+// ------------------------------------------------ golden determinism tests
+
+suite::RunnerOptions
+sampledOptions(std::uint64_t interval)
+{
+    suite::RunnerOptions options;
+    options.sampleOps = 100'000;
+    options.warmupOps = 20'000;
+    options.sampleIntervalOps = interval;
+    return options;
+}
+
+AppInputPair
+cpu2017Pair(const std::string &name)
+{
+    return {&workloads::findProfile(workloads::cpu2017Suite(), name),
+            InputSize::Ref, 0};
+}
+
+TEST(Golden, SamplingDoesNotPerturbAggregateCounters)
+{
+    suite::SuiteRunner plain(sampledOptions(0));
+    suite::SuiteRunner sampled(sampledOptions(10'000));
+    const auto a = plain.runPair(cpu2017Pair("505.mcf_r"));
+    const auto b = sampled.runPair(cpu2017Pair("505.mcf_r"));
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<PerfEvent>(e);
+        EXPECT_EQ(a.counters.get(event), b.counters.get(event))
+            << perfEventName(event);
+    }
+    EXPECT_DOUBLE_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.series, nullptr);
+    ASSERT_NE(b.series, nullptr);
+    EXPECT_EQ(b.series->numIntervals(), 10u);
+}
+
+TEST(Golden, SameSeedSameIntervalIsByteIdentical)
+{
+    suite::SuiteRunner a(sampledOptions(10'000));
+    suite::SuiteRunner b(sampledOptions(10'000));
+    const auto ra = a.runPair(cpu2017Pair("541.leela_r"));
+    const auto rb = b.runPair(cpu2017Pair("541.leela_r"));
+    ASSERT_NE(ra.series, nullptr);
+    ASSERT_NE(rb.series, nullptr);
+    std::ostringstream ca, cb;
+    renderSeriesCsv(*ra.series, ca);
+    renderSeriesCsv(*rb.series, cb);
+    EXPECT_EQ(ca.str(), cb.str());
+}
+
+TEST(Golden, IntervalDeltasReconcileWithAggregates)
+{
+    suite::SuiteRunner runner(sampledOptions(7'000)); // partial tail
+    const auto result = runner.runPair(cpu2017Pair("505.mcf_r"));
+    ASSERT_NE(result.series, nullptr);
+    // Counter columns sum to the measured-window aggregate: the
+    // baseline lands exactly at the end of warmup.
+    for (const auto &[column, event] :
+         {std::pair<const char *, PerfEvent>{
+              "perf.inst_retired.any", PerfEvent::InstRetiredAny},
+          {"perf.cpu_clk_unhalted.ref_tsc",
+           PerfEvent::CpuClkUnhaltedRefTsc},
+          {"perf.br_inst_exec.all_branches",
+           PerfEvent::BrInstExecAllBranches},
+          {"perf.mem_uops_retired.all_loads",
+           PerfEvent::MemUopsRetiredAllLoads}}) {
+        // The aggregate counter set stores integers while the series
+        // keeps fractional cycles, so allow one count of rounding.
+        EXPECT_NEAR(result.series->columnSum(column),
+                    double(result.counters.get(event)), 1.0)
+            << column;
+    }
+}
+
+TEST(Golden, RunnerHandsSeriesToTheSink)
+{
+    MemorySink sink;
+    auto options = sampledOptions(25'000);
+    options.telemetrySink = &sink;
+    suite::SuiteRunner runner(options);
+    const auto result = runner.runPair(cpu2017Pair("505.mcf_r"));
+    ASSERT_NE(sink.find(result.name), nullptr);
+    EXPECT_EQ(sink.find(result.name)->numIntervals(), 4u);
+}
+
+TEST(Golden, MulticorePairsAreNotSampled)
+{
+    suite::SuiteRunner runner(sampledOptions(10'000));
+    const auto result = runner.runPair(cpu2017Pair("619.lbm_s"));
+    EXPECT_FALSE(result.errored);
+    EXPECT_EQ(result.series, nullptr);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace spec17

@@ -167,6 +167,69 @@ TEST(CliRun, UsageDocumentsFaultIsolationFlags)
         EXPECT_NE(usage().find(flag), std::string::npos) << flag;
 }
 
+TEST(CliRun, UsageIsGeneratedFromTheFlagTable)
+{
+    // Every flag the CLI accepts appears in --help, with its
+    // placeholder and group header; the table is the single source
+    // of truth, so help cannot drift from the accepted set.
+    const std::string text = usage();
+    for (const FlagSpec &spec : flagTable()) {
+        EXPECT_NE(text.find("--" + std::string(spec.name)),
+                  std::string::npos)
+            << spec.name;
+        EXPECT_NE(text.find(spec.group), std::string::npos)
+            << spec.group;
+        if (spec.placeholder[0] != '\0')
+            EXPECT_NE(text.find(spec.placeholder), std::string::npos)
+                << spec.placeholder;
+    }
+    for (const char *flag :
+         {"--sample-interval-ops", "--telemetry-out",
+          "--telemetry-format", "--progress"})
+        EXPECT_NE(text.find(flag), std::string::npos) << flag;
+}
+
+TEST(CliRun, UnknownFlagIsRejected)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r", "--samle=1"}),
+                         out, err),
+              2);
+    EXPECT_NE(err.str().find("unknown flag '--samle'"),
+              std::string::npos);
+    // --help still wins over an unknown flag.
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runCommand(parse({"stat", "--bogus", "--help"}), out2,
+                         err2),
+              0);
+    EXPECT_NE(out2.str().find("usage:"), std::string::npos);
+}
+
+TEST(CliRun, StatRejectsBadTelemetryFormat)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--sample-interval-ops=1000",
+                                "--telemetry-out=/tmp/x",
+                                "--telemetry-format=xml"}),
+                         out, err),
+              2);
+    EXPECT_NE(err.str().find("telemetry-format"), std::string::npos);
+}
+
+TEST(CliRun, StatReportsIntervalTelemetry)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "548.exchange2_r",
+                                "--sample=60000", "--warmup=20000",
+                                "--sample-interval-ops=10000"}),
+                         out, err),
+              0);
+    EXPECT_NE(out.str().find("telemetry: 6 interval(s)"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("interval IPC CoV"), std::string::npos);
+}
+
 TEST(CliRun, SubsetValidatesSetFlag)
 {
     std::ostringstream out, err;

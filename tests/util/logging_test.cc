@@ -36,5 +36,49 @@ TEST(Logging, WarnAndInformDoNotTerminate)
     SUCCEED();
 }
 
+TEST(Logging, FormatEventLeavesPlainValuesUnquoted)
+{
+    EXPECT_EQ(formatEvent("retry", {{"pair", "505.mcf_r"},
+                                    {"attempt", "2"}}),
+              "event: retry pair=505.mcf_r attempt=2");
+}
+
+TEST(Logging, FormatEventQuotesValuesThatWouldBreakFraming)
+{
+    // Whitespace, '=', quotes, backslashes and control characters in
+    // a value must not be able to forge extra key=value fields.
+    EXPECT_EQ(formatEvent("e", {{"msg", "two words"}}),
+              "event: e msg=\"two words\"");
+    EXPECT_EQ(formatEvent("e", {{"msg", "a=b"}}),
+              "event: e msg=\"a=b\"");
+    EXPECT_EQ(formatEvent("e", {{"msg", "say \"hi\""}}),
+              "event: e msg=\"say \\\"hi\\\"\"");
+    EXPECT_EQ(formatEvent("e", {{"msg", "line1\nline2"}}),
+              "event: e msg=\"line1\\nline2\"");
+    EXPECT_EQ(formatEvent("e", {{"msg", "tab\there\rback\\slash"}}),
+              "event: e msg=\"tab\\there\\rback\\\\slash\"");
+}
+
+TEST(Logging, FormatEventQuotesEmptyValues)
+{
+    EXPECT_EQ(formatEvent("e", {{"msg", ""}}), "event: e msg=\"\"");
+}
+
+TEST(Logging, FormatEventInjectionCannotForgeAField)
+{
+    // A hostile value trying to smuggle `ok=1` stays one quoted value.
+    EXPECT_EQ(formatEvent("e", {{"msg", "x ok=1"}, {"real", "2"}}),
+              "event: e msg=\"x ok=1\" real=2");
+}
+
+TEST(Logging, LogEventOverloadsAgree)
+{
+    // Both the vector and the brace-literal overload format through
+    // formatEvent; this just pins that neither terminates.
+    logEvent("smoke", {{"k", "v"}});
+    logEvent("smoke", std::vector<LogField>{{"k", "v v"}});
+    SUCCEED();
+}
+
 } // namespace
 } // namespace spec17

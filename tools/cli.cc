@@ -1,6 +1,7 @@
 #include "tools/cli.hh"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "core/characterizer.hh"
@@ -9,6 +10,9 @@
 #include "core/subset.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/sink.hh"
 #include "trace/file.hh"
 #include "trace/synthetic.hh"
 #include "util/table.hh"
@@ -73,7 +77,40 @@ runnerOptionsOf(const CommandLine &command)
     options.pairDeadlineOps = command.flagUint("pair-deadline", 0);
     options.pairDeadlineMs = command.flagUint("pair-deadline-ms", 0);
     options.retryBackoffMs = command.flagUint("retry-backoff-ms", 0);
+    options.sampleIntervalOps =
+        command.flagUint("sample-interval-ops", 0);
     return options;
+}
+
+/**
+ * Builds the file sink for --telemetry-out, or nullptr when the flag
+ * is absent. The caller owns the sink and must keep it alive for the
+ * runner's lifetime.
+ */
+std::unique_ptr<telemetry::FileSink>
+telemetrySinkOf(const CommandLine &command, std::ostream &err, bool &ok)
+{
+    ok = true;
+    if (!command.hasFlag("telemetry-out"))
+        return nullptr;
+    const std::string format = command.flag("telemetry-format", "csv");
+    telemetry::FileSink::Format sink_format;
+    if (format == "csv") {
+        sink_format = telemetry::FileSink::Format::Csv;
+    } else if (format == "jsonl") {
+        sink_format = telemetry::FileSink::Format::Jsonl;
+    } else {
+        err << "error: unknown --telemetry-format '" << format
+            << "' (want csv|jsonl)\n";
+        ok = false;
+        return nullptr;
+    }
+    if (command.flagUint("sample-interval-ops", 0) == 0) {
+        warn("--telemetry-out without --sample-interval-ops "
+             "produces no series");
+    }
+    return std::make_unique<telemetry::FileSink>(
+        command.flag("telemetry-out"), sink_format);
 }
 
 /**
@@ -192,7 +229,13 @@ cmdStat(const CommandLine &command, std::ostream &out,
         return 2;
     }
 
-    suite::SuiteRunner runner(runnerOptionsOf(command));
+    suite::RunnerOptions runner_options = runnerOptionsOf(command);
+    bool sink_ok = false;
+    const auto sink = telemetrySinkOf(command, err, sink_ok);
+    if (!sink_ok)
+        return 2;
+    runner_options.telemetrySink = sink.get();
+    suite::SuiteRunner runner(runner_options);
     const auto result = runner.runPair({profile, size, input});
 
     out << "perf-style counters for " << result.name << " ("
@@ -221,6 +264,21 @@ cmdStat(const CommandLine &command, std::ostream &out,
     out << "  estimated native run: " << fmtDouble(metrics.seconds, 1)
         << " s for " << fmtDouble(metrics.instrBillions, 1)
         << " billion instructions\n";
+    if (result.series) {
+        // The first phase-behaviour signal: how much interval IPC
+        // wobbles over the measured window.
+        out << "  telemetry: " << result.series->numIntervals()
+            << " interval(s) of "
+            << fmtCount(result.series->intervalOps)
+            << " ops, interval IPC CoV "
+            << fmtDouble(telemetry::coefficientOfVariation(
+                             *result.series, "ipc"),
+                         3)
+            << "\n";
+        if (sink)
+            out << "  telemetry series written to "
+                << sink->pathFor(result.name) << "\n";
+    }
     return 0;
 }
 
@@ -365,18 +423,55 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
 
     core::CharacterizerOptions options;
     options.runner = runnerOptionsOf(command);
+    bool sink_ok = false;
+    const auto sink = telemetrySinkOf(command, err, sink_ok);
+    if (!sink_ok)
+        return 2;
+    options.runner.telemetrySink = sink.get();
     if (command.hasFlag("no-cache"))
         options.cachePath.clear();
     options.resume = command.hasFlag("resume");
+    telemetry::ProgressReporter progress;
+    if (command.hasFlag("progress")) {
+        options.pairObserver = [&progress](
+                                   const suite::PairResult &result,
+                                   std::size_t index,
+                                   std::size_t total) {
+            progress.onItemDone(
+                result.name, index, total,
+                result.counters.get(
+                    counters::PerfEvent::InstRetiredAny),
+                result.attempts, result.errored);
+        };
+    }
     core::Characterizer session(options);
     const auto metrics = session.metrics(generation, size);
 
-    TextTable table({"pair", "IPC", "ld%", "st%", "br%", "L1m%",
-                     "L2m%", "L3m%", "misp%", "RSS GiB", "time s"});
+    // With sampling enabled, surface the per-pair interval-IPC
+    // coefficient of variation (series exist only for pairs actually
+    // simulated this session; cache replays show "-").
+    const bool sampled = options.runner.sampleIntervalOps > 0;
+    std::map<std::string, double> ipc_cov;
+    if (sampled) {
+        for (const auto &result : session.results(generation, size)) {
+            if (result.series) {
+                ipc_cov[result.name] =
+                    telemetry::coefficientOfVariation(*result.series,
+                                                      "ipc");
+            }
+        }
+    }
+
+    std::vector<std::string> header = {"pair", "IPC", "ld%", "st%",
+                                       "br%", "L1m%", "L2m%", "L3m%",
+                                       "misp%", "RSS GiB", "time s"};
+    if (sampled)
+        header.push_back("IPC CoV");
+    TextTable table(header);
     for (const auto &m : metrics) {
         if (m.errored)
             continue;
-        table.addRow({m.name, fmtDouble(m.ipc, 3),
+        std::vector<std::string> row = {m.name, fmtDouble(m.ipc, 3),
                       fmtDouble(m.loadPct, 2),
                       fmtDouble(m.storePct, 2),
                       fmtDouble(m.branchPct, 2),
@@ -385,7 +480,13 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
                       fmtDouble(m.l3MissPct, 2),
                       fmtDouble(m.mispredictPct, 2),
                       fmtDouble(m.rssGiB, 3),
-                      fmtDouble(m.seconds, 1)});
+                      fmtDouble(m.seconds, 1)};
+        if (sampled) {
+            row.push_back(ipc_cov.count(m.name)
+                              ? fmtDouble(ipc_cov[m.name], 3)
+                              : "-");
+        }
+        table.addRow(row);
     }
     if (command.hasFlag("csv")) {
         table.renderCsv(out);
@@ -532,10 +633,69 @@ parseCommandLine(int argc, const char *const *argv)
     return command;
 }
 
+const std::vector<FlagSpec> &
+flagTable()
+{
+    // Single source of truth for the accepted flag set: usage()
+    // renders this table and runCommand() validates against it.
+    static const std::vector<FlagSpec> table = {
+        {"suite", "cpu2017|cpu2006", "which suite (default cpu2017)",
+         "common flags"},
+        {"size", "test|train|ref", "input size (default ref)",
+         "common flags"},
+        {"input", "N", "1-based input index (default 1)",
+         "common flags"},
+        {"sample", "N", "simulated micro-ops measured per pair",
+         "common flags"},
+        {"warmup", "N", "simulated micro-ops warmed before measuring",
+         "common flags"},
+        {"predictor", "NAME",
+         "static-taken|bimodal|gshare|tournament", "common flags"},
+        {"prefetcher", "NAME", "none|next-line|stride", "common flags"},
+        {"set", "rate|speed", "pair set for subset", "common flags"},
+        {"clusters", "N", "force the subset size", "common flags"},
+        {"csv", "", "CSV output (characterize)", "common flags"},
+        {"no-cache", "", "ignore the result cache", "common flags"},
+        {"out", "FILE", "output path (record)", "common flags"},
+        {"tolerance", "N", "allowed deviation in pp (validate)",
+         "common flags"},
+        {"strict", "", "nonzero exit on deviations (validate)",
+         "common flags"},
+        {"help", "", "print this help", "common flags"},
+        {"retries", "N", "retry failed pairs up to N times",
+         "fault isolation (characterize)"},
+        {"retry-backoff-ms", "N",
+         "base backoff between retries (doubles per attempt)",
+         "fault isolation (characterize)"},
+        {"pair-deadline", "N",
+         "per-pair micro-op budget (deterministic watchdog)",
+         "fault isolation (characterize)"},
+        {"pair-deadline-ms", "N", "per-pair wall-clock budget",
+         "fault isolation (characterize)"},
+        {"resume", "", "resume an interrupted sweep from the journal",
+         "fault isolation (characterize)"},
+        {"sample-interval-ops", "N",
+         "per-pair interval series every N micro-ops (perf stat -I; "
+         "0=off)",
+         "telemetry (stat, characterize)"},
+        {"telemetry-out", "DIR",
+         "write one series file per pair into DIR",
+         "telemetry (stat, characterize)"},
+        {"telemetry-format", "csv|jsonl",
+         "series file format (default csv)",
+         "telemetry (stat, characterize)"},
+        {"progress", "",
+         "throttled sweep_progress events on stderr (pair k/N, "
+         "ops/s, ETA)",
+         "telemetry (stat, characterize)"},
+    };
+    return table;
+}
+
 std::string
 usage()
 {
-    return
+    std::string text =
         "spec17 -- SPEC CPU2017 workload characterization framework\n"
         "usage: spec17 <command> [flags]\n"
         "\n"
@@ -553,32 +713,25 @@ usage()
         "  replay <file>                run a saved trace\n"
         "  validate [--strict]          profile targets vs measured\n"
         "  events                       list the simulated perf events\n"
-        "  config                       print machine configuration\n"
-        "\n"
-        "common flags:\n"
-        "  --suite=cpu2017|cpu2006      which suite (default cpu2017)\n"
-        "  --size=test|train|ref        input size (default ref)\n"
-        "  --input=N                    1-based input index "
-        "(default 1)\n"
-        "  --sample=N --warmup=N        simulated micro-ops\n"
-        "  --predictor=NAME             static-taken|bimodal|gshare|"
-        "tournament\n"
-        "  --prefetcher=NAME            none|next-line|stride\n"
-        "  --set=rate|speed             pair set for subset\n"
-        "  --clusters=N                 force the subset size\n"
-        "  --csv                        CSV output (characterize)\n"
-        "  --no-cache                   ignore the result cache\n"
-        "\n"
-        "fault isolation (characterize):\n"
-        "  --retries=N                  retry failed pairs up to N "
-        "times\n"
-        "  --retry-backoff-ms=N         base backoff between retries "
-        "(doubles per attempt)\n"
-        "  --pair-deadline=N            per-pair micro-op budget "
-        "(deterministic watchdog)\n"
-        "  --pair-deadline-ms=N         per-pair wall-clock budget\n"
-        "  --resume                     resume an interrupted sweep "
-        "from the journal\n";
+        "  config                       print machine configuration\n";
+    const char *group = "";
+    for (const FlagSpec &flag : flagTable()) {
+        if (std::string(group) != flag.group) {
+            group = flag.group;
+            text += "\n";
+            text += group;
+            text += ":\n";
+        }
+        std::string left = "  --" + std::string(flag.name);
+        if (flag.placeholder[0] != '\0')
+            left += "=" + std::string(flag.placeholder);
+        if (left.size() < 31)
+            left.resize(31, ' ');
+        else
+            left += " ";
+        text += left + flag.help + "\n";
+    }
+    return text;
 }
 
 int
@@ -588,6 +741,18 @@ runCommand(const CommandLine &command, std::ostream &out,
     if (command.command.empty() || command.hasFlag("help")) {
         out << usage();
         return command.command.empty() ? 2 : 0;
+    }
+    // Reject flags outside the table so a typo'd flag is a loud
+    // error instead of a silently ignored no-op.
+    for (const auto &[name, value] : command.flags) {
+        const bool known = std::any_of(
+            flagTable().begin(), flagTable().end(),
+            [&name](const FlagSpec &spec) { return name == spec.name; });
+        if (!known) {
+            err << "error: unknown flag '--" << name
+                << "' (see spec17 --help for the accepted flags)\n";
+            return 2;
+        }
     }
     if (command.command == "config")
         return cmdConfig(command, out);

@@ -51,7 +51,24 @@ CommandLine parseCommandLine(int argc, const char *const *argv);
 int runCommand(const CommandLine &command, std::ostream &out,
                std::ostream &err);
 
-/** Usage text. */
+/**
+ * One accepted `--flag` of the CLI. The table below is the single
+ * source of truth: usage() renders it and runCommand() validates
+ * parsed flags against it, so help text and the accepted flag set
+ * cannot drift apart.
+ */
+struct FlagSpec
+{
+    const char *name;        //!< without the leading "--"
+    const char *placeholder; //!< value placeholder, "" for booleans
+    const char *help;        //!< one-line description
+    const char *group;       //!< usage section this flag renders under
+};
+
+/** Every flag the CLI accepts, in usage() rendering order. */
+const std::vector<FlagSpec> &flagTable();
+
+/** Usage text (commands plus the rendered flag table). */
 std::string usage();
 
 } // namespace cli
