@@ -24,6 +24,7 @@ FaultInjector::Action
 ScriptedFaultInjector::onAttempt(const std::string &pair,
                                  unsigned attempt)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     consulted_.emplace_back(pair, attempt);
     const auto it = plan_.find({pair, attempt});
     return it == plan_.end() ? Action::None : it->second;

@@ -15,6 +15,7 @@
 #define SPEC17_SUITE_FAULT_INJECTION_HH_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,9 @@ class FaultInjector
  * (pair, attempt) and every consultation is recorded, so tests can
  * also use it as a probe for which pairs a sweep actually simulated
  * (e.g. to prove resume-from-journal skips completed pairs).
+ * Consultations are serialized internally, so the probe also works
+ * under parallel sweeps -- though with jobs > 1 the recorded order
+ * reflects completion order, not pair order (compare as sets).
  */
 class ScriptedFaultInjector : public FaultInjector
 {
@@ -63,7 +67,8 @@ class ScriptedFaultInjector : public FaultInjector
     Action onAttempt(const std::string &pair,
                      unsigned attempt) override;
 
-    /** Every (pair, attempt) the runner consulted, in order. */
+    /** Every (pair, attempt) the runner consulted, in consultation
+     *  order. Read after the sweep has joined its workers. */
     const std::vector<std::pair<std::string, unsigned>> &
     consulted() const
     {
@@ -71,6 +76,9 @@ class ScriptedFaultInjector : public FaultInjector
     }
 
   private:
+    /** Guards consulted_ against concurrent sweep workers (plan_ is
+     *  only written before the sweep starts). */
+    std::mutex mutex_;
     std::map<std::pair<std::string, unsigned>, Action> plan_;
     std::vector<std::pair<std::string, unsigned>> consulted_;
 };

@@ -226,6 +226,7 @@ ResultCache::load(const SuiteRunner &runner,
         if (results[i].name != pairs[i].displayName())
             return std::nullopt;
         results[i].profile = pairs[i].profile;
+        results[i].replayed = true;
     }
     return results;
 }
@@ -258,6 +259,7 @@ ResultCache::loadPartial(const SuiteRunner &runner,
             break;
         }
         rows[i].profile = pairs[i].profile;
+        rows[i].replayed = true;
         prefix.push_back(std::move(rows[i]));
     }
     return prefix;
@@ -331,15 +333,25 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
             observer(results[i], i, pairs.size());
     }
     journalWarned_ = false;
-    for (std::size_t i = results.size(); i < pairs.size(); ++i) {
-        results.push_back(runner.runPair(pairs[i]));
-        // Checkpoint after every pair: an interrupted sweep resumes
-        // from here instead of restarting. Quiet on unwritable paths
-        // (one warning per sweep, not one per pair).
-        save(runner, suite, size, results, /*quiet=*/true);
-        if (observer)
-            observer(results.back(), i, pairs.size());
-    }
+    const std::vector<workloads::AppInputPair> remaining(
+        pairs.begin() + static_cast<std::ptrdiff_t>(results.size()),
+        pairs.end());
+    // The remainder runs through the runner's worker pool; its
+    // observer delivers completions in canonical pair order even when
+    // jobs > 1 (and never concurrently), so every checkpoint below
+    // extends a valid journal prefix -- an interrupted sweep resumes
+    // from here instead of restarting. Quiet on unwritable paths (one
+    // warning per sweep, not one per pair).
+    runner.runPairs(
+        remaining,
+        [&](const PairResult &result, std::size_t index,
+            std::size_t total) {
+            results.push_back(result);
+            save(runner, suite, size, results, /*quiet=*/true);
+            if (observer)
+                observer(result, index, total);
+        },
+        results.size(), pairs.size());
     // Final commit doubles as the loud failure report for unwritable
     // cache locations.
     save(runner, suite, size, results);

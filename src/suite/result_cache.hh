@@ -17,6 +17,12 @@
  * simulates only the remainder. Malformed rows (torn tails, stale
  * formats) are quarantined as cache misses with a logged reason --
  * never a crash, never garbage results.
+ *
+ * Parallel sweeps (RunnerOptions::jobs > 1) journal through the
+ * runner's ordered observer seam: completions are delivered in
+ * canonical pair order regardless of which worker finished first, so
+ * every checkpoint is still a valid prefix and a journal truncated
+ * mid-parallel-sweep resumes byte-identically.
  */
 
 #ifndef SPEC17_SUITE_RESULT_CACHE_HH_
@@ -59,10 +65,13 @@ class ResultCache
      * journal seeds the sweep and only missing pairs are simulated.
      * Profile pointers in returned results are rebound into @p suite.
      *
-     * @param observer notified after each pair of a simulated sweep
-     *        (including journal-replayed prefix pairs, so progress
-     *        counts stay consistent); never invoked on a full cache
-     *        hit. Pass an empty function to disable.
+     * @param observer notified after each pair of a simulated sweep,
+     *        always in canonical pair order (even when the runner
+     *        executes pairs on a worker pool) and including
+     *        journal-replayed prefix pairs -- flagged via
+     *        PairResult::replayed -- so progress counts stay
+     *        consistent; never invoked on a full cache hit. Pass an
+     *        empty function to disable.
      */
     std::vector<PairResult> runOrLoad(
         const SuiteRunner &runner,

@@ -1,7 +1,10 @@
 #include "suite/runner.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -48,6 +51,20 @@ prefillSteadyState(sim::CpuSimulator &core,
     core.prefillData(generator.codeBase(), code,
                      code <= 96 * kKiB ? sim::HitLevel::L2
                                        : sim::HitLevel::L3);
+}
+
+std::uint64_t
+retryBackoffDelayMs(std::uint64_t base_ms, unsigned attempt)
+{
+    if (base_ms == 0 || attempt == 0)
+        return 0;
+    const unsigned exponent =
+        std::min(attempt - 1, kMaxBackoffExponent);
+    // With the exponent clamped, base_ms <= kMaxBackoffDelayMs >>
+    // exponent guarantees the shift cannot overflow either.
+    if (base_ms > (kMaxBackoffDelayMs >> exponent))
+        return kMaxBackoffDelayMs;
+    return base_ms << exponent;
 }
 
 double
@@ -333,10 +350,13 @@ SuiteRunner::runPair(const AppInputPair &pair) const
     std::vector<FailureRecord> failures;
     const unsigned max_attempts = options_.maxRetries + 1;
     for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
-        if (attempt > 0 && options_.retryBackoffMs > 0) {
-            const auto delay = std::chrono::milliseconds(
-                options_.retryBackoffMs << (attempt - 1));
-            std::this_thread::sleep_for(delay);
+        const std::uint64_t delay_ms =
+            attempt > 0
+            ? retryBackoffDelayMs(options_.retryBackoffMs, attempt)
+            : 0;
+        if (delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
         }
         try {
             PairResult result = runPairAttempt(pair, attempt);
@@ -371,6 +391,11 @@ SuiteRunner::runPair(const AppInputPair &pair) const
                   {"category", failureCategoryName(last.category)},
                   {"ops", std::to_string(last.opsCompleted)},
                   {"message", last.message}});
+        // A malformed profile fails every attempt identically --
+        // retrying (and sleeping the backoff) would only replay the
+        // same diagnosis, so fail fast instead.
+        if (last.category == FailureCategory::BadProfile)
+            break;
     }
 
     // Every attempt failed: surface an errored result mirroring the
@@ -382,11 +407,11 @@ SuiteRunner::runPair(const AppInputPair &pair) const
     failed.size = pair.size;
     failed.inputIndex = pair.inputIndex;
     failed.errored = true;
-    failed.attempts = max_attempts;
+    failed.attempts = static_cast<unsigned>(failures.size());
     failed.failures = std::move(failures);
     logEvent("pair_errored",
              {{"pair", name},
-              {"attempts", std::to_string(max_attempts)},
+              {"attempts", std::to_string(failed.attempts)},
               {"category",
                failureCategoryName(failed.failures.back().category)}});
     return failed;
@@ -404,15 +429,78 @@ SuiteRunner::runAll(const std::vector<WorkloadProfile> &suite,
                     workloads::InputSize size,
                     const PairObserver &observer) const
 {
-    const auto pairs = enumeratePairs(suite, size);
-    std::vector<PairResult> results;
-    results.reserve(pairs.size());
-    for (const AppInputPair &pair : pairs) {
-        results.push_back(runPair(pair));
-        if (observer) {
-            observer(results.back(), results.size() - 1, pairs.size());
+    return runPairs(enumeratePairs(suite, size), observer);
+}
+
+unsigned
+SuiteRunner::effectiveJobs(std::size_t num_pairs) const
+{
+    unsigned jobs = options_.jobs;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (num_pairs < jobs)
+        jobs = static_cast<unsigned>(std::max<std::size_t>(num_pairs,
+                                                           1));
+    return jobs;
+}
+
+std::vector<PairResult>
+SuiteRunner::runPairs(const std::vector<AppInputPair> &pairs,
+                      const PairObserver &observer,
+                      std::size_t index_offset, std::size_t total) const
+{
+    if (total == 0)
+        total = index_offset + pairs.size();
+    std::vector<PairResult> results(pairs.size());
+    const unsigned jobs = effectiveJobs(pairs.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            results[i] = runPair(pairs[i]);
+            if (observer)
+                observer(results[i], index_offset + i, total);
         }
+        return results;
     }
+
+    // Worker pool: each worker pulls the next pair index from the
+    // shared counter and stores the result into that pair's slot, so
+    // the result vector is in canonical order no matter which worker
+    // finished first. The commit drain below then delivers completed
+    // pairs to the observer strictly in index order: pair i is held
+    // back until pairs [0, i) have been delivered, which is what lets
+    // the result cache journal a valid prefix mid-sweep and keeps
+    // progress/journal output byte-compatible with a sequential run.
+    std::atomic<std::size_t> next{0};
+    std::mutex commit_mutex;
+    std::vector<char> done(pairs.size(), 0);
+    std::size_t committed = 0;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= pairs.size())
+                return;
+            PairResult result = runPair(pairs[i]);
+            std::lock_guard<std::mutex> lock(commit_mutex);
+            results[i] = std::move(result);
+            done[i] = 1;
+            while (committed < pairs.size() && done[committed]) {
+                if (observer)
+                    observer(results[committed],
+                             index_offset + committed, total);
+                ++committed;
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        workers.emplace_back(worker);
+    for (std::thread &thread : workers)
+        thread.join();
     return results;
 }
 

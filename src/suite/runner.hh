@@ -1,9 +1,13 @@
 /**
  * @file
  * Suite execution: runs application-input pairs on the simulator the
- * way the paper runs SPEC under `perf stat` -- one pair at a time,
- * collecting the full counter set -- and scales sampled measurements
- * back to paper units (billions of instructions, seconds).
+ * way the paper runs SPEC under `perf stat` -- each pair on a fresh
+ * simulator, collecting the full counter set -- and scales sampled
+ * measurements back to paper units (billions of instructions,
+ * seconds). Pairs are embarrassingly parallel (every seed derives
+ * purely from the root seed and the pair identity), so sweeps can run
+ * on a worker pool (RunnerOptions::jobs) while results, journal
+ * commits and observer callbacks stay in canonical pair order.
  */
 
 #ifndef SPEC17_SUITE_RUNNER_HH_
@@ -62,7 +66,9 @@ struct RunnerOptions
      *  Catches genuine stalls; unlike the op budget it is inherently
      *  non-deterministic, so keep it generous. */
     std::uint64_t pairDeadlineMs = 0;
-    /** Base delay before retry attempt k of 2^(k-1) * this (ms).
+    /** Base delay before retry attempt k of 2^(k-1) * this (ms),
+     *  with the exponent clamped (kMaxBackoffExponent) and the delay
+     *  capped (kMaxBackoffDelayMs) -- see retryBackoffDelayMs().
      *  0 retries immediately (the deterministic-test default). */
     std::uint64_t retryBackoffMs = 0;
     /** Test-only injection hook; not part of the config key.
@@ -82,10 +88,45 @@ struct RunnerOptions
      */
     std::uint64_t sampleIntervalOps = 0;
     /** Where completed series go; borrowed pointer, may stay null to
-     *  only populate PairResult::series. */
+     *  only populate PairResult::series. Written from worker threads
+     *  when jobs > 1, so the sink must be safe for concurrent
+     *  callers (the bundled sinks are). */
     telemetry::TelemetrySink *telemetrySink = nullptr;
     /// @}
+
+    /** @name Parallel execution */
+    /// @{
+    /**
+     * Worker threads a sweep runs on (1 = sequential, 0 = hardware
+     * concurrency). Results, aggregates and journal commits are
+     * byte-identical at any job count -- every pair's seed derives
+     * purely from (root seed, profile, size, input) and completions
+     * are committed in canonical pair order -- so this is
+     * deliberately NOT part of the config key.
+     */
+    unsigned jobs = 1;
+    /// @}
 };
+
+/** Retry backoff policy constants (see retryBackoffDelayMs). */
+/// @{
+/** Largest exponent 2^k the backoff doubling may reach; clamping it
+ *  keeps the shift well-defined for any retry count (shifting by the
+ *  type width is undefined behaviour). */
+inline constexpr unsigned kMaxBackoffExponent = 16;
+/** Hard ceiling on a single retry delay. */
+inline constexpr std::uint64_t kMaxBackoffDelayMs = 60'000;
+/// @}
+
+/**
+ * Delay before retry @p attempt (1-based; attempt 0 is the first try
+ * and never sleeps): `base_ms * 2^(attempt-1)` with the exponent
+ * clamped to kMaxBackoffExponent and the result capped at
+ * kMaxBackoffDelayMs, so arbitrarily large retry counts can neither
+ * shift past the type width nor sleep for geological time.
+ */
+std::uint64_t retryBackoffDelayMs(std::uint64_t base_ms,
+                                  unsigned attempt);
 
 /** Result of one application-input pair. */
 struct PairResult
@@ -110,6 +151,14 @@ struct PairResult
 
     /** True when retries recovered the pair after transient failures. */
     bool recovered() const { return !failures.empty() && !errored; }
+
+    /**
+     * True when this result was replayed from the result-cache
+     * journal instead of simulated this session. Not persisted;
+     * progress reporting uses it to keep rate/ETA estimates honest on
+     * resumed sweeps (replays complete in microseconds).
+     */
+    bool replayed = false;
 
     /** Counters over the measured interval (simulation scale). */
     counters::CounterSet counters;
@@ -136,7 +185,9 @@ struct PairResult
 
 /**
  * Runs pairs on a fresh simulator each (no cross-pair pollution).
- * Deterministic: identical options produce identical results.
+ * Deterministic: identical options produce identical results, at any
+ * job count -- a parallel sweep is byte-identical to a sequential
+ * one.
  *
  * Every pair runs inside a failure boundary: exceptions, invariant
  * violations, malformed profiles and watchdog expiries become an
@@ -172,6 +223,26 @@ class SuiteRunner
         const std::vector<workloads::WorkloadProfile> &suite,
         workloads::InputSize size, const PairObserver &observer) const;
 
+    /**
+     * Runs @p pairs through the worker pool (RunnerOptions::jobs;
+     * 1 = sequential on the calling thread) and returns results in
+     * pair order regardless of completion order: each worker pulls
+     * the next pair index from a shared counter and stores its result
+     * into the pre-sized slot for that pair.
+     *
+     * @p observer is invoked in canonical pair order -- a completed
+     * pair is held back until every earlier pair has been delivered
+     * (lowest-uncommitted-index drain) -- and never concurrently, so
+     * journaling through it always extends a valid prefix. Observer
+     * indices run from @p index_offset; @p total is the sweep size
+     * reported to the observer (0 = index_offset + pairs.size()),
+     * letting a resumed sweep report progress against the full sweep.
+     */
+    std::vector<PairResult> runPairs(
+        const std::vector<workloads::AppInputPair> &pairs,
+        const PairObserver &observer = {}, std::size_t index_offset = 0,
+        std::size_t total = 0) const;
+
     const RunnerOptions &options() const { return options_; }
 
     /** Stable fingerprint of everything that affects results. */
@@ -181,6 +252,10 @@ class SuiteRunner
     /** One uncontained attempt; throws PairExecutionError on faults. */
     PairResult runPairAttempt(const workloads::AppInputPair &pair,
                               unsigned attempt) const;
+
+    /** Worker threads a sweep of @p num_pairs pairs actually uses
+     *  (resolves jobs == 0, never exceeds the pair count). */
+    unsigned effectiveJobs(std::size_t num_pairs) const;
 
     RunnerOptions options_;
 };

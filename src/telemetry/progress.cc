@@ -29,14 +29,25 @@ ProgressReporter::ProgressReporter(Options options)
 void
 ProgressReporter::onItemDone(const std::string &name, std::size_t index,
                              std::size_t total, std::uint64_t ops,
-                             unsigned attempts, bool errored)
+                             unsigned attempts, bool errored,
+                             bool replayed)
 {
+    (void)index;
+    std::lock_guard<std::mutex> lock(mutex_);
     ++done_;
-    totalOps_ += ops;
+    if (replayed)
+        ++replayedCount_;
+    else
+        simulatedOps_ += ops;
     erroredCount_ += errored ? 1 : 0;
 
     const auto now = std::chrono::steady_clock::now();
-    const bool last = index + 1 == total;
+    // Count-based, not index-based: with parallel workers the item
+    // carrying the last index can complete long before the sweep is
+    // actually done, and the truly last completion can carry any
+    // index. Every item is reported exactly once, so done_ == total
+    // identifies the final event reliably.
+    const bool last = done_ == total;
     const auto since_emit =
         std::chrono::duration_cast<std::chrono::milliseconds>(
             now - lastEmit_)
@@ -51,16 +62,19 @@ ProgressReporter::onItemDone(const std::string &name, std::size_t index,
         std::chrono::duration_cast<std::chrono::duration<double>>(
             now - start_)
             .count();
+    // Rate and ETA are built from simulated items only: journal
+    // replays finish in microseconds and would otherwise make a
+    // resumed sweep project a wildly optimistic finish time.
+    const std::size_t simulated_done = done_ - replayedCount_;
     const double ops_per_s =
-        elapsed_s > 0.0 ? double(totalOps_) / elapsed_s : 0.0;
-    const double eta_s = done_ > 0 && total > done_
-        ? elapsed_s / double(done_) * double(total - done_)
+        elapsed_s > 0.0 ? double(simulatedOps_) / elapsed_s : 0.0;
+    const double eta_s = simulated_done > 0 && total > done_
+        ? elapsed_s / double(simulated_done) * double(total - done_)
         : 0.0;
 
     const std::vector<LogField> fields = {
         {"pair", name},
-        {"done", std::to_string(index + 1) + "/"
-                     + std::to_string(total)},
+        {"done", std::to_string(done_) + "/" + std::to_string(total)},
         {"attempts", std::to_string(attempts)},
         {"errored", std::to_string(erroredCount_)},
         {"ops_per_s", fmtFixed(ops_per_s, 0)},

@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -20,8 +21,11 @@ namespace telemetry {
 /**
  * Emits at most one progress event per throttle window (plus always
  * the final item), rate-limiting log volume on fast sweeps while
- * keeping slow ones talkative. Stateless across sweeps: construct
- * one reporter per sweep.
+ * keeping slow ones talkative. The final item is detected by count
+ * (every item reported), not by index, so it fires even when
+ * parallel workers complete out of order. Safe for concurrent
+ * callers. Stateless across sweeps: construct one reporter per
+ * sweep.
  */
 class ProgressReporter
 {
@@ -43,10 +47,17 @@ class ProgressReporter
      * @param ops micro-ops the item retired (0 when unknown).
      * @param attempts attempts the item consumed.
      * @param errored whether the item exhausted its attempts.
+     * @param replayed true when the item was replayed from the
+     *        result-cache journal instead of simulated. Replays
+     *        complete in microseconds, so they count toward done/N
+     *        but are excluded from the ops/s rate and the ETA --
+     *        otherwise a resumed sweep projects an absurd finish
+     *        time from its replay burst.
      */
     void onItemDone(const std::string &name, std::size_t index,
                     std::size_t total, std::uint64_t ops,
-                    unsigned attempts, bool errored);
+                    unsigned attempts, bool errored,
+                    bool replayed = false);
 
     /** Items reported so far. */
     std::size_t itemsDone() const { return done_; }
@@ -55,8 +66,14 @@ class ProgressReporter
     Options options_;
     std::chrono::steady_clock::time_point start_;
     std::chrono::steady_clock::time_point lastEmit_;
+    /** Serializes callers: parallel-sweep workers may report through
+     *  seams that are not already ordered (e.g. direct use). */
+    std::mutex mutex_;
     std::size_t done_ = 0;
-    std::uint64_t totalOps_ = 0;
+    std::size_t replayedCount_ = 0;
+    /** Micro-ops retired by simulated (non-replayed) items only;
+     *  rate and ETA estimates are based on these. */
+    std::uint64_t simulatedOps_ = 0;
     std::size_t erroredCount_ = 0;
 };
 

@@ -85,6 +85,7 @@ renderSeriesJsonl(const TimeSeries &series, std::ostream &out)
 void
 MemorySink::write(const std::string &pair_name, const TimeSeries &series)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     series_[pair_name] = series;
 }
 
@@ -113,6 +114,7 @@ FileSink::pathFor(const std::string &pair_name) const
 void
 FileSink::write(const std::string &pair_name, const TimeSeries &series)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
     const std::string file = pathFor(pair_name);

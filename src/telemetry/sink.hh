@@ -10,6 +10,7 @@
 #define SPEC17_TELEMETRY_SINK_HH_
 
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -28,6 +29,10 @@ class TelemetrySink
      * Persists the completed series of one pair. Only successful
      * attempts are ever written: a retried attempt's partial series
      * is discarded by the runner, never handed to a sink.
+     *
+     * Parallel sweeps (RunnerOptions::jobs > 1) call this from
+     * worker threads, so implementations must tolerate concurrent
+     * callers (the bundled sinks serialize internally).
      */
     virtual void write(const std::string &pair_name,
                        const TimeSeries &series) = 0;
@@ -40,7 +45,9 @@ void renderSeriesCsv(const TimeSeries &series, std::ostream &out);
 /** Renders one JSON object per interval (JSON-lines). */
 void renderSeriesJsonl(const TimeSeries &series, std::ostream &out);
 
-/** In-memory sink for tests and in-process consumers. */
+/** In-memory sink for tests and in-process consumers. Writes are
+ *  serialized; read accessors (all/find) are for after the sweep has
+ *  joined its workers, not for mid-sweep polling. */
 class MemorySink : public TelemetrySink
 {
   public:
@@ -55,6 +62,7 @@ class MemorySink : public TelemetrySink
     const TimeSeries *find(const std::string &pair_name) const;
 
   private:
+    std::mutex mutex_;
     std::map<std::string, TimeSeries> series_;
 };
 
@@ -80,6 +88,9 @@ class FileSink : public TelemetrySink
   private:
     std::string directory_;
     Format format_;
+    /** Serializes concurrent writers: pair files are distinct, but
+     *  directory creation and the warn-once flag are shared. */
+    std::mutex mutex_;
     bool warned_ = false;
 };
 

@@ -2,10 +2,25 @@
 
 #include <cctype>
 #include <cstdio>
+#include <mutex>
 
 namespace spec17 {
 
 namespace {
+
+/**
+ * Serializes every log line writer (logEvent, warn, inform) so
+ * concurrent callers -- parallel-sweep workers logging retry and
+ * progress events -- can never interleave characters of one line into
+ * another. The abort paths (panic/fatal) stay lock-free on purpose:
+ * they must terminate even if a thread died holding this mutex.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 /** True when @p value survives unquoted in key=value framing. */
 bool
@@ -69,7 +84,9 @@ formatEvent(const std::string &name, const std::vector<LogField> &fields)
 void
 logEvent(const std::string &name, const std::vector<LogField> &fields)
 {
-    std::fprintf(stderr, "%s\n", formatEvent(name, fields).c_str());
+    const std::string line = formatEvent(name, fields);
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void
@@ -100,12 +117,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

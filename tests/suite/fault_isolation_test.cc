@@ -149,6 +149,30 @@ TEST(FaultIsolation, ExhaustedRetriesErrorThePairWithFullHistory)
     EXPECT_EQ(result.finalFailure(), &result.failures.back());
 }
 
+TEST(FaultIsolation, BadProfileFailsFastWithoutRetries)
+{
+    // A malformed profile fails every attempt identically, so the
+    // runner must not burn the retry budget (or sleep its backoff)
+    // re-diagnosing it.
+    workloads::WorkloadProfile broken = workloads::cpu2017Suite().front();
+    broken.loadFrac = 1.5;
+    RunnerOptions options = fastOptions();
+    options.maxRetries = 3;
+    options.retryBackoffMs = 10;
+    SuiteRunner runner(options);
+
+    const auto result =
+        runner.runPair({&broken, InputSize::Test, 0});
+    EXPECT_TRUE(result.errored);
+    EXPECT_EQ(result.attempts, 1u);
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].category,
+              FailureCategory::BadProfile);
+    ASSERT_NE(result.finalFailure(), nullptr);
+    EXPECT_NE(result.finalFailure()->message.find("loadFrac"),
+              std::string::npos);
+}
+
 TEST(FaultIsolation, StalledGenerationTripsTheOpBudgetWatchdog)
 {
     const auto pairs =

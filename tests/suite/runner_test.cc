@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace spec17 {
 namespace suite {
 namespace {
@@ -114,6 +116,31 @@ TEST(Runner, RunAllCoversEveryPair)
     const auto results =
         runner.runAll(workloads::cpu2006Suite(), InputSize::Ref);
     EXPECT_EQ(results.size(), 29u);
+}
+
+TEST(Runner, RetryBackoffClampsExponentAndDelay)
+{
+    // Doubling follows 2^(attempt-1) while it fits...
+    EXPECT_EQ(retryBackoffDelayMs(100, 0), 0u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 1), 100u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 2), 200u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 5), 1600u);
+    EXPECT_EQ(retryBackoffDelayMs(0, 7), 0u);
+    // ...then caps at the ceiling instead of growing without bound.
+    EXPECT_EQ(retryBackoffDelayMs(100, 10), 51200u);
+    EXPECT_EQ(retryBackoffDelayMs(100, 11), kMaxBackoffDelayMs);
+    EXPECT_EQ(retryBackoffDelayMs(1, 16), 32768u);
+    EXPECT_EQ(retryBackoffDelayMs(1, 17), kMaxBackoffDelayMs);
+    // A retry budget far past the exponent clamp -- where the naive
+    // `base << (attempt - 1)` is undefined behaviour -- still yields
+    // the same finite, capped delay.
+    EXPECT_EQ(retryBackoffDelayMs(1, 100),
+              retryBackoffDelayMs(1, 17));
+    EXPECT_EQ(retryBackoffDelayMs(100, 1000), kMaxBackoffDelayMs);
+    // Huge bases cannot overflow the comparison either.
+    EXPECT_EQ(retryBackoffDelayMs(
+                  std::numeric_limits<std::uint64_t>::max(), 64),
+              kMaxBackoffDelayMs);
 }
 
 TEST(Runner, ConfigKeyReflectsOptions)

@@ -339,6 +339,52 @@ TEST(Progress, ZeroThrottleEmitsEveryItem)
     EXPECT_NE(text.find("attempts=2"), std::string::npos);
 }
 
+TEST(Progress, FinalEventFiresRegardlessOfCompletionOrder)
+{
+    // Parallel workers can complete out of order: the item carrying
+    // the last index may finish first, and the truly last completion
+    // may carry any index. The final (unthrottled) event must key on
+    // the count of reported items, not on the index.
+    std::ostringstream out;
+    ProgressReporter::Options options;
+    options.minIntervalMs = 60'000;
+    options.stream = &out;
+    ProgressReporter reporter(options);
+    const std::size_t order[] = {4, 0, 3, 1, 2}; // last index first
+    for (std::size_t index : order)
+        reporter.onItemDone("pair" + std::to_string(index), index, 5,
+                            1000, 1, false);
+    const std::string text = out.str();
+    // First item always emits; only the true completion is "last".
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+    EXPECT_NE(text.find("done=5/5"), std::string::npos);
+    EXPECT_NE(text.find("pair2"), std::string::npos);
+    EXPECT_EQ(text.find("done=4/5"), std::string::npos);
+}
+
+TEST(Progress, ReplayedItemsAreExcludedFromRateAndEta)
+{
+    // Resuming a sweep replays the journal prefix in microseconds; if
+    // those items fed the rate, the ETA would project the rest of the
+    // sweep finishing almost instantly.
+    std::ostringstream out;
+    ProgressReporter::Options options;
+    options.minIntervalMs = 0;
+    options.stream = &out;
+    ProgressReporter reporter(options);
+    for (std::size_t i = 0; i < 3; ++i) {
+        reporter.onItemDone("replay" + std::to_string(i), i, 6,
+                            1'000'000'000, 1, false, /*replayed=*/true);
+    }
+    const std::string text = out.str();
+    // No simulated item yet: no ops counted, no ETA extrapolated.
+    EXPECT_NE(text.find("ops_per_s=0"), std::string::npos);
+    EXPECT_NE(text.find("eta_s=0.0"), std::string::npos);
+    EXPECT_EQ(text.find("ops_per_s=1"), std::string::npos);
+    EXPECT_NE(text.find("done=3/6"), std::string::npos);
+    EXPECT_EQ(reporter.itemsDone(), 3u);
+}
+
 // ------------------------------------------------ golden determinism tests
 
 suite::RunnerOptions

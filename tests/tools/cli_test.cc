@@ -167,6 +167,32 @@ TEST(CliRun, UsageDocumentsFaultIsolationFlags)
         EXPECT_NE(usage().find(flag), std::string::npos) << flag;
 }
 
+TEST(CliRun, UsageDocumentsJobsFlag)
+{
+    EXPECT_NE(usage().find("--jobs"), std::string::npos);
+    EXPECT_NE(usage().find("parallel execution"), std::string::npos);
+}
+
+TEST(CliRun, CharacterizeRunsOnWorkerPool)
+{
+    // The parallel sweep must produce the same table a sequential one
+    // does -- compare full command output, not just the exit code.
+    std::ostringstream seq_out, par_out, err;
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                "--size=test", "--sample=2000",
+                                "--warmup=500", "--no-cache"}),
+                         seq_out, err),
+              0);
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                "--size=test", "--sample=2000",
+                                "--warmup=500", "--no-cache",
+                                "--jobs=4"}),
+                         par_out, err),
+              0);
+    EXPECT_NE(seq_out.str().find("429.mcf"), std::string::npos);
+    EXPECT_EQ(par_out.str(), seq_out.str());
+}
+
 TEST(CliRun, UsageIsGeneratedFromTheFlagTable)
 {
     // Every flag the CLI accepts appears in --help, with its

@@ -79,6 +79,7 @@ runnerOptionsOf(const CommandLine &command)
     options.retryBackoffMs = command.flagUint("retry-backoff-ms", 0);
     options.sampleIntervalOps =
         command.flagUint("sample-interval-ops", 0);
+    options.jobs = static_cast<unsigned>(command.flagUint("jobs", 1));
     return options;
 }
 
@@ -441,7 +442,7 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
                 result.name, index, total,
                 result.counters.get(
                     counters::PerfEvent::InstRetiredAny),
-                result.attempts, result.errored);
+                result.attempts, result.errored, result.replayed);
         };
     }
     core::Characterizer session(options);
@@ -688,6 +689,10 @@ flagTable()
          "throttled sweep_progress events on stderr (pair k/N, "
          "ops/s, ETA)",
          "telemetry (stat, characterize)"},
+        {"jobs", "N",
+         "sweep worker threads (default 1; 0=hardware concurrency); "
+         "results are byte-identical at any N",
+         "parallel execution (characterize)"},
     };
     return table;
 }
