@@ -1,5 +1,7 @@
 #include "sim/cache.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace spec17 {
@@ -41,6 +43,11 @@ CacheStats::missRate() const
 
 SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
     : config_(std::move(config)), numSets_(config_.numSets()),
+      lineShift_(static_cast<unsigned>(
+          std::countr_zero(config_.lineBytes))),
+      setShift_(static_cast<unsigned>(std::countr_zero(numSets_))),
+      setOdd_(numSets_ >> setShift_),
+      setLowMask_((std::uint64_t{1} << setShift_) - 1),
       lines_(numSets_ * config_.assoc),
       rng_(deriveSeed(seed, config_.name))
 {
@@ -95,23 +102,26 @@ SetAssocCache::findLine(std::uint64_t addr) const
 void
 SetAssocCache::touch(std::uint64_t set, unsigned way)
 {
-    lines_[set * config_.assoc + way].lruStamp = ++stampCounter_;
-    if (config_.policy == ReplacementPolicy::TreePlru) {
-        // Walk root-to-leaf, pointing each node away from this way.
-        std::uint8_t *bits = &plruBits_[set * (config_.assoc - 1)];
-        unsigned node = 0;
-        unsigned lo = 0, hi = config_.assoc;
-        while (hi - lo > 1) {
-            const unsigned mid = (lo + hi) / 2;
-            if (way < mid) {
-                bits[node] = 1; // protect left, point victim right
-                node = 2 * node + 1;
-                hi = mid;
-            } else {
-                bits[node] = 0; // protect right, point victim left
-                node = 2 * node + 2;
-                lo = mid;
-            }
+    touchImpl(set, way);
+}
+
+void
+SetAssocCache::plruTouch(std::uint64_t set, unsigned way)
+{
+    // Walk root-to-leaf, pointing each node away from this way.
+    std::uint8_t *bits = &plruBits_[set * (config_.assoc - 1)];
+    unsigned node = 0;
+    unsigned lo = 0, hi = config_.assoc;
+    while (hi - lo > 1) {
+        const unsigned mid = (lo + hi) / 2;
+        if (way < mid) {
+            bits[node] = 1; // protect left, point victim right
+            node = 2 * node + 1;
+            hi = mid;
+        } else {
+            bits[node] = 0; // protect right, point victim left
+            node = 2 * node + 2;
+            lo = mid;
         }
     }
 }
@@ -160,7 +170,12 @@ void
 SetAssocCache::allocate(std::uint64_t addr)
 {
     const std::uint64_t la = lineAddr(addr);
-    const std::uint64_t set = setIndex(la);
+    allocateInto(setIndex(la), tagOf(la));
+}
+
+SetAssocCache::Line &
+SetAssocCache::allocateInto(std::uint64_t set, std::uint64_t tag)
+{
     const unsigned way = victimWay(set);
     Line &line = lines_[set * config_.assoc + way];
     if (line.valid) {
@@ -170,8 +185,9 @@ SetAssocCache::allocate(std::uint64_t addr)
     }
     line.valid = true;
     line.dirty = false;
-    line.tag = tagOf(la);
+    line.tag = tag;
     touch(set, way);
+    return line;
 }
 
 bool

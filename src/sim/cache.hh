@@ -81,8 +81,66 @@ class SetAssocCache
      */
     bool access(std::uint64_t addr, bool is_write);
 
+    /**
+     * Division-free access() used by the simulator's batched fast
+     * lane: identical semantics, stats, replacement updates and RNG
+     * draws, but the set/tag decomposition runs on precomputed
+     * shifts (and a constant-divisor multiply for the odd set-count
+     * factor) instead of the three 64-bit divisions access() pays
+     * per level. Inline so the batched memory pass can keep the
+     * whole L1-hit path in one compilation unit.
+     */
+    bool accessFast(std::uint64_t addr, bool is_write)
+    {
+        const std::uint64_t la = addr >> lineShift_;
+        const SetTag st = decompose(la);
+        Line *base = &lines_[st.set * config_.assoc];
+        for (unsigned way = 0; way < config_.assoc; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == st.tag) {
+                ++stats_.hits;
+                line.dirty |= is_write;
+                touchImpl(st.set, way);
+                return true;
+            }
+        }
+        ++stats_.misses;
+        Line &line = allocateInto(st.set, st.tag);
+        // access() reaches the same state via findLine(addr)->dirty:
+        // the freshly allocated line IS the line findLine returns.
+        if (is_write)
+            line.dirty = true;
+        return false;
+    }
+
     /** Checks residency without disturbing replacement state. */
     bool probe(std::uint64_t addr) const;
+
+    /**
+     * Credits @p n demand hits to the stats without walking the
+     * arrays or touching replacement state. Only valid when the
+     * caller has proven the accesses would have hit AND left the
+     * cache state behaviourally unchanged -- i.e. repeated accesses
+     * to a line that is the most recently used way of its set.
+     * Re-touching a set's MRU way is invisible to every policy's
+     * future victim choices: under LRU its stamp is already the
+     * set's maximum (raising it, or skipping the global counter
+     * increment, preserves the strict within-set stamp order the
+     * victim scan compares); under tree-PLRU the way's path bits
+     * already point away from it, so setting them again is a no-op;
+     * Random ignores recency entirely. The simulator's batched lane
+     * relies on this through its per-set line memos (see
+     * docs/performance.md).
+     */
+    void creditHits(std::uint64_t n) { stats_.hits += n; }
+
+    /** Set index of a line address (addr >> lineShift); lets the
+     *  batched lane key its per-set memos exactly as this cache maps
+     *  lines to sets. */
+    std::uint64_t setOfLine(std::uint64_t line_addr) const
+    {
+        return decompose(line_addr).set;
+    }
 
     /**
      * Installs a line without counting a demand hit/miss (prefetch
@@ -115,11 +173,66 @@ class SetAssocCache
     /** Chooses a victim way in @p set according to the policy. */
     unsigned victimWay(std::uint64_t set);
     void touch(std::uint64_t set, unsigned way);
+    /** TreePlru part of touch(); out of line, it is off the common
+     *  LRU path. */
+    void plruTouch(std::uint64_t set, unsigned way);
     /** Allocates @p addr into the cache, updating eviction stats. */
     void allocate(std::uint64_t addr);
+    /** allocate() body with the set/tag already decomposed; returns
+     *  the allocated line so accessFast can set the dirty bit without
+     *  a findLine walk. */
+    Line &allocateInto(std::uint64_t set, std::uint64_t tag);
+
+    /** Inline body of touch(); shared by both lanes. */
+    void touchImpl(std::uint64_t set, unsigned way)
+    {
+        lines_[set * config_.assoc + way].lruStamp = ++stampCounter_;
+        if (config_.policy == ReplacementPolicy::TreePlru)
+            plruTouch(set, way);
+    }
+
+    struct SetTag
+    {
+        std::uint64_t set;
+        std::uint64_t tag;
+    };
+
+    /**
+     * Computes (line_addr % numSets_, line_addr / numSets_) without
+     * dividing by the runtime set count. With numSets_ = odd * 2^s,
+     * write line_addr = high * 2^s + low (low < 2^s) and
+     * high = q * odd + r (r < odd); then
+     *   line_addr = q * numSets_ + (r * 2^s + low),
+     * and r * 2^s + low < numSets_, so set = (r << s) | low and
+     * tag = q -- bit-identical to the modulo/division the reference
+     * path computes. The switch pins the odd factors of the standard
+     * geometries (1 for power-of-two caches, 3 for the 30 MB L3) to
+     * compile-time constants the compiler turns into multiplies.
+     */
+    SetTag decompose(std::uint64_t line_addr) const
+    {
+        const std::uint64_t high = line_addr >> setShift_;
+        const std::uint64_t low = line_addr & setLowMask_;
+        std::uint64_t q, r;
+        switch (setOdd_) {
+          case 1: q = high; r = 0; break;
+          case 3: q = high / 3; r = high % 3; break;
+          case 5: q = high / 5; r = high % 5; break;
+          case 7: q = high / 7; r = high % 7; break;
+          default: q = high / setOdd_; r = high % setOdd_; break;
+        }
+        return {(r << setShift_) | low, q};
+    }
 
     CacheConfig config_;
     std::uint64_t numSets_;
+    /** @name Precomputed shifts for the division-free fast path */
+    /// @{
+    unsigned lineShift_ = 0;    //!< log2(lineBytes)
+    unsigned setShift_ = 0;     //!< trailing zero bits of numSets_
+    std::uint64_t setOdd_ = 1;  //!< numSets_ >> setShift_ (odd)
+    std::uint64_t setLowMask_ = 0; //!< (1 << setShift_) - 1
+    /// @}
     std::vector<Line> lines_;          //!< numSets x assoc, row-major
     std::vector<std::uint8_t> plruBits_; //!< assoc-1 bits per set
     std::uint64_t stampCounter_ = 0;

@@ -1,7 +1,5 @@
 #include "sim/core_model.hh"
 
-#include <algorithm>
-
 #include "util/logging.hh"
 
 namespace spec17 {
@@ -28,20 +26,10 @@ CpiStack::perInstruction(std::uint64_t retired) const
     return out;
 }
 
-namespace {
-
-/** ROB-slot attribution classes. */
-enum RobTag : std::uint8_t
-{
-    kTagCompute = 0,
-    kTagMemory = 1,
-};
-
-} // namespace
-
 CoreModel::CoreModel(const CoreParams &params,
                      std::shared_ptr<MemoryBus> bus)
-    : params_(params), robCompletion_(params.robSize, 0.0),
+    : params_(params), dispatchStep_(1.0 / params.dispatchWidth),
+      robCompletion_(params.robSize, 0.0),
       robTag_(params.robSize, kTagCompute),
       mshrFree_(params.numMshrs, 0.0),
       bus_(bus ? std::move(bus) : std::make_shared<MemoryBus>())
@@ -53,120 +41,13 @@ CoreModel::CoreModel(const CoreParams &params,
     SPEC17_ASSERT(params.frequencyGHz > 0.0, "clock must be positive");
 }
 
-unsigned
-CoreModel::latencyOfCompute(isa::UopClass cls) const
-{
-    switch (cls) {
-      case isa::UopClass::IntAlu: return params_.intAluLatency;
-      case isa::UopClass::IntMul: return params_.intMulLatency;
-      case isa::UopClass::IntDiv: return params_.intDivLatency;
-      case isa::UopClass::FpAdd: return params_.fpAddLatency;
-      case isa::UopClass::FpMul: return params_.fpMulLatency;
-      case isa::UopClass::FpDiv: return params_.fpDivLatency;
-      default:
-        SPEC17_PANIC("latencyOfCompute on non-compute class");
-    }
-}
-
 void
 CoreModel::retire(const isa::MicroOp &op, unsigned mem_latency,
                   bool l1_miss, unsigned fetch_stall, bool mispredicted,
                   bool dram_access, double dram_lines)
 {
-    // (2) ROB window: the slot we are about to occupy still holds the
-    // completion time of uop (i - robSize); dispatch must wait for it.
-    const std::size_t slot = retired_ % params_.robSize;
-    if (robCompletion_[slot] > dispatchCycle_) {
-        const double wait = robCompletion_[slot] - dispatchCycle_;
-        (robTag_[slot] == kTagMemory ? stack_.memory
-                                     : stack_.compute) += wait;
-        dispatchCycle_ = robCompletion_[slot];
-    }
-
-    // Front-end: I-cache miss stalls fetch/dispatch.
-    if (fetch_stall > 0) {
-        dispatchCycle_ += fetch_stall;
-        stack_.frontend += fetch_stall;
-    }
-
-    // (1) dispatch bandwidth.
-    dispatchCycle_ += 1.0 / params_.dispatchWidth;
-    stack_.base += 1.0 / params_.dispatchWidth;
-
-    double completion;
-    switch (op.cls) {
-      case isa::UopClass::Load: {
-        double start = dispatchCycle_;
-        if (op.depOnLoad)
-            start = std::max(start, chainReady_);
-        if (op.depOnPrev)
-            start = std::max(start, computeChainTail_);
-        if (l1_miss) {
-            // (3) allocate an MSHR: take the earliest-free slot; if
-            // every slot is still busy past `start`, stall until one
-            // frees up.
-            auto slot_it =
-                std::min_element(mshrFree_.begin(), mshrFree_.end());
-            start = std::max(start, *slot_it);
-            if (dram_access)
-                start = bus_->acquire(start, dram_lines);
-            completion = start + mem_latency;
-            *slot_it = completion;
-        } else {
-            completion = start + mem_latency;
-        }
-        if (op.depOnLoad)
-            chainReady_ = completion;
-        // Most recent load in program order: the producer proxy for
-        // later depOnLoad branches.
-        lastLoadCompletion_ = completion;
-        break;
-      }
-      case isa::UopClass::Store:
-        // Stores drain through the store buffer off the critical
-        // path; they retire one cycle after dispatch, but a store
-        // that misses to DRAM still consumes channel bandwidth (RFO
-        // plus eventual writeback), delaying later demand fills.
-        if (dram_access)
-            bus_->acquire(dispatchCycle_, dram_lines);
-        completion = dispatchCycle_ + 1.0;
-        break;
-      case isa::UopClass::Branch: {
-        double resolve = dispatchCycle_ + params_.branchResolveLatency;
-        if (op.depOnLoad) {
-            // A branch fed by a load resolves no earlier than the
-            // load's data returns (mcf-style late mispredicts).
-            resolve = std::max(resolve, lastLoadCompletion_ + 1.0);
-        }
-        if (mispredicted) {
-            const double squash = resolve + params_.mispredictPenalty
-                - dispatchCycle_;
-            if (squash > 0.0) {
-                stack_.branch += squash;
-                dispatchCycle_ += squash;
-            }
-        }
-        completion = resolve;
-        break;
-      }
-      default: {
-        double start = dispatchCycle_;
-        if (op.depOnLoad)
-            start = std::max(start, chainReady_);
-        if (op.depOnPrev)
-            start = std::max(start, computeChainTail_);
-        completion = start + latencyOfCompute(op.cls);
-        if (op.depOnPrev)
-            computeChainTail_ = completion;
-        break;
-      }
-    }
-
-    robCompletion_[slot] = completion;
-    robTag_[slot] =
-        op.isLoad() && l1_miss ? kTagMemory : kTagCompute;
-    maxCompletion_ = std::max(maxCompletion_, completion);
-    ++retired_;
+    retireInline(op, mem_latency, l1_miss, fetch_stall, mispredicted,
+                 dram_access, dram_lines);
 }
 
 double

@@ -22,11 +22,13 @@
 #ifndef SPEC17_SIM_CORE_MODEL_HH_
 #define SPEC17_SIM_CORE_MODEL_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "isa/uop.hh"
+#include "util/logging.hh"
 
 namespace spec17 {
 namespace sim {
@@ -140,6 +142,121 @@ class CoreModel
                 bool l1_miss, unsigned fetch_stall, bool mispredicted,
                 bool dram_access = false, double dram_lines = 1.0);
 
+    /**
+     * Inline twin of retire(): identical accounting -- retire()
+     * delegates to this, so there is exactly one body -- exposed in
+     * the header for the simulator's batched fast lane, whose inner
+     * loop inlines the per-op accounting instead of paying a call
+     * per micro-op. The per-op reference lane keeps calling retire()
+     * out of line; the golden identity tests pin both lanes to the
+     * same results.
+     */
+    void
+    retireInline(const isa::MicroOp &op, unsigned mem_latency,
+                 bool l1_miss, unsigned fetch_stall, bool mispredicted,
+                 bool dram_access = false, double dram_lines = 1.0)
+    {
+        // (2) ROB window: the slot we are about to occupy still holds
+        // the completion time of uop (i - robSize); dispatch must wait
+        // for it.
+        const std::size_t slot = robSlot_;
+        if (++robSlot_ == params_.robSize)
+            robSlot_ = 0;
+        if (robCompletion_[slot] > dispatchCycle_) {
+            const double wait = robCompletion_[slot] - dispatchCycle_;
+            (robTag_[slot] == kTagMemory ? stack_.memory
+                                         : stack_.compute) += wait;
+            dispatchCycle_ = robCompletion_[slot];
+        }
+
+        // Front-end: I-cache miss stalls fetch/dispatch.
+        if (fetch_stall > 0) {
+            dispatchCycle_ += fetch_stall;
+            stack_.frontend += fetch_stall;
+        }
+
+        // (1) dispatch bandwidth.
+        dispatchCycle_ += dispatchStep_;
+        stack_.base += dispatchStep_;
+
+        double completion;
+        switch (op.cls) {
+          case isa::UopClass::Load: {
+            double start = dispatchCycle_;
+            if (op.depOnLoad)
+                start = std::max(start, chainReady_);
+            if (op.depOnPrev)
+                start = std::max(start, computeChainTail_);
+            if (l1_miss) {
+                // (3) allocate an MSHR: take the earliest-free slot;
+                // if every slot is still busy past `start`, stall
+                // until one frees up.
+                auto slot_it =
+                    std::min_element(mshrFree_.begin(), mshrFree_.end());
+                start = std::max(start, *slot_it);
+                if (dram_access)
+                    start = bus_->acquire(start, dram_lines);
+                completion = start + mem_latency;
+                *slot_it = completion;
+            } else {
+                completion = start + mem_latency;
+            }
+            if (op.depOnLoad)
+                chainReady_ = completion;
+            // Most recent load in program order: the producer proxy
+            // for later depOnLoad branches.
+            lastLoadCompletion_ = completion;
+            break;
+          }
+          case isa::UopClass::Store:
+            // Stores drain through the store buffer off the critical
+            // path; they retire one cycle after dispatch, but a store
+            // that misses to DRAM still consumes channel bandwidth
+            // (RFO plus eventual writeback), delaying later demand
+            // fills.
+            if (dram_access)
+                bus_->acquire(dispatchCycle_, dram_lines);
+            completion = dispatchCycle_ + 1.0;
+            break;
+          case isa::UopClass::Branch: {
+            double resolve =
+                dispatchCycle_ + params_.branchResolveLatency;
+            if (op.depOnLoad) {
+                // A branch fed by a load resolves no earlier than the
+                // load's data returns (mcf-style late mispredicts).
+                resolve = std::max(resolve, lastLoadCompletion_ + 1.0);
+            }
+            if (mispredicted) {
+                const double squash = resolve
+                    + params_.mispredictPenalty - dispatchCycle_;
+                if (squash > 0.0) {
+                    stack_.branch += squash;
+                    dispatchCycle_ += squash;
+                }
+            }
+            completion = resolve;
+            break;
+          }
+          default: {
+            double start = dispatchCycle_;
+            if (op.depOnLoad)
+                start = std::max(start, chainReady_);
+            if (op.depOnPrev)
+                start = std::max(start, computeChainTail_);
+            completion = start + latencyOfCompute(op.cls);
+            if (op.depOnPrev)
+                computeChainTail_ = completion;
+            break;
+          }
+        }
+
+        robCompletion_[slot] = completion;
+        robTag_[slot] =
+            op.isLoad() && l1_miss ? kTagMemory : kTagCompute;
+        maxCompletion_ = std::max(maxCompletion_, completion);
+        ++retired_;
+    }
+
     /** Total cycles consumed so far (never less than dispatch time). */
     double cycles() const;
 
@@ -159,9 +276,30 @@ class CoreModel
     const CoreParams &params() const { return params_; }
 
   private:
-    unsigned latencyOfCompute(isa::UopClass cls) const;
+    /** ROB-slot attribution classes. */
+    static constexpr std::uint8_t kTagCompute = 0;
+    static constexpr std::uint8_t kTagMemory = 1;
+
+    unsigned
+    latencyOfCompute(isa::UopClass cls) const
+    {
+        switch (cls) {
+          case isa::UopClass::IntAlu: return params_.intAluLatency;
+          case isa::UopClass::IntMul: return params_.intMulLatency;
+          case isa::UopClass::IntDiv: return params_.intDivLatency;
+          case isa::UopClass::FpAdd: return params_.fpAddLatency;
+          case isa::UopClass::FpMul: return params_.fpMulLatency;
+          case isa::UopClass::FpDiv: return params_.fpDivLatency;
+          default:
+            SPEC17_PANIC("latencyOfCompute on non-compute class");
+        }
+    }
 
     CoreParams params_;
+    /** 1 / dispatchWidth, hoisted out of retire(). */
+    double dispatchStep_ = 0.25;
+    /** Ring index into robCompletion_ (retired_ mod robSize). */
+    std::size_t robSlot_ = 0;
     double dispatchCycle_ = 0.0;
     double maxCompletion_ = 0.0;
     /** Completion of the load chain dependent ops wait on. */

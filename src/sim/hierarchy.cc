@@ -56,14 +56,20 @@ CacheHierarchy::accessData(std::uint64_t addr, bool is_write,
         level = HitLevel::Memory;
     }
 
-    if (prefetcher_ && !is_write) {
-        prefetchScratch_.clear();
-        prefetcher_->observe(pc, addr, level != HitLevel::L1,
-                             prefetchScratch_);
-        for (std::uint64_t line : prefetchScratch_)
-            prefetchFill(line);
-    }
+    if (prefetcher_ && !is_write)
+        observePrefetcher(pc, addr, level);
     return level;
+}
+
+void
+CacheHierarchy::observePrefetcher(std::uint64_t pc, std::uint64_t addr,
+                                  HitLevel level)
+{
+    prefetchScratch_.clear();
+    prefetcher_->observe(pc, addr, level != HitLevel::L1,
+                         prefetchScratch_);
+    for (std::uint64_t line : prefetchScratch_)
+        prefetchFill(line);
 }
 
 void

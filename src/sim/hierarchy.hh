@@ -76,6 +76,40 @@ class CacheHierarchy
     /** Instruction fetch access. */
     HitLevel accessInst(std::uint64_t addr);
 
+    /** @name Division-free cascade (batched simulator lane)
+     *  Same levels, same order, same prefetcher hook and same stats
+     *  as accessData()/accessInst(), built on
+     *  SetAssocCache::accessFast; see docs/performance.md. */
+    /// @{
+    HitLevel accessDataFast(std::uint64_t addr, bool is_write,
+                            std::uint64_t pc = 0)
+    {
+        HitLevel level;
+        if (l1d_->accessFast(addr, is_write))
+            level = HitLevel::L1;
+        else if (l2_->accessFast(addr, is_write))
+            level = HitLevel::L2;
+        else if (l3_->accessFast(addr, is_write))
+            level = HitLevel::L3;
+        else
+            level = HitLevel::Memory;
+        if (prefetcher_ && !is_write)
+            observePrefetcher(pc, addr, level);
+        return level;
+    }
+
+    HitLevel accessInstFast(std::uint64_t addr)
+    {
+        if (l1i_->accessFast(addr, false))
+            return HitLevel::L1;
+        if (l2_->accessFast(addr, false))
+            return HitLevel::L2;
+        if (l3_->accessFast(addr, false))
+            return HitLevel::L3;
+        return HitLevel::Memory;
+    }
+    /// @}
+
     /**
      * Installs one line at @p addr into the caches from L3 up to
      * @p level (L3 always; L2 when level <= L2; L1D when level ==
@@ -86,6 +120,15 @@ class CacheHierarchy
     /** Load-to-use latency for a hit at @p level. */
     unsigned latencyOf(HitLevel level) const;
 
+    /** @name Bulk hit crediting (batched simulator lane)
+     *  Stat-only credit for accesses the caller proved are repeat L1
+     *  hits with unchanged replacement state; see
+     *  SetAssocCache::creditHits for the exact legality condition. */
+    /// @{
+    void creditInstHits(std::uint64_t n) { l1i_->creditHits(n); }
+    void creditDataHits(std::uint64_t n) { l1d_->creditHits(n); }
+    /// @}
+
     const SetAssocCache &l1i() const { return *l1i_; }
     const SetAssocCache &l1d() const { return *l1d_; }
     const SetAssocCache &l2() const { return *l2_; }
@@ -95,6 +138,10 @@ class CacheHierarchy
   private:
     /** Fills a prefetched line into L1D and L2 without demand stats. */
     void prefetchFill(std::uint64_t addr);
+    /** Trains the prefetcher on a demand load and applies its fills
+     *  (the shared tail of accessData and accessDataFast). */
+    void observePrefetcher(std::uint64_t pc, std::uint64_t addr,
+                           HitLevel level);
 
     HierarchyConfig config_;
     std::unique_ptr<SetAssocCache> l1i_;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -27,8 +28,28 @@ CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
       hierarchy_(config.hierarchy, std::move(shared_l3), seed),
       branches_(makeDirectionPredictor(config.branchPredictor)),
       core_(config.core, std::move(shared_bus)), dtlb_(config.dtlb),
-      itlb_(config.itlb)
+      itlb_(config.itlb),
+      dataMemoLegal_(hierarchy_.prefetcher() == nullptr)
 {
+    instMemo_.assign(config.hierarchy.l1i.numSets(), kNoLine);
+    dataMemo_.assign(config.hierarchy.l1d.numSets(), kNoLine);
+    dataMemoDirty_.assign(config.hierarchy.l1d.numSets(), 0);
+}
+
+void
+CpuSimulator::setBatchOps(std::size_t batch_ops)
+{
+    SPEC17_ASSERT(batch_ops >= 1, "batch size must be >= 1");
+    batchOps_ = batch_ops;
+}
+
+void
+CpuSimulator::invalidateLineMemos()
+{
+    std::fill(instMemo_.begin(), instMemo_.end(), kNoLine);
+    std::fill(dataMemo_.begin(), dataMemo_.end(), kNoLine);
+    std::fill(dataMemoDirty_.begin(), dataMemoDirty_.end(),
+              std::uint8_t{0});
 }
 
 void
@@ -138,6 +159,204 @@ CpuSimulator::consume(const isa::MicroOp &op)
 }
 
 void
+CpuSimulator::consumeBatch(const isa::MicroOp *ops, std::size_t n)
+{
+    // Equivalent to n consume() calls, fused into one pass in op
+    // order so every component (caches, TLBs, branch unit, footprint,
+    // core) sees exactly the access sequence consume() would produce.
+    // The only restructurings vs consume():
+    //  - counter increments accumulate in locals and flush once per
+    //    batch (adds are commutative, observed only at step
+    //    boundaries, and batches never straddle a step boundary);
+    //  - per-set line memos: an access to the line that is its L1
+    //    set's most-recently-used way is an L1 hit whose
+    //    replacement-state update is a no-op (see
+    //    SetAssocCache::creditHits for the policy-by-policy proof),
+    //    so it is skipped and bulk-credited. Writes are only skipped
+    //    when the line is known dirty; the data memo is disabled
+    //    entirely when a prefetcher is configured (fills can evict
+    //    any L1D line and the prefetcher must observe every load);
+    //  - footprint touches are filtered through local page memos
+    //    (inserts into the page set are idempotent).
+    const unsigned inst_shift = static_cast<unsigned>(
+        std::countr_zero(config_.hierarchy.l1i.lineBytes));
+    const unsigned data_shift = static_cast<unsigned>(
+        std::countr_zero(config_.hierarchy.l1d.lineBytes));
+    const unsigned hidden = config_.core.frontendBufferCycles;
+    const bool tlb = config_.enableTlb;
+    std::uint64_t inst_repeat_hits = 0;
+    std::uint64_t data_repeat_hits = 0;
+    std::uint64_t num_loads = 0;
+    std::uint64_t num_stores = 0;
+    std::uint64_t loads_at[4] = {0, 0, 0, 0};
+    std::uint64_t itlb_walks = 0;
+    std::uint64_t dtlb_walks = 0;
+    std::uint64_t num_branches = 0;
+    std::uint64_t num_mispredicts = 0;
+    std::uint64_t kinds[isa::kNumBranchKinds + 1] = {};
+    std::uint64_t last_pc_page = ~std::uint64_t(0);
+    std::uint64_t last_data_page = ~std::uint64_t(0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const isa::MicroOp &op = ops[i];
+
+        // Instruction fetch.
+        const std::uint64_t fetch_line = op.pc >> inst_shift;
+        const std::uint64_t iset =
+            hierarchy_.l1i().setOfLine(fetch_line);
+        HitLevel fetch_level = HitLevel::L1;
+        if (instMemo_[iset] == fetch_line) {
+            ++inst_repeat_hits;
+        } else {
+            fetch_level = hierarchy_.accessInstFast(op.pc);
+            instMemo_[iset] = fetch_line;
+        }
+        const std::uint64_t pc_page =
+            op.pc / FootprintTracker::kPageBytes;
+        if (pc_page != last_pc_page) {
+            footprint_.touch(op.pc);
+            last_pc_page = pc_page;
+        }
+        unsigned fetch_stall = 0;
+        if (fetch_level != HitLevel::L1) {
+            const unsigned latency = hierarchy_.latencyOf(fetch_level);
+            fetch_stall = latency > hidden ? latency - hidden : 0;
+        }
+        if (tlb) {
+            const TlbOutcome itlb_outcome = itlb_.access(op.pc);
+            fetch_stall += itlb_outcome.extraLatency;
+            if (!itlb_outcome.l1Hit && !itlb_outcome.l2Hit)
+                ++itlb_walks;
+        }
+
+        unsigned mem_latency = 0;
+        bool l1_miss = false;
+        bool mispredicted = false;
+        bool dram_access = false;
+        double dram_lines = 1.0;
+
+        if (op.isLoad()) {
+            ++num_loads;
+            const std::uint64_t line = op.effAddr >> data_shift;
+            const std::uint64_t dset =
+                hierarchy_.l1d().setOfLine(line);
+            HitLevel level = HitLevel::L1;
+            if (dataMemoLegal_ && dataMemo_[dset] == line) {
+                ++data_repeat_hits;
+            } else {
+                level = hierarchy_.accessDataFast(op.effAddr, false,
+                                                  op.pc);
+                dataMemo_[dset] = line;
+                dataMemoDirty_[dset] = 0;
+            }
+            const std::uint64_t data_page =
+                op.effAddr / FootprintTracker::kPageBytes;
+            if (data_page != last_data_page) {
+                footprint_.touch(op.effAddr);
+                last_data_page = data_page;
+            }
+            ++loads_at[static_cast<std::size_t>(level)];
+            mem_latency = hierarchy_.latencyOf(level);
+            l1_miss = level != HitLevel::L1;
+            dram_access = level == HitLevel::Memory;
+            if (tlb) {
+                const TlbOutcome dtlb_outcome =
+                    dtlb_.access(op.effAddr);
+                mem_latency += dtlb_outcome.extraLatency;
+                // A translation longer than the L1 hit pipeline
+                // behaves like a miss for overlap purposes.
+                l1_miss |= dtlb_outcome.extraLatency > 0;
+                if (!dtlb_outcome.l1Hit && !dtlb_outcome.l2Hit)
+                    ++dtlb_walks;
+            }
+        } else if (op.isStore()) {
+            ++num_stores;
+            const std::uint64_t line = op.effAddr >> data_shift;
+            const std::uint64_t dset =
+                hierarchy_.l1d().setOfLine(line);
+            if (dataMemoLegal_ && dataMemo_[dset] == line
+                && dataMemoDirty_[dset] != 0) {
+                ++data_repeat_hits;
+            } else {
+                const HitLevel level =
+                    hierarchy_.accessDataFast(op.effAddr, true, op.pc);
+                dataMemo_[dset] = line;
+                dataMemoDirty_[dset] = 1;
+                if (level == HitLevel::Memory) {
+                    // Write-allocate RFO read now, dirty writeback
+                    // later.
+                    dram_access = true;
+                    dram_lines = 2.0;
+                }
+            }
+            const std::uint64_t data_page =
+                op.effAddr / FootprintTracker::kPageBytes;
+            if (data_page != last_data_page) {
+                footprint_.touch(op.effAddr);
+                last_data_page = data_page;
+            }
+        } else if (op.isBranch()) {
+            SPEC17_ASSERT(op.branch != isa::BranchKind::None,
+                          "branch with kind None reached simulator");
+            ++num_branches;
+            ++kinds[static_cast<std::size_t>(op.branch)];
+            if (branches_.execute(op)) {
+                mispredicted = true;
+                ++num_mispredicts;
+            }
+        }
+
+        core_.retireInline(op, mem_latency, l1_miss, fetch_stall,
+                           mispredicted, dram_access, dram_lines);
+    }
+
+    if (inst_repeat_hits != 0)
+        hierarchy_.creditInstHits(inst_repeat_hits);
+    if (data_repeat_hits != 0)
+        hierarchy_.creditDataHits(data_repeat_hits);
+    if (tlb) {
+        counters_.add(PerfEvent::ItlbMissesWalk, itlb_walks);
+        counters_.add(PerfEvent::DtlbLoadMissesWalk, dtlb_walks);
+    }
+
+    // Counter flush.
+    counters_.add(PerfEvent::InstRetiredAny, n);
+    counters_.add(PerfEvent::UopsRetiredAll, n);
+    counters_.add(PerfEvent::MemUopsRetiredAllLoads, num_loads);
+    counters_.add(PerfEvent::MemUopsRetiredAllStores, num_stores);
+    const std::uint64_t l2 =
+        loads_at[static_cast<std::size_t>(HitLevel::L2)];
+    const std::uint64_t l3 =
+        loads_at[static_cast<std::size_t>(HitLevel::L3)];
+    const std::uint64_t mem =
+        loads_at[static_cast<std::size_t>(HitLevel::Memory)];
+    counters_.add(PerfEvent::MemLoadUopsRetiredL1Hit,
+                  loads_at[static_cast<std::size_t>(HitLevel::L1)]);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL1Miss, l2 + l3 + mem);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL2Hit, l2);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL2Miss, l3 + mem);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL3Hit, l3);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL3Miss, mem);
+    counters_.add(PerfEvent::BrInstExecAllBranches, num_branches);
+    counters_.add(
+        PerfEvent::BrInstExecAllConditional,
+        kinds[static_cast<std::size_t>(isa::BranchKind::Conditional)]);
+    counters_.add(
+        PerfEvent::BrInstExecAllDirectJmp,
+        kinds[static_cast<std::size_t>(isa::BranchKind::DirectJump)]);
+    counters_.add(PerfEvent::BrInstExecAllDirectNearCall,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::DirectNearCall)]);
+    counters_.add(PerfEvent::BrInstExecAllIndirectJumpNonCallRet,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::IndirectJumpNonCallRet)]);
+    counters_.add(PerfEvent::BrInstExecAllIndirectNearReturn,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::IndirectNearReturn)]);
+    counters_.add(PerfEvent::BrMispExecAllBranches, num_mispredicts);
+}
+
+void
 CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
                           HitLevel level)
 {
@@ -147,11 +366,42 @@ CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
     const std::uint64_t first = base / line * line;
     for (std::uint64_t addr = first; addr < base + bytes; addr += line)
         hierarchy_.fillTo(addr, level);
+    // fillTo can evict the memo'd data line.
+    invalidateLineMemos();
 }
 
 std::uint64_t
 CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
 {
+    if (unbatched_)
+        return stepUnbatched(source, max_ops);
+    if (batchBuf_.size() < batchOps_)
+        batchBuf_.resize(batchOps_);
+    std::uint64_t consumed = 0;
+    while (consumed < max_ops) {
+        // Clamping each batch to the remaining budget keeps step()'s
+        // exact op-count contract: telemetry sampling boundaries and
+        // watchdog checks (both applied between step() calls) observe
+        // identical counts on either lane.
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batchOps_, max_ops - consumed));
+        const std::size_t got = source.nextBatch(batchBuf_.data(), want);
+        if (got != 0)
+            consumeBatch(batchBuf_.data(), got);
+        consumed += got;
+        if (got < want)
+            break;
+    }
+    return consumed;
+}
+
+std::uint64_t
+CpuSimulator::stepUnbatched(trace::TraceSource &source,
+                            std::uint64_t max_ops)
+{
+    // The per-op lane bypasses the memos' bookkeeping, so they must
+    // not survive into a later batched step.
+    invalidateLineMemos();
     isa::MicroOp op;
     std::uint64_t consumed = 0;
     while (consumed < max_ops && source.next(op)) {

@@ -10,6 +10,7 @@
 #define SPEC17_SIM_SIMULATOR_HH_
 
 #include <memory>
+#include <vector>
 
 #include "counters/perf_event.hh"
 #include "sim/branch.hh"
@@ -70,9 +71,38 @@ class CpuSimulator
     /**
      * Consumes at most @p max_ops micro-ops from @p source (used by
      * the multicore interleaver and phase analysis).
+     *
+     * Runs on the batched fast lane: ops are pulled through
+     * TraceSource::nextBatch() in chunks of batchOps() and consumed
+     * in tight per-component passes. Results are byte-identical to
+     * stepUnbatched() at any batch size -- the golden tests enforce
+     * it -- and internal batches never overrun @p max_ops, so
+     * telemetry sampling intervals and watchdog op budgets (which cap
+     * max_ops per call) observe identical op counts.
+     *
      * @return number of micro-ops actually consumed.
      */
     std::uint64_t step(trace::TraceSource &source, std::uint64_t max_ops);
+
+    /**
+     * Reference lane: pulls and consumes one op at a time through
+     * TraceSource::next(). Semantically identical to step(); kept as
+     * the executable specification the golden identity tests and
+     * bench_hot_path diff the batched lane against.
+     */
+    std::uint64_t stepUnbatched(trace::TraceSource &source,
+                                std::uint64_t max_ops);
+
+    /** Default micro-ops per batch on the fast lane. */
+    static constexpr std::size_t kDefaultBatchOps = 256;
+
+    /** Sets the fast-lane batch size (>= 1); purely an execution-
+     *  strategy knob, results do not depend on it. */
+    void setBatchOps(std::size_t batch_ops);
+    std::size_t batchOps() const { return batchOps_; }
+
+    /** Routes step() through the per-op reference lane when true. */
+    void setUnbatchedStepping(bool unbatched) { unbatched_ = unbatched; }
 
     /** Snapshot of counters accumulated so far (gauges refreshed). */
     counters::CounterSet snapshot() const;
@@ -97,6 +127,12 @@ class CpuSimulator
 
   private:
     void consume(const isa::MicroOp &op);
+    /** Batched equivalent of n consume() calls (see step()). */
+    void consumeBatch(const isa::MicroOp *ops, std::size_t n);
+    /** Forgets the per-set line memos after any non-batched cache
+     *  mutation (reference lane, prefill); a cleared memo only costs
+     *  one real access per set to re-establish. */
+    void invalidateLineMemos();
 
     SystemConfig config_;
     CacheHierarchy hierarchy_;
@@ -106,6 +142,29 @@ class CpuSimulator
     Tlb dtlb_;
     Tlb itlb_;
     counters::CounterSet counters_;
+
+    /** @name Batched fast lane state */
+    /// @{
+    std::size_t batchOps_ = kDefaultBatchOps;
+    bool unbatched_ = false;
+    /** True when no prefetcher is configured: the same-line data memo
+     *  is illegal with one (prefetch fills can evict any L1D line and
+     *  the prefetcher must observe every load). */
+    bool dataMemoLegal_ = false;
+    std::vector<isa::MicroOp> batchBuf_;
+    static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
+    /** Per-set memo of each L1's most-recently-used line (kNoLine =
+     *  unknown): an access to the memo'd line is a guaranteed L1 hit
+     *  whose replacement-state update is a no-op (re-touching a
+     *  set's MRU way; see SetAssocCache::creditHits), so it is
+     *  skipped and bulk-credited. */
+    std::vector<std::uint64_t> instMemo_;
+    std::vector<std::uint64_t> dataMemo_;
+    /** Per-set flag: memo'd data line known dirty (last access was a
+     *  write). A write may only be memo-skipped then, because
+     *  writing a clean line must set its dirty bit. */
+    std::vector<std::uint8_t> dataMemoDirty_;
+    /// @}
 };
 
 } // namespace sim

@@ -226,6 +226,10 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         sim::MulticoreSimulator multicore(options_.system,
                                           profile.numThreads, pair_seed);
         for (unsigned t = 0; t < profile.numThreads; ++t) {
+            sim::CpuSimulator &core = multicore.mutableCore(t);
+            if (options_.batchOps != 0)
+                core.setBatchOps(options_.batchOps);
+            core.setUnbatchedStepping(options_.unbatchedStepping);
             auto gen = std::make_shared<trace::SyntheticTraceGenerator>(
                 workloads::buildTraceParams(pair, build, t));
             gen->setCancelFlag(&cancelled);
@@ -242,6 +246,9 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
             workloads::buildTraceParams(pair, build, 0));
         source.setCancelFlag(&cancelled);
         sim::CpuSimulator simulator(options_.system, pair_seed);
+        if (options_.batchOps != 0)
+            simulator.setBatchOps(options_.batchOps);
+        simulator.setUnbatchedStepping(options_.unbatchedStepping);
         prefillSteadyState(simulator, source);
         std::uint64_t executed =
             simulator.step(source, options_.warmupOps);

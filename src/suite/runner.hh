@@ -106,6 +106,24 @@ struct RunnerOptions
      */
     unsigned jobs = 1;
     /// @}
+
+    /** @name Hot-path batching (see docs/performance.md) */
+    /// @{
+    /**
+     * Micro-ops per TraceSource::nextBatch() pull on the simulator's
+     * batched fast lane (0 = the simulator default). Purely an
+     * execution-strategy knob: results, journals and telemetry are
+     * byte-identical at any batch size, so it is deliberately NOT
+     * part of the config key.
+     */
+    std::uint64_t batchOps = 0;
+    /**
+     * Forces the per-op reference lane (TraceSource::next() plus
+     * per-op consume). The golden identity tests and bench_hot_path
+     * diff the batched lane against it; also NOT in the config key.
+     */
+    bool unbatchedStepping = false;
+    /// @}
 };
 
 /** Retry backoff policy constants (see retryBackoffDelayMs). */

@@ -1,5 +1,6 @@
 #include "trace/file.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -131,6 +132,27 @@ FileTrace::next(isa::MicroOp &op)
     op = buffer_[bufferPos_++];
     ++delivered_;
     return true;
+}
+
+std::size_t
+FileTrace::nextBatch(isa::MicroOp *out, std::size_t n)
+{
+    // Bulk copies out of the decode buffer instead of a bounds check
+    // and virtual call per record.
+    std::size_t filled = 0;
+    while (filled < n && delivered_ < count_) {
+        if (bufferPos_ >= buffer_.size())
+            refill();
+        const std::size_t avail = buffer_.size() - bufferPos_;
+        const std::size_t take = std::min(n - filled, avail);
+        std::copy_n(buffer_.begin()
+                        + static_cast<std::ptrdiff_t>(bufferPos_),
+                    take, out + filled);
+        bufferPos_ += take;
+        delivered_ += take;
+        filled += take;
+    }
+    return filled;
 }
 
 void

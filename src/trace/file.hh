@@ -41,6 +41,7 @@ class FileTrace : public TraceSource
     explicit FileTrace(const std::string &path);
 
     bool next(isa::MicroOp &op) override;
+    std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
 

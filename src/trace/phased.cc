@@ -24,6 +24,24 @@ PhasedTrace::next(isa::MicroOp &op)
     return false;
 }
 
+std::size_t
+PhasedTrace::nextBatch(isa::MicroOp *out, std::size_t n)
+{
+    // One phase-boundary check per child batch instead of per op; a
+    // batch spanning a phase boundary is stitched together from the
+    // tail of one child and the head of the next.
+    std::size_t filled = 0;
+    while (filled < n && current_ < phases_.size()) {
+        const std::size_t want = n - filled;
+        const std::size_t got =
+            phases_[current_]->nextBatch(out + filled, want);
+        filled += got;
+        if (got < want)
+            ++current_;
+    }
+    return filled;
+}
+
 void
 PhasedTrace::reset()
 {

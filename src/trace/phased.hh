@@ -28,6 +28,7 @@ class PhasedTrace : public TraceSource
         std::vector<std::shared_ptr<TraceSource>> phases);
 
     bool next(isa::MicroOp &op) override;
+    std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
 

@@ -6,6 +6,7 @@
 #ifndef SPEC17_TRACE_SOURCE_HH_
 #define SPEC17_TRACE_SOURCE_HH_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "isa/uop.hh"
@@ -15,9 +16,22 @@ namespace trace {
 
 /**
  * A finite stream of micro-ops. Sources are pull-based: the simulator
- * calls next() until it returns false. reset() rewinds to the first
- * micro-op and must reproduce the identical stream (the framework's
- * determinism guarantee hinges on this).
+ * calls next() until it returns false, or pulls whole chunks through
+ * nextBatch() (the simulator's batched fast lane -- see
+ * docs/performance.md).
+ *
+ * The two surfaces describe one stream: pulling N ops one at a time
+ * through next() and pulling them through nextBatch() in chunks of
+ * any size must yield the identical op sequence, and the two may be
+ * mixed freely at any point of the stream.
+ *
+ * reset() rewinds to the first micro-op and must reproduce the
+ * identical stream (the framework's determinism guarantee hinges on
+ * this). The contract is unconditional on how far and in what chunk
+ * sizes the stream was consumed: a reset() issued mid-stream -- in
+ * particular after a partially filled batch -- replays the same ops
+ * from the beginning. The suite runner's retry-with-seed-perturbation
+ * and the record/replay tooling both depend on it.
  */
 class TraceSource
 {
@@ -31,7 +45,33 @@ class TraceSource
      */
     virtual bool next(isa::MicroOp &op) = 0;
 
-    /** Rewinds to the beginning of the identical stream. */
+    /**
+     * Produces up to @p n micro-ops into @p out.
+     *
+     * Semantically equivalent to calling next() @p n times: the ops
+     * delivered and the post-call source state are identical. A short
+     * return (fewer than @p n ops) means the stream ended -- or, for
+     * cancellable sources, that cooperative cancellation engaged --
+     * exactly where next() would have returned false; subsequent
+     * calls return 0 until reset().
+     *
+     * The default implementation loops next(); sources with per-call
+     * overhead worth amortizing (RNG setup, phase-boundary checks,
+     * buffered file reads) override it.
+     *
+     * @return number of micro-ops written to @p out (<= @p n).
+     */
+    virtual std::size_t
+    nextBatch(isa::MicroOp *out, std::size_t n)
+    {
+        std::size_t filled = 0;
+        while (filled < n && next(out[filled]))
+            ++filled;
+        return filled;
+    }
+
+    /** Rewinds to the beginning of the identical stream (see the
+     *  class comment for the exact contract). */
     virtual void reset() = 0;
 
     /**

@@ -172,6 +172,33 @@ SyntheticTraceGenerator::rebuildStaticStructure()
         loadWeights_.push_back(region.loadWeight);
         storeWeights_.push_back(region.storeWeight);
     }
+    // Index-order sums, exactly as nextDiscrete would accumulate them
+    // per call; caching them here keeps the emitted stream identical.
+    loadWeightTotal_ = 0.0;
+    storeWeightTotal_ = 0.0;
+    for (double w : loadWeights_)
+        loadWeightTotal_ += w;
+    for (double w : storeWeights_)
+        storeWeightTotal_ += w;
+}
+
+std::size_t
+SyntheticTraceGenerator::pickWeighted(const std::vector<double> &weights,
+                                      double total)
+{
+    SPEC17_ASSERT(total > 0.0, "weights sum to zero in pickWeighted");
+    double pick = rng_.nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        pick -= weights[i];
+        if (pick < 0.0)
+            return i;
+    }
+    // Floating-point slack: fall back to the last non-zero weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    SPEC17_PANIC("unreachable in pickWeighted");
 }
 
 void
@@ -243,64 +270,77 @@ SyntheticTraceGenerator::pickBranchTarget()
     return kCodeBase + rng_.nextBounded(zone / 4) * 4;
 }
 
-bool
-SyntheticTraceGenerator::next(isa::MicroOp &op)
+SyntheticTraceGenerator::EmitConsts
+SyntheticTraceGenerator::emitConsts() const
 {
-    if (cancel_ != nullptr && *cancel_)
-        return false;
-    if (emitted_ >= params_.numOps)
-        return false;
-    ++emitted_;
+    // Everything here is a pure function of params_ and the static
+    // structure, recomputed per op before the batched lane existed;
+    // hoisting it cannot perturb the RNG stream.
+    EmitConsts k;
+    k.hotSpan =
+        std::min<std::uint64_t>(params_.codeFootprintBytes, 16 * 1024);
+    k.loadCut = params_.loadFrac;
+    k.storeCut = k.loadCut + params_.storeFrac;
+    k.branchCut = k.storeCut + params_.branchFrac;
+    k.condCut = params_.condFrac;
+    k.directJumpCut = k.condCut + params_.directJumpFrac;
+    k.nearCallCut = k.directJumpCut + params_.nearCallFrac;
+    k.indirectJumpCut = k.nearCallCut + params_.indirectJumpFrac;
+    k.nearReturnCut = k.indirectJumpCut + params_.nearReturnFrac;
+    k.numHardSites = std::max<std::size_t>(1, condSites_.size() / 8);
+    return k;
+}
 
+void
+SyntheticTraceGenerator::emitOp(isa::MicroOp &op, const EmitConsts &k)
+{
     // Sequential fetch. Execution loops within the hot (L1I-sized)
     // code prefix; a fall-through from colder code walks linearly
     // until some taken branch redirects it (usually back to hot
     // code), mirroring the loop-dominated fetch behaviour of real
     // programs.
-    const std::uint64_t hot_span =
-        std::min<std::uint64_t>(params_.codeFootprintBytes, 16 * 1024);
+    // pc_ always lies inside the code footprint, so the advanced
+    // offset can exceed a span by at most the 4-byte step: the modulo
+    // reduces to a single conditional subtraction.
     const std::uint64_t offset = pc_ - kCodeBase + 4;
-    if (offset <= hot_span)
-        pc_ = kCodeBase + offset % hot_span;
+    if (offset <= k.hotSpan)
+        pc_ = kCodeBase + (offset == k.hotSpan ? 0 : offset);
     else
-        pc_ = kCodeBase + offset % params_.codeFootprintBytes;
+        pc_ = kCodeBase
+            + (offset >= params_.codeFootprintBytes
+                   ? offset - params_.codeFootprintBytes
+                   : offset);
 
     const double roll = rng_.nextDouble();
-    if (roll < params_.loadFrac) {
-        const std::size_t region = rng_.nextDiscrete(loadWeights_);
+    if (roll < k.loadCut) {
+        const std::size_t region =
+            pickWeighted(loadWeights_, loadWeightTotal_);
         bool dep = false;
         const std::uint64_t addr = pickAddress(region, dep);
         op = isa::makeLoad(pc_, addr, 8, dep);
-        return true;
+        return;
     }
-    if (roll < params_.loadFrac + params_.storeFrac) {
-        const std::size_t region = rng_.nextDiscrete(storeWeights_);
+    if (roll < k.storeCut) {
+        const std::size_t region =
+            pickWeighted(storeWeights_, storeWeightTotal_);
         bool dep = false;
         const std::uint64_t addr = pickAddress(region, dep);
         op = isa::makeStore(pc_, addr, 8);
-        return true;
+        return;
     }
-    if (roll < params_.loadFrac + params_.storeFrac + params_.branchFrac) {
+    if (roll < k.branchCut) {
         const double kind_roll = rng_.nextDouble();
-        const double c = params_.condFrac;
-        const double dj = c + params_.directJumpFrac;
-        const double nc = dj + params_.nearCallFrac;
-        const double ij = nc + params_.indirectJumpFrac;
-        const double nr = ij + params_.nearReturnFrac;
-
-        if (kind_roll < c || kind_roll >= nr) {
+        if (kind_roll < k.condCut || kind_roll >= k.nearReturnCut) {
             // Conditional branch from a static site population.
             const bool hard = rng_.nextBernoulli(params_.hardBranchFrac);
-            const std::size_t num_hard =
-                std::max<std::size_t>(1, condSites_.size() / 8);
             std::size_t site_index;
             if (hard) {
-                site_index = rng_.nextBounded(num_hard);
+                site_index = rng_.nextBounded(k.numHardSites);
             } else {
-                site_index = num_hard == condSites_.size()
+                site_index = k.numHardSites == condSites_.size()
                     ? rng_.nextBounded(condSites_.size())
-                    : num_hard + rng_.nextBounded(
-                          condSites_.size() - num_hard);
+                    : k.numHardSites + rng_.nextBounded(
+                          condSites_.size() - k.numHardSites);
             }
             const BranchSite &site = condSites_[site_index];
             const bool taken = rng_.nextBernoulli(site.takenProb);
@@ -308,13 +348,13 @@ SyntheticTraceGenerator::next(isa::MicroOp &op)
                 rng_.nextBernoulli(params_.branchDepOnLoadFrac);
             op = isa::makeBranch(site.pc, isa::BranchKind::Conditional,
                                  taken, pickBranchTarget(), dep);
-        } else if (kind_roll < dj) {
+        } else if (kind_roll < k.directJumpCut) {
             op = isa::makeBranch(pc_, isa::BranchKind::DirectJump, true,
                                  pickBranchTarget());
-        } else if (kind_roll < nc) {
+        } else if (kind_roll < k.nearCallCut) {
             op = isa::makeBranch(pc_, isa::BranchKind::DirectNearCall,
                                  true, pickBranchTarget());
-        } else if (kind_roll < ij) {
+        } else if (kind_roll < k.indirectJumpCut) {
             const std::size_t site =
                 rng_.nextBounded(indirectSitePcs_.size());
             const auto &targets = indirectSiteTargets_[site];
@@ -332,7 +372,7 @@ SyntheticTraceGenerator::next(isa::MicroOp &op)
         }
         if (op.taken)
             pc_ = op.target;
-        return true;
+        return;
     }
 
     // Compute op.
@@ -347,7 +387,27 @@ SyntheticTraceGenerator::next(isa::MicroOp &op)
         cls = fp ? isa::UopClass::FpAdd : isa::UopClass::IntAlu;
     op = isa::makeAlu(pc_, cls);
     op.depOnPrev = rng_.nextBernoulli(params_.computeDepFrac);
-    return true;
+}
+
+bool
+SyntheticTraceGenerator::next(isa::MicroOp &op)
+{
+    return nextBatch(&op, 1) == 1;
+}
+
+std::size_t
+SyntheticTraceGenerator::nextBatch(isa::MicroOp *out, std::size_t n)
+{
+    if (cancel_ != nullptr && *cancel_)
+        return 0;
+    const std::uint64_t remaining = params_.numOps - emitted_;
+    if (remaining < n)
+        n = static_cast<std::size_t>(remaining);
+    const EmitConsts k = emitConsts();
+    for (std::size_t i = 0; i < n; ++i)
+        emitOp(out[i], k);
+    emitted_ += n;
+    return n;
 }
 
 } // namespace trace

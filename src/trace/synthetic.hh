@@ -155,6 +155,7 @@ class SyntheticTraceGenerator : public TraceSource
     explicit SyntheticTraceGenerator(SyntheticTraceParams params);
 
     bool next(isa::MicroOp &op) override;
+    std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
 
@@ -191,9 +192,33 @@ class SyntheticTraceGenerator : public TraceSource
         std::uint64_t cursor = 0;
     };
 
+    /** Per-op constants hoisted out of the emission loop. */
+    struct EmitConsts
+    {
+        std::uint64_t hotSpan;
+        double loadCut;    //!< roll < loadCut -> load
+        double storeCut;   //!< roll < storeCut -> store
+        double branchCut;  //!< roll < branchCut -> branch
+        double condCut;    //!< branch-kind thresholds, cumulative
+        double directJumpCut;
+        double nearCallCut;
+        double indirectJumpCut;
+        double nearReturnCut;
+        std::size_t numHardSites;
+    };
+
     void rebuildStaticStructure();
+    EmitConsts emitConsts() const;
+    /** Emits exactly one op; the caller has checked termination. */
+    void emitOp(isa::MicroOp &op, const EmitConsts &k);
     std::uint64_t pickAddress(std::size_t region_index, bool &dep_on_load);
     std::uint64_t pickBranchTarget();
+    /** Rng::nextDiscrete with the weight sum precomputed (the weight
+     *  vectors are fixed after configuration): consumes the same
+     *  single nextDouble() draw and selects by the same sequential
+     *  subtraction, so the emitted stream is unchanged. */
+    std::size_t pickWeighted(const std::vector<double> &weights,
+                             double total);
 
     SyntheticTraceParams params_;
     Rng rng_;
@@ -207,6 +232,8 @@ class SyntheticTraceGenerator : public TraceSource
     std::vector<RegionState> regionState_;
     std::vector<double> loadWeights_;
     std::vector<double> storeWeights_;
+    double loadWeightTotal_ = 0.0;
+    double storeWeightTotal_ = 0.0;
 
     static constexpr std::uint64_t kCodeBase = 0x400000;
     static constexpr std::uint64_t kDataBase = 0x10000000;

@@ -1,20 +1,11 @@
 #include "util/random.hh"
 
+#include <bit>
 #include <cmath>
 
 #include "util/logging.hh"
 
 namespace spec17 {
-
-namespace {
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
 
 std::uint64_t
 splitMix64(std::uint64_t &state)
@@ -34,42 +25,6 @@ Rng::Rng(std::uint64_t seed)
     // cannot produce four zero outputs in a row, so the state is valid.
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 high bits -> [0, 1) with full double precision.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    SPEC17_ASSERT(bound > 0, "nextBounded requires bound > 0");
-    // Lemire-style rejection to avoid modulo bias.
-    const std::uint64_t threshold = (-bound) % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
@@ -79,16 +34,6 @@ Rng::nextRange(std::int64_t lo, std::int64_t hi)
     if (span == 0) // full 64-bit range
         return static_cast<std::int64_t>(next());
     return lo + static_cast<std::int64_t>(nextBounded(span));
-}
-
-bool
-Rng::nextBernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 double
@@ -151,7 +96,7 @@ std::uint64_t
 deriveSeed(std::uint64_t root, std::uint64_t salt0, std::uint64_t salt1)
 {
     std::uint64_t state = root ^ (salt0 * 0x9e3779b97f4a7c15ULL)
-        ^ rotl(salt1, 32);
+        ^ std::rotl(salt1, 32);
     splitMix64(state);
     return splitMix64(state);
 }

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/logging.hh"
+
 namespace spec17 {
 
 /**
@@ -30,20 +32,61 @@ class Rng
     /** Constructs a generator whose state is expanded from @p seed. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Returns the next raw 64-bit value. */
-    std::uint64_t next();
+    /** Returns the next raw 64-bit value. Inline: the trace
+     *  generator draws several values per micro-op, so the xoshiro
+     *  step must not cost a function call. */
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Returns a uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        // 53 high bits -> [0, 1) with full double precision.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Returns a uniform integer in [0, bound) without modulo bias. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t nextBounded(std::uint64_t bound)
+    {
+        SPEC17_ASSERT(bound > 0, "nextBounded requires bound > 0");
+        // Power-of-two bound: the rejection threshold below is 0, so
+        // the first draw is always accepted and the modulo is a
+        // mask -- same value, no 64-bit divisions.
+        if ((bound & (bound - 1)) == 0)
+            return next() & (bound - 1);
+        // Lemire-style rejection to avoid modulo bias.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Returns a uniform integer in [lo, hi] inclusive. */
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Returns true with probability @p p. */
-    bool nextBernoulli(double p);
+    bool nextBernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /** Returns a standard-normal variate (polar Box-Muller). */
     double nextGaussian();
@@ -55,6 +98,11 @@ class Rng
     std::size_t nextDiscrete(const std::vector<double> &weights);
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Batched trace delivery: TraceSource::nextBatch() must describe the
+ * same stream as next() -- op for op, at any batch size, across phase
+ * boundaries, through the default fallback, and mixed freely with
+ * per-op pulls -- and reset() after a partially consumed batch must
+ * replay the identical stream from the top (the contract retry-with-
+ * seed-perturbation and record/replay depend on).
+ */
+
+#include "trace/source.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "trace/file.hh"
+#include "trace/kernels.hh"
+#include "trace/phased.hh"
+#include "trace/synthetic.hh"
+
+namespace spec17 {
+namespace trace {
+namespace {
+
+SyntheticTraceParams
+params(std::uint64_t num_ops = 20000)
+{
+    SyntheticTraceParams p;
+    p.numOps = num_ops;
+    p.seed = 99;
+    p.loadFrac = 0.25;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.15;
+    p.regions = {
+        {AccessPattern::Sequential, 256 * 1024, 64, 1.0, 1.0},
+        {AccessPattern::PointerChase, 2 * 1024 * 1024, 64, 1.0, 0.5},
+    };
+    return p;
+}
+
+std::vector<isa::MicroOp>
+drainPerOp(TraceSource &source)
+{
+    std::vector<isa::MicroOp> ops;
+    isa::MicroOp op;
+    while (source.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+std::vector<isa::MicroOp>
+drainBatched(TraceSource &source, std::size_t batch)
+{
+    std::vector<isa::MicroOp> ops;
+    std::vector<isa::MicroOp> buf(batch);
+    while (true) {
+        const std::size_t got = source.nextBatch(buf.data(), batch);
+        ops.insert(ops.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(got));
+        if (got < batch)
+            return ops;
+    }
+}
+
+void
+expectSameStream(const std::vector<isa::MicroOp> &a,
+                 const std::vector<isa::MicroOp> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cls, b[i].cls) << "op " << i;
+        EXPECT_EQ(a[i].branch, b[i].branch) << "op " << i;
+        EXPECT_EQ(a[i].pc, b[i].pc) << "op " << i;
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr) << "op " << i;
+        EXPECT_EQ(a[i].size, b[i].size) << "op " << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << "op " << i;
+        EXPECT_EQ(a[i].target, b[i].target) << "op " << i;
+        EXPECT_EQ(a[i].depOnLoad, b[i].depOnLoad) << "op " << i;
+        EXPECT_EQ(a[i].depOnPrev, b[i].depOnPrev) << "op " << i;
+    }
+}
+
+TEST(TraceBatch, SyntheticBatchMatchesPerOpAtAnyBatchSize)
+{
+    SyntheticTraceGenerator per_op(params());
+    const auto golden = drainPerOp(per_op);
+    ASSERT_EQ(golden.size(), 20000u);
+
+    // 7 and 999 leave a short final batch; 1 is the degenerate case.
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{999}}) {
+        SyntheticTraceGenerator gen(params());
+        expectSameStream(drainBatched(gen, batch), golden);
+    }
+}
+
+TEST(TraceBatch, PhasedBatchMatchesPerOpAcrossPhaseBoundaries)
+{
+    const auto make = [] {
+        std::vector<std::shared_ptr<TraceSource>> phases;
+        phases.push_back(
+            std::make_shared<StreamKernel>(64 * 1024, 500, true));
+        phases.push_back(
+            std::make_shared<SyntheticTraceGenerator>(params(3001)));
+        phases.push_back(
+            std::make_shared<PointerChaseKernel>(512 * 1024, 700, 16));
+        return PhasedTrace(std::move(phases));
+    };
+
+    PhasedTrace per_op = make();
+    const auto golden = drainPerOp(per_op);
+
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64},
+          std::size_t{4096}}) {
+        PhasedTrace phased = make();
+        expectSameStream(drainBatched(phased, batch), golden);
+    }
+}
+
+TEST(TraceBatch, DefaultFallbackMatchesPerOp)
+{
+    // Kernels don't override nextBatch; the base-class loop must
+    // deliver the same stream.
+    MatrixWalkKernel per_op(64, 96, /*row_major=*/false, 3);
+    const auto golden = drainPerOp(per_op);
+
+    MatrixWalkKernel batched(64, 96, /*row_major=*/false, 3);
+    expectSameStream(drainBatched(batched, 13), golden);
+}
+
+TEST(TraceBatch, FileTraceBatchMatchesPerOp)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "/spec17_batch_trace.s17t";
+    SyntheticTraceGenerator gen(params(9000));
+    ASSERT_EQ(writeTrace(path, gen), 9000u);
+
+    FileTrace per_op(path);
+    const auto golden = drainPerOp(per_op);
+    ASSERT_EQ(golden.size(), 9000u);
+
+    // 4096 matches the decode-buffer size; 1000 straddles refills.
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{1000},
+                                    std::size_t{4096}}) {
+        FileTrace file(path);
+        expectSameStream(drainBatched(file, batch), golden);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceBatch, MixedPerOpAndBatchPullsAreOneStream)
+{
+    SyntheticTraceGenerator per_op(params());
+    const auto golden = drainPerOp(per_op);
+
+    SyntheticTraceGenerator mixed(params());
+    std::vector<isa::MicroOp> ops;
+    isa::MicroOp op;
+    std::vector<isa::MicroOp> buf(64);
+    while (true) {
+        if (ops.size() % 3 == 0) {
+            if (!mixed.next(op))
+                break;
+            ops.push_back(op);
+        } else {
+            const std::size_t got = mixed.nextBatch(buf.data(), 17);
+            ops.insert(ops.end(), buf.begin(),
+                       buf.begin() + static_cast<std::ptrdiff_t>(got));
+            if (got < 17)
+                break;
+        }
+    }
+    expectSameStream(ops, golden);
+}
+
+TEST(TraceBatch, ResetAfterPartialBatchReplaysIdenticalStream)
+{
+    // The documented reset() contract: no matter how far or in what
+    // chunk sizes the stream was consumed, reset() replays it
+    // identically from the first op.
+    const std::string path =
+        std::string(::testing::TempDir()) + "/spec17_batch_reset.s17t";
+    {
+        SyntheticTraceGenerator gen(params(5000));
+        ASSERT_EQ(writeTrace(path, gen), 5000u);
+    }
+
+    const auto check = [](TraceSource &source) {
+        const auto golden = drainPerOp(source);
+        source.reset();
+
+        // Consume a partial batch (an odd count, mid-stream), then
+        // rewind and replay in full.
+        std::vector<isa::MicroOp> buf(37);
+        ASSERT_EQ(source.nextBatch(buf.data(), 37), 37u);
+        source.reset();
+        expectSameStream(drainBatched(source, 64), golden);
+    };
+
+    SyntheticTraceGenerator synthetic(params(5000));
+    check(synthetic);
+
+    std::vector<std::shared_ptr<TraceSource>> phases;
+    phases.push_back(
+        std::make_shared<StreamKernel>(32 * 1024, 200, false));
+    phases.push_back(
+        std::make_shared<SyntheticTraceGenerator>(params(2000)));
+    PhasedTrace phased(std::move(phases));
+    check(phased);
+
+    FileTrace file(path);
+    check(file);
+
+    PointerChaseKernel kernel(256 * 1024, 900, 8);
+    check(kernel);
+
+    std::remove(path.c_str());
+}
+
+TEST(TraceBatch, CancellationStopsABatchAtTheFlag)
+{
+    bool cancelled = false;
+    SyntheticTraceGenerator gen(params());
+    gen.setCancelFlag(&cancelled);
+
+    std::vector<isa::MicroOp> buf(64);
+    ASSERT_EQ(gen.nextBatch(buf.data(), 64), 64u);
+    cancelled = true;
+    EXPECT_EQ(gen.nextBatch(buf.data(), 64), 0u);
+    EXPECT_EQ(gen.emittedOps(), 64u);
+
+    // Clearing the flag resumes exactly where the stream stopped,
+    // like next() does.
+    cancelled = false;
+    EXPECT_EQ(gen.nextBatch(buf.data(), 64), 64u);
+    EXPECT_EQ(gen.emittedOps(), 128u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace spec17

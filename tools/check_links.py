@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links and file references resolve.
+
+Scans every tracked *.md file for inline links [text](target) and
+bare `path` references that look like repo files, and fails (exit 1)
+listing every target that does not exist. External links (http/https/
+mailto) are ignored -- CI must not depend on network reachability.
+
+Usage: tools/check_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/to/file.ext` style references inside backticks; extensions we
+# expect to exist as files in the repo. Trailing wildcard/globs are
+# skipped below.
+CODE_REF = re.compile(r"`([A-Za-z0-9_./-]+\.(?:md|cc|hh|h|py|cpp|yml))`")
+EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in (".git", "build", ".github") and
+            not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    errors = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    targets = []
+    for match in INLINE_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        targets.append(target.split("#")[0])
+    for match in CODE_REF.finditer(text):
+        ref = match.group(1)
+        # Only treat it as a path claim when it points into the tree.
+        if "/" in ref and "*" not in ref:
+            targets.append(ref)
+    for target in targets:
+        if not target:
+            continue
+        # Inline links resolve relative to the file; code refs
+        # resolve from the repo root or src/ (docs conventionally
+        # write source paths src/-relative, e.g. `trace/synthetic.cc`).
+        candidates = [
+            os.path.normpath(os.path.join(os.path.dirname(path), target)),
+            os.path.normpath(os.path.join(root, target)),
+            os.path.normpath(os.path.join(root, "src", target)),
+        ]
+        if not any(os.path.exists(c) for c in candidates):
+            errors.append((os.path.relpath(path, root), target))
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    count = 0
+    for path in md_files(root):
+        count += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        for source, target in errors:
+            print(f"BROKEN  {source}: {target}")
+        print(f"{len(errors)} broken reference(s) in {count} markdown "
+              "file(s)")
+        return 1
+    print(f"OK  all intra-repo references resolve ({count} markdown "
+          "file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
