@@ -13,6 +13,7 @@ Characterizer::Characterizer(CharacterizerOptions options)
       cache_(options.cachePath, options.resume),
       pairObserver_(std::move(options.pairObserver))
 {
+    cache_.setShard(options.shard);
 }
 
 const std::vector<workloads::WorkloadProfile> &

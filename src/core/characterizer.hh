@@ -30,6 +30,10 @@ struct CharacterizerOptions
     /** Resume interrupted sweeps from the on-disk journal instead of
      *  restarting them (crash-safe checkpointed sweeps). */
     bool resume = false;
+    /** Run only one shard of each sweep's pair cross-product,
+     *  journaled to a per-shard file (default 1/1 = whole sweep).
+     *  Shard journals merge back via `spec17 merge`. */
+    suite::ShardSpec shard;
     /** Notified after each pair of a simulated sweep (live progress
      *  reporting); never invoked on full cache hits. */
     suite::SuiteRunner::PairObserver pairObserver;

@@ -30,5 +30,91 @@ ScriptedFaultInjector::onAttempt(const std::string &pair,
     return it == plan_.end() ? Action::None : it->second;
 }
 
+JournalIoFaultInjector::~JournalIoFaultInjector() = default;
+
+void
+ScriptedJournalIoFaults::tornWriteAt(unsigned commit_index,
+                                     std::size_t keep_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    writePlan_[commit_index] = {WriteFault::Kind::TornWrite,
+                                keep_bytes};
+}
+
+void
+ScriptedJournalIoFaults::enospcAt(unsigned commit_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    writePlan_[commit_index] = {WriteFault::Kind::Enospc, 0};
+}
+
+void
+ScriptedJournalIoFaults::enospcFrom(unsigned commit_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enospcFrom_ = commit_index;
+}
+
+void
+ScriptedJournalIoFaults::shortReadNext(std::size_t keep_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReadFault fault;
+    fault.kind = ReadFault::Kind::ShortRead;
+    fault.keepBytes = keep_bytes;
+    readPlan_.push_back(fault);
+}
+
+void
+ScriptedJournalIoFaults::bitFlipNext(std::size_t offset, unsigned bit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReadFault fault;
+    fault.kind = ReadFault::Kind::BitFlip;
+    fault.offset = offset;
+    fault.bit = bit;
+    readPlan_.push_back(fault);
+}
+
+JournalIoFaultInjector::WriteFault
+ScriptedJournalIoFaults::onJournalWrite(const std::string &,
+                                        unsigned commit_index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++writes_;
+    const auto it = writePlan_.find(commit_index);
+    if (it != writePlan_.end())
+        return it->second;
+    if (commit_index >= enospcFrom_)
+        return {WriteFault::Kind::Enospc, 0};
+    return {};
+}
+
+JournalIoFaultInjector::ReadFault
+ScriptedJournalIoFaults::onJournalRead(const std::string &)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++reads_;
+    if (readPlan_.empty())
+        return {};
+    const ReadFault fault = readPlan_.front();
+    readPlan_.pop_front();
+    return fault;
+}
+
+unsigned
+ScriptedJournalIoFaults::writesConsulted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writes_;
+}
+
+unsigned
+ScriptedJournalIoFaults::readsConsulted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reads_;
+}
+
 } // namespace suite
 } // namespace spec17

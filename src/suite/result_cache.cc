@@ -1,5 +1,6 @@
 #include "suite/result_cache.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "suite/journal.hh"
 #include "util/logging.hh"
 
 namespace spec17 {
@@ -18,41 +20,40 @@ using workloads::WorkloadProfile;
 
 namespace {
 
-std::string
-fingerprint(const SuiteRunner &runner)
+const char *
+generationName(const WorkloadProfile &any)
 {
-    // FNV-1a over the full config key; collisions would need a
-    // deliberately crafted configuration.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : runner.configKey()) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return any.generation == workloads::SuiteGeneration::Cpu2017
+        ? "cpu2017" : "cpu2006";
 }
 
 std::string
 sectionFile(const std::string &base, const WorkloadProfile &any,
-            InputSize size)
+            InputSize size, const ShardSpec &shard)
 {
-    const char *generation =
-        any.generation == workloads::SuiteGeneration::Cpu2017
-        ? "cpu2017" : "cpu2006";
-    return base + "." + generation + "."
-        + workloads::inputSizeName(size) + ".csv";
+    std::string name = base + "." + generationName(any) + "."
+        + workloads::inputSizeName(size);
+    if (shard.active())
+        name += ".shard" + std::to_string(shard.index) + "of"
+            + std::to_string(shard.count);
+    return name + ".csv";
 }
 
+/** Payload columns; the journal's column header appends record_hash. */
 std::string
-expectedHeader()
+payloadHeader()
 {
     std::string header = "name,input,errored,attempts,failures,"
                          "wall_cycles,instr_billions,seconds";
     for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
         header += "," + perfEventName(static_cast<PerfEvent>(e));
     return header;
+}
+
+std::string
+columnHeader()
+{
+    return payloadHeader() + ",record_hash";
 }
 
 /** Fixed cells before the per-event counter columns. */
@@ -82,10 +83,11 @@ parseUint(const std::string &cell)
 }
 
 /**
- * Parses one journal row into a PairResult (profile left unbound).
- * Returns nullopt -- with @p reason set -- on any malformation: wrong
- * field count, unparsable number, undecodable failure history. The
- * caller decides whether that means a miss or a torn tail.
+ * Parses one record payload (the record line minus its hash cell)
+ * into a PairResult (profile left unbound). Returns nullopt -- with
+ * @p reason set -- on any malformation: wrong field count, unparsable
+ * number, undecodable failure history. The caller decides whether
+ * that means a miss or a torn tail.
  */
 std::optional<PairResult>
 parseRow(const std::string &line, InputSize size, std::string &reason)
@@ -138,56 +140,49 @@ parseRow(const std::string &line, InputSize size, std::string &reason)
     return r;
 }
 
-void
-writeRow(std::ostream &out, const PairResult &r)
+/**
+ * Serializes one result into its record payload. Built in a string
+ * stream at full double precision so the payload -- and therefore its
+ * hash, and therefore the journal bytes -- is identical no matter
+ * which process (or shard) writes it.
+ */
+std::string
+serializeRow(const PairResult &r)
 {
+    std::ostringstream out;
+    out.precision(17);
     out << r.name << "," << r.inputIndex << "," << (r.errored ? 1 : 0)
         << "," << r.attempts << "," << serializeFailures(r.failures)
         << "," << r.wallCycles << "," << r.instrBillions << ","
         << r.seconds;
     for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e)
         out << "," << r.counters.get(static_cast<PerfEvent>(e));
-    out << "\n";
-}
-
-/**
- * Reads fingerprint + header + rows. Rows are parsed up to the first
- * malformation; @p torn reports whether trailing content was
- * quarantined (torn tail or stale rows after a valid prefix).
- */
-std::vector<PairResult>
-readRows(std::istream &in, const SuiteRunner &runner, InputSize size,
-         bool &header_ok, bool &torn)
-{
-    header_ok = false;
-    torn = false;
-    std::vector<PairResult> rows;
-    std::string line;
-    if (!std::getline(in, line) || line != fingerprint(runner))
-        return rows;
-    // The header row doubles as a format check: a cache written by a
-    // build with a different counter set must read as a miss, not as
-    // corrupt data.
-    if (!std::getline(in, line) || line != expectedHeader())
-        return rows;
-    header_ok = true;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        std::string reason;
-        auto row = parseRow(line, size, reason);
-        if (!row) {
-            warn("quarantining journal tail (", reason,
-                 ") after ", rows.size(), " valid rows");
-            torn = true;
-            break;
-        }
-        rows.push_back(std::move(*row));
-    }
-    return rows;
+    return out.str();
 }
 
 } // namespace
+
+std::string
+configFingerprint(const SuiteRunner &runner)
+{
+    // FNV-1a over the full config key; collisions would need a
+    // deliberately crafted configuration.
+    return hex16(fnv1a(runner.configKey()));
+}
+
+std::string
+pairSetDigest(const std::vector<WorkloadProfile> &suite, InputSize size)
+{
+    std::uint64_t h =
+        fnv1a(suite.empty() ? "empty" : generationName(suite.front()));
+    h = fnv1a("|", h);
+    h = fnv1a(workloads::inputSizeName(size), h);
+    for (const auto &pair : enumeratePairs(suite, size)) {
+        h = fnv1a("|", h);
+        h = fnv1a(pair.displayName(), h);
+    }
+    return hex16(h);
+}
 
 ResultCache::ResultCache(std::string path, bool resume)
     : path_(std::move(path)), resume_(resume)
@@ -202,67 +197,109 @@ ResultCache::defaultPath()
     return "spec17_results";
 }
 
-std::optional<std::vector<PairResult>>
-ResultCache::load(const SuiteRunner &runner,
-                  const std::vector<WorkloadProfile> &suite,
-                  InputSize size) const
-{
-    if (path_.empty() || suite.empty())
-        return std::nullopt;
-    std::ifstream in(sectionFile(path_, suite.front(), size));
-    if (!in)
-        return std::nullopt;
-
-    bool header_ok = false, torn = false;
-    auto results = readRows(in, runner, size, header_ok, torn);
-    if (!header_ok || torn)
-        return std::nullopt;
-
-    const auto pairs = enumeratePairs(suite, size);
-    if (results.size() != pairs.size())
-        return std::nullopt;
-    // Rebind profile pointers by position (pair order is stable).
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        if (results[i].name != pairs[i].displayName())
-            return std::nullopt;
-        results[i].profile = pairs[i].profile;
-        results[i].replayed = true;
-    }
-    return results;
-}
-
-std::vector<PairResult>
-ResultCache::loadPartial(const SuiteRunner &runner,
-                         const std::vector<WorkloadProfile> &suite,
+std::string
+ResultCache::journalFile(const std::vector<WorkloadProfile> &suite,
                          InputSize size) const
 {
-    std::vector<PairResult> prefix;
     if (path_.empty() || suite.empty())
-        return prefix;
-    std::ifstream in(sectionFile(path_, suite.front(), size));
+        return "";
+    return sectionFile(path_, suite.front(), size, shard_);
+}
+
+ResultCache::JournalRead
+ResultCache::readJournal(
+    const SuiteRunner &runner,
+    const std::vector<WorkloadProfile> &suite, InputSize size,
+    const std::vector<workloads::AppInputPair> &pairs) const
+{
+    JournalRead read;
+    const std::string file = sectionFile(path_, suite.front(), size,
+                                         shard_);
+    std::ifstream in(file, std::ios::binary);
     if (!in)
-        return prefix;
+        return read;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string content = buffer.str();
 
-    bool header_ok = false, torn = false;
-    auto rows = readRows(in, runner, size, header_ok, torn);
-    if (!header_ok)
-        return prefix;
+    if (ioFaults_) {
+        const auto fault = ioFaults_->onJournalRead(file);
+        using Kind = JournalIoFaultInjector::ReadFault::Kind;
+        if (fault.kind == Kind::ShortRead
+            && fault.keepBytes < content.size()) {
+            content.resize(fault.keepBytes);
+        } else if (fault.kind == Kind::BitFlip
+                   && fault.offset < content.size()) {
+            content[fault.offset] = static_cast<char>(
+                static_cast<unsigned char>(content[fault.offset])
+                ^ (1u << (fault.bit % 8)));
+        }
+    }
 
-    // Only a prefix that matches the sweep's pair order is a valid
-    // checkpoint; anything beyond a name mismatch is quarantined.
-    const auto pairs = enumeratePairs(suite, size);
-    for (std::size_t i = 0; i < rows.size() && i < pairs.size(); ++i) {
-        if (rows[i].name != pairs[i].displayName()) {
-            warn("journal row ", i, " names '", rows[i].name,
-                 "' where '", pairs[i].displayName(),
-                 "' was expected; discarding the rest");
+    const JournalScan scan = scanJournalContent(content, true);
+    if (!scan.headerOk) {
+        warn("ignoring journal at ", file, ": ", scan.headerError);
+        read.status = JournalRead::Status::Malformed;
+        return read;
+    }
+    read.foundFingerprint = scan.header.configFingerprint;
+    if (scan.header.configFingerprint != configFingerprint(runner)) {
+        read.status = JournalRead::Status::ConfigMismatch;
+        return read;
+    }
+    if (scan.header.pairsDigest != pairSetDigest(suite, size)) {
+        read.status = JournalRead::Status::PairsMismatch;
+        return read;
+    }
+    if (scan.header.shardIndex != shard_.index
+        || scan.header.shardCount != shard_.count) {
+        read.status = JournalRead::Status::ShardMismatch;
+        return read;
+    }
+    if (scan.columnHeader != columnHeader()) {
+        // Another build's counter set: a miss, not corruption.
+        read.status = JournalRead::Status::FormatMismatch;
+        return read;
+    }
+    read.status = JournalRead::Status::Ok;
+    if (scan.corrupt) {
+        warn("quarantining journal tail of ", file, " (",
+             scan.corruptReason, ") after ", scan.records.size(),
+             " valid record(s)");
+    }
+
+    // The hash-verified records still cross the semantic parser and
+    // the pair-order check: only an order-matching prefix is a valid
+    // checkpoint of *this* sweep.
+    bool ordered = true;
+    for (std::size_t i = 0;
+         i < scan.records.size() && i < pairs.size(); ++i) {
+        const std::string &record = scan.records[i];
+        const std::string payload =
+            record.substr(0, record.rfind(','));
+        std::string reason;
+        auto row = parseRow(payload, size, reason);
+        if (!row) {
+            warn("quarantining journal tail (", reason, ") after ", i,
+                 " valid rows");
+            ordered = false;
             break;
         }
-        rows[i].profile = pairs[i].profile;
-        rows[i].replayed = true;
-        prefix.push_back(std::move(rows[i]));
+        if (row->name != pairs[i].displayName()) {
+            warn("journal row ", i, " names '", row->name, "' where '",
+                 pairs[i].displayName(),
+                 "' was expected; discarding the rest");
+            ordered = false;
+            break;
+        }
+        row->profile = pairs[i].profile;
+        row->replayed = true;
+        read.rows.push_back(std::move(*row));
     }
-    return prefix;
+    read.complete = ordered && !scan.corrupt
+        && read.rows.size() == pairs.size()
+        && scan.records.size() == pairs.size();
+    return read;
 }
 
 void
@@ -275,23 +312,73 @@ ResultCache::save(const SuiteRunner &runner,
         return;
     if (quiet && journalWarned_)
         return;
-    const std::string file = sectionFile(path_, suite.front(), size);
+    const std::string file = sectionFile(path_, suite.front(), size,
+                                         shard_);
+
+    // Render the complete journal image up front: the commit (and any
+    // injected fault) operates on the exact final bytes.
+    const std::string fp = configFingerprint(runner);
+    JournalHeader header;
+    header.configFingerprint = fp;
+    header.pairsDigest = pairSetDigest(suite, size);
+    header.shardIndex = shard_.index;
+    header.shardCount = shard_.count;
+    std::ostringstream image;
+    image << header.serialize() << "\n" << columnHeader() << "\n";
+    for (const PairResult &r : results) {
+        const std::string payload = serializeRow(r);
+        image << payload << "," << recordHash(fp, payload) << "\n";
+    }
+    const std::string content = image.str();
+
+    JournalIoFaultInjector::WriteFault fault;
+    if (ioFaults_)
+        fault = ioFaults_->onJournalWrite(file, commitIndex_);
+    ++commitIndex_;
+    using WriteKind = JournalIoFaultInjector::WriteFault::Kind;
+    if (fault.kind == WriteKind::Enospc) {
+        // Failed commit, previous journal intact: the sweep carries
+        // on and the uncommitted pairs are recomputed on resume.
+        if (!quiet || !journalWarned_)
+            warn("cannot commit result journal to ", file,
+                 ": out of space (injected); continuing without "
+                 "checkpoint");
+        journalWarned_ = true;
+        return;
+    }
+    if (fault.kind == WriteKind::TornWrite) {
+        // Simulated crash/power cut mid-write: a byte-level prefix of
+        // the new image lands in the *final* file (bypassing the
+        // temp-then-rename discipline, which is exactly what this
+        // fault models). The hash check quarantines the damaged tail
+        // on reopen.
+        std::ofstream out(file, std::ios::trunc | std::ios::binary);
+        if (out)
+            out.write(content.data(),
+                      static_cast<std::streamsize>(
+                          std::min(fault.keepBytes, content.size())));
+        if (!quiet || !journalWarned_)
+            warn("torn write to result journal ", file,
+                 " (injected); damaged tail will be quarantined on "
+                 "reopen");
+        journalWarned_ = true;
+        return;
+    }
+
     // Write-temp-then-rename: a crash mid-save can never leave a
     // half-written cache, and concurrent readers see either the old
     // or the new journal, both complete.
     const std::string temp = file + ".tmp";
     {
-        std::ofstream out(temp, std::ios::trunc);
+        std::ofstream out(temp, std::ios::trunc | std::ios::binary);
         if (!out) {
             if (!quiet || !journalWarned_)
                 warn("cannot write result cache at ", temp);
             journalWarned_ = true;
             return;
         }
-        out << fingerprint(runner) << "\n" << expectedHeader() << "\n";
-        out.precision(17);
-        for (const PairResult &r : results)
-            writeRow(out, r);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
         out.flush();
         if (!out) {
             warn("short write to ", temp, "; cache not committed");
@@ -315,24 +402,44 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
                        InputSize size,
                        const SuiteRunner::PairObserver &observer)
 {
-    if (auto cached = load(runner, suite, size))
-        return std::move(*cached);
+    const auto allPairs = suite.empty()
+        ? std::vector<workloads::AppInputPair>{}
+        : enumeratePairs(suite, size);
+    const auto pairs = shardPairs(allPairs, shard_);
 
     std::vector<PairResult> results;
-    if (resume_) {
-        results = loadPartial(runner, suite, size);
-        if (!results.empty()) {
-            inform("resuming sweep from journal: ", results.size(),
-                   " pair(s) replayed without re-simulation");
+    if (!path_.empty() && !suite.empty()) {
+        JournalRead read = readJournal(runner, suite, size, pairs);
+        using Status = JournalRead::Status;
+        if (read.status == Status::ConfigMismatch && resume_) {
+            // Replaying another campaign's records would silently
+            // splice two configurations into one result set.
+            throw JournalConfigMismatchError(
+                "refusing to resume from "
+                + journalFile(suite, size)
+                + ": journal was written under config "
+                + read.foundFingerprint
+                + " but this invocation has config "
+                + configFingerprint(runner)
+                + " (rerun without --resume to recompute and "
+                  "overwrite, or point the cache elsewhere)");
+        }
+        if (read.status == Status::Ok && read.complete)
+            return std::move(read.rows);
+        if (read.status == Status::Ok && resume_) {
+            results = std::move(read.rows);
+            if (!results.empty())
+                inform("resuming sweep from journal: ", results.size(),
+                       " pair(s) replayed without re-simulation");
         }
     }
 
-    const auto pairs = enumeratePairs(suite, size);
     if (observer) {
         for (std::size_t i = 0; i < results.size(); ++i)
             observer(results[i], i, pairs.size());
     }
     journalWarned_ = false;
+    commitIndex_ = 0;
     const std::vector<workloads::AppInputPair> remaining(
         pairs.begin() + static_cast<std::ptrdiff_t>(results.size()),
         pairs.end());
@@ -365,10 +472,18 @@ ResultCache::invalidate()
         return;
     for (const char *generation : {"cpu2017", "cpu2006"}) {
         for (InputSize size : workloads::kAllInputSizes) {
-            const std::string file = path_ + "." + generation + "."
-                + workloads::inputSizeName(size) + ".csv";
-            std::remove(file.c_str());
-            std::remove((file + ".tmp").c_str());
+            std::string stem = path_ + "." + generation + "."
+                + workloads::inputSizeName(size);
+            std::vector<std::string> files = {stem + ".csv"};
+            if (shard_.active())
+                files.push_back(stem + ".shard"
+                                + std::to_string(shard_.index) + "of"
+                                + std::to_string(shard_.count)
+                                + ".csv");
+            for (const std::string &file : files) {
+                std::remove(file.c_str());
+                std::remove((file + ".tmp").c_str());
+            }
         }
     }
 }

@@ -1,22 +1,33 @@
 /**
  * @file
- * On-disk cache of suite-run results, doubling as a crash-safe sweep
- * journal.
+ * On-disk cache of suite-run results, doubling as a crash-safe,
+ * self-validating sweep journal.
  *
  * A full characterization sweep simulates hundreds of millions of
  * micro-ops; every bench binary needs the same sweep. The cache
- * persists PairResults to a CSV file keyed by a fingerprint of the
- * runner configuration, so the first binary pays for the sweep and
- * the rest replay it.
+ * persists PairResults to a journal file (format v2, see
+ * docs/journal_format.md and suite/journal.hh) keyed by a campaign
+ * header -- config-key fingerprint, pair-set digest, shard identity,
+ * format version -- with a content hash on every record, so any
+ * record's provenance and integrity is checkable offline.
  *
  * Crash safety: during a sweep the file is re-committed after every
  * completed pair via write-temp-then-rename, so readers only ever see
  * a complete prefix of rows (an append-only journal with atomic
  * commits). An interrupted sweep leaves a valid partial journal;
  * with resume enabled, the next run replays the completed prefix and
- * simulates only the remainder. Malformed rows (torn tails, stale
- * formats) are quarantined as cache misses with a logged reason --
- * never a crash, never garbage results.
+ * simulates only the remainder. Malformed or hash-failing rows (torn
+ * tails, bit flips, stale formats) are quarantined as cache misses
+ * with a logged reason -- never a crash, never garbage results. A
+ * failed journal commit (e.g. ENOSPC, or an injected I/O fault)
+ * demotes to warn-and-continue: the sweep still returns correct
+ * results, and uncommitted pairs are recomputed on resume.
+ *
+ * Sharded campaigns: with a ShardSpec set, the cache runs only the
+ * shard's slice of the pair cross-product and journals it to a
+ * per-shard file (`<base>.<gen>.<size>.shardKofN.csv`). Shard
+ * journals of one campaign merge into the canonical unsharded
+ * journal byte-identically via `spec17 merge` (suite/journal.hh).
  *
  * Parallel sweeps (RunnerOptions::jobs > 1) journal through the
  * runner's ordered observer seam: completions are delivered in
@@ -29,24 +40,52 @@
 #define SPEC17_SUITE_RESULT_CACHE_HH_
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "suite/fault_injection.hh"
 #include "suite/runner.hh"
 
 namespace spec17 {
 namespace suite {
 
 /**
- * CSV-backed result store. Results are keyed by (suite generation,
- * input size) and validated against the runner's config fingerprint.
+ * Thrown when --resume finds a journal written under a different
+ * config key: replaying it would splice results from one campaign
+ * into another, so the sweep refuses loudly instead of guessing.
+ * (Without resume, a mismatched journal is an ordinary cache miss.)
+ */
+class JournalConfigMismatchError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** 16-hex-digit FNV-1a fingerprint of @p runner's config key. */
+std::string configFingerprint(const SuiteRunner &runner);
+
+/**
+ * 16-hex-digit digest of the full canonical pair enumeration of
+ * (@p suite, @p size) -- generation, size and every pair display
+ * name, pre-shard. Shards of one campaign share it; journals from a
+ * different suite or size cannot be confused for shards.
+ */
+std::string pairSetDigest(
+    const std::vector<workloads::WorkloadProfile> &suite,
+    workloads::InputSize size);
+
+/**
+ * Journal-backed result store. Results are keyed by (suite
+ * generation, input size, shard) and validated against the campaign
+ * header and per-record hashes.
  */
 class ResultCache
 {
   public:
     /**
-     * @param path CSV file; created on first save. Empty path
-     *        disables persistence (pure pass-through).
+     * @param path journal base path; created on first save. Empty
+     *        path disables persistence (pure pass-through).
      * @param resume when true, a partial journal left by an
      *        interrupted sweep is replayed instead of discarded.
      */
@@ -58,11 +97,30 @@ class ResultCache
     /** Enables/disables resuming from a partial journal. */
     void setResume(bool resume) { resume_ = resume; }
 
+    /** Restricts sweeps to one shard of the pair cross-product. */
+    void setShard(ShardSpec shard) { shard_ = shard; }
+
+    /** Test-only journal-I/O injection hook; borrowed pointer,
+     *  nullptr in production. */
+    void setIoFaults(JournalIoFaultInjector *faults)
+    {
+        ioFaults_ = faults;
+    }
+
+    /** Journal file this cache reads/writes for (@p suite, @p size)
+     *  under the current shard (empty when persistence is off). */
+    std::string journalFile(
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size) const;
+
     /**
      * Loads cached results for (@p suite, @p size) recorded under
      * @p runner's fingerprint, or runs the sweep and persists it,
      * journaling each completed pair. With resume enabled, a partial
-     * journal seeds the sweep and only missing pairs are simulated.
+     * journal seeds the sweep and only missing pairs are simulated;
+     * a journal from a different config key is refused
+     * (JournalConfigMismatchError). With a shard set, only the
+     * shard's slice is loaded/run/journaled.
      * Profile pointers in returned results are rebound into @p suite.
      *
      * @param observer notified after each pair of a simulated sweep,
@@ -79,21 +137,42 @@ class ResultCache
         workloads::InputSize size,
         const SuiteRunner::PairObserver &observer = {});
 
-    /** Drops everything persisted at this path. */
+    /** Drops everything persisted at this path (current shard's
+     *  files included). */
     void invalidate();
 
   private:
-    std::optional<std::vector<PairResult>> load(
+    /** One journal read: campaign-header classification plus the
+     *  longest order-verified record prefix. */
+    struct JournalRead
+    {
+        enum class Status
+        {
+            Missing,        //!< no file / unreadable
+            Malformed,      //!< campaign header damaged or legacy
+            ConfigMismatch, //!< other campaign's config key
+            PairsMismatch,  //!< other suite/size enumeration
+            ShardMismatch,  //!< other shard's journal
+            FormatMismatch, //!< other build's counter columns
+            Ok,
+        };
+        Status status = Status::Missing;
+        /** Campaign fingerprint found in the file (diagnostics). */
+        std::string foundFingerprint;
+        /** Order-verified prefix, profiles bound, replayed=true. */
+        std::vector<PairResult> rows;
+        /** Every expected pair present and nothing quarantined. */
+        bool complete = false;
+    };
+
+    JournalRead readJournal(
         const SuiteRunner &runner,
         const std::vector<workloads::WorkloadProfile> &suite,
-        workloads::InputSize size) const;
-    /** Longest valid journal prefix matching the expected pair order
-     *  (empty on fingerprint/header mismatch). */
-    std::vector<PairResult> loadPartial(
-        const SuiteRunner &runner,
-        const std::vector<workloads::WorkloadProfile> &suite,
-        workloads::InputSize size) const;
-    /** Atomically commits @p results (write temp, then rename). */
+        workloads::InputSize size,
+        const std::vector<workloads::AppInputPair> &pairs) const;
+
+    /** Atomically commits @p results (write temp, then rename),
+     *  consulting the I/O fault hook. */
     void save(const SuiteRunner &runner,
               const std::vector<workloads::WorkloadProfile> &suite,
               workloads::InputSize size,
@@ -102,6 +181,10 @@ class ResultCache
 
     std::string path_;
     bool resume_ = false;
+    ShardSpec shard_;
+    JournalIoFaultInjector *ioFaults_ = nullptr;
+    /** Commit counter within the current sweep (I/O fault keying). */
+    mutable unsigned commitIndex_ = 0;
     /** Set after one failed journal commit so a read-only location
      *  warns once per sweep instead of once per pair. */
     mutable bool journalWarned_ = false;

@@ -53,6 +53,56 @@ prefillSteadyState(sim::CpuSimulator &core,
                                        : sim::HitLevel::L3);
 }
 
+std::string
+ShardSpec::label() const
+{
+    return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::optional<ShardSpec>
+ShardSpec::parse(const std::string &text)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0
+        || slash + 1 >= text.size())
+        return std::nullopt;
+    const auto number = [](const std::string &cell)
+        -> std::optional<unsigned> {
+        if (cell.empty() || cell.size() > 9)
+            return std::nullopt;
+        unsigned value = 0;
+        for (char c : cell) {
+            if (c < '0' || c > '9')
+                return std::nullopt;
+            value = value * 10 + static_cast<unsigned>(c - '0');
+        }
+        return value;
+    };
+    const auto index = number(text.substr(0, slash));
+    const auto count = number(text.substr(slash + 1));
+    if (!index || !count || *count == 0 || *index == 0
+        || *index > *count)
+        return std::nullopt;
+    return ShardSpec{*index, *count};
+}
+
+std::vector<AppInputPair>
+shardPairs(const std::vector<AppInputPair> &pairs,
+           const ShardSpec &shard)
+{
+    SPEC17_ASSERT(shard.count >= 1 && shard.index >= 1
+                      && shard.index <= shard.count,
+                  "invalid shard ", shard.index, "/", shard.count);
+    if (!shard.active())
+        return pairs;
+    std::vector<AppInputPair> slice;
+    slice.reserve(pairs.size() / shard.count + 1);
+    for (std::size_t i = shard.index - 1; i < pairs.size();
+         i += shard.count)
+        slice.push_back(pairs[i]);
+    return slice;
+}
+
 std::uint64_t
 retryBackoffDelayMs(std::uint64_t base_ms, unsigned attempt)
 {

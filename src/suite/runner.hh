@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,39 @@ namespace suite {
  */
 void prefillSteadyState(sim::CpuSimulator &core,
                         const trace::SyntheticTraceGenerator &generator);
+
+/**
+ * One shard of a sweep campaign: this process runs shard `index` of
+ * `count` (both 1-based, `1/1` = the whole sweep). The partition is
+ * deterministic round-robin over the canonical pair order -- pair i
+ * belongs to shard `(i % count) + 1` -- so shards balance load, any
+ * process can compute its slice without coordination, and a merge
+ * can reconstruct canonical order from shard identity alone (record
+ * j of shard K/N is canonical pair j*N + K-1).
+ *
+ * Sharding partitions *work*, never results: it is deliberately NOT
+ * part of the config key, and merging complete shards reproduces the
+ * unsharded journal byte-identically.
+ */
+struct ShardSpec
+{
+    unsigned index = 1;
+    unsigned count = 1;
+
+    /** True when the sweep is actually split (count > 1). */
+    bool active() const { return count > 1; }
+
+    /** "K/N" label, e.g. "2/4". */
+    std::string label() const;
+
+    /** Parses "K/N" (1 <= K <= N); nullopt on malformed input. */
+    static std::optional<ShardSpec> parse(const std::string &text);
+};
+
+/** The slice of @p pairs belonging to @p shard, in canonical order. */
+std::vector<workloads::AppInputPair> shardPairs(
+    const std::vector<workloads::AppInputPair> &pairs,
+    const ShardSpec &shard);
 
 /** Runner configuration. */
 struct RunnerOptions

@@ -72,15 +72,17 @@ ProgressReporter::onItemDone(const std::string &name, std::size_t index,
         ? elapsed_s / double(simulated_done) * double(total - done_)
         : 0.0;
 
-    const std::vector<LogField> fields = {
-        {"pair", name},
-        {"done", std::to_string(done_) + "/" + std::to_string(total)},
-        {"attempts", std::to_string(attempts)},
-        {"errored", std::to_string(erroredCount_)},
-        {"ops_per_s", fmtFixed(ops_per_s, 0)},
-        {"elapsed_s", fmtFixed(elapsed_s, 1)},
-        {"eta_s", fmtFixed(eta_s, 1)},
-    };
+    std::vector<LogField> fields;
+    if (!options_.shardLabel.empty())
+        fields.push_back({"shard", options_.shardLabel});
+    fields.push_back({"pair", name});
+    fields.push_back(
+        {"done", std::to_string(done_) + "/" + std::to_string(total)});
+    fields.push_back({"attempts", std::to_string(attempts)});
+    fields.push_back({"errored", std::to_string(erroredCount_)});
+    fields.push_back({"ops_per_s", fmtFixed(ops_per_s, 0)});
+    fields.push_back({"elapsed_s", fmtFixed(elapsed_s, 1)});
+    fields.push_back({"eta_s", fmtFixed(eta_s, 1)});
     if (options_.stream != nullptr)
         *options_.stream << formatEvent("sweep_progress", fields)
                          << "\n";

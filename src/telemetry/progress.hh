@@ -36,6 +36,10 @@ class ProgressReporter
         std::uint64_t minIntervalMs = 1000;
         /** Event destination; nullptr logs via logEvent (stderr). */
         std::ostream *stream = nullptr;
+        /** Shard identity ("K/N") stamped on every event of a
+         *  sharded campaign, so interleaved shard logs stay
+         *  attributable; empty (the default) omits the field. */
+        std::string shardLabel;
     };
 
     ProgressReporter() : ProgressReporter(Options{}) {}

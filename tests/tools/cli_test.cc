@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "suite/journal.hh"
 
 namespace spec17 {
 namespace cli {
@@ -312,6 +316,208 @@ TEST(CliRun, RecordRequiresKnownApplication)
     EXPECT_NE(err2.str().find("no application"), std::string::npos);
 }
 
+
+/** One synthetic v2 journal for merge/fsck CLI tests. */
+std::string
+writeSyntheticJournal(const std::string &path, unsigned k, unsigned n,
+                      std::initializer_list<const char *> payloads)
+{
+    suite::JournalHeader header;
+    header.configFingerprint = suite::hex16(suite::fnv1a("cli-test"));
+    header.pairsDigest = suite::hex16(suite::fnv1a("cli-pairs"));
+    header.shardIndex = k;
+    header.shardCount = n;
+    std::string content =
+        header.serialize() + "\nname,value,record_hash\n";
+    for (const char *payload : payloads)
+        content += std::string(payload) + ","
+            + suite::recordHash(header.configFingerprint, payload)
+            + "\n";
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+    return content;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+TEST(CliRun, CharacterizeRejectsMalformedShard)
+{
+    for (const char *bad : {"--shard=5/4", "--shard=0/2",
+                            "--shard=banana", "--shard="}) {
+        std::ostringstream out, err;
+        EXPECT_EQ(runCommand(parse({"characterize", "--no-cache",
+                                    bad}),
+                             out, err),
+                  2)
+            << bad;
+        EXPECT_NE(err.str().find("--shard wants K/N"),
+                  std::string::npos)
+            << bad;
+    }
+}
+
+TEST(CliRun, MergeValidatesItsArguments)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"merge"}), out, err), 2);
+    EXPECT_NE(err.str().find("needs shard journal files"),
+              std::string::npos);
+
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runCommand(parse({"merge", "some.csv"}), out2, err2), 2);
+    EXPECT_NE(err2.str().find("--out"), std::string::npos);
+
+    // A missing input is an integrity failure (exit 1), not usage.
+    std::ostringstream out3, err3;
+    EXPECT_EQ(runCommand(parse({"merge", "--out=/tmp/x.csv",
+                                "/nonexistent/shard.csv"}),
+                         out3, err3),
+              1);
+    EXPECT_NE(err3.str().find("cannot read"), std::string::npos);
+}
+
+TEST(CliRun, FsckReportsCleanAndCorruptJournals)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string clean = dir + "/cli_fsck_clean.csv";
+    const std::string corrupt = dir + "/cli_fsck_corrupt.csv";
+    writeSyntheticJournal(clean, 1, 1, {"p01,42", "p02,43"});
+    const std::string intact = writeSyntheticJournal(
+        corrupt, 1, 1, {"p01,42", "p02,43"});
+    {
+        // Tear the last record.
+        std::ofstream out(corrupt, std::ios::trunc | std::ios::binary);
+        out << intact.substr(0, intact.size() - 6);
+    }
+
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"fsck", clean.c_str()}), out, err), 0);
+    EXPECT_NE(out.str().find("2 intact record(s)"), std::string::npos);
+
+    // Every corruption class exits nonzero.
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runCommand(parse({"fsck", clean.c_str(),
+                                corrupt.c_str()}),
+                         out2, err2),
+              1);
+    EXPECT_NE(out2.str().find("CORRUPT at record 1"),
+              std::string::npos);
+
+    // --repair drops exactly the damaged suffix, then fsck is clean.
+    std::ostringstream out3, err3;
+    EXPECT_EQ(runCommand(parse({"fsck", "--repair",
+                                corrupt.c_str()}),
+                         out3, err3),
+              0);
+    EXPECT_NE(out3.str().find("repaired"), std::string::npos);
+    std::ostringstream out4, err4;
+    EXPECT_EQ(runCommand(parse({"fsck", corrupt.c_str()}), out4,
+                         err4),
+              0);
+    EXPECT_NE(out4.str().find("1 intact record(s)"),
+              std::string::npos);
+
+    // Headerless garbage stays unrepairable (and nonzero).
+    {
+        std::ofstream out5(corrupt, std::ios::trunc);
+        out5 << "garbage\n";
+    }
+    std::ostringstream out6, err6;
+    EXPECT_EQ(runCommand(parse({"fsck", "--repair",
+                                corrupt.c_str()}),
+                         out6, err6),
+              1);
+    EXPECT_NE(out6.str().find("UNREPAIRABLE"), std::string::npos);
+
+    std::ostringstream out7, err7;
+    EXPECT_EQ(runCommand(parse({"fsck"}), out7, err7), 2);
+    std::remove(clean.c_str());
+    std::remove(corrupt.c_str());
+}
+
+TEST(CliRun, ShardedCharacterizeMergesByteIdenticalToUnsharded)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/cli_shard_roundtrip";
+    ::setenv("SPEC17_CACHE", base.c_str(), 1);
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                "--size=test", "--sample=2000",
+                                "--warmup=500", "--jobs=8"}),
+                         out, err),
+              0);
+    const std::string canonical = base + ".cpu2006.test.csv";
+
+    for (const char *shard : {"--shard=2/2", "--shard=1/2"}) {
+        std::ostringstream shard_out, shard_err;
+        EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                    "--size=test", "--sample=2000",
+                                    "--warmup=500", shard}),
+                             shard_out, shard_err),
+                  0)
+            << shard;
+    }
+    const std::string shard1 = base + ".cpu2006.test.shard1of2.csv";
+    const std::string shard2 = base + ".cpu2006.test.shard2of2.csv";
+    const std::string merged = base + ".merged.csv";
+    std::ostringstream merge_out, merge_err;
+    EXPECT_EQ(runCommand(parse({"merge",
+                                ("--out=" + merged).c_str(),
+                                shard2.c_str(), shard1.c_str()}),
+                         merge_out, merge_err),
+              0)
+        << merge_err.str();
+    EXPECT_NE(merge_out.str().find("merged 2 shard(s)"),
+              std::string::npos);
+    EXPECT_FALSE(fileBytes(merged).empty());
+    EXPECT_EQ(fileBytes(merged), fileBytes(canonical));
+
+    ::unsetenv("SPEC17_CACHE");
+    for (const std::string &file :
+         {canonical, shard1, shard2, merged})
+        std::remove(file.c_str());
+}
+
+TEST(CliRun, ResumeRefusesJournalFromAnotherConfig)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/cli_resume_mismatch";
+    ::setenv("SPEC17_CACHE", base.c_str(), 1);
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                "--size=test", "--sample=2000",
+                                "--warmup=500"}),
+                         out, err),
+              0);
+    // Same campaign journal, different config key: --resume must be
+    // a clear refusal, not a silent replay of foreign results.
+    std::ostringstream out2, err2;
+    EXPECT_EQ(runCommand(parse({"characterize", "--suite=cpu2006",
+                                "--size=test", "--sample=3000",
+                                "--warmup=500", "--resume"}),
+                         out2, err2),
+              2);
+    EXPECT_NE(err2.str().find("refusing to resume"),
+              std::string::npos);
+    ::unsetenv("SPEC17_CACHE");
+    std::remove((base + ".cpu2006.test.csv").c_str());
+}
+
+TEST(CliRun, UsageDocumentsShardingAndJournalTools)
+{
+    const std::string text = usage();
+    for (const char *needle :
+         {"--shard", "--allow-partial", "--repair", "merge --out",
+          "fsck", "sharded campaigns"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
 
 TEST(CliRun, ValidateReportsDeviations)
 {

@@ -10,6 +10,7 @@
 #include "core/subset.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
+#include "suite/journal.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/sink.hh"
@@ -432,7 +433,20 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
     if (command.hasFlag("no-cache"))
         options.cachePath.clear();
     options.resume = command.hasFlag("resume");
-    telemetry::ProgressReporter progress;
+    if (command.hasFlag("shard")) {
+        const auto shard = suite::ShardSpec::parse(
+            command.flag("shard"));
+        if (!shard) {
+            err << "error: --shard wants K/N with 1 <= K <= N, got '"
+                << command.flag("shard") << "'\n";
+            return 2;
+        }
+        options.shard = *shard;
+    }
+    telemetry::ProgressReporter::Options progress_options;
+    if (options.shard.active())
+        progress_options.shardLabel = options.shard.label();
+    telemetry::ProgressReporter progress(progress_options);
     if (command.hasFlag("progress")) {
         options.pairObserver = [&progress](
                                    const suite::PairResult &result,
@@ -446,7 +460,16 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
         };
     }
     core::Characterizer session(options);
-    const auto metrics = session.metrics(generation, size);
+    std::vector<core::Metrics> metrics;
+    try {
+        metrics = session.metrics(generation, size);
+    } catch (const suite::JournalConfigMismatchError &e) {
+        // A --resume against another campaign's journal: refusing is
+        // the whole point -- replaying it would silently splice two
+        // configurations into one result set.
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
 
     // With sampling enabled, surface the per-pair interval-IPC
     // coefficient of variation (series exist only for pairs actually
@@ -496,6 +519,88 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
         renderFailureSummary(session.failures(generation, size), out);
     }
     return 0;
+}
+
+int
+cmdMerge(const CommandLine &command, std::ostream &out,
+         std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: merge needs shard journal files (try: spec17 "
+               "merge --out=merged.csv shard1.csv shard2.csv ...)\n";
+        return 2;
+    }
+    if (!command.hasFlag("out")) {
+        err << "error: merge needs --out=FILE for the merged "
+               "journal\n";
+        return 2;
+    }
+    const std::vector<std::string> paths(
+        command.positional.begin() + 1, command.positional.end());
+    const auto outcome = suite::mergeJournals(
+        paths, command.flag("out"), command.hasFlag("allow-partial"));
+    if (!outcome.ok) {
+        err << "error: " << outcome.error << "\n";
+        return 1;
+    }
+    out << "merged " << outcome.shardsMerged << " shard(s), "
+        << outcome.recordsWritten << " record(s) -> "
+        << command.flag("out") << "\n";
+    if (outcome.recordsDropped > 0)
+        out << "dropped " << outcome.recordsDropped
+            << " record(s) after the first gap (--allow-partial)\n";
+    return 0;
+}
+
+int
+cmdFsck(const CommandLine &command, std::ostream &out,
+        std::ostream &err)
+{
+    if (command.positional.size() < 2) {
+        err << "error: fsck needs journal files (try: spec17 fsck "
+               "results.cpu2017.ref.csv)\n";
+        return 2;
+    }
+    const bool repair = command.hasFlag("repair");
+    int bad = 0;
+    for (std::size_t i = 1; i < command.positional.size(); ++i) {
+        const std::string &path = command.positional[i];
+        const auto scan = suite::scanJournal(path);
+        if (!scan.fileOk) {
+            out << path << ": cannot read\n";
+            ++bad;
+            continue;
+        }
+        if (!scan.headerOk) {
+            // No trusted campaign header means no trusted content:
+            // nothing --repair could keep.
+            out << path << ": UNREPAIRABLE (" << scan.headerError
+                << ")\n";
+            ++bad;
+            continue;
+        }
+        out << path << ": v" << scan.header.version << " config "
+            << scan.header.configFingerprint << " shard "
+            << scan.header.shardLabel() << ", " << scan.records.size()
+            << " intact record(s)";
+        if (scan.corrupt) {
+            out << "; CORRUPT at record " << scan.corruptRecord
+                << " (" << scan.corruptReason << ")";
+            if (repair) {
+                std::string error;
+                if (suite::repairJournal(path, error)) {
+                    out << "; repaired (damaged suffix dropped)";
+                } else {
+                    out << "; repair FAILED: " << error;
+                    ++bad;
+                }
+            } else {
+                ++bad;
+            }
+        }
+        out << "\n";
+    }
+    return bad > 0 ? 1 : 0;
 }
 
 int
@@ -693,6 +798,18 @@ flagTable()
          "sweep worker threads (default 1; 0=hardware concurrency); "
          "results are byte-identical at any N",
          "parallel execution (characterize)"},
+        {"shard", "K/N",
+         "run shard K of N of the sweep; journals to a per-shard "
+         "file, fuse with `spec17 merge`",
+         "sharded campaigns (characterize, merge, fsck)"},
+        {"allow-partial", "",
+         "merge: keep the contiguous record prefix when shards are "
+         "missing or partial",
+         "sharded campaigns (characterize, merge, fsck)"},
+        {"repair", "",
+         "fsck: atomically drop the damaged suffix of corrupt "
+         "journals",
+         "sharded campaigns (characterize, merge, fsck)"},
     };
     return table;
 }
@@ -718,7 +835,11 @@ usage()
         "  replay <file>                run a saved trace\n"
         "  validate [--strict]          profile targets vs measured\n"
         "  events                       list the simulated perf events\n"
-        "  config                       print machine configuration\n";
+        "  config                       print machine configuration\n"
+        "  merge --out=FILE <shards...> fuse shard journals into the "
+        "canonical journal\n"
+        "  fsck [--repair] <files...>   verify journal integrity "
+        "record by record\n";
     const char *group = "";
     for (const FlagSpec &flag : flagTable()) {
         if (std::string(group) != flag.group) {
@@ -779,6 +900,10 @@ runCommand(const CommandLine &command, std::ostream &out,
         return cmdValidate(command, out, err);
     if (command.command == "events")
         return cmdEvents(command, out);
+    if (command.command == "merge")
+        return cmdMerge(command, out, err);
+    if (command.command == "fsck")
+        return cmdFsck(command, out, err);
     err << "error: unknown command '" << command.command << "'\n\n"
         << usage();
     return 2;

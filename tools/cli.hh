@@ -11,6 +11,8 @@
  *   subset        suggest a representative subset (paper Section V)
  *   phases        phase analysis of one pair (paper future work)
  *   config        print the simulated machine configuration
+ *   merge         fuse shard journals into the canonical journal
+ *   fsck          verify (and --repair) journal integrity offline
  */
 
 #ifndef SPEC17_TOOLS_CLI_HH_
