@@ -1,0 +1,133 @@
+#include "corun/analysis.hh"
+
+#include <algorithm>
+
+namespace spec17 {
+namespace corun {
+
+std::size_t
+SlowdownMatrix::indexOf(const std::string &app) const
+{
+    const auto it = std::find(apps.begin(), apps.end(), app);
+    return static_cast<std::size_t>(it - apps.begin());
+}
+
+namespace {
+
+std::size_t
+internApp(SlowdownMatrix &matrix, const std::string &app)
+{
+    const std::size_t index = matrix.indexOf(app);
+    if (index < matrix.apps.size())
+        return index;
+    matrix.apps.push_back(app);
+    for (auto &row : matrix.slowdown)
+        row.push_back(0.0);
+    matrix.slowdown.emplace_back(matrix.apps.size(), 0.0);
+    return matrix.apps.size() - 1;
+}
+
+/** Strips the "@masks" suffix off a group name. */
+std::string
+pairBase(const std::string &group_name)
+{
+    return group_name.substr(0, group_name.find('@'));
+}
+
+} // namespace
+
+SlowdownMatrix
+buildMatrix(const std::vector<CorunResult> &results)
+{
+    SlowdownMatrix matrix;
+    for (const CorunResult &result : results) {
+        if (result.members.size() != 2 || !result.masks.empty())
+            continue;
+        const std::size_t a =
+            internApp(matrix, result.members[0].name);
+        const std::size_t b =
+            internApp(matrix, result.members[1].name);
+        // Member 0's slowdown is inflicted by member 1 and vice
+        // versa; a self-pair fills its diagonal cell (either member
+        // reads the same ratio up to their symmetric roles -- keep
+        // the worse one, the honest "two copies" cost).
+        if (a == b) {
+            matrix.slowdown[a][a] =
+                std::max(result.members[0].slowdown(),
+                         result.members[1].slowdown());
+            continue;
+        }
+        matrix.slowdown[a][b] = result.members[0].slowdown();
+        matrix.slowdown[b][a] = result.members[1].slowdown();
+    }
+    return matrix;
+}
+
+std::vector<AppScore>
+scoreApps(const SlowdownMatrix &matrix)
+{
+    std::vector<AppScore> scores;
+    const std::size_t n = matrix.apps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        AppScore score;
+        score.app = matrix.apps[i];
+        double row_sum = 0.0, col_sum = 0.0;
+        std::size_t row_n = 0, col_n = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (matrix.slowdown[i][j] > 0.0) {
+                row_sum += matrix.slowdown[i][j];
+                ++row_n;
+            }
+            if (matrix.slowdown[j][i] > 0.0) {
+                col_sum += matrix.slowdown[j][i];
+                ++col_n;
+            }
+        }
+        score.sensitivity = row_n > 0 ? row_sum / double(row_n) : 0.0;
+        score.aggressiveness =
+            col_n > 0 ? col_sum / double(col_n) : 0.0;
+        scores.push_back(std::move(score));
+    }
+    return scores;
+}
+
+std::vector<ParetoRow>
+paretoTable(const std::vector<CorunResult> &results)
+{
+    std::vector<ParetoRow> table;
+    for (const CorunResult &result : results) {
+        if (result.members.size() != 2)
+            continue;
+        ParetoRow row;
+        row.pair = pairBase(result.name);
+        row.partition = result.masks.empty()
+            ? "free-for-all"
+            : maskSetLabel(result.masks);
+        row.throughput = result.throughput();
+        row.worstSlowdown = result.worstSlowdown();
+        table.push_back(std::move(row));
+    }
+    // Dominance within one pair's rows: a row is dominated when some
+    // other row of the same pair is at least as good on both axes and
+    // strictly better on one.
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        for (std::size_t j = 0; j < table.size(); ++j) {
+            if (i == j || table[j].pair != table[i].pair)
+                continue;
+            const bool no_worse =
+                table[j].throughput >= table[i].throughput
+                && table[j].worstSlowdown <= table[i].worstSlowdown;
+            const bool better =
+                table[j].throughput > table[i].throughput
+                || table[j].worstSlowdown < table[i].worstSlowdown;
+            if (no_worse && better) {
+                table[i].dominated = true;
+                break;
+            }
+        }
+    }
+    return table;
+}
+
+} // namespace corun
+} // namespace spec17

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Co-run interference analysis: turns a campaign's CorunResults into
+ * the paper-style summary artifacts -- the pairwise slowdown matrix,
+ * per-application sensitivity (how much an app suffers) and
+ * aggressiveness (how much it makes others suffer) scores, and the
+ * CAT-partition Pareto table trading system throughput against
+ * worst-case slowdown per way split.
+ */
+
+#ifndef SPEC17_CORUN_ANALYSIS_HH_
+#define SPEC17_CORUN_ANALYSIS_HH_
+
+#include <string>
+#include <vector>
+
+#include "corun/runner.hh"
+
+namespace spec17 {
+namespace corun {
+
+/**
+ * Pairwise slowdown matrix over the distinct applications of a
+ * campaign's *unpartitioned pair* results: slowdown[v][a] is how much
+ * app v slows down when co-running with app a (co-run cycles / solo
+ * cycles), 0 where the campaign holds no such pair. Self-pairs fill
+ * the diagonal. Partitioned results and larger groups are skipped --
+ * the matrix is a pairwise, free-for-all construct.
+ */
+struct SlowdownMatrix
+{
+    /** Row/column labels, in order of first appearance. */
+    std::vector<std::string> apps;
+    /** slowdown[victim][aggressor]; 0 = pair not in the campaign. */
+    std::vector<std::vector<double>> slowdown;
+
+    /** Index of @p app in apps, or apps.size() when absent. */
+    std::size_t indexOf(const std::string &app) const;
+};
+
+/** Builds the matrix from @p results (see SlowdownMatrix). */
+SlowdownMatrix buildMatrix(const std::vector<CorunResult> &results);
+
+/**
+ * Per-application interference scores derived from the matrix:
+ * sensitivity = mean slowdown of the app across its co-runners (its
+ * row), aggressiveness = mean slowdown the app inflicts on others
+ * (its column). Means skip absent (zero) entries; an app with no
+ * filled entries scores 0.
+ */
+struct AppScore
+{
+    std::string app;
+    double sensitivity = 0.0;
+    double aggressiveness = 0.0;
+};
+
+/** Scores every app of @p matrix, in matrix row order. */
+std::vector<AppScore> scoreApps(const SlowdownMatrix &matrix);
+
+/**
+ * One row of the CAT-partition Pareto table: a pair under one way
+ * split (or free-for-all), its throughput (weighted speedup) and
+ * worst member slowdown, and whether another row of the *same pair*
+ * dominates it (>= throughput and <= worst slowdown, one strictly).
+ */
+struct ParetoRow
+{
+    /** Pair identity without the mask suffix, e.g. "a+b". */
+    std::string pair;
+    /** Mask label ("0xf+0xffff0") or "free-for-all". */
+    std::string partition;
+    double throughput = 0.0;
+    double worstSlowdown = 0.0;
+    bool dominated = false;
+};
+
+/**
+ * Builds the Pareto table from every pair result of @p results
+ * (partitioned and free-for-all), preserving result order and
+ * marking dominance within each pair's rows. Larger groups are
+ * skipped.
+ */
+std::vector<ParetoRow> paretoTable(
+    const std::vector<CorunResult> &results);
+
+} // namespace corun
+} // namespace spec17
+
+#endif // SPEC17_CORUN_ANALYSIS_HH_

@@ -41,6 +41,15 @@ CacheStats::missRate() const
                  : 0.0;
 }
 
+double
+CacheContextStats::missRate() const
+{
+    const std::uint64_t total = accesses();
+    return total ? static_cast<double>(misses)
+            / static_cast<double>(total)
+                 : 0.0;
+}
+
 SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
     : config_(std::move(config)), numSets_(config_.numSets()),
       lineShift_(static_cast<unsigned>(
@@ -57,6 +66,91 @@ SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
                       ": tree-PLRU requires power-of-two ways");
         plruBits_.assign(numSets_ * (config_.assoc - 1), 0);
     }
+}
+
+void
+SetAssocCache::enableContextTracking(unsigned num_contexts)
+{
+    SPEC17_ASSERT(!trackContexts_,
+                  config_.name, ": context tracking already enabled");
+    SPEC17_ASSERT(num_contexts >= 1 && num_contexts <= kMaxContexts,
+                  config_.name, ": context count ", num_contexts,
+                  " out of range [1, ", kMaxContexts, "]");
+    SPEC17_ASSERT(config_.assoc <= 32,
+                  config_.name,
+                  ": way masks need assoc <= 32, have ", config_.assoc);
+    SPEC17_ASSERT(stats_.accesses() == 0 && stats_.prefetchFills == 0,
+                  config_.name,
+                  ": enable context tracking before the first access");
+    trackContexts_ = true;
+    ctx_ = 0;
+    ctxStats_.assign(num_contexts, CacheContextStats());
+    ctxOccupancy_.assign(num_contexts, 0);
+    ctxMasks_.assign(num_contexts, fullWayMask());
+    owner_.assign(lines_.size(), 0);
+    maskedAlloc_ = false;
+}
+
+void
+SetAssocCache::setContext(unsigned ctx)
+{
+    if (!trackContexts_) {
+        SPEC17_ASSERT(ctx == 0, config_.name,
+                      ": context ", ctx,
+                      " selected without context tracking");
+        return;
+    }
+    SPEC17_ASSERT(ctx < ctxStats_.size(), config_.name, ": context ",
+                  ctx, " out of range (", ctxStats_.size(),
+                  " contexts)");
+    ctx_ = ctx;
+}
+
+void
+SetAssocCache::setWayMask(unsigned ctx, std::uint32_t mask)
+{
+    SPEC17_ASSERT(trackContexts_, config_.name,
+                  ": way masks need context tracking enabled");
+    SPEC17_ASSERT(ctx < ctxStats_.size(), config_.name, ": context ",
+                  ctx, " out of range (", ctxStats_.size(),
+                  " contexts)");
+    SPEC17_ASSERT(mask != 0, config_.name, ": context ", ctx,
+                  " way mask must name at least one way");
+    SPEC17_ASSERT((mask & ~fullWayMask()) == 0, config_.name,
+                  ": context ", ctx, " way mask 0x", std::hex, mask,
+                  std::dec, " names ways beyond the ", config_.assoc,
+                  "-way associativity");
+    ctxMasks_[ctx] = mask;
+    maskedAlloc_ = false;
+    for (const std::uint32_t m : ctxMasks_)
+        maskedAlloc_ |= m != fullWayMask();
+}
+
+std::uint32_t
+SetAssocCache::wayMask(unsigned ctx) const
+{
+    SPEC17_ASSERT(ctx < ctxMasks_.size(), config_.name, ": context ",
+                  ctx, " out of range (", ctxMasks_.size(),
+                  " contexts)");
+    return ctxMasks_[ctx];
+}
+
+const CacheContextStats &
+SetAssocCache::contextStats(unsigned ctx) const
+{
+    SPEC17_ASSERT(ctx < ctxStats_.size(), config_.name, ": context ",
+                  ctx, " out of range (", ctxStats_.size(),
+                  " contexts)");
+    return ctxStats_[ctx];
+}
+
+std::uint64_t
+SetAssocCache::contextOccupancy(unsigned ctx) const
+{
+    SPEC17_ASSERT(ctx < ctxOccupancy_.size(), config_.name,
+                  ": context ", ctx, " out of range (",
+                  ctxOccupancy_.size(), " contexts)");
+    return ctxOccupancy_[ctx];
 }
 
 std::uint64_t
@@ -166,6 +260,57 @@ SetAssocCache::victimWay(std::uint64_t set)
     SPEC17_PANIC("unknown ReplacementPolicy");
 }
 
+unsigned
+SetAssocCache::victimWayMasked(std::uint64_t set)
+{
+    const std::uint32_t mask = ctxMasks_[ctx_];
+    Line *base = &lines_[set * config_.assoc];
+    // Invalid allowed ways are always preferred victims, in the same
+    // way order the unmasked scan uses.
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        if ((mask >> way & 1u) && !base[way].valid)
+            return way;
+    }
+    switch (config_.policy) {
+      case ReplacementPolicy::Lru:
+      case ReplacementPolicy::TreePlru: {
+        // Tree-PLRU's victim pointer can walk outside a partial mask,
+        // so under masks both recency policies pick the oldest stamp
+        // among the allowed ways (stamps are maintained for every
+        // policy). This is the documented partial-mask deviation:
+        // with the full mask the unmasked victimWay() path runs and
+        // tree-PLRU keeps its exact pointer-chase behaviour.
+        unsigned victim = config_.assoc;
+        for (unsigned way = 0; way < config_.assoc; ++way) {
+            if (!(mask >> way & 1u))
+                continue;
+            if (victim == config_.assoc
+                || base[way].lruStamp < base[victim].lruStamp)
+                victim = way;
+        }
+        SPEC17_ASSERT(victim < config_.assoc, config_.name,
+                      ": empty way mask reached victim selection");
+        return victim;
+      }
+      case ReplacementPolicy::Random: {
+        const unsigned allowed = static_cast<unsigned>(
+            std::popcount(mask));
+        unsigned pick =
+            static_cast<unsigned>(rng_.nextBounded(allowed));
+        for (unsigned way = 0; way < config_.assoc; ++way) {
+            if (!(mask >> way & 1u))
+                continue;
+            if (pick == 0)
+                return way;
+            --pick;
+        }
+        SPEC17_PANIC(config_.name,
+                     ": masked random victim ran past the mask");
+      }
+    }
+    SPEC17_PANIC("unknown ReplacementPolicy");
+}
+
 void
 SetAssocCache::allocate(std::uint64_t addr)
 {
@@ -176,12 +321,30 @@ SetAssocCache::allocate(std::uint64_t addr)
 SetAssocCache::Line &
 SetAssocCache::allocateInto(std::uint64_t set, std::uint64_t tag)
 {
-    const unsigned way = victimWay(set);
-    Line &line = lines_[set * config_.assoc + way];
+    const unsigned way =
+        maskedAlloc_ ? victimWayMasked(set) : victimWay(set);
+    const std::size_t index = set * config_.assoc + way;
+    Line &line = lines_[index];
     if (line.valid) {
         ++stats_.evictions;
         if (line.dirty)
             ++stats_.writebacks;
+        if (trackContexts_) {
+            CacheContextStats &mine = ctxStats_[ctx_];
+            ++mine.evictions;
+            if (line.dirty)
+                ++mine.writebacks;
+            const unsigned prev = owner_[index];
+            --ctxOccupancy_[prev];
+            if (prev != ctx_) {
+                ++mine.evictionsInflicted;
+                ++ctxStats_[prev].evictionsSuffered;
+            }
+        }
+    }
+    if (trackContexts_) {
+        owner_[index] = static_cast<std::uint8_t>(ctx_);
+        ++ctxOccupancy_[ctx_];
     }
     line.valid = true;
     line.dirty = false;
@@ -201,12 +364,16 @@ SetAssocCache::access(std::uint64_t addr, bool is_write)
         Line &line = base[way];
         if (line.valid && line.tag == tag) {
             ++stats_.hits;
+            if (trackContexts_)
+                ++ctxStats_[ctx_].hits;
             line.dirty |= is_write;
             touch(set, way);
             return true;
         }
     }
     ++stats_.misses;
+    if (trackContexts_)
+        ++ctxStats_[ctx_].misses;
     allocate(addr);
     if (is_write)
         findLine(addr)->dirty = true;
@@ -243,6 +410,10 @@ SetAssocCache::flushAll()
         line = Line();
     if (!plruBits_.empty())
         plruBits_.assign(plruBits_.size(), 0);
+    if (trackContexts_) {
+        ctxOccupancy_.assign(ctxOccupancy_.size(), 0);
+        owner_.assign(owner_.size(), 0);
+    }
 }
 
 } // namespace sim

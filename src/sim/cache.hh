@@ -60,6 +60,32 @@ struct CacheStats
 };
 
 /**
+ * Per-context accounting of a shared cache (the multicore L3): which
+ * context hit/missed, which context's allocation replaced whose line.
+ * Attribution follows the *allocating* context -- an eviction is
+ * charged to the context that needed the way, and additionally
+ * recorded as inflicted/suffered when victim and allocator belong to
+ * different contexts. That split is what makes contention visible:
+ * `evictionsSuffered` counts lines a context lost to its co-runners.
+ */
+struct CacheContextStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Valid lines this context's allocations replaced (any owner). */
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    /** Evictions whose victim line belonged to another context. */
+    std::uint64_t evictionsInflicted = 0;
+    /** This context's resident lines evicted by other contexts. */
+    std::uint64_t evictionsSuffered = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+    /** misses / accesses, or 0 when never accessed. */
+    double missRate() const;
+};
+
+/**
  * A single set-associative, write-back, write-allocate cache.
  * Thread-unsafe by design (the simulator is single-threaded).
  */
@@ -99,12 +125,16 @@ class SetAssocCache
             Line &line = base[way];
             if (line.valid && line.tag == st.tag) {
                 ++stats_.hits;
+                if (trackContexts_)
+                    ++ctxStats_[ctx_].hits;
                 line.dirty |= is_write;
                 touchImpl(st.set, way);
                 return true;
             }
         }
         ++stats_.misses;
+        if (trackContexts_)
+            ++ctxStats_[ctx_].misses;
         Line &line = allocateInto(st.set, st.tag);
         // access() reaches the same state via findLine(addr)->dirty:
         // the freshly allocated line IS the line findLine returns.
@@ -156,6 +186,68 @@ class SetAssocCache
     const CacheStats &stats() const { return stats_; }
     void clearStats() { stats_ = CacheStats(); }
 
+    /** @name Shared-cache contexts (multicore L3 attribution)
+     *
+     * A shared cache can attribute its traffic to the context (core)
+     * performing each access: per-context hit/miss/eviction stats,
+     * per-line ownership and occupancy, and a CAT-style way-partition
+     * mask per context modeled on Intel RDT `schemata` bitmasks. A
+     * context's mask restricts which ways its *allocations* may claim
+     * (victim selection); hits are unrestricted, exactly like
+     * hardware CAT. With tracking off (the default, and every private
+     * cache) none of this state exists and the access paths are
+     * unchanged -- the golden byte-identity tests pin that. */
+    /// @{
+
+    /** Owner bytes are uint8; contexts beyond this would alias. */
+    static constexpr unsigned kMaxContexts = 255;
+
+    /**
+     * Enables per-context attribution for @p num_contexts contexts
+     * (1 <= n <= kMaxContexts, assoc <= 32 for the mask word). Must
+     * be called before the first access; every context starts with
+     * the full way mask (no partition) and context 0 active.
+     */
+    void enableContextTracking(unsigned num_contexts);
+
+    /** Contexts registered; 0 when tracking is disabled. */
+    unsigned numContexts() const
+    {
+        return static_cast<unsigned>(ctxStats_.size());
+    }
+
+    /** Selects the context subsequent accesses are attributed to.
+     *  With tracking disabled only context 0 is legal (no-op). */
+    void setContext(unsigned ctx);
+
+    unsigned context() const { return ctx_; }
+
+    /**
+     * Sets context @p ctx's allocation way mask (bit w = way w may be
+     * claimed). Panics on an empty mask or one naming ways beyond the
+     * associativity -- the two illegal schemata shapes. The mask set
+     * {context -> mask} is semantics (it changes victim choices), so
+     * runners must fold it into their config keys.
+     */
+    void setWayMask(unsigned ctx, std::uint32_t mask);
+
+    std::uint32_t wayMask(unsigned ctx) const;
+
+    /** Mask naming every way ((1 << assoc) - 1). */
+    std::uint32_t fullWayMask() const
+    {
+        return config_.assoc >= 32
+            ? ~std::uint32_t{0}
+            : (std::uint32_t{1} << config_.assoc) - 1;
+    }
+
+    const CacheContextStats &contextStats(unsigned ctx) const;
+
+    /** Valid lines currently owned by @p ctx (allocation owner). */
+    std::uint64_t contextOccupancy(unsigned ctx) const;
+
+    /// @}
+
   private:
     struct Line
     {
@@ -172,6 +264,9 @@ class SetAssocCache
     const Line *findLine(std::uint64_t addr) const;
     /** Chooses a victim way in @p set according to the policy. */
     unsigned victimWay(std::uint64_t set);
+    /** victimWay() restricted to the active context's way mask; only
+     *  reached when some context runs under a partial mask. */
+    unsigned victimWayMasked(std::uint64_t set);
     void touch(std::uint64_t set, unsigned way);
     /** TreePlru part of touch(); out of line, it is off the common
      *  LRU path. */
@@ -238,6 +333,20 @@ class SetAssocCache
     std::uint64_t stampCounter_ = 0;
     Rng rng_;
     CacheStats stats_;
+
+    /** @name Shared-cache context state (empty unless enabled) */
+    /// @{
+    bool trackContexts_ = false;
+    /** True when any context's mask is partial: allocations must take
+     *  the masked victim path. Recomputed by setWayMask(). */
+    bool maskedAlloc_ = false;
+    unsigned ctx_ = 0;
+    std::vector<CacheContextStats> ctxStats_;
+    std::vector<std::uint64_t> ctxOccupancy_;
+    std::vector<std::uint32_t> ctxMasks_;
+    /** Allocation owner of each line (parallel to lines_). */
+    std::vector<std::uint8_t> owner_;
+    /// @}
 };
 
 } // namespace sim

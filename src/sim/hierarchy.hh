@@ -129,6 +129,13 @@ class CacheHierarchy
     void creditDataHits(std::uint64_t n) { l1d_->creditHits(n); }
     /// @}
 
+    /** Selects the shared-L3 context this hierarchy's accesses are
+     *  attributed to (no-op for a private, untracked L3). Called by
+     *  the simulator before every stepped chunk, because siblings
+     *  sharing the L3 move the cache's active context between
+     *  interleaved chunks. */
+    void setL3Context(unsigned ctx) { l3_->setContext(ctx); }
+
     const SetAssocCache &l1i() const { return *l1i_; }
     const SetAssocCache &l1d() const { return *l1d_; }
     const SetAssocCache &l2() const { return *l2_; }

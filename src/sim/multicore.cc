@@ -17,31 +17,49 @@ MulticoreSimulator::MulticoreSimulator(const SystemConfig &config,
       sharedBus_(std::make_shared<MemoryBus>())
 {
     SPEC17_ASSERT(num_cores >= 1, "need at least one core");
+    sharedL3_->enableContextTracking(num_cores);
     for (unsigned c = 0; c < num_cores; ++c) {
         cores_.push_back(std::make_unique<CpuSimulator>(
             config, deriveSeed(deriveSeed(seed, "core"), c), sharedL3_,
             sharedBus_));
+        cores_.back()->setL3Context(c);
     }
 }
 
 const CpuSimulator &
 MulticoreSimulator::core(unsigned index) const
 {
-    SPEC17_ASSERT(index < cores_.size(), "core index out of range");
+    SPEC17_ASSERT(index < cores_.size(), "core index ", index,
+                  " out of range: this simulator has ", cores_.size(),
+                  " cores (valid indices 0..", cores_.size() - 1, ")");
     return *cores_[index];
 }
 
 CpuSimulator &
 MulticoreSimulator::mutableCore(unsigned index)
 {
-    SPEC17_ASSERT(index < cores_.size(), "core index out of range");
+    SPEC17_ASSERT(index < cores_.size(), "core index ", index,
+                  " out of range: this simulator has ", cores_.size(),
+                  " cores (valid indices 0..", cores_.size() - 1, ")");
     return *cores_[index];
 }
 
-SimResult
-MulticoreSimulator::run(
+void
+MulticoreSimulator::setWayPartition(
+    const std::vector<std::uint32_t> &masks)
+{
+    SPEC17_ASSERT(masks.size() == cores_.size(),
+                  "way partition needs one mask per core, got ",
+                  masks.size(), " for ", cores_.size(), " cores");
+    for (std::size_t c = 0; c < masks.size(); ++c)
+        sharedL3_->setWayMask(static_cast<unsigned>(c), masks[c]);
+}
+
+std::vector<SimResult>
+MulticoreSimulator::runEach(
     const std::vector<std::shared_ptr<trace::TraceSource>> &sources,
-    std::uint64_t chunk_ops, std::uint64_t warmup_ops_per_core)
+    std::uint64_t chunk_ops, std::uint64_t warmup_ops_per_core,
+    const ChunkObserver &on_chunk)
 {
     SPEC17_ASSERT(sources.size() == cores_.size(),
                   "need exactly one trace per core, got ",
@@ -55,6 +73,7 @@ MulticoreSimulator::run(
     std::vector<std::uint64_t> executed(cores_.size(), 0);
     std::vector<counters::CounterSet> warm_snapshot(cores_.size());
     std::vector<double> warm_cycles(cores_.size(), 0.0);
+    std::uint64_t measured = 0;
 
     bool any_left = true;
     while (any_left) {
@@ -65,7 +84,8 @@ MulticoreSimulator::run(
             // Stop exactly at the warmup boundary so the measured
             // interval matches the requested sample size.
             std::uint64_t want = chunk_ops;
-            if (!warm[c]) {
+            const bool was_warm = warm[c];
+            if (!was_warm) {
                 want = std::min<std::uint64_t>(
                     want, warmup_ops_per_core - executed[c]);
             }
@@ -81,12 +101,18 @@ MulticoreSimulator::run(
                 done[c] = true;
             else
                 any_left = true;
+            // Chunks are capped at the warmup boundary, so a chunk's
+            // ops are measured iff the core entered it already warm.
+            if (was_warm && consumed > 0) {
+                measured += consumed;
+                if (on_chunk)
+                    on_chunk(measured);
+            }
         }
     }
 
-    SimResult merged;
-    double max_cycles = 0.0;
-    std::uint64_t vsz = 0;
+    std::vector<SimResult> parts;
+    parts.reserve(cores_.size());
     for (std::size_t c = 0; c < cores_.size(); ++c) {
         SimResult part = cores_[c]->finish(*sources[c]);
         if (warmup_ops_per_core > 0) {
@@ -104,6 +130,25 @@ MulticoreSimulator::run(
                               cores_[c]->footprint().rssBytes());
             part.cycles -= warm_cycles[c];
         }
+        part.seconds = cores_[c]->core().secondsFor(part.cycles);
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+SimResult
+MulticoreSimulator::run(
+    const std::vector<std::shared_ptr<trace::TraceSource>> &sources,
+    std::uint64_t chunk_ops, std::uint64_t warmup_ops_per_core,
+    const ChunkObserver &on_chunk)
+{
+    const std::vector<SimResult> parts =
+        runEach(sources, chunk_ops, warmup_ops_per_core, on_chunk);
+
+    SimResult merged;
+    double max_cycles = 0.0;
+    std::uint64_t vsz = 0;
+    for (const SimResult &part : parts) {
         merged.counters.accumulate(part.counters);
         max_cycles = std::max(max_cycles, part.cycles);
         // Threads share one address space: reservations overlap, so

@@ -15,6 +15,7 @@
 #ifndef SPEC17_SIM_MULTICORE_HH_
 #define SPEC17_SIM_MULTICORE_HH_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -37,8 +38,21 @@ class MulticoreSimulator
                        std::uint64_t seed = 0);
 
     /**
+     * Progress hook of run()/runEach(): called after every simulated
+     * chunk that advanced a warmed-up core, with the cumulative
+     * measured (post-warmup) micro-ops across all cores. Observation
+     * only -- results do not depend on whether one is installed.
+     */
+    using ChunkObserver = std::function<void(std::uint64_t measured_ops)>;
+
+    /**
      * Runs one trace per context to exhaustion, interleaving in
      * chunks of @p chunk_ops, and returns merged counters.
+     *
+     * Merged counter semantics follow `perf stat` on a multi-threaded
+     * process: events sum across contexts, cycles are the maximum
+     * (wall time of the slowest context), RSS/VSZ are maxima (one
+     * shared address space).
      *
      * @param sources exactly one trace per core.
      * @param chunk_ops interleaving granularity.
@@ -46,16 +60,44 @@ class MulticoreSimulator
      *        measurement begins; counters and cycles accumulated
      *        during warmup are excluded from the result (footprint
      *        gauges still span the whole run).
+     * @param on_chunk optional per-chunk progress hook (telemetry).
      */
     SimResult run(
         const std::vector<std::shared_ptr<trace::TraceSource>> &sources,
         std::uint64_t chunk_ops = 10'000,
-        std::uint64_t warmup_ops_per_core = 0);
+        std::uint64_t warmup_ops_per_core = 0,
+        const ChunkObserver &on_chunk = {});
+
+    /**
+     * run() without the merge: one SimResult per context, in context
+     * order, each over that context's measured window. This is the
+     * co-run engine's seam -- per-app slowdowns need per-context
+     * cycles, which the merged view folds into a single maximum.
+     * Like run(), consumes the simulator (state is not reusable).
+     */
+    std::vector<SimResult> runEach(
+        const std::vector<std::shared_ptr<trace::TraceSource>> &sources,
+        std::uint64_t chunk_ops = 10'000,
+        std::uint64_t warmup_ops_per_core = 0,
+        const ChunkObserver &on_chunk = {});
+
+    /**
+     * Applies a CAT-style L3 way partition: @p masks holds one
+     * allocation bitmask per core (Intel `schemata` shape, bit w =
+     * way w). Masks are validated by the shared cache -- empty masks
+     * and ways beyond the associativity panic. Partition masks change
+     * victim selection, i.e. results: runners must fold them into
+     * their config keys.
+     */
+    void setWayPartition(const std::vector<std::uint32_t> &masks);
 
     unsigned numCores() const { return cores_.size(); }
     const CpuSimulator &core(unsigned index) const;
     /** Mutable access, e.g. for pre-run cache prefill. */
     CpuSimulator &mutableCore(unsigned index);
+
+    /** The shared L3 with its per-context stats (context c = core c). */
+    const SetAssocCache &sharedL3() const { return *sharedL3_; }
 
   private:
     SystemConfig config_;

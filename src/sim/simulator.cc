@@ -362,6 +362,7 @@ CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
 {
     SPEC17_ASSERT(level != HitLevel::Memory,
                   "prefill to memory is a no-op");
+    hierarchy_.setL3Context(l3Context_);
     const unsigned line = config_.hierarchy.l1d.lineBytes;
     const std::uint64_t first = base / line * line;
     for (std::uint64_t addr = first; addr < base + bytes; addr += line)
@@ -375,6 +376,10 @@ CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
 {
     if (unbatched_)
         return stepUnbatched(source, max_ops);
+    // Re-assert this core's shared-L3 context: a sibling core's chunk
+    // may have moved the shared cache's active context since our last
+    // chunk. No-op for a private L3.
+    hierarchy_.setL3Context(l3Context_);
     if (batchBuf_.size() < batchOps_)
         batchBuf_.resize(batchOps_);
     std::uint64_t consumed = 0;
@@ -402,6 +407,7 @@ CpuSimulator::stepUnbatched(trace::TraceSource &source,
     // The per-op lane bypasses the memos' bookkeeping, so they must
     // not survive into a later batched step.
     invalidateLineMemos();
+    hierarchy_.setL3Context(l3Context_);
     isa::MicroOp op;
     std::uint64_t consumed = 0;
     while (consumed < max_ops && source.next(op)) {

@@ -104,6 +104,17 @@ class CpuSimulator
     /** Routes step() through the per-op reference lane when true. */
     void setUnbatchedStepping(bool unbatched) { unbatched_ = unbatched; }
 
+    /**
+     * Binds this core to shared-L3 context @p ctx: every stepped
+     * chunk and prefill re-selects it on the (context-tracked) shared
+     * cache before touching it, so interleaved cores attribute their
+     * L3 traffic correctly. The multicore simulator assigns core c
+     * context c; single-core runs keep the default context 0, where
+     * the re-selection is a no-op on the untracked private L3.
+     */
+    void setL3Context(unsigned ctx) { l3Context_ = ctx; }
+    unsigned l3Context() const { return l3Context_; }
+
     /** Snapshot of counters accumulated so far (gauges refreshed). */
     counters::CounterSet snapshot() const;
 
@@ -142,6 +153,9 @@ class CpuSimulator
     Tlb dtlb_;
     Tlb itlb_;
     counters::CounterSet counters_;
+
+    /** Shared-L3 context this core's accesses belong to. */
+    unsigned l3Context_ = 0;
 
     /** @name Batched fast lane state */
     /// @{

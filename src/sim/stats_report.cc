@@ -138,6 +138,32 @@ dumpStats(const MulticoreSimulator &simulator, std::ostream &os)
         dumpStats(simulator.core(c), os,
                   "core" + std::to_string(c) + ".");
     }
+
+    // Shared-L3 attribution: who hit, who missed, who evicted whom,
+    // and how many ways/lines each context holds right now.
+    const SetAssocCache &l3 = simulator.sharedL3();
+    for (unsigned ctx = 0; ctx < l3.numContexts(); ++ctx) {
+        const CacheContextStats &stats = l3.contextStats(ctx);
+        const std::string base =
+            "l3.shared.ctx" + std::to_string(ctx) + ".";
+        line(os, base + "hits", double(stats.hits),
+             "shared-L3 demand hits by this context");
+        line(os, base + "misses", double(stats.misses),
+             "shared-L3 demand misses by this context");
+        line(os, base + "miss_rate", stats.missRate(),
+             "misses / accesses");
+        line(os, base + "evictions_inflicted",
+             double(stats.evictionsInflicted),
+             "other contexts' lines this context evicted");
+        line(os, base + "evictions_suffered",
+             double(stats.evictionsSuffered),
+             "this context's lines evicted by others");
+        line(os, base + "occupancy_lines",
+             double(l3.contextOccupancy(ctx)),
+             "resident lines owned by this context");
+        line(os, base + "way_mask", double(l3.wayMask(ctx)),
+             "CAT allocation way mask (bitmask value)");
+    }
 }
 
 } // namespace sim

@@ -90,17 +90,17 @@ std::vector<AppInputPair>
 shardPairs(const std::vector<AppInputPair> &pairs,
            const ShardSpec &shard)
 {
-    SPEC17_ASSERT(shard.count >= 1 && shard.index >= 1
-                      && shard.index <= shard.count,
-                  "invalid shard ", shard.index, "/", shard.count);
-    if (!shard.active())
-        return pairs;
-    std::vector<AppInputPair> slice;
-    slice.reserve(pairs.size() / shard.count + 1);
-    for (std::size_t i = shard.index - 1; i < pairs.size();
-         i += shard.count)
-        slice.push_back(pairs[i]);
-    return slice;
+    return shardSlice(pairs, shard);
+}
+
+unsigned
+resolveWorkerCount(unsigned jobs, std::size_t count)
+{
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (count < jobs)
+        jobs = static_cast<unsigned>(std::max<std::size_t>(count, 1));
+    return jobs;
 }
 
 std::uint64_t
@@ -273,6 +273,8 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         // generators if the budget trips after the fact.
         watchdog.check(build.sampleOps, cancelled);
         std::vector<std::shared_ptr<trace::TraceSource>> sources;
+        std::vector<std::shared_ptr<trace::SyntheticTraceGenerator>>
+            generators;
         sim::MulticoreSimulator multicore(options_.system,
                                           profile.numThreads, pair_seed);
         for (unsigned t = 0; t < profile.numThreads; ++t) {
@@ -284,10 +286,52 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
                 workloads::buildTraceParams(pair, build, t));
             gen->setCancelFlag(&cancelled);
             prefillSteadyState(multicore.mutableCore(t), *gen);
+            generators.push_back(gen);
             sources.push_back(std::move(gen));
         }
-        sim_result = multicore.run(
-            sources, 10'000, options_.warmupOps / profile.numThreads);
+
+        // Interval telemetry, coarse mode: the interleaver's chunk
+        // size shapes shared-L3 contention, so chunks cannot be
+        // capped at sampling boundaries without changing results;
+        // rows land at the first chunk end past each boundary. The
+        // baseline is taken before the run, so intervals spanning
+        // another context's warmup include that warmup traffic (the
+        // contexts genuinely share the L3 during it).
+        std::unique_ptr<telemetry::MetricsRegistry> registry;
+        std::unique_ptr<telemetry::IntervalSampler> sampler;
+        if (options_.sampleIntervalOps > 0) {
+            registry = std::make_unique<telemetry::MetricsRegistry>();
+            telemetry::registerMulticoreMetrics(*registry, multicore);
+            for (unsigned t = 0; t < profile.numThreads; ++t) {
+                telemetry::registerTraceMetrics(
+                    *registry, *generators[t],
+                    "core" + std::to_string(t) + ".");
+            }
+            sampler = std::make_unique<telemetry::IntervalSampler>(
+                *registry, options_.sampleIntervalOps,
+                telemetry::defaultDerivedSpecs());
+            sampler->setCoarseBoundaries(true);
+            sampler->begin();
+        }
+
+        std::uint64_t measured_total = 0;
+        const sim::MulticoreSimulator::ChunkObserver on_chunk =
+            sampler ? sim::MulticoreSimulator::ChunkObserver(
+                          [&](std::uint64_t measured_ops) {
+                              measured_total = measured_ops;
+                              sampler->onProgress(measured_ops);
+                          })
+                    : sim::MulticoreSimulator::ChunkObserver();
+        sim_result = multicore.run(sources, 10'000,
+                                   options_.warmupOps
+                                       / profile.numThreads,
+                                   on_chunk);
+        if (sampler) {
+            sampler->finish(measured_total);
+            result.series =
+                std::make_shared<const telemetry::TimeSeries>(
+                    sampler->series());
+        }
         watchdog.check(
             sim_result.counters.get(PerfEvent::InstRetiredAny),
             cancelled);
@@ -489,18 +533,6 @@ SuiteRunner::runAll(const std::vector<WorkloadProfile> &suite,
     return runPairs(enumeratePairs(suite, size), observer);
 }
 
-unsigned
-SuiteRunner::effectiveJobs(std::size_t num_pairs) const
-{
-    unsigned jobs = options_.jobs;
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    if (num_pairs < jobs)
-        jobs = static_cast<unsigned>(std::max<std::size_t>(num_pairs,
-                                                           1));
-    return jobs;
-}
-
 std::vector<PairResult>
 SuiteRunner::runPairs(const std::vector<AppInputPair> &pairs,
                       const PairObserver &observer,
@@ -508,57 +540,17 @@ SuiteRunner::runPairs(const std::vector<AppInputPair> &pairs,
 {
     if (total == 0)
         total = index_offset + pairs.size();
-    std::vector<PairResult> results(pairs.size());
-    const unsigned jobs = effectiveJobs(pairs.size());
-
-    if (jobs <= 1) {
-        for (std::size_t i = 0; i < pairs.size(); ++i) {
-            results[i] = runPair(pairs[i]);
-            if (observer)
-                observer(results[i], index_offset + i, total);
-        }
-        return results;
-    }
-
-    // Worker pool: each worker pulls the next pair index from the
-    // shared counter and stores the result into that pair's slot, so
-    // the result vector is in canonical order no matter which worker
-    // finished first. The commit drain below then delivers completed
-    // pairs to the observer strictly in index order: pair i is held
-    // back until pairs [0, i) have been delivered, which is what lets
-    // the result cache journal a valid prefix mid-sweep and keeps
+    // The ordered pool commits completed pairs to the observer
+    // strictly in canonical index order, which is what lets the
+    // result cache journal a valid prefix mid-sweep and keeps
     // progress/journal output byte-compatible with a sequential run.
-    std::atomic<std::size_t> next{0};
-    std::mutex commit_mutex;
-    std::vector<char> done(pairs.size(), 0);
-    std::size_t committed = 0;
-
-    const auto worker = [&] {
-        while (true) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= pairs.size())
-                return;
-            PairResult result = runPair(pairs[i]);
-            std::lock_guard<std::mutex> lock(commit_mutex);
-            results[i] = std::move(result);
-            done[i] = 1;
-            while (committed < pairs.size() && done[committed]) {
-                if (observer)
-                    observer(results[committed],
-                             index_offset + committed, total);
-                ++committed;
-            }
-        }
-    };
-
-    std::vector<std::thread> workers;
-    workers.reserve(jobs);
-    for (unsigned t = 0; t < jobs; ++t)
-        workers.emplace_back(worker);
-    for (std::thread &thread : workers)
-        thread.join();
-    return results;
+    return runOrderedPool<PairResult>(
+        pairs.size(), options_.jobs,
+        [&](std::size_t i) { return runPair(pairs[i]); },
+        [&](const PairResult &result, std::size_t i) {
+            if (observer)
+                observer(result, index_offset + i, total);
+        });
 }
 
 } // namespace suite

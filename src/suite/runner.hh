@@ -13,10 +13,13 @@
 #ifndef SPEC17_SUITE_RUNNER_HH_
 #define SPEC17_SUITE_RUNNER_HH_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "counters/perf_event.hh"
@@ -25,6 +28,7 @@
 #include "suite/failure.hh"
 #include "suite/fault_injection.hh"
 #include "telemetry/sampler.hh"
+#include "util/logging.hh"
 #include "telemetry/sink.hh"
 #include "workloads/builder.hh"
 #include "workloads/profile.hh"
@@ -70,10 +74,101 @@ struct ShardSpec
     static std::optional<ShardSpec> parse(const std::string &text);
 };
 
+/**
+ * The slice of @p items belonging to @p shard, in canonical order
+ * (round-robin: item i belongs to shard (i % count) + 1). Generic so
+ * every campaign type -- suite pairs, co-run groups -- shards with
+ * the same deterministic partition the merge toolchain understands.
+ */
+template <typename T>
+std::vector<T>
+shardSlice(const std::vector<T> &items, const ShardSpec &shard)
+{
+    SPEC17_ASSERT(shard.count >= 1 && shard.index >= 1
+                      && shard.index <= shard.count,
+                  "invalid shard ", shard.index, "/", shard.count);
+    if (!shard.active())
+        return items;
+    std::vector<T> slice;
+    slice.reserve(items.size() / shard.count + 1);
+    for (std::size_t i = shard.index - 1; i < items.size();
+         i += shard.count)
+        slice.push_back(items[i]);
+    return slice;
+}
+
 /** The slice of @p pairs belonging to @p shard, in canonical order. */
 std::vector<workloads::AppInputPair> shardPairs(
     const std::vector<workloads::AppInputPair> &pairs,
     const ShardSpec &shard);
+
+/** Worker threads a pool of @p count items actually uses: resolves
+ *  jobs == 0 to the hardware concurrency and never exceeds the item
+ *  count (minimum 1). */
+unsigned resolveWorkerCount(unsigned jobs, std::size_t count);
+
+/**
+ * The ordered worker pool every sweep runs on: executes
+ * `work(0..count-1)` on @p jobs threads (1 = sequential on the
+ * calling thread) and returns results in item order regardless of
+ * completion order. @p commit is invoked as `commit(result, index)`
+ * strictly in index order and never concurrently -- a completed item
+ * is held back until every earlier item has been delivered (lowest-
+ * uncommitted-index drain) -- which is what lets journals written
+ * from the commit hook always extend a valid prefix, byte-identical
+ * to a sequential run at any job count. @p work must be safe to call
+ * concurrently from multiple threads for distinct indices.
+ */
+template <typename Result, typename Work, typename Commit>
+std::vector<Result>
+runOrderedPool(std::size_t count, unsigned jobs, Work &&work,
+               Commit &&commit)
+{
+    std::vector<Result> results(count);
+    jobs = resolveWorkerCount(jobs, count);
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            results[i] = work(i);
+            commit(results[i], i);
+        }
+        return results;
+    }
+
+    // Each worker pulls the next item index from the shared counter
+    // and stores the result into that item's slot, so the result
+    // vector is in canonical order no matter which worker finished
+    // first; the drain below delivers commits in index order.
+    std::atomic<std::size_t> next{0};
+    std::mutex commit_mutex;
+    std::vector<char> done(count, 0);
+    std::size_t committed = 0;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            Result result = work(i);
+            std::lock_guard<std::mutex> lock(commit_mutex);
+            results[i] = std::move(result);
+            done[i] = 1;
+            while (committed < count && done[committed]) {
+                commit(results[committed], committed);
+                ++committed;
+            }
+        }
+    };
+
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned t = 0; t < jobs; ++t)
+        workers.emplace_back(worker);
+    for (std::thread &thread : workers)
+        thread.join();
+    return results;
+}
 
 /** Runner configuration. */
 struct RunnerOptions
@@ -117,8 +212,10 @@ struct RunnerOptions
      * simulated `perf stat -I`); 0 (default) disables sampling.
      * Sampling is observation-only: aggregate results are
      * byte-identical with it on or off, so it is deliberately NOT
-     * part of the config key. Multi-threaded pairs run through the
-     * one-shot multicore interleaver and are not sampled.
+     * part of the config key. Multi-threaded pairs sample in coarse
+     * mode: the interleaver's chunks cannot be capped at boundaries
+     * (chunk size shapes L3 contention), so rows land at the first
+     * chunk end past each boundary instead of exactly on it.
      */
     std::uint64_t sampleIntervalOps = 0;
     /** Where completed series go; borrowed pointer, may stay null to
@@ -219,7 +316,8 @@ struct PairResult
 
     /**
      * Per-interval time series of the measured window when interval
-     * sampling was enabled (single-threaded pairs only), else null.
+     * sampling was enabled, else null. Multi-threaded pairs carry a
+     * coarse-boundary series (see RunnerOptions::sampleIntervalOps).
      * Only the successful attempt's series survives: retried
      * attempts discard their partial series. Not persisted by the
      * result cache -- cache replays carry no series.
@@ -304,10 +402,6 @@ class SuiteRunner
     /** One uncontained attempt; throws PairExecutionError on faults. */
     PairResult runPairAttempt(const workloads::AppInputPair &pair,
                               unsigned attempt) const;
-
-    /** Worker threads a sweep of @p num_pairs pairs actually uses
-     *  (resolves jobs == 0, never exceeds the pair count). */
-    unsigned effectiveJobs(std::size_t num_pairs) const;
 
     RunnerOptions options_;
 };

@@ -1,6 +1,9 @@
 #include "telemetry/registry.hh"
 
+#include <algorithm>
+
 #include "counters/perf_event.hh"
+#include "sim/multicore.hh"
 #include "sim/simulator.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
@@ -183,6 +186,93 @@ registerSimulatorMetrics(MetricsRegistry &registry,
                                return double(
                                    simulator.footprint().pagesTouched());
                            });
+}
+
+void
+registerMulticoreMetrics(MetricsRegistry &registry,
+                         const sim::MulticoreSimulator &multicore)
+{
+    using counters::PerfEvent;
+
+    // Aggregate perf columns first, mirroring the merged CounterSet a
+    // multicore run reports: events sum across contexts; ref_tsc
+    // accumulates every thread's cycles (the perf-stat convention the
+    // merge also follows); rss is the largest single-context
+    // footprint (one shared address space); vsz is only known at
+    // finish() and is skipped, as in the single-core registration.
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<PerfEvent>(e);
+        const std::string name =
+            "perf." + std::string(counters::perfEventName(event));
+        if (event == PerfEvent::VszBytes)
+            continue;
+        if (event == PerfEvent::CpuClkUnhaltedRefTsc) {
+            registry.registerCounter(
+                name, "cycles summed across contexts", [&multicore] {
+                    double sum = 0.0;
+                    for (unsigned c = 0; c < multicore.numCores(); ++c)
+                        sum += multicore.core(c).core().cycles();
+                    return sum;
+                });
+        } else if (event == PerfEvent::RssBytes) {
+            registry.registerGauge(
+                name, "largest single-context touched-page bytes",
+                [&multicore] {
+                    double max_rss = 0.0;
+                    for (unsigned c = 0; c < multicore.numCores(); ++c)
+                        max_rss = std::max(
+                            max_rss, double(multicore.core(c)
+                                                .footprint()
+                                                .rssBytes()));
+                    return max_rss;
+                });
+        } else {
+            registry.registerCounter(
+                name, "simulated perf event summed across contexts",
+                [&multicore, event] {
+                    double sum = 0.0;
+                    for (unsigned c = 0; c < multicore.numCores(); ++c)
+                        sum += double(multicore.core(c)
+                                          .rawCounters()
+                                          .get(event));
+                    return sum;
+                });
+        }
+    }
+
+    for (unsigned c = 0; c < multicore.numCores(); ++c) {
+        registerSimulatorMetrics(registry, multicore.core(c),
+                                 "core" + std::to_string(c) + ".");
+    }
+
+    // Shared-L3 attribution: per-context demand traffic and current
+    // occupancy, the contention signals the co-run engine reports.
+    const sim::SetAssocCache &l3 = multicore.sharedL3();
+    for (unsigned ctx = 0; ctx < l3.numContexts(); ++ctx) {
+        const std::string base =
+            "l3.shared.ctx" + std::to_string(ctx) + ".";
+        registry.registerCounter(
+            base + "hits", "shared-L3 demand hits by this context",
+            [&l3, ctx] { return double(l3.contextStats(ctx).hits); });
+        registry.registerCounter(
+            base + "misses", "shared-L3 demand misses by this context",
+            [&l3, ctx] { return double(l3.contextStats(ctx).misses); });
+        registry.registerCounter(
+            base + "evictions_suffered",
+            "this context's lines evicted by others", [&l3, ctx] {
+                return double(l3.contextStats(ctx).evictionsSuffered);
+            });
+        registry.registerCounter(
+            base + "evictions_inflicted",
+            "other contexts' lines this context evicted", [&l3, ctx] {
+                return double(l3.contextStats(ctx).evictionsInflicted);
+            });
+        registry.registerGauge(
+            base + "occupancy_lines",
+            "resident lines owned by this context", [&l3, ctx] {
+                return double(l3.contextOccupancy(ctx));
+            });
+    }
 }
 
 void

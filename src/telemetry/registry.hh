@@ -19,6 +19,7 @@
 namespace spec17 {
 namespace sim {
 class CpuSimulator;
+class MulticoreSimulator;
 }
 namespace trace {
 class SyntheticTraceGenerator;
@@ -91,6 +92,21 @@ class MetricsRegistry
 void registerSimulatorMetrics(MetricsRegistry &registry,
                               const sim::CpuSimulator &simulator,
                               const std::string &prefix = "");
+
+/**
+ * Registers a multicore simulator: aggregate perf columns with the
+ * multicore counter semantics (events sum across contexts, ref_tsc
+ * accumulates every thread's cycles, rss is the largest single-
+ * context footprint -- matching MulticoreSimulator::run()'s merge),
+ * the full per-core metric set under "coreN." prefixes, and the
+ * shared L3's per-context attribution: "l3.shared.ctxN." hit/miss/
+ * eviction counters plus an occupancy-lines gauge. The aggregate
+ * columns satisfy defaultDerivedSpecs(""), so multicore runs sample
+ * with the same derived rate set as single-core runs. The registry
+ * borrows @p multicore.
+ */
+void registerMulticoreMetrics(MetricsRegistry &registry,
+                              const sim::MulticoreSimulator &multicore);
 
 /** Registers a trace generator's emission counter under @p prefix. */
 void registerTraceMetrics(MetricsRegistry &registry,

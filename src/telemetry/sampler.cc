@@ -125,6 +125,18 @@ void
 IntervalSampler::onProgress(std::uint64_t measured_ops)
 {
     SPEC17_ASSERT(begun_ && !finished_, "sampler not active");
+    if (coarse_) {
+        // Coarse mode: the driver's chunks may straddle boundaries;
+        // emit one row per crossing at the real measured count (a
+        // chunk crossing several boundaries still yields one row --
+        // there is no intermediate state to sample).
+        if (measured_ops >= nextBoundary_) {
+            emitRow(measured_ops);
+            while (nextBoundary_ <= measured_ops)
+                nextBoundary_ += series_.intervalOps;
+        }
+        return;
+    }
     SPEC17_ASSERT(measured_ops <= nextBoundary_,
                   "chunk overran the sampling boundary: ", measured_ops,
                   " > ", nextBoundary_);
@@ -139,9 +151,13 @@ IntervalSampler::finish(std::uint64_t measured_ops)
 {
     SPEC17_ASSERT(begun_ && !finished_, "sampler not active");
     finished_ = true;
-    const std::uint64_t last_boundary =
-        nextBoundary_ - series_.intervalOps;
-    if (measured_ops > last_boundary)
+    // Flush only when ops accrued since the last emitted row. (In
+    // strict mode the last row sits exactly on nextBoundary_ -
+    // intervalOps; in coarse mode it may sit past it, so compare
+    // against the row actually emitted, which covers both.)
+    const std::uint64_t last_emitted =
+        series_.endOps.empty() ? 0 : series_.endOps.back();
+    if (measured_ops > last_emitted)
         emitRow(measured_ops);
 }
 

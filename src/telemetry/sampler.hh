@@ -84,6 +84,17 @@ class IntervalSampler
                     std::uint64_t interval_ops,
                     std::vector<DerivedSpec> derived = {});
 
+    /**
+     * Coarse-boundary mode for drivers that cannot cap their chunks
+     * at sampling boundaries (the multicore interleaver: its chunk
+     * size shapes L3 contention, so capping it for telemetry would
+     * change results). onProgress() then emits a row whenever a
+     * boundary is crossed -- at the actual measured-op count, which
+     * endOps records -- instead of panicking on overrun. Rows remain
+     * deterministic for a fixed chunk size. Set before begin().
+     */
+    void setCoarseBoundaries(bool coarse) { coarse_ = coarse; }
+
     /** Takes the baseline snapshot; measured ops start counting at 0. */
     void begin();
 
@@ -109,6 +120,7 @@ class IntervalSampler
     std::uint64_t nextBoundary_ = 0;
     bool begun_ = false;
     bool finished_ = false;
+    bool coarse_ = false;
     TimeSeries series_;
 };
 

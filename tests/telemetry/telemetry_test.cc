@@ -470,12 +470,34 @@ TEST(Golden, RunnerHandsSeriesToTheSink)
     EXPECT_EQ(sink.find(result.name)->numIntervals(), 4u);
 }
 
-TEST(Golden, MulticorePairsAreNotSampled)
+TEST(Golden, MulticorePairsSampleCoarselyWithoutPerturbation)
 {
-    suite::SuiteRunner runner(sampledOptions(10'000));
-    const auto result = runner.runPair(cpu2017Pair("619.lbm_s"));
-    EXPECT_FALSE(result.errored);
-    EXPECT_EQ(result.series, nullptr);
+    // Multicore pairs sample in coarse mode: context chunks cannot be
+    // cut at interval boundaries (chunk size shapes L3 contention),
+    // so each row lands at the first chunk end past its boundary.
+    // Sampling stays observation-only on this path too.
+    suite::SuiteRunner plain(sampledOptions(0));
+    suite::SuiteRunner sampled(sampledOptions(10'000));
+    const auto a = plain.runPair(cpu2017Pair("619.lbm_s"));
+    const auto b = sampled.runPair(cpu2017Pair("619.lbm_s"));
+    EXPECT_FALSE(b.errored);
+    for (std::size_t e = 0; e < counters::kNumPerfEvents; ++e) {
+        const auto event = static_cast<PerfEvent>(e);
+        EXPECT_EQ(a.counters.get(event), b.counters.get(event))
+            << perfEventName(event);
+    }
+    EXPECT_DOUBLE_EQ(a.wallCycles, b.wallCycles);
+    EXPECT_EQ(a.series, nullptr);
+    ASSERT_NE(b.series, nullptr);
+    EXPECT_GT(b.series->numIntervals(), 0u);
+    // The multicore baseline is taken before the run (contexts share
+    // the L3 during each other's warmup, so there is no machine-wide
+    // warmup-end instant): the series spans warmup + sample, unlike
+    // the single-core measured-window series.
+    EXPECT_NEAR(b.series->columnSum("perf.inst_retired.any"),
+                double(b.counters.get(PerfEvent::InstRetiredAny))
+                    + 20'000.0,
+                1.0);
 }
 
 } // namespace

@@ -4,13 +4,20 @@
 #include <memory>
 #include <sstream>
 
+#include <fstream>
+
 #include "core/characterizer.hh"
 #include "util/logging.hh"
 #include "core/phase.hh"
 #include "core/subset.hh"
+#include "corun/analysis.hh"
+#include "corun/plan.hh"
+#include "corun/runner.hh"
+#include "corun/store.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
 #include "suite/journal.hh"
+#include "suite/result_cache.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/sink.hh"
@@ -521,6 +528,258 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
     return 0;
 }
 
+/** Demo subset for co-run sweeps when --apps is absent: two memory
+ *  bullies (mcf, lbm) against two cache-light apps (leela,
+ *  exchange2), the smallest set that shows the full sensitivity/
+ *  aggressiveness spread. */
+const char *const kCorunDemoApps[] = {"505.mcf_r", "519.lbm_r",
+                                      "541.leela_r", "548.exchange2_r"};
+
+int
+cmdCorun(const CommandLine &command, std::ostream &out,
+         std::ostream &err)
+{
+    bool ok = false;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const auto &suite = workloads::cpu2017Suite();
+
+    // Resolve the application subset with contained errors: a typo'd
+    // or threaded (speed) app is a usage error, not a panic.
+    std::vector<std::string> apps;
+    if (command.hasFlag("apps")) {
+        std::string cell;
+        std::istringstream stream(command.flag("apps"));
+        while (std::getline(stream, cell, ','))
+            if (!cell.empty())
+                apps.push_back(cell);
+    } else {
+        apps.assign(std::begin(kCorunDemoApps),
+                    std::end(kCorunDemoApps));
+    }
+    for (const std::string &name : apps) {
+        const workloads::WorkloadProfile *profile = nullptr;
+        for (const auto &candidate : suite)
+            if (candidate.name == name)
+                profile = &candidate;
+        if (profile == nullptr) {
+            err << "error: no application named '" << name
+                << "' (try: spec17 list)\n";
+            return 2;
+        }
+        if (profile->numThreads != 1) {
+            err << "error: " << name << " runs "
+                << profile->numThreads
+                << " threads; co-run groups take single-threaded "
+                   "(rate) applications\n";
+            return 2;
+        }
+    }
+
+    corun::CorunOptions options;
+    options.sampleOps = command.flagUint("sample", 300'000);
+    options.warmupOps = command.flagUint("warmup", 100'000);
+    options.chunkOps = command.flagUint("corun-chunk", 10'000);
+    options.jobs =
+        static_cast<unsigned>(command.flagUint("jobs", 1));
+    options.size = size;
+    if (command.hasFlag("predictor"))
+        options.system.branchPredictor = command.flag("predictor");
+    if (command.hasFlag("prefetcher"))
+        options.system.hierarchy.prefetcher =
+            command.flag("prefetcher");
+    if (options.chunkOps == 0) {
+        err << "error: --corun-chunk must be positive\n";
+        return 2;
+    }
+
+    corun::PlanOptions plan;
+    plan.apps = apps;
+    plan.groupSize = command.hasFlag("quartets") ? 4 : 2;
+    plan.includeSelf = !command.hasFlag("no-self");
+    plan.partitionSweep = command.hasFlag("partition");
+    plan.l3Ways = options.system.hierarchy.l3.assoc;
+    if (plan.partitionSweep && plan.groupSize != 2) {
+        err << "error: --partition sweeps pairs, not quartets\n";
+        return 2;
+    }
+    if (apps.size() < (plan.groupSize == 2 && plan.includeSelf
+                           ? 1u
+                           : plan.groupSize)) {
+        err << "error: " << apps.size()
+            << " application(s) cannot form groups of "
+            << plan.groupSize << "\n";
+        return 2;
+    }
+    const std::vector<corun::CorunGroup> groups =
+        corun::planGroups(suite, plan);
+
+    corun::CorunRunner runner(options);
+    corun::CorunStore store(command.hasFlag("no-cache")
+                                ? ""
+                                : suite::ResultCache::defaultPath(),
+                            command.hasFlag("resume"));
+    suite::ShardSpec shard;
+    if (command.hasFlag("shard")) {
+        const auto parsed =
+            suite::ShardSpec::parse(command.flag("shard"));
+        if (!parsed) {
+            err << "error: --shard wants K/N with 1 <= K <= N, got '"
+                << command.flag("shard") << "'\n";
+            return 2;
+        }
+        shard = *parsed;
+        store.setShard(shard);
+    }
+
+    telemetry::ProgressReporter::Options progress_options;
+    if (shard.active())
+        progress_options.shardLabel = shard.label();
+    telemetry::ProgressReporter progress(progress_options);
+    corun::CorunRunner::GroupObserver observer;
+    if (command.hasFlag("progress")) {
+        observer = [&progress](const corun::CorunResult &result,
+                               std::size_t index, std::size_t total) {
+            std::uint64_t ops = 0;
+            for (const auto &member : result.members)
+                ops += member.instructions;
+            progress.onItemDone(result.name, index, total, ops, 1,
+                                false, result.replayed);
+        };
+    }
+
+    std::vector<corun::CorunResult> results;
+    try {
+        results = store.runOrLoad(runner, groups, observer);
+    } catch (const corun::CorunJournalMismatchError &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (command.hasFlag("export-jsonl")) {
+        const std::string path = command.flag("export-jsonl");
+        std::ofstream jsonl(path, std::ios::trunc | std::ios::binary);
+        if (!jsonl) {
+            err << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        jsonl.precision(17);
+        for (const auto &result : results) {
+            jsonl << "{\"group\":\"" << result.name << "\","
+                  << "\"partition\":";
+            if (result.masks.empty())
+                jsonl << "null";
+            else
+                jsonl << "\"" << corun::maskSetLabel(result.masks)
+                      << "\"";
+            jsonl << ",\"throughput\":" << result.throughput()
+                  << ",\"worst_slowdown\":" << result.worstSlowdown()
+                  << ",\"members\":[";
+            for (std::size_t c = 0; c < result.members.size(); ++c) {
+                const auto &m = result.members[c];
+                jsonl << (c == 0 ? "" : ",") << "{\"app\":\"" << m.name
+                      << "\",\"slowdown\":" << m.slowdown()
+                      << ",\"cycles\":" << m.cycles
+                      << ",\"solo_cycles\":" << m.soloCycles
+                      << ",\"instructions\":" << m.instructions
+                      << ",\"l3_hits\":" << m.l3Hits
+                      << ",\"l3_misses\":" << m.l3Misses
+                      << ",\"evictions_inflicted\":"
+                      << m.evictionsInflicted
+                      << ",\"evictions_suffered\":"
+                      << m.evictionsSuffered
+                      << ",\"occupancy_lines\":" << m.occupancyLines
+                      << "}";
+            }
+            jsonl << "]}\n";
+        }
+        out << "wrote " << results.size() << " group record(s) to "
+            << path << "\n";
+    }
+
+    // Member-level breakdown of the free-for-all groups (partitioned
+    // variants feed the Pareto table below instead).
+    TextTable member_table({"group", "member", "slowdown", "IPC",
+                            "L3 miss%", "ev. suffered",
+                            "ev. inflicted", "L3 lines"});
+    for (const auto &result : results) {
+        if (!result.masks.empty())
+            continue;
+        for (const auto &m : result.members) {
+            const std::uint64_t l3_acc = m.l3Hits + m.l3Misses;
+            member_table.addRow(
+                {result.name, m.name, fmtDouble(m.slowdown(), 3),
+                 fmtDouble(m.ipc(), 3),
+                 l3_acc > 0 ? fmtDouble(100.0 * double(m.l3Misses)
+                                            / double(l3_acc),
+                                        1)
+                            : "-",
+                 fmtCount(m.evictionsSuffered),
+                 fmtCount(m.evictionsInflicted),
+                 fmtCount(m.occupancyLines)});
+        }
+    }
+    if (command.hasFlag("csv")) {
+        member_table.renderCsv(out);
+        return 0;
+    }
+    out << "co-run interference (" << results.size() << " group(s), "
+        << workloads::inputSizeName(size) << "):\n";
+    member_table.render(out);
+
+    const corun::SlowdownMatrix matrix = corun::buildMatrix(results);
+    if (!matrix.apps.empty() && plan.groupSize == 2) {
+        std::vector<std::string> header = {"victim \\ aggressor"};
+        header.insert(header.end(), matrix.apps.begin(),
+                      matrix.apps.end());
+        TextTable matrix_table(header);
+        for (std::size_t v = 0; v < matrix.apps.size(); ++v) {
+            std::vector<std::string> row = {matrix.apps[v]};
+            for (std::size_t a = 0; a < matrix.apps.size(); ++a)
+                row.push_back(matrix.slowdown[v][a] > 0.0
+                                  ? fmtDouble(matrix.slowdown[v][a], 3)
+                                  : "-");
+            matrix_table.addRow(row);
+        }
+        out << "\nslowdown matrix (co-run cycles / solo cycles):\n";
+        matrix_table.render(out);
+
+        std::vector<corun::AppScore> scores =
+            corun::scoreApps(matrix);
+        std::sort(scores.begin(), scores.end(),
+                  [](const corun::AppScore &a,
+                     const corun::AppScore &b) {
+                      return a.sensitivity > b.sensitivity;
+                  });
+        TextTable score_table(
+            {"application", "sensitivity", "aggressiveness"});
+        for (const auto &score : scores)
+            score_table.addRow({score.app,
+                                fmtDouble(score.sensitivity, 3),
+                                fmtDouble(score.aggressiveness, 3)});
+        out << "\ninterference scores (mean slowdown suffered / "
+               "inflicted):\n";
+        score_table.render(out);
+    }
+
+    if (plan.partitionSweep) {
+        const std::vector<corun::ParetoRow> pareto =
+            corun::paretoTable(results);
+        TextTable pareto_table({"pair", "partition", "throughput",
+                                "worst slowdown", "Pareto"});
+        for (const auto &row : pareto)
+            pareto_table.addRow({row.pair, row.partition,
+                                 fmtDouble(row.throughput, 3),
+                                 fmtDouble(row.worstSlowdown, 3),
+                                 row.dominated ? "" : "*"});
+        out << "\nCAT way-partition Pareto sweep (* = "
+               "non-dominated within its pair):\n";
+        pareto_table.render(out);
+    }
+    return 0;
+}
+
 int
 cmdMerge(const CommandLine &command, std::ostream &out,
          std::ostream &err)
@@ -810,6 +1069,23 @@ flagTable()
          "fsck: atomically drop the damaged suffix of corrupt "
          "journals",
          "sharded campaigns (characterize, merge, fsck)"},
+        {"apps", "A,B,...",
+         "applications to co-run (default: a 4-app demo subset)",
+         "co-run interference (corun)"},
+        {"quartets", "", "4-app groups instead of pairs",
+         "co-run interference (corun)"},
+        {"no-self", "", "skip self-pairs (two copies of one app)",
+         "co-run interference (corun)"},
+        {"partition", "",
+         "sweep every contiguous CAT way split per pair (Pareto "
+         "table)",
+         "co-run interference (corun)"},
+        {"corun-chunk", "N",
+         "context-interleave granularity in micro-ops (contention "
+         "semantics: part of the config key)",
+         "co-run interference (corun)"},
+        {"export-jsonl", "FILE", "write one JSON record per group",
+         "co-run interference (corun)"},
     };
     return table;
 }
@@ -828,6 +1104,8 @@ usage()
         "counters\n"
         "  characterize                 sweep a suite, tabulate "
         "metrics\n"
+        "  corun                        co-run interference sweep on "
+        "the shared L3\n"
         "  subset                       suggest a representative "
         "subset\n"
         "  phases <app>                 phase analysis of one pair\n"
@@ -888,6 +1166,8 @@ runCommand(const CommandLine &command, std::ostream &out,
         return cmdStat(command, out, err);
     if (command.command == "characterize")
         return cmdCharacterize(command, out, err);
+    if (command.command == "corun")
+        return cmdCorun(command, out, err);
     if (command.command == "subset")
         return cmdSubset(command, out, err);
     if (command.command == "phases")
