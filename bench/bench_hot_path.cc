@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "suite/runner.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "workloads/builder.hh"
@@ -232,9 +233,9 @@ main(int argc, char **argv)
     table.render(rendered);
     std::printf("%s\n", rendered.str().c_str());
 
-    std::ofstream out(bench.outPath, std::ios::trunc);
-    if (!out)
-        SPEC17_FATAL("cannot write ", bench.outPath);
+    // Committed via temp+rename like the telemetry sinks: a bench
+    // interrupted mid-write can't leave a torn baseline JSON behind.
+    std::ostringstream out;
     out << "{\n"
         << "  \"bench\": \"hot_path\",\n"
         << "  \"pairs\": " << pairs.size() << ",\n"
@@ -256,6 +257,8 @@ main(int argc, char **argv)
             << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+    if (!writeFileAtomic(bench.outPath, out.str()))
+        SPEC17_FATAL("cannot write ", bench.outPath);
     std::printf("wrote %s\n", bench.outPath.c_str());
 
     if (!all_identical) {

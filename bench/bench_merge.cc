@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "suite/journal.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -232,9 +233,9 @@ main(int argc, char **argv)
     table.render(rendered);
     std::printf("%s\n", rendered.str().c_str());
 
-    std::ofstream out(bench.outPath, std::ios::trunc);
-    if (!out)
-        SPEC17_FATAL("cannot write ", bench.outPath);
+    // Committed via temp+rename like the telemetry sinks: a bench
+    // interrupted mid-write can't leave a torn baseline JSON behind.
+    std::ostringstream out;
     out << "{\n"
         << "  \"bench\": \"merge\",\n"
         << "  \"shards\": " << bench.shards << ",\n"
@@ -250,6 +251,8 @@ main(int argc, char **argv)
         << "  \"byte_identical\": "
         << (byte_identical ? "true" : "false") << "\n"
         << "}\n";
+    if (!writeFileAtomic(bench.outPath, out.str()))
+        SPEC17_FATAL("cannot write ", bench.outPath);
     std::printf("wrote %s\n", bench.outPath.c_str());
 
     for (const auto &path : shard_paths)

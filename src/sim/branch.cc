@@ -5,19 +5,6 @@
 namespace spec17 {
 namespace sim {
 
-namespace {
-
-/** 2-bit saturating counter helpers; >= 2 means predict taken. */
-std::uint8_t
-saturate(std::uint8_t counter, bool taken)
-{
-    if (taken)
-        return counter < 3 ? counter + 1 : 3;
-    return counter > 0 ? counter - 1 : 0;
-}
-
-} // namespace
-
 // ---------------------------------------------------------------------
 // StaticTakenPredictor
 // ---------------------------------------------------------------------
@@ -45,25 +32,6 @@ BimodalPredictor::BimodalPredictor(unsigned table_bits)
                   "bimodal table bits out of sane range");
 }
 
-std::size_t
-BimodalPredictor::index(std::uint64_t pc) const
-{
-    return (pc >> 2) & mask_;
-}
-
-bool
-BimodalPredictor::predict(std::uint64_t pc)
-{
-    return table_[index(pc)] >= 2;
-}
-
-void
-BimodalPredictor::update(std::uint64_t pc, bool taken)
-{
-    std::uint8_t &counter = table_[index(pc)];
-    counter = saturate(counter, taken);
-}
-
 // ---------------------------------------------------------------------
 // GsharePredictor
 // ---------------------------------------------------------------------
@@ -78,26 +46,6 @@ GsharePredictor::GsharePredictor(unsigned table_bits,
                   "gshare table bits out of sane range");
     SPEC17_ASSERT(history_bits <= table_bits,
                   "gshare history longer than table index");
-}
-
-std::size_t
-GsharePredictor::index(std::uint64_t pc) const
-{
-    return ((pc >> 2) ^ history_) & mask_;
-}
-
-bool
-GsharePredictor::predict(std::uint64_t pc)
-{
-    return table_[index(pc)] >= 2;
-}
-
-void
-GsharePredictor::update(std::uint64_t pc, bool taken)
-{
-    std::uint8_t &counter = table_[index(pc)];
-    counter = saturate(counter, taken);
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
 }
 
 // ---------------------------------------------------------------------
@@ -126,7 +74,7 @@ TournamentPredictor::update(std::uint64_t pc, bool taken)
     const bool gshare_right = gshare_.predict(pc) == taken;
     std::uint8_t &choice = chooser_[(pc >> 2) & mask_];
     if (gshare_right != bimodal_right)
-        choice = saturate(choice, gshare_right);
+        choice = detail::saturateCounter(choice, gshare_right);
     bimodal_.update(pc, taken);
     gshare_.update(pc, taken);
 }
@@ -161,6 +109,7 @@ BranchStats::mispredictRate() const
 BranchUnit::BranchUnit(std::unique_ptr<DirectionPredictor> direction,
                        unsigned btb_bits)
     : direction_(std::move(direction)),
+      tournament_(dynamic_cast<TournamentPredictor *>(direction_.get())),
       btb_(std::size_t(1) << btb_bits, 0),
       btbMask_((std::size_t(1) << btb_bits) - 1)
 {
@@ -177,41 +126,15 @@ bool
 BranchUnit::execute(const isa::MicroOp &op)
 {
     SPEC17_ASSERT(op.isBranch(), "BranchUnit fed a non-branch op");
-    bool mispredicted = false;
+    return execute(op.branch, op.pc, op.taken, op.target);
+}
 
-    switch (op.branch) {
-      case isa::BranchKind::Conditional: {
-        const bool predicted = direction_->predict(op.pc);
-        mispredicted = predicted != op.taken;
-        direction_->update(op.pc, op.taken);
-        break;
-      }
-      case isa::BranchKind::DirectJump:
-      case isa::BranchKind::DirectNearCall:
-        // Direct targets are decoded in the front end; treated as
-        // always predicted once seen. Model as never mispredicted.
-        mispredicted = false;
-        break;
-      case isa::BranchKind::IndirectJumpNonCallRet: {
-        std::uint64_t &entry = btb_[(op.pc >> 2) & btbMask_];
-        mispredicted = entry != op.target;
-        entry = op.target;
-        break;
-      }
-      case isa::BranchKind::IndirectNearReturn:
-        // Idealized return-address stack.
-        mispredicted = false;
-        break;
-      case isa::BranchKind::None:
-        SPEC17_PANIC("branch op with BranchKind::None");
-    }
-
-    ++totals_.executed;
-    totals_.mispredicted += mispredicted;
-    BranchStats &ks = perKind_[static_cast<std::size_t>(op.branch)];
-    ++ks.executed;
-    ks.mispredicted += mispredicted;
-    return mispredicted;
+bool
+BranchUnit::predictUpdateSlow(std::uint64_t pc, bool taken)
+{
+    const bool predicted = direction_->predict(pc);
+    direction_->update(pc, taken);
+    return predicted;
 }
 
 } // namespace sim

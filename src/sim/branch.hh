@@ -15,9 +15,23 @@
 #include <vector>
 
 #include "isa/uop.hh"
+#include "util/logging.hh"
 
 namespace spec17 {
 namespace sim {
+
+namespace detail {
+
+/** 2-bit saturating counter step; >= 2 means predict taken. */
+inline std::uint8_t
+saturateCounter(std::uint8_t counter, bool taken)
+{
+    if (taken)
+        return counter < 3 ? counter + 1 : 3;
+    return counter > 0 ? counter - 1 : 0;
+}
+
+} // namespace detail
 
 /** Direction predictor interface for conditional branches. */
 class DirectionPredictor
@@ -51,12 +65,26 @@ class BimodalPredictor : public DirectionPredictor
     /** @param table_bits log2 of the counter-table size. */
     explicit BimodalPredictor(unsigned table_bits = 14);
 
-    bool predict(std::uint64_t pc) override;
-    void update(std::uint64_t pc, bool taken) override;
+    // Inline (and, on the concrete type, devirtualizable): the
+    // tournament predictor consults both component tables on every
+    // conditional branch, the hottest single operation in the batched
+    // branch pass.
+    bool predict(std::uint64_t pc) override
+    {
+        return table_[index(pc)] >= 2;
+    }
+    void update(std::uint64_t pc, bool taken) override
+    {
+        std::uint8_t &counter = table_[index(pc)];
+        counter = detail::saturateCounter(counter, taken);
+    }
     std::string name() const override { return "bimodal"; }
 
   private:
-    std::size_t index(std::uint64_t pc) const;
+    std::size_t index(std::uint64_t pc) const
+    {
+        return (pc >> 2) & mask_;
+    }
     std::vector<std::uint8_t> table_;
     std::size_t mask_;
 };
@@ -72,12 +100,23 @@ class GsharePredictor : public DirectionPredictor
     explicit GsharePredictor(unsigned table_bits = 14,
                              unsigned history_bits = 12);
 
-    bool predict(std::uint64_t pc) override;
-    void update(std::uint64_t pc, bool taken) override;
+    bool predict(std::uint64_t pc) override
+    {
+        return table_[index(pc)] >= 2;
+    }
+    void update(std::uint64_t pc, bool taken) override
+    {
+        std::uint8_t &counter = table_[index(pc)];
+        counter = detail::saturateCounter(counter, taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    }
     std::string name() const override { return "gshare"; }
 
   private:
-    std::size_t index(std::uint64_t pc) const;
+    std::size_t index(std::uint64_t pc) const
+    {
+        return ((pc >> 2) ^ history_) & mask_;
+    }
     std::vector<std::uint8_t> table_;
     std::size_t mask_;
     std::uint64_t history_ = 0;
@@ -98,6 +137,33 @@ class TournamentPredictor : public DirectionPredictor
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
     std::string name() const override { return "tournament"; }
+
+    /**
+     * Fused predict() + update() with each component consulted once.
+     * predict() followed by update() evaluates bimodal and gshare
+     * twice each (once to choose, once to train the chooser) against
+     * unchanged state; this computes both component predictions a
+     * single time and applies the identical chooser / component /
+     * history updates in the identical order, so the table state and
+     * return value match the two-call sequence exactly. Inline and
+     * concrete: the BranchUnit fast path calls it devirtualized.
+     */
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken)
+    {
+        const bool bimodal_taken = bimodal_.predict(pc);
+        const bool gshare_taken = gshare_.predict(pc);
+        std::uint8_t &choice = chooser_[(pc >> 2) & mask_];
+        const bool predicted = choice >= 2 ? gshare_taken
+                                           : bimodal_taken;
+        const bool bimodal_right = bimodal_taken == taken;
+        const bool gshare_right = gshare_taken == taken;
+        if (gshare_right != bimodal_right)
+            choice = detail::saturateCounter(choice, gshare_right);
+        bimodal_.update(pc, taken);
+        gshare_.update(pc, taken);
+        return predicted;
+    }
 
   private:
     BimodalPredictor bimodal_;
@@ -141,12 +207,72 @@ class BranchUnit
      */
     bool execute(const isa::MicroOp &op);
 
+    /**
+     * Lane form of execute() taking the four MicroOp fields branch
+     * resolution reads as scalars (the batched fast lane's branch
+     * pass feeds it from SoA lanes). This is the single real body;
+     * the MicroOp overload delegates. Inline, with the dominant
+     * conditional case devirtualized onto the tournament predictor
+     * when that is the configured direction predictor (the cached
+     * downcast below): a conditional branch then resolves without a
+     * function call or virtual dispatch.
+     */
+    bool
+    execute(isa::BranchKind kind, std::uint64_t pc, bool taken,
+            std::uint64_t target)
+    {
+        bool mispredicted = false;
+
+        switch (kind) {
+          case isa::BranchKind::Conditional: {
+            const bool predicted = tournament_ != nullptr
+                ? tournament_->predictAndUpdate(pc, taken)
+                : predictUpdateSlow(pc, taken);
+            mispredicted = predicted != taken;
+            break;
+          }
+          case isa::BranchKind::DirectJump:
+          case isa::BranchKind::DirectNearCall:
+            // Direct targets are decoded in the front end; treated as
+            // always predicted once seen. Model as never mispredicted.
+            mispredicted = false;
+            break;
+          case isa::BranchKind::IndirectJumpNonCallRet: {
+            std::uint64_t &entry = btb_[(pc >> 2) & btbMask_];
+            mispredicted = entry != target;
+            entry = target;
+            break;
+          }
+          case isa::BranchKind::IndirectNearReturn:
+            // Idealized return-address stack.
+            mispredicted = false;
+            break;
+          case isa::BranchKind::None:
+            SPEC17_PANIC("branch op with BranchKind::None");
+        }
+
+        ++totals_.executed;
+        totals_.mispredicted += mispredicted;
+        BranchStats &ks = perKind_[static_cast<std::size_t>(kind)];
+        ++ks.executed;
+        ks.mispredicted += mispredicted;
+        return mispredicted;
+    }
+
     const BranchStats &totals() const { return totals_; }
     const BranchStats &byKind(isa::BranchKind kind) const;
     const DirectionPredictor &direction() const { return *direction_; }
 
   private:
+    /** Generic predictor path: predict then train, two virtual
+     *  dispatches. The tournament fast path above is provably the
+     *  same sequence fused (see TournamentPredictor::predictAndUpdate). */
+    bool predictUpdateSlow(std::uint64_t pc, bool taken);
+
     std::unique_ptr<DirectionPredictor> direction_;
+    /** direction_ downcast when it is a TournamentPredictor (the
+     *  common configuration), else nullptr. */
+    TournamentPredictor *tournament_ = nullptr;
     std::vector<std::uint64_t> btb_;
     std::size_t btbMask_;
     BranchStats totals_;

@@ -57,7 +57,9 @@ SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
       setShift_(static_cast<unsigned>(std::countr_zero(numSets_))),
       setOdd_(numSets_ >> setShift_),
       setLowMask_((std::uint64_t{1} << setShift_) - 1),
-      lines_(numSets_ * config_.assoc),
+      tags_(numSets_ * config_.assoc, kNoTag),
+      dirty_(numSets_ * config_.assoc, 0),
+      stamps_(numSets_ * config_.assoc, 0),
       rng_(deriveSeed(seed, config_.name))
 {
     if (config_.policy == ReplacementPolicy::TreePlru) {
@@ -87,7 +89,7 @@ SetAssocCache::enableContextTracking(unsigned num_contexts)
     ctxStats_.assign(num_contexts, CacheContextStats());
     ctxOccupancy_.assign(num_contexts, 0);
     ctxMasks_.assign(num_contexts, fullWayMask());
-    owner_.assign(lines_.size(), 0);
+    owner_.assign(tags_.size(), 0);
     maskedAlloc_ = false;
 }
 
@@ -173,24 +175,18 @@ SetAssocCache::tagOf(std::uint64_t line_addr) const
     return line_addr / numSets_;
 }
 
-SetAssocCache::Line *
-SetAssocCache::findLine(std::uint64_t addr)
+std::size_t
+SetAssocCache::findIndex(std::uint64_t addr) const
 {
     const std::uint64_t la = lineAddr(addr);
     const std::uint64_t set = setIndex(la);
     const std::uint64_t tag = tagOf(la);
-    Line *base = &lines_[set * config_.assoc];
+    const std::size_t base = set * config_.assoc;
     for (unsigned way = 0; way < config_.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag)
-            return &base[way];
+        if (tags_[base + way] == tag)
+            return base + way;
     }
-    return nullptr;
-}
-
-const SetAssocCache::Line *
-SetAssocCache::findLine(std::uint64_t addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(addr);
+    return SIZE_MAX;
 }
 
 void
@@ -223,17 +219,17 @@ SetAssocCache::plruTouch(std::uint64_t set, unsigned way)
 unsigned
 SetAssocCache::victimWay(std::uint64_t set)
 {
-    Line *base = &lines_[set * config_.assoc];
+    const std::size_t base = set * config_.assoc;
     // Invalid ways are always preferred victims.
     for (unsigned way = 0; way < config_.assoc; ++way) {
-        if (!base[way].valid)
+        if (tags_[base + way] == kNoTag)
             return way;
     }
     switch (config_.policy) {
       case ReplacementPolicy::Lru: {
         unsigned victim = 0;
         for (unsigned way = 1; way < config_.assoc; ++way) {
-            if (base[way].lruStamp < base[victim].lruStamp)
+            if (stamps_[base + way] < stamps_[base + victim])
                 victim = way;
         }
         return victim;
@@ -264,11 +260,11 @@ unsigned
 SetAssocCache::victimWayMasked(std::uint64_t set)
 {
     const std::uint32_t mask = ctxMasks_[ctx_];
-    Line *base = &lines_[set * config_.assoc];
+    const std::size_t base = set * config_.assoc;
     // Invalid allowed ways are always preferred victims, in the same
     // way order the unmasked scan uses.
     for (unsigned way = 0; way < config_.assoc; ++way) {
-        if ((mask >> way & 1u) && !base[way].valid)
+        if ((mask >> way & 1u) && tags_[base + way] == kNoTag)
             return way;
     }
     switch (config_.policy) {
@@ -285,7 +281,7 @@ SetAssocCache::victimWayMasked(std::uint64_t set)
             if (!(mask >> way & 1u))
                 continue;
             if (victim == config_.assoc
-                || base[way].lruStamp < base[victim].lruStamp)
+                || stamps_[base + way] < stamps_[base + victim])
                 victim = way;
         }
         SPEC17_ASSERT(victim < config_.assoc, config_.name,
@@ -318,21 +314,22 @@ SetAssocCache::allocate(std::uint64_t addr)
     allocateInto(setIndex(la), tagOf(la));
 }
 
-SetAssocCache::Line &
+std::size_t
 SetAssocCache::allocateInto(std::uint64_t set, std::uint64_t tag)
 {
+    SPEC17_ASSERT(tag != kNoTag, config_.name,
+                  ": tag collides with the invalid-way sentinel");
     const unsigned way =
         maskedAlloc_ ? victimWayMasked(set) : victimWay(set);
     const std::size_t index = set * config_.assoc + way;
-    Line &line = lines_[index];
-    if (line.valid) {
+    if (tags_[index] != kNoTag) {
         ++stats_.evictions;
-        if (line.dirty)
+        if (dirty_[index])
             ++stats_.writebacks;
         if (trackContexts_) {
             CacheContextStats &mine = ctxStats_[ctx_];
             ++mine.evictions;
-            if (line.dirty)
+            if (dirty_[index])
                 ++mine.writebacks;
             const unsigned prev = owner_[index];
             --ctxOccupancy_[prev];
@@ -346,11 +343,10 @@ SetAssocCache::allocateInto(std::uint64_t set, std::uint64_t tag)
         owner_[index] = static_cast<std::uint8_t>(ctx_);
         ++ctxOccupancy_[ctx_];
     }
-    line.valid = true;
-    line.dirty = false;
-    line.tag = tag;
+    tags_[index] = tag;
+    dirty_[index] = 0;
     touch(set, way);
-    return line;
+    return index;
 }
 
 bool
@@ -359,14 +355,13 @@ SetAssocCache::access(std::uint64_t addr, bool is_write)
     const std::uint64_t la = lineAddr(addr);
     const std::uint64_t set = setIndex(la);
     const std::uint64_t tag = tagOf(la);
-    Line *base = &lines_[set * config_.assoc];
+    const std::size_t base = set * config_.assoc;
     for (unsigned way = 0; way < config_.assoc; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
+        if (tags_[base + way] == tag) {
             ++stats_.hits;
             if (trackContexts_)
                 ++ctxStats_[ctx_].hits;
-            line.dirty |= is_write;
+            dirty_[base + way] |= is_write;
             touch(set, way);
             return true;
         }
@@ -374,16 +369,16 @@ SetAssocCache::access(std::uint64_t addr, bool is_write)
     ++stats_.misses;
     if (trackContexts_)
         ++ctxStats_[ctx_].misses;
-    allocate(addr);
+    const std::size_t index = allocateInto(set, tag);
     if (is_write)
-        findLine(addr)->dirty = true;
+        dirty_[index] = true;
     return false;
 }
 
 bool
 SetAssocCache::probe(std::uint64_t addr) const
 {
-    return findLine(addr) != nullptr;
+    return findIndex(addr) != SIZE_MAX;
 }
 
 void
@@ -393,9 +388,9 @@ SetAssocCache::fill(std::uint64_t addr)
     const std::uint64_t la = lineAddr(addr);
     const std::uint64_t set = setIndex(la);
     const std::uint64_t tag = tagOf(la);
-    Line *base = &lines_[set * config_.assoc];
+    const std::size_t base = set * config_.assoc;
     for (unsigned way = 0; way < config_.assoc; ++way) {
-        if (base[way].valid && base[way].tag == tag) {
+        if (tags_[base + way] == tag) {
             touch(set, way);
             return;
         }
@@ -406,8 +401,9 @@ SetAssocCache::fill(std::uint64_t addr)
 void
 SetAssocCache::flushAll()
 {
-    for (Line &line : lines_)
-        line = Line();
+    tags_.assign(tags_.size(), kNoTag);
+    dirty_.assign(dirty_.size(), 0);
+    stamps_.assign(stamps_.size(), 0);
     if (!plruBits_.empty())
         plruBits_.assign(plruBits_.size(), 0);
     if (trackContexts_) {

@@ -120,26 +120,24 @@ class SetAssocCache
     {
         const std::uint64_t la = addr >> lineShift_;
         const SetTag st = decompose(la);
-        Line *base = &lines_[st.set * config_.assoc];
-        for (unsigned way = 0; way < config_.assoc; ++way) {
-            Line &line = base[way];
-            if (line.valid && line.tag == st.tag) {
-                ++stats_.hits;
-                if (trackContexts_)
-                    ++ctxStats_[ctx_].hits;
-                line.dirty |= is_write;
-                touchImpl(st.set, way);
-                return true;
-            }
+        const std::size_t base = st.set * config_.assoc;
+        const unsigned way = findWay(&tags_[base], st.tag);
+        if (way != config_.assoc) {
+            ++stats_.hits;
+            if (trackContexts_)
+                ++ctxStats_[ctx_].hits;
+            dirty_[base + way] |= is_write;
+            touchImpl(st.set, way);
+            return true;
         }
         ++stats_.misses;
         if (trackContexts_)
             ++ctxStats_[ctx_].misses;
-        Line &line = allocateInto(st.set, st.tag);
-        // access() reaches the same state via findLine(addr)->dirty:
-        // the freshly allocated line IS the line findLine returns.
+        const std::size_t index = allocateInto(st.set, st.tag);
+        // access() reaches the same state via its post-allocate dirty
+        // store: the freshly allocated line IS the matching line.
         if (is_write)
-            line.dirty = true;
+            dirty_[index] = true;
         return false;
     }
 
@@ -249,19 +247,18 @@ class SetAssocCache
     /// @}
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lruStamp = 0;
-    };
+    /** Tag slot value of an invalid way. A real tag is line_addr /
+     *  numSets and the geometry keeps it far below 2^64, so the
+     *  sentinel never collides (asserted on allocation); the way scan
+     *  therefore needs no separate valid bit. */
+    static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
 
     std::uint64_t lineAddr(std::uint64_t addr) const;
     std::uint64_t setIndex(std::uint64_t line_addr) const;
     std::uint64_t tagOf(std::uint64_t line_addr) const;
-    Line *findLine(std::uint64_t addr);
-    const Line *findLine(std::uint64_t addr) const;
+    /** Index into the line lanes for @p addr, or SIZE_MAX if the
+     *  line is not resident. */
+    std::size_t findIndex(std::uint64_t addr) const;
     /** Chooses a victim way in @p set according to the policy. */
     unsigned victimWay(std::uint64_t set);
     /** victimWay() restricted to the active context's way mask; only
@@ -274,14 +271,36 @@ class SetAssocCache
     /** Allocates @p addr into the cache, updating eviction stats. */
     void allocate(std::uint64_t addr);
     /** allocate() body with the set/tag already decomposed; returns
-     *  the allocated line so accessFast can set the dirty bit without
-     *  a findLine walk. */
-    Line &allocateInto(std::uint64_t set, std::uint64_t tag);
+     *  the allocated line's lane index so accessFast can set the
+     *  dirty bit without another way scan. */
+    std::size_t allocateInto(std::uint64_t set, std::uint64_t tag);
+
+    /** Way holding @p tag among the @p base tag lane of one set, or
+     *  assoc when absent. Branchless: tags within a set are unique
+     *  (and kNoTag never matches), so the scan has no ordering or
+     *  early-exit semantics to preserve -- it compiles to a chain of
+     *  conditional moves (and, for the ubiquitous 8-way geometry,
+     *  a fully unrolled SIMD-friendly form) instead of the
+     *  mispredict-prone early-exit loop over AoS line structs the
+     *  cache used before its tag lane split. */
+    unsigned findWay(const std::uint64_t *base, std::uint64_t tag) const
+    {
+        if (config_.assoc == 8) {
+            unsigned way = 8;
+            for (unsigned w = 0; w < 8; ++w)
+                way = base[w] == tag ? w : way;
+            return way;
+        }
+        unsigned way = config_.assoc;
+        for (unsigned w = 0; w < config_.assoc; ++w)
+            way = base[w] == tag ? w : way;
+        return way;
+    }
 
     /** Inline body of touch(); shared by both lanes. */
     void touchImpl(std::uint64_t set, unsigned way)
     {
-        lines_[set * config_.assoc + way].lruStamp = ++stampCounter_;
+        stamps_[set * config_.assoc + way] = ++stampCounter_;
         if (config_.policy == ReplacementPolicy::TreePlru)
             plruTouch(set, way);
     }
@@ -328,7 +347,15 @@ class SetAssocCache
     std::uint64_t setOdd_ = 1;  //!< numSets_ >> setShift_ (odd)
     std::uint64_t setLowMask_ = 0; //!< (1 << setShift_) - 1
     /// @}
-    std::vector<Line> lines_;          //!< numSets x assoc, row-major
+    /** @name Per-line state, split into parallel lanes
+     *  numSets x assoc, row-major; one set's tags share a cache line
+     *  so the way scan is one contiguous 64-byte read for the 8-way
+     *  levels (the AoS Line struct spread them over three). */
+    /// @{
+    std::vector<std::uint64_t> tags_;   //!< kNoTag = invalid way
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint64_t> stamps_; //!< LRU recency stamps
+    /// @}
     std::vector<std::uint8_t> plruBits_; //!< assoc-1 bits per set
     std::uint64_t stampCounter_ = 0;
     Rng rng_;
@@ -344,7 +371,7 @@ class SetAssocCache
     std::vector<CacheContextStats> ctxStats_;
     std::vector<std::uint64_t> ctxOccupancy_;
     std::vector<std::uint32_t> ctxMasks_;
-    /** Allocation owner of each line (parallel to lines_). */
+    /** Allocation owner of each line (parallel to the line lanes). */
     std::vector<std::uint8_t> owner_;
     /// @}
 };

@@ -156,105 +156,65 @@ class CoreModel
                  bool l1_miss, unsigned fetch_stall, bool mispredicted,
                  bool dram_access = false, double dram_lines = 1.0)
     {
-        // (2) ROB window: the slot we are about to occupy still holds
-        // the completion time of uop (i - robSize); dispatch must wait
-        // for it.
-        const std::size_t slot = robSlot_;
-        if (++robSlot_ == params_.robSize)
-            robSlot_ = 0;
-        if (robCompletion_[slot] > dispatchCycle_) {
-            const double wait = robCompletion_[slot] - dispatchCycle_;
-            (robTag_[slot] == kTagMemory ? stack_.memory
-                                         : stack_.compute) += wait;
-            dispatchCycle_ = robCompletion_[slot];
-        }
+        retireLanes(op.cls, op.depOnLoad, op.depOnPrev, mem_latency,
+                    l1_miss, fetch_stall, mispredicted, dram_access,
+                    dram_lines);
+    }
 
-        // Front-end: I-cache miss stalls fetch/dispatch.
-        if (fetch_stall > 0) {
-            dispatchCycle_ += fetch_stall;
-            stack_.frontend += fetch_stall;
-        }
+    /**
+     * Lane form of retireInline(): the same accounting taking the
+     * three MicroOp fields retirement actually reads (class and the
+     * two dependence bits) as scalars, so the batched fast lane's
+     * retire pass can feed it straight from SoA lanes without
+     * materializing a MicroOp. This is the single real body; both
+     * retire() and retireInline() delegate here.
+     */
+    void
+    retireLanes(isa::UopClass cls, bool dep_on_load, bool dep_on_prev,
+                unsigned mem_latency, bool l1_miss, unsigned fetch_stall,
+                bool mispredicted, bool dram_access = false,
+                double dram_lines = 1.0)
+    {
+        RetireRegs regs = loadRetireRegs();
+        const RetireConsts consts = retireConsts();
+        retireStep(consts, regs, robCompletion_.data(), robTag_.data(),
+                   mshrFree_.data(), cls, dep_on_load, dep_on_prev,
+                   mem_latency, l1_miss, fetch_stall, mispredicted,
+                   dram_access, dram_lines);
+        storeRetireRegs(regs, 1);
+    }
 
-        // (1) dispatch bandwidth.
-        dispatchCycle_ += dispatchStep_;
-        stack_.base += dispatchStep_;
-
-        double completion;
-        switch (op.cls) {
-          case isa::UopClass::Load: {
-            double start = dispatchCycle_;
-            if (op.depOnLoad)
-                start = std::max(start, chainReady_);
-            if (op.depOnPrev)
-                start = std::max(start, computeChainTail_);
-            if (l1_miss) {
-                // (3) allocate an MSHR: take the earliest-free slot;
-                // if every slot is still busy past `start`, stall
-                // until one frees up.
-                auto slot_it =
-                    std::min_element(mshrFree_.begin(), mshrFree_.end());
-                start = std::max(start, *slot_it);
-                if (dram_access)
-                    start = bus_->acquire(start, dram_lines);
-                completion = start + mem_latency;
-                *slot_it = completion;
-            } else {
-                completion = start + mem_latency;
-            }
-            if (op.depOnLoad)
-                chainReady_ = completion;
-            // Most recent load in program order: the producer proxy
-            // for later depOnLoad branches.
-            lastLoadCompletion_ = completion;
-            break;
-          }
-          case isa::UopClass::Store:
-            // Stores drain through the store buffer off the critical
-            // path; they retire one cycle after dispatch, but a store
-            // that misses to DRAM still consumes channel bandwidth
-            // (RFO plus eventual writeback), delaying later demand
-            // fills.
-            if (dram_access)
-                bus_->acquire(dispatchCycle_, dram_lines);
-            completion = dispatchCycle_ + 1.0;
-            break;
-          case isa::UopClass::Branch: {
-            double resolve =
-                dispatchCycle_ + params_.branchResolveLatency;
-            if (op.depOnLoad) {
-                // A branch fed by a load resolves no earlier than the
-                // load's data returns (mcf-style late mispredicts).
-                resolve = std::max(resolve, lastLoadCompletion_ + 1.0);
-            }
-            if (mispredicted) {
-                const double squash = resolve
-                    + params_.mispredictPenalty - dispatchCycle_;
-                if (squash > 0.0) {
-                    stack_.branch += squash;
-                    dispatchCycle_ += squash;
-                }
-            }
-            completion = resolve;
-            break;
-          }
-          default: {
-            double start = dispatchCycle_;
-            if (op.depOnLoad)
-                start = std::max(start, chainReady_);
-            if (op.depOnPrev)
-                start = std::max(start, computeChainTail_);
-            completion = start + latencyOfCompute(op.cls);
-            if (op.depOnPrev)
-                computeChainTail_ = completion;
-            break;
-          }
-        }
-
-        robCompletion_[slot] = completion;
-        robTag_[slot] =
-            op.isLoad() && l1_miss ? kTagMemory : kTagCompute;
-        maxCompletion_ = std::max(maxCompletion_, completion);
-        ++retired_;
+    /**
+     * Batched retire over SoA scratch lanes: loads the serial core
+     * state into registers once, runs the shared retireStep() body
+     * for each of the @p n ops, and writes the state back once --
+     * instead of a member-field load/store round trip per op. dram
+     * codes per op: 0 no DRAM access, 1 one line, 2 RFO plus
+     * writeback (two lines). Identical accounting to n retireLanes()
+     * calls: both entry points run the same single step body.
+     */
+    void
+    retireBatch(const isa::UopClass *__restrict cls,
+                const std::uint8_t *__restrict dep_on_load,
+                const std::uint8_t *__restrict dep_on_prev,
+                const unsigned *__restrict mem_latency,
+                const std::uint8_t *__restrict l1_miss,
+                const unsigned *__restrict fetch_stall,
+                const std::uint8_t *__restrict mispredicted,
+                const std::uint8_t *__restrict dram, std::size_t n)
+    {
+        RetireRegs regs = loadRetireRegs();
+        const RetireConsts consts = retireConsts();
+        double *__restrict const rob = robCompletion_.data();
+        std::uint8_t *__restrict const tags = robTag_.data();
+        double *__restrict const mshr = mshrFree_.data();
+        for (std::size_t i = 0; i < n; ++i)
+            retireStep(consts, regs, rob, tags, mshr, cls[i],
+                       dep_on_load[i] != 0, dep_on_prev[i] != 0,
+                       mem_latency[i], l1_miss[i] != 0, fetch_stall[i],
+                       mispredicted[i] != 0, dram[i] != 0,
+                       dram[i] == 2 ? 2.0 : 1.0);
+        storeRetireRegs(regs, n);
     }
 
     /** Total cycles consumed so far (never less than dispatch time). */
@@ -279,6 +239,204 @@ class CoreModel
     /** ROB-slot attribution classes. */
     static constexpr std::uint8_t kTagCompute = 0;
     static constexpr std::uint8_t kTagMemory = 1;
+
+    /**
+     * The serial cross-op retire state, hoisted out of the member
+     * fields so retireStep() keeps all of it in registers across a
+     * batch. Loaded once per retireLanes()/retireBatch() call and
+     * stored back once at the end; the ROB ring, its tags and the
+     * MSHR array stay in memory (they are bulk state, passed as
+     * restrict pointers).
+     */
+    struct RetireRegs
+    {
+        std::size_t robSlot;
+        double dispatchCycle;
+        double maxCompletion;
+        double chainReady;
+        double lastLoadCompletion;
+        double computeChainTail;
+        double base;     //!< CpiStack components
+        double frontend;
+        double branch;
+        double memory;
+        double compute;
+    };
+
+    /** Loop-invariant retire inputs (parameters as doubles exactly as
+     *  the unsigned-to-double conversions in the accounting produce
+     *  them, so hoisting cannot change any sum). */
+    struct RetireConsts
+    {
+        std::size_t robSize;
+        std::size_t numMshrs;
+        double dispatchStep;
+        double resolveLatency;
+        double mispredictPenalty;
+        double computeLat[isa::kNumUopClasses];
+        MemoryBus *bus;
+    };
+
+    RetireRegs
+    loadRetireRegs() const
+    {
+        return {robSlot_,       dispatchCycle_,
+                maxCompletion_, chainReady_,
+                lastLoadCompletion_, computeChainTail_,
+                stack_.base,    stack_.frontend,
+                stack_.branch,  stack_.memory,
+                stack_.compute};
+    }
+
+    void
+    storeRetireRegs(const RetireRegs &r, std::uint64_t retired_delta)
+    {
+        robSlot_ = r.robSlot;
+        dispatchCycle_ = r.dispatchCycle;
+        maxCompletion_ = r.maxCompletion;
+        chainReady_ = r.chainReady;
+        lastLoadCompletion_ = r.lastLoadCompletion;
+        computeChainTail_ = r.computeChainTail;
+        stack_.base = r.base;
+        stack_.frontend = r.frontend;
+        stack_.branch = r.branch;
+        stack_.memory = r.memory;
+        stack_.compute = r.compute;
+        retired_ += retired_delta;
+    }
+
+    RetireConsts
+    retireConsts() const
+    {
+        RetireConsts k;
+        k.robSize = params_.robSize;
+        k.numMshrs = mshrFree_.size();
+        k.dispatchStep = dispatchStep_;
+        k.resolveLatency = params_.branchResolveLatency;
+        k.mispredictPenalty = params_.mispredictPenalty;
+        for (double &lat : k.computeLat)
+            lat = 0.0;
+        using C = isa::UopClass;
+        for (C cls : {C::IntAlu, C::IntMul, C::IntDiv, C::FpAdd,
+                      C::FpMul, C::FpDiv})
+            k.computeLat[static_cast<std::size_t>(cls)] =
+                latencyOfCompute(cls);
+        k.bus = bus_.get();
+        return k;
+    }
+
+    /**
+     * The single retire-accounting body (every public retire surface
+     * funnels here). Static: no `this` in scope, so byte-lane stores
+     * cannot force member reloads; all serial state lives in @p r.
+     */
+    static void
+    retireStep(const RetireConsts &k, RetireRegs &r,
+               double *__restrict rob, std::uint8_t *__restrict tags,
+               double *__restrict mshr, isa::UopClass cls,
+               bool dep_on_load, bool dep_on_prev, unsigned mem_latency,
+               bool l1_miss, unsigned fetch_stall, bool mispredicted,
+               bool dram_access, double dram_lines)
+    {
+        // (2) ROB window: the slot we are about to occupy still holds
+        // the completion time of uop (i - robSize); dispatch must wait
+        // for it.
+        const std::size_t slot = r.robSlot;
+        if (++r.robSlot == k.robSize)
+            r.robSlot = 0;
+        if (rob[slot] > r.dispatchCycle) {
+            const double wait = rob[slot] - r.dispatchCycle;
+            (tags[slot] == kTagMemory ? r.memory : r.compute) += wait;
+            r.dispatchCycle = rob[slot];
+        }
+
+        // Front-end: I-cache miss stalls fetch/dispatch.
+        if (fetch_stall > 0) {
+            r.dispatchCycle += fetch_stall;
+            r.frontend += fetch_stall;
+        }
+
+        // (1) dispatch bandwidth.
+        r.dispatchCycle += k.dispatchStep;
+        r.base += k.dispatchStep;
+
+        double completion;
+        switch (cls) {
+          case isa::UopClass::Load: {
+            double start = r.dispatchCycle;
+            if (dep_on_load)
+                start = std::max(start, r.chainReady);
+            if (dep_on_prev)
+                start = std::max(start, r.computeChainTail);
+            if (l1_miss) {
+                // (3) allocate an MSHR: take the earliest-free slot;
+                // if every slot is still busy past `start`, stall
+                // until one frees up.
+                double *slot_it =
+                    std::min_element(mshr, mshr + k.numMshrs);
+                start = std::max(start, *slot_it);
+                if (dram_access)
+                    start = k.bus->acquire(start, dram_lines);
+                completion = start + mem_latency;
+                *slot_it = completion;
+            } else {
+                completion = start + mem_latency;
+            }
+            if (dep_on_load)
+                r.chainReady = completion;
+            // Most recent load in program order: the producer proxy
+            // for later depOnLoad branches.
+            r.lastLoadCompletion = completion;
+            break;
+          }
+          case isa::UopClass::Store:
+            // Stores drain through the store buffer off the critical
+            // path; they retire one cycle after dispatch, but a store
+            // that misses to DRAM still consumes channel bandwidth
+            // (RFO plus eventual writeback), delaying later demand
+            // fills.
+            if (dram_access)
+                k.bus->acquire(r.dispatchCycle, dram_lines);
+            completion = r.dispatchCycle + 1.0;
+            break;
+          case isa::UopClass::Branch: {
+            double resolve = r.dispatchCycle + k.resolveLatency;
+            if (dep_on_load) {
+                // A branch fed by a load resolves no earlier than the
+                // load's data returns (mcf-style late mispredicts).
+                resolve = std::max(resolve, r.lastLoadCompletion + 1.0);
+            }
+            if (mispredicted) {
+                const double squash =
+                    resolve + k.mispredictPenalty - r.dispatchCycle;
+                if (squash > 0.0) {
+                    r.branch += squash;
+                    r.dispatchCycle += squash;
+                }
+            }
+            completion = resolve;
+            break;
+          }
+          default: {
+            double start = r.dispatchCycle;
+            if (dep_on_load)
+                start = std::max(start, r.chainReady);
+            if (dep_on_prev)
+                start = std::max(start, r.computeChainTail);
+            completion =
+                start + k.computeLat[static_cast<std::size_t>(cls)];
+            if (dep_on_prev)
+                r.computeChainTail = completion;
+            break;
+          }
+        }
+
+        rob[slot] = completion;
+        tags[slot] = cls == isa::UopClass::Load && l1_miss
+            ? kTagMemory
+            : kTagCompute;
+        r.maxCompletion = std::max(r.maxCompletion, completion);
+    }
 
     unsigned
     latencyOfCompute(isa::UopClass cls) const

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -34,12 +35,19 @@ CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
     instMemo_.assign(config.hierarchy.l1i.numSets(), kNoLine);
     dataMemo_.assign(config.hierarchy.l1d.numSets(), kNoLine);
     dataMemoDirty_.assign(config.hierarchy.l1d.numSets(), 0);
+    pcPageSeen_.assign(kPcPageSeenSlots, kNoLine);
+    dataPageSeen_.assign(kDataPageSeenSlots, kNoLine);
 }
 
 void
 CpuSimulator::setBatchOps(std::size_t batch_ops)
 {
-    SPEC17_ASSERT(batch_ops >= 1, "batch size must be >= 1");
+    if (batch_ops == 0) {
+        // Contained degradation, not a panic: the knob is results-
+        // invariant, so the nearest legal value loses nothing.
+        warn("batch size 0 is meaningless; clamping to 1");
+        batch_ops = 1;
+    }
     batchOps_ = batch_ops;
 }
 
@@ -159,156 +167,266 @@ CpuSimulator::consume(const isa::MicroOp &op)
 }
 
 void
-CpuSimulator::consumeBatch(const isa::MicroOp *ops, std::size_t n)
+CpuSimulator::consumeBatch(std::size_t n)
 {
-    // Equivalent to n consume() calls, fused into one pass in op
-    // order so every component (caches, TLBs, branch unit, footprint,
-    // core) sees exactly the access sequence consume() would produce.
-    // The only restructurings vs consume():
-    //  - counter increments accumulate in locals and flush once per
+    // Equivalent to n consume() calls over batch_'s first n lane
+    // slots, restructured into tight per-component passes so each
+    // loop walks only the lanes its component consumes and the
+    // compiler can vectorize the lane arithmetic. Identity is argued
+    // pass by pass against the per-op order consume() would produce:
+    //  - Cache pass: L1I and L1D share L2/L3, so the fetch access and
+    //    the data access of one op MUST stay interleaved in op order
+    //    within a single pass -- splitting them would reorder the
+    //    shared-level access sequence. The per-set line memos live
+    //    here (an access to a set's MRU line is an L1 hit whose
+    //    replacement-state update is a no-op, see
+    //    SetAssocCache::creditHits for the policy-by-policy proof;
+    //    writes only skip when the line is known dirty; the data memo
+    //    is disabled when a prefetcher is configured).
+    //  - TLB passes: itlb_ is fed only by the pc sequence and dtlb_
+    //    only by load addresses; neither shares state with anything
+    //    else, so hoisting each into its own in-order pass leaves
+    //    every TLB's observed access sequence unchanged.
+    //  - Branch pass: only branch ops touch the branch unit, and the
+    //    pass visits them in op order, so the predictor/BTB see the
+    //    exact consume() sequence.
+    //  - Footprint pass: the page set is idempotent and its contents
+    //    are order-independent (observed only via rssBytes at step
+    //    boundaries), so pc and data touches run as two sub-passes,
+    //    each filtered through a local last-page memo.
+    //  - Retire pass: retirement carries serial cross-op core state,
+    //    so it stays a final in-order pass fed by the per-op scratch
+    //    lanes (fetchStall_/memLatency_/l1Miss_/mispredicted_/dram_)
+    //    the earlier passes staged -- the same per-op scalars the
+    //    fused loop handed retire().
+    //  - Counter increments accumulate in locals and flush once per
     //    batch (adds are commutative, observed only at step
-    //    boundaries, and batches never straddle a step boundary);
-    //  - per-set line memos: an access to the line that is its L1
-    //    set's most-recently-used way is an L1 hit whose
-    //    replacement-state update is a no-op (see
-    //    SetAssocCache::creditHits for the policy-by-policy proof),
-    //    so it is skipped and bulk-credited. Writes are only skipped
-    //    when the line is known dirty; the data memo is disabled
-    //    entirely when a prefetcher is configured (fills can evict
-    //    any L1D line and the prefetcher must observe every load);
-    //  - footprint touches are filtered through local page memos
-    //    (inserts into the page set are idempotent).
+    //    boundaries, and batches never straddle a step boundary).
     const unsigned inst_shift = static_cast<unsigned>(
         std::countr_zero(config_.hierarchy.l1i.lineBytes));
     const unsigned data_shift = static_cast<unsigned>(
         std::countr_zero(config_.hierarchy.l1d.lineBytes));
     const unsigned hidden = config_.core.frontendBufferCycles;
     const bool tlb = config_.enableTlb;
+
+    // Hoisted HitLevel -> latency / fetch-stall tables (HitLevel is a
+    // dense 0..3 enum). An L1 fetch hit never stalls regardless of
+    // its latency, hence the explicit zero.
+    unsigned lat[4];
+    unsigned stall_of[4];
+    for (unsigned v = 0; v < 4; ++v) {
+        lat[v] = hierarchy_.latencyOf(static_cast<HitLevel>(v));
+        stall_of[v] = lat[v] > hidden ? lat[v] - hidden : 0;
+    }
+    stall_of[static_cast<std::size_t>(HitLevel::L1)] = 0;
+
+    if (fetchStall_.size() < n) {
+        fetchStall_.resize(n);
+        memLatency_.resize(n);
+        l1Miss_.resize(n);
+        mispredicted_.resize(n);
+        dram_.resize(n);
+        branchIdx_.resize(n);
+        memIdx_.resize(n);
+    }
+
+    // Raw __restrict views of every lane the passes walk. Several
+    // scratch lanes are byte-typed, and a plain std::uint8_t store may
+    // alias anything (unsigned char is the universal-aliasing type),
+    // which would force the compiler to reload every hoisted pointer
+    // and memo value after each store -- measurably dominating the
+    // pass loops. The restrict qualification restores the no-overlap
+    // guarantee the distinct vectors trivially satisfy.
+    const std::uint64_t *__restrict const pcs = batch_.pc.data();
+    const std::uint64_t *__restrict const addrs = batch_.addr.data();
+    const std::uint64_t *__restrict const targets = batch_.target.data();
+    const isa::UopClass *__restrict const classes = batch_.cls.data();
+    const isa::BranchKind *__restrict const kindv = batch_.kind.data();
+    const std::uint8_t *__restrict const takenv = batch_.taken.data();
+    const std::uint8_t *__restrict const dep_load =
+        batch_.depOnLoad.data();
+    const std::uint8_t *__restrict const dep_prev =
+        batch_.depOnPrev.data();
+    unsigned *__restrict const fetch_stall = fetchStall_.data();
+    unsigned *__restrict const mem_lat = memLatency_.data();
+    std::uint8_t *__restrict const l1_missed = l1Miss_.data();
+    std::uint8_t *__restrict const mispred = mispredicted_.data();
+    std::uint8_t *__restrict const dram_code = dram_.data();
+    std::uint64_t *__restrict const inst_memo = instMemo_.data();
+    std::uint64_t *__restrict const data_memo = dataMemo_.data();
+    std::uint8_t *__restrict const data_memo_dirty =
+        dataMemoDirty_.data();
+    const SetAssocCache &l1i = hierarchy_.l1i();
+    const SetAssocCache &l1d = hierarchy_.l1d();
+    const bool data_memo_legal = dataMemoLegal_;
+
     std::uint64_t inst_repeat_hits = 0;
     std::uint64_t data_repeat_hits = 0;
     std::uint64_t num_loads = 0;
     std::uint64_t num_stores = 0;
     std::uint64_t loads_at[4] = {0, 0, 0, 0};
-    std::uint64_t itlb_walks = 0;
-    std::uint64_t dtlb_walks = 0;
-    std::uint64_t num_branches = 0;
-    std::uint64_t num_mispredicts = 0;
-    std::uint64_t kinds[isa::kNumBranchKinds + 1] = {};
-    std::uint64_t last_pc_page = ~std::uint64_t(0);
-    std::uint64_t last_data_page = ~std::uint64_t(0);
+    std::uint32_t *__restrict const branch_idx = branchIdx_.data();
+    std::uint32_t *__restrict const mem_idx = memIdx_.data();
+    std::size_t branch_count = 0;
+    std::size_t mem_count = 0;
 
+    // The scratch lanes default to zero for every op; the cache pass
+    // then stores only the exceptional values (memory latencies, L1
+    // misses, DRAM transfers, non-L1 fetch stalls), turning three
+    // always-taken scalar stores per op into vectorized fills plus
+    // rare stores.
+    std::memset(fetch_stall, 0, n * sizeof(fetch_stall[0]));
+    std::memset(mem_lat, 0, n * sizeof(mem_lat[0]));
+    std::memset(l1_missed, 0, n);
+    std::memset(dram_code, 0, n);
+
+    // Cache pass: fetch + data per op, interleaved in op order. As a
+    // by-product of its class dispatch it records the branch and
+    // memory op index lists the later passes walk.
     for (std::size_t i = 0; i < n; ++i) {
-        const isa::MicroOp &op = ops[i];
-
-        // Instruction fetch.
-        const std::uint64_t fetch_line = op.pc >> inst_shift;
-        const std::uint64_t iset =
-            hierarchy_.l1i().setOfLine(fetch_line);
-        HitLevel fetch_level = HitLevel::L1;
-        if (instMemo_[iset] == fetch_line) {
+        const std::uint64_t pc = pcs[i];
+        const std::uint64_t fetch_line = pc >> inst_shift;
+        const std::uint64_t iset = l1i.setOfLine(fetch_line);
+        if (inst_memo[iset] == fetch_line) {
             ++inst_repeat_hits;
         } else {
-            fetch_level = hierarchy_.accessInstFast(op.pc);
-            instMemo_[iset] = fetch_line;
-        }
-        const std::uint64_t pc_page =
-            op.pc / FootprintTracker::kPageBytes;
-        if (pc_page != last_pc_page) {
-            footprint_.touch(op.pc);
-            last_pc_page = pc_page;
-        }
-        unsigned fetch_stall = 0;
-        if (fetch_level != HitLevel::L1) {
-            const unsigned latency = hierarchy_.latencyOf(fetch_level);
-            fetch_stall = latency > hidden ? latency - hidden : 0;
-        }
-        if (tlb) {
-            const TlbOutcome itlb_outcome = itlb_.access(op.pc);
-            fetch_stall += itlb_outcome.extraLatency;
-            if (!itlb_outcome.l1Hit && !itlb_outcome.l2Hit)
-                ++itlb_walks;
+            const HitLevel fetch_level = hierarchy_.accessInstFast(pc);
+            inst_memo[iset] = fetch_line;
+            const unsigned stall =
+                stall_of[static_cast<std::size_t>(fetch_level)];
+            if (stall != 0)
+                fetch_stall[i] = stall;
         }
 
-        unsigned mem_latency = 0;
-        bool l1_miss = false;
-        bool mispredicted = false;
-        bool dram_access = false;
-        double dram_lines = 1.0;
-
-        if (op.isLoad()) {
+        const isa::UopClass cls = classes[i];
+        if (cls == isa::UopClass::Load) {
             ++num_loads;
-            const std::uint64_t line = op.effAddr >> data_shift;
-            const std::uint64_t dset =
-                hierarchy_.l1d().setOfLine(line);
+            mem_idx[mem_count++] = static_cast<std::uint32_t>(i);
+            const std::uint64_t addr = addrs[i];
+            const std::uint64_t line = addr >> data_shift;
+            const std::uint64_t dset = l1d.setOfLine(line);
             HitLevel level = HitLevel::L1;
-            if (dataMemoLegal_ && dataMemo_[dset] == line) {
+            if (data_memo_legal && data_memo[dset] == line) {
                 ++data_repeat_hits;
             } else {
-                level = hierarchy_.accessDataFast(op.effAddr, false,
-                                                  op.pc);
-                dataMemo_[dset] = line;
-                dataMemoDirty_[dset] = 0;
-            }
-            const std::uint64_t data_page =
-                op.effAddr / FootprintTracker::kPageBytes;
-            if (data_page != last_data_page) {
-                footprint_.touch(op.effAddr);
-                last_data_page = data_page;
+                level = hierarchy_.accessDataFast(addr, false, pc);
+                data_memo[dset] = line;
+                data_memo_dirty[dset] = 0;
             }
             ++loads_at[static_cast<std::size_t>(level)];
-            mem_latency = hierarchy_.latencyOf(level);
-            l1_miss = level != HitLevel::L1;
-            dram_access = level == HitLevel::Memory;
-            if (tlb) {
-                const TlbOutcome dtlb_outcome =
-                    dtlb_.access(op.effAddr);
-                mem_latency += dtlb_outcome.extraLatency;
-                // A translation longer than the L1 hit pipeline
-                // behaves like a miss for overlap purposes.
-                l1_miss |= dtlb_outcome.extraLatency > 0;
-                if (!dtlb_outcome.l1Hit && !dtlb_outcome.l2Hit)
-                    ++dtlb_walks;
+            mem_lat[i] = lat[static_cast<std::size_t>(level)];
+            if (level != HitLevel::L1) {
+                l1_missed[i] = 1;
+                if (level == HitLevel::Memory)
+                    dram_code[i] = 1;
             }
-        } else if (op.isStore()) {
+        } else if (cls == isa::UopClass::Store) {
             ++num_stores;
-            const std::uint64_t line = op.effAddr >> data_shift;
-            const std::uint64_t dset =
-                hierarchy_.l1d().setOfLine(line);
-            if (dataMemoLegal_ && dataMemo_[dset] == line
-                && dataMemoDirty_[dset] != 0) {
+            mem_idx[mem_count++] = static_cast<std::uint32_t>(i);
+            const std::uint64_t addr = addrs[i];
+            const std::uint64_t line = addr >> data_shift;
+            const std::uint64_t dset = l1d.setOfLine(line);
+            if (data_memo_legal && data_memo[dset] == line
+                && data_memo_dirty[dset] != 0) {
                 ++data_repeat_hits;
             } else {
                 const HitLevel level =
-                    hierarchy_.accessDataFast(op.effAddr, true, op.pc);
-                dataMemo_[dset] = line;
-                dataMemoDirty_[dset] = 1;
-                if (level == HitLevel::Memory) {
-                    // Write-allocate RFO read now, dirty writeback
-                    // later.
-                    dram_access = true;
-                    dram_lines = 2.0;
-                }
+                    hierarchy_.accessDataFast(addr, true, pc);
+                data_memo[dset] = line;
+                data_memo_dirty[dset] = 1;
+                // Write-allocate RFO read now, dirty writeback later.
+                if (level == HitLevel::Memory)
+                    dram_code[i] = 2;
             }
-            const std::uint64_t data_page =
-                op.effAddr / FootprintTracker::kPageBytes;
-            if (data_page != last_data_page) {
-                footprint_.touch(op.effAddr);
-                last_data_page = data_page;
-            }
-        } else if (op.isBranch()) {
-            SPEC17_ASSERT(op.branch != isa::BranchKind::None,
-                          "branch with kind None reached simulator");
-            ++num_branches;
-            ++kinds[static_cast<std::size_t>(op.branch)];
-            if (branches_.execute(op)) {
-                mispredicted = true;
-                ++num_mispredicts;
+        } else if (cls == isa::UopClass::Branch) {
+            branch_idx[branch_count++] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    // TLB passes: itlb over the pc lane, dtlb over load addresses.
+    std::uint64_t itlb_walks = 0;
+    std::uint64_t dtlb_walks = 0;
+    if (tlb) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const TlbOutcome outcome = itlb_.access(pcs[i]);
+            fetch_stall[i] += outcome.extraLatency;
+            if (!outcome.l1Hit && !outcome.l2Hit)
+                ++itlb_walks;
+        }
+        for (std::size_t j = 0; j < mem_count; ++j) {
+            const std::size_t i = mem_idx[j];
+            if (classes[i] != isa::UopClass::Load)
+                continue;
+            const TlbOutcome outcome = dtlb_.access(addrs[i]);
+            mem_lat[i] += outcome.extraLatency;
+            // A translation longer than the L1 hit pipeline behaves
+            // like a miss for overlap purposes.
+            l1_missed[i] |= outcome.extraLatency > 0;
+            if (!outcome.l1Hit && !outcome.l2Hit)
+                ++dtlb_walks;
+        }
+    }
+
+    // Branch pass: walks the branch index list in op order, so the
+    // predictor/BTB see the exact consume() sequence.
+    std::fill(mispred, mispred + n, std::uint8_t{0});
+    const std::uint64_t num_branches = branch_count;
+    std::uint64_t num_mispredicts = 0;
+    std::uint64_t kinds[isa::kNumBranchKinds + 1] = {};
+    for (std::size_t j = 0; j < branch_count; ++j) {
+        const std::size_t i = branch_idx[j];
+        const isa::BranchKind kind = kindv[i];
+        SPEC17_ASSERT(kind != isa::BranchKind::None,
+                      "branch with kind None reached simulator");
+        ++kinds[static_cast<std::size_t>(kind)];
+        if (branches_.execute(kind, pcs[i], takenv[i] != 0,
+                              targets[i])) {
+            mispred[i] = 1;
+            ++num_mispredicts;
+        }
+    }
+
+    // Footprint pass: pc sub-pass, then data sub-pass, each with a
+    // local last-page filter backed by a direct-mapped seen-page
+    // filter (see pcPageSeen_) so already-counted pages skip the
+    // footprint hash probe entirely (inserts are idempotent).
+    {
+        std::uint64_t *__restrict const pc_seen = pcPageSeen_.data();
+        std::uint64_t *__restrict const data_seen = dataPageSeen_.data();
+        std::uint64_t last_pc_page = ~std::uint64_t(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t page =
+                pcs[i] / FootprintTracker::kPageBytes;
+            if (page == last_pc_page)
+                continue;
+            last_pc_page = page;
+            std::uint64_t &slot = pc_seen[page % kPcPageSeenSlots];
+            if (slot != page) {
+                slot = page;
+                footprint_.touch(pcs[i]);
             }
         }
-
-        core_.retireInline(op, mem_latency, l1_miss, fetch_stall,
-                           mispredicted, dram_access, dram_lines);
+        std::uint64_t last_data_page = ~std::uint64_t(0);
+        for (std::size_t j = 0; j < mem_count; ++j) {
+            const std::size_t i = mem_idx[j];
+            const std::uint64_t page =
+                addrs[i] / FootprintTracker::kPageBytes;
+            if (page == last_data_page)
+                continue;
+            last_data_page = page;
+            std::uint64_t &slot = data_seen[page % kDataPageSeenSlots];
+            if (slot != page) {
+                slot = page;
+                footprint_.touch(addrs[i]);
+            }
+        }
     }
+
+    // Retire pass: serial core timing fed by the staged scratch
+    // lanes, with the cross-op state register-hoisted for the whole
+    // batch (see CoreModel::retireBatch).
+    core_.retireBatch(classes, dep_load, dep_prev, mem_lat, l1_missed,
+                      fetch_stall, mispred, dram_code, n);
 
     if (inst_repeat_hits != 0)
         hierarchy_.creditInstHits(inst_repeat_hits);
@@ -380,8 +498,6 @@ CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
     // may have moved the shared cache's active context since our last
     // chunk. No-op for a private L3.
     hierarchy_.setL3Context(l3Context_);
-    if (batchBuf_.size() < batchOps_)
-        batchBuf_.resize(batchOps_);
     std::uint64_t consumed = 0;
     while (consumed < max_ops) {
         // Clamping each batch to the remaining budget keeps step()'s
@@ -390,9 +506,9 @@ CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
         // identical counts on either lane.
         const std::size_t want = static_cast<std::size_t>(
             std::min<std::uint64_t>(batchOps_, max_ops - consumed));
-        const std::size_t got = source.nextBatch(batchBuf_.data(), want);
+        const std::size_t got = source.nextBatchSoA(batch_, 0, want);
         if (got != 0)
-            consumeBatch(batchBuf_.data(), got);
+            consumeBatch(got);
         consumed += got;
         if (got < want)
             break;

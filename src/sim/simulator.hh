@@ -73,12 +73,13 @@ class CpuSimulator
      * the multicore interleaver and phase analysis).
      *
      * Runs on the batched fast lane: ops are pulled through
-     * TraceSource::nextBatch() in chunks of batchOps() and consumed
-     * in tight per-component passes. Results are byte-identical to
-     * stepUnbatched() at any batch size -- the golden tests enforce
-     * it -- and internal batches never overrun @p max_ops, so
-     * telemetry sampling intervals and watchdog op budgets (which cap
-     * max_ops per call) observe identical op counts.
+     * TraceSource::nextBatchSoA() in chunks of batchOps() and consumed
+     * in tight per-component lane passes (see consumeBatch). Results
+     * are byte-identical to stepUnbatched() at any batch size -- the
+     * golden tests enforce it -- and internal batches never overrun
+     * @p max_ops, so telemetry sampling intervals and watchdog op
+     * budgets (which cap max_ops per call) observe identical op
+     * counts.
      *
      * @return number of micro-ops actually consumed.
      */
@@ -96,8 +97,10 @@ class CpuSimulator
     /** Default micro-ops per batch on the fast lane. */
     static constexpr std::size_t kDefaultBatchOps = 256;
 
-    /** Sets the fast-lane batch size (>= 1); purely an execution-
-     *  strategy knob, results do not depend on it. */
+    /** Sets the fast-lane batch size; purely an execution-strategy
+     *  knob, results do not depend on it. A batch size of 0 is
+     *  meaningless and is clamped to 1 with a warning (the contained
+     *  degradation matching the knob's results-invariant nature). */
     void setBatchOps(std::size_t batch_ops);
     std::size_t batchOps() const { return batchOps_; }
 
@@ -138,8 +141,10 @@ class CpuSimulator
 
   private:
     void consume(const isa::MicroOp &op);
-    /** Batched equivalent of n consume() calls (see step()). */
-    void consumeBatch(const isa::MicroOp *ops, std::size_t n);
+    /** Batched equivalent of n consume() calls over the first n lane
+     *  slots of batch_, restructured into per-component passes (see
+     *  the implementation comment for the legality argument). */
+    void consumeBatch(std::size_t n);
     /** Forgets the per-set line memos after any non-batched cache
      *  mutation (reference lane, prefill); a cleared memo only costs
      *  one real access per set to re-establish. */
@@ -165,7 +170,29 @@ class CpuSimulator
      *  is illegal with one (prefetch fills can evict any L1D line and
      *  the prefetcher must observe every load). */
     bool dataMemoLegal_ = false;
-    std::vector<isa::MicroOp> batchBuf_;
+    /** SoA lane buffer the fast lane pulls trace chunks into. */
+    trace::MicroOpBatch batch_;
+    /** @name Per-op scratch lanes staged between consumeBatch passes
+     *  (indexed like batch_; resized once, reused every batch). The
+     *  cache pass writes fetchStall_/memLatency_/l1Miss_/dram_ for
+     *  every op, the TLB passes add to the first three, the branch
+     *  pass sets mispredicted_, and the retire pass consumes all
+     *  five. dram_ encodes DRAM-channel occupancy: 0 = none, 1 = one
+     *  line transfer (load fill), 2 = two (store RFO + writeback). */
+    /// @{
+    std::vector<unsigned> fetchStall_;
+    std::vector<unsigned> memLatency_;
+    std::vector<std::uint8_t> l1Miss_;
+    std::vector<std::uint8_t> mispredicted_;
+    std::vector<std::uint8_t> dram_;
+    /** Compact op-index lists the cache pass records as a by-product
+     *  of its class dispatch (in op order): branch ops, and memory
+     *  (load/store) ops. The branch, dTLB and footprint-data passes
+     *  walk these instead of re-scanning all n ops with their own
+     *  mispredict-prone class tests. */
+    std::vector<std::uint32_t> branchIdx_;
+    std::vector<std::uint32_t> memIdx_;
+    /// @}
     static constexpr std::uint64_t kNoLine = ~std::uint64_t{0};
     /** Per-set memo of each L1's most-recently-used line (kNoLine =
      *  unknown): an access to the memo'd line is a guaranteed L1 hit
@@ -178,6 +205,21 @@ class CpuSimulator
      *  write). A write may only be memo-skipped then, because
      *  writing a clean line must set its dirty bit. */
     std::vector<std::uint8_t> dataMemoDirty_;
+    /** @name Direct-mapped already-touched-page filters
+     *  A slot holding page p proves footprint_ already contains p
+     *  (slots are set only after a touch), and the footprint page set
+     *  only ever grows, so the batched footprint pass may skip the
+     *  hash probe for filter hits -- touch() is idempotent. Never
+     *  needs invalidation, even across reference-lane steps or
+     *  prefills: entries can only go stale toward extra (harmless)
+     *  touches, never toward wrongly skipped ones. kNoLine means
+     *  empty (pages are addr / 4096, so all-ones never occurs). */
+    /// @{
+    static constexpr std::size_t kPcPageSeenSlots = 64;
+    static constexpr std::size_t kDataPageSeenSlots = 4096;
+    std::vector<std::uint64_t> pcPageSeen_;
+    std::vector<std::uint64_t> dataPageSeen_;
+    /// @}
     /// @}
 };
 

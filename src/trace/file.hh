@@ -42,6 +42,8 @@ class FileTrace : public TraceSource
 
     bool next(isa::MicroOp &op) override;
     std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
+    std::size_t nextBatchSoA(MicroOpBatch &out, std::size_t at,
+                             std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
 
@@ -58,6 +60,7 @@ class FileTrace : public TraceSource
     std::uint64_t delivered_ = 0;
     std::vector<isa::MicroOp> buffer_;
     std::size_t bufferPos_ = 0;
+    std::vector<unsigned char> rawScratch_;
 };
 
 } // namespace trace

@@ -19,6 +19,13 @@ PhasedTrace::next(isa::MicroOp &op)
     while (current_ < phases_.size()) {
         if (phases_[current_]->next(op))
             return true;
+        // A child that produced nothing is either exhausted or merely
+        // paused by cooperative cancellation. Advancing past a paused
+        // child would silently drop its remaining ops and splice the
+        // next phase's head into the stream, so only an exhausted
+        // child moves the cursor.
+        if (phases_[current_]->cancelled())
+            return false;
         ++current_;
     }
     return false;
@@ -36,10 +43,43 @@ PhasedTrace::nextBatch(isa::MicroOp *out, std::size_t n)
         const std::size_t got =
             phases_[current_]->nextBatch(out + filled, want);
         filled += got;
-        if (got < want)
+        if (got < want) {
+            // Short child return: exhausted -> next phase; paused by
+            // cancellation -> stop here so the phase remainder resumes
+            // once the flag clears (matches the next()-loop stream).
+            if (phases_[current_]->cancelled())
+                break;
             ++current_;
+        }
     }
     return filled;
+}
+
+std::size_t
+PhasedTrace::nextBatchSoA(MicroOpBatch &out, std::size_t at, std::size_t n)
+{
+    // Same stitching as nextBatch, offset into the lanes: each child
+    // writes its contribution at the running lane position.
+    out.ensure(at + n);
+    std::size_t filled = 0;
+    while (filled < n && current_ < phases_.size()) {
+        const std::size_t want = n - filled;
+        const std::size_t got =
+            phases_[current_]->nextBatchSoA(out, at + filled, want);
+        filled += got;
+        if (got < want) {
+            if (phases_[current_]->cancelled())
+                break;
+            ++current_;
+        }
+    }
+    return filled;
+}
+
+bool
+PhasedTrace::cancelled() const
+{
+    return current_ < phases_.size() && phases_[current_]->cancelled();
 }
 
 void

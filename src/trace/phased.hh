@@ -29,8 +29,13 @@ class PhasedTrace : public TraceSource
 
     bool next(isa::MicroOp &op) override;
     std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
+    std::size_t nextBatchSoA(MicroOpBatch &out, std::size_t at,
+                             std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
+
+    /** A phased trace is paused exactly while its current child is. */
+    bool cancelled() const override;
 
     /** Number of child phases. */
     std::size_t numPhases() const { return phases_.size(); }

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "isa/uop.hh"
+#include "trace/batch.hh"
 
 namespace spec17 {
 namespace trace {
@@ -69,6 +70,46 @@ class TraceSource
             ++filled;
         return filled;
     }
+
+    /**
+     * Produces up to @p n micro-ops into the SoA lanes of @p out,
+     * starting at lane slot @p at -- the batched fast lane's native
+     * surface (the simulator consumes lanes, never AoS structs).
+     *
+     * Same stream contract as nextBatch(): op for op identical to
+     * @p n next() pulls, mixable freely with the other two surfaces,
+     * same short-return semantics. Writers fill every lane of every
+     * delivered op (see MicroOpBatch).
+     *
+     * The default adapter stages a nextBatch() pull in the batch's
+     * AoS scratch and scatters it, so existing sources keep their
+     * amortized batched path; sources on the hot path override this
+     * to fill lanes directly.
+     *
+     * @return number of micro-ops written (<= @p n); lanes are sized
+     *         to at least @p at + @p n on entry.
+     */
+    virtual std::size_t
+    nextBatchSoA(MicroOpBatch &out, std::size_t at, std::size_t n)
+    {
+        out.ensure(at + n);
+        isa::MicroOp *buf = out.scratch(n);
+        const std::size_t got = nextBatch(buf, n);
+        for (std::size_t i = 0; i < got; ++i)
+            out.set(at + i, buf[i]);
+        return got;
+    }
+
+    /**
+     * True while cooperative cancellation is holding the stream back:
+     * a short return in that state does NOT mean the ops ran out, and
+     * clearing the cancel flag resumes exactly where the stream
+     * stopped. Sources without a cancellation mechanism return false.
+     * Combinators (PhasedTrace) consult this to distinguish a child
+     * that finished from a child that was paused -- advancing past a
+     * merely-paused child would silently drop its remainder.
+     */
+    virtual bool cancelled() const { return false; }
 
     /** Rewinds to the beginning of the identical stream (see the
      *  class comment for the exact contract). */

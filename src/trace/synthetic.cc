@@ -180,6 +180,40 @@ SyntheticTraceGenerator::rebuildStaticStructure()
         loadWeightTotal_ += w;
     for (double w : storeWeights_)
         storeWeightTotal_ += w;
+
+    // Every bounded draw in the emission path uses a bound fixed by
+    // the static structure; precompute the division pair each would
+    // otherwise pay per call. Bounds of guarded-off draws (no easy
+    // sites, monomorphic indirect sites) are pinned to 1 unused.
+    regionOffsetDraw_.clear();
+    for (const auto &region : params_.regions) {
+        const std::uint64_t span = region.sizeBytes / 8 * 8;
+        regionOffsetDraw_.emplace_back(span / 8);
+    }
+    hotTargetDraw_ = BoundedDraw(hot_span / 4);
+    coldTargetDraw_ = BoundedDraw(code_span / 4);
+    hardSiteDraw_ = BoundedDraw(num_hard);
+    easySiteDraw_ = BoundedDraw(
+        num_sites > num_hard ? num_sites - num_hard : 1);
+    allSiteDraw_ = BoundedDraw(num_sites);
+    indirectSiteDraw_ = BoundedDraw(indirectSitePcs_.size());
+    indirectPickDraw_.clear();
+    for (const auto &targets : indirectSiteTargets_)
+        indirectPickDraw_.emplace_back(
+            targets.size() > 1 ? targets.size() - 1 : 1);
+
+    // Likewise for every fixed-probability Bernoulli draw, including
+    // the per-site taken biases.
+    hardBranchDraw_ = BernoulliDraw(params_.hardBranchFrac);
+    branchDepDraw_ = BernoulliDraw(params_.branchDepOnLoadFrac);
+    hotCodeDraw_ = BernoulliDraw(params_.hotCodeFrac);
+    indirectSwitchDraw_ = BernoulliDraw(params_.indirectSwitchProb);
+    fpDraw_ = BernoulliDraw(params_.fpFrac);
+    computeDepDraw_ = BernoulliDraw(params_.computeDepFrac);
+    condSiteTakenDraw_.clear();
+    condSiteTakenDraw_.reserve(condSites_.size());
+    for (const BranchSite &site : condSites_)
+        condSiteTakenDraw_.emplace_back(site.takenProb);
 }
 
 std::size_t
@@ -248,10 +282,12 @@ SyntheticTraceGenerator::pickAddress(std::size_t region_index,
         return state.base + state.cursor;
       }
       case AccessPattern::Random:
-        return state.base + rng_.nextBounded(span / 8) * 8;
+        return state.base
+            + regionOffsetDraw_[region_index].draw(rng_) * 8;
       case AccessPattern::PointerChase:
         dep_on_load = true;
-        return state.base + rng_.nextBounded(span / 8) * 8;
+        return state.base
+            + regionOffsetDraw_[region_index].draw(rng_) * 8;
     }
     SPEC17_PANIC("unknown AccessPattern");
 }
@@ -259,15 +295,13 @@ SyntheticTraceGenerator::pickAddress(std::size_t region_index,
 std::uint64_t
 SyntheticTraceGenerator::pickBranchTarget()
 {
-    const std::uint64_t span = params_.codeFootprintBytes;
     // Hot targets concentrate in an L1I-resident prefix of the code
     // (inner loops), matching the strong fetch locality real
     // applications show even with multi-megabyte binaries.
-    const std::uint64_t hot_span =
-        std::min<std::uint64_t>(span, 16 * 1024);
-    const std::uint64_t zone =
-        rng_.nextBernoulli(params_.hotCodeFrac) ? hot_span : span;
-    return kCodeBase + rng_.nextBounded(zone / 4) * 4;
+    const BoundedDraw &zone = hotCodeDraw_.draw(rng_)
+        ? hotTargetDraw_
+        : coldTargetDraw_;
+    return kCodeBase + zone.draw(rng_) * 4;
 }
 
 SyntheticTraceGenerator::EmitConsts
@@ -279,20 +313,140 @@ SyntheticTraceGenerator::emitConsts() const
     EmitConsts k;
     k.hotSpan =
         std::min<std::uint64_t>(params_.codeFootprintBytes, 16 * 1024);
-    k.loadCut = params_.loadFrac;
-    k.storeCut = k.loadCut + params_.storeFrac;
-    k.branchCut = k.storeCut + params_.branchFrac;
-    k.condCut = params_.condFrac;
-    k.directJumpCut = k.condCut + params_.directJumpFrac;
-    k.nearCallCut = k.directJumpCut + params_.nearCallFrac;
-    k.indirectJumpCut = k.nearCallCut + params_.indirectJumpFrac;
-    k.nearReturnCut = k.indirectJumpCut + params_.nearReturnFrac;
+    // Cumulative cuts are summed in double exactly as the original
+    // per-op comparisons did, then mapped to their integer images:
+    // thresholdOf() preserves every (roll < cut) outcome bit-exactly.
+    const double load_cut = params_.loadFrac;
+    const double store_cut = load_cut + params_.storeFrac;
+    const double branch_cut = store_cut + params_.branchFrac;
+    k.loadCut = BernoulliDraw::thresholdOf(load_cut);
+    k.storeCut = BernoulliDraw::thresholdOf(store_cut);
+    k.branchCut = BernoulliDraw::thresholdOf(branch_cut);
+    const double cond_cut = params_.condFrac;
+    const double direct_jump_cut = cond_cut + params_.directJumpFrac;
+    const double near_call_cut = direct_jump_cut + params_.nearCallFrac;
+    const double indirect_jump_cut =
+        near_call_cut + params_.indirectJumpFrac;
+    const double near_return_cut =
+        indirect_jump_cut + params_.nearReturnFrac;
+    k.condCut = BernoulliDraw::thresholdOf(cond_cut);
+    k.directJumpCut = BernoulliDraw::thresholdOf(direct_jump_cut);
+    k.nearCallCut = BernoulliDraw::thresholdOf(near_call_cut);
+    k.indirectJumpCut = BernoulliDraw::thresholdOf(indirect_jump_cut);
+    k.nearReturnCut = BernoulliDraw::thresholdOf(near_return_cut);
+    k.divCut = BernoulliDraw::thresholdOf(params_.divFrac);
+    k.mulCut =
+        BernoulliDraw::thresholdOf(params_.divFrac + params_.mulFrac);
     k.numHardSites = std::max<std::size_t>(1, condSites_.size() / 8);
     return k;
 }
 
+namespace {
+
+/** emitOpTo() writer landing fields in one AoS MicroOp. */
+struct AosOpWriter
+{
+    isa::MicroOp &op;
+
+    void
+    load(std::uint64_t pc, std::uint64_t addr, std::uint8_t size,
+         bool dep_on_load)
+    {
+        op = isa::makeLoad(pc, addr, size, dep_on_load);
+    }
+    void
+    store(std::uint64_t pc, std::uint64_t addr, std::uint8_t size)
+    {
+        op = isa::makeStore(pc, addr, size);
+    }
+    void
+    branch(std::uint64_t pc, isa::BranchKind kind, bool taken,
+           std::uint64_t target, bool dep_on_load)
+    {
+        op = isa::makeBranch(pc, kind, taken, target, dep_on_load);
+    }
+    void
+    compute(std::uint64_t pc, isa::UopClass cls, bool dep_on_prev)
+    {
+        op = isa::makeAlu(pc, cls);
+        op.depOnPrev = dep_on_prev;
+    }
+};
+
+/** emitOpTo() writer landing fields directly in SoA batch lanes.
+ *  The caller zeroFill()s the batch span first, so each method only
+ *  stores the fields its op class can set away from the construction
+ *  defaults -- roughly half the lane stores of a full scatter. Holds
+ *  raw restrict-qualified lane pointers captured once per batch: the
+ *  byte-typed lanes would otherwise make every store a universal-
+ *  aliasing store (std::uint8_t is unsigned char) and force the
+ *  emit loop to reload the vector data pointers and RNG state after
+ *  each one. */
+struct SoaLaneWriter
+{
+    isa::UopClass *__restrict clsLane;
+    isa::BranchKind *__restrict kindLane;
+    std::uint64_t *__restrict pcLane;
+    std::uint64_t *__restrict addrLane;
+    std::uint8_t *__restrict sizeLane;
+    std::uint8_t *__restrict takenLane;
+    std::uint64_t *__restrict targetLane;
+    std::uint8_t *__restrict depOnLoadLane;
+    std::uint8_t *__restrict depOnPrevLane;
+    std::size_t i = 0;
+
+    explicit SoaLaneWriter(MicroOpBatch &b)
+        : clsLane(b.cls.data()), kindLane(b.kind.data()),
+          pcLane(b.pc.data()), addrLane(b.addr.data()),
+          sizeLane(b.accessSize.data()), takenLane(b.taken.data()),
+          targetLane(b.target.data()),
+          depOnLoadLane(b.depOnLoad.data()),
+          depOnPrevLane(b.depOnPrev.data())
+    {}
+
+    void
+    load(std::uint64_t pc, std::uint64_t addr, std::uint8_t size,
+         bool dep_on_load)
+    {
+        clsLane[i] = isa::UopClass::Load;
+        pcLane[i] = pc;
+        addrLane[i] = addr;
+        sizeLane[i] = size;
+        depOnLoadLane[i] = dep_on_load ? 1 : 0;
+    }
+    void
+    store(std::uint64_t pc, std::uint64_t addr, std::uint8_t size)
+    {
+        clsLane[i] = isa::UopClass::Store;
+        pcLane[i] = pc;
+        addrLane[i] = addr;
+        sizeLane[i] = size;
+    }
+    void
+    branch(std::uint64_t pc, isa::BranchKind kind, bool taken,
+           std::uint64_t target, bool dep_on_load)
+    {
+        clsLane[i] = isa::UopClass::Branch;
+        kindLane[i] = kind;
+        pcLane[i] = pc;
+        takenLane[i] = taken ? 1 : 0;
+        targetLane[i] = target;
+        depOnLoadLane[i] = dep_on_load ? 1 : 0;
+    }
+    void
+    compute(std::uint64_t pc, isa::UopClass cls, bool dep_on_prev)
+    {
+        clsLane[i] = cls;
+        pcLane[i] = pc;
+        depOnPrevLane[i] = dep_on_prev ? 1 : 0;
+    }
+};
+
+} // namespace
+
+template <typename Writer>
 void
-SyntheticTraceGenerator::emitOp(isa::MicroOp &op, const EmitConsts &k)
+SyntheticTraceGenerator::emitOpTo(Writer &&w, const EmitConsts &k)
 {
     // Sequential fetch. Execution loops within the hot (L1I-sized)
     // code prefix; a fall-through from colder code walks linearly
@@ -311,13 +465,16 @@ SyntheticTraceGenerator::emitOp(isa::MicroOp &op, const EmitConsts &k)
                    ? offset - params_.codeFootprintBytes
                    : offset);
 
-    const double roll = rng_.nextDouble();
+    // One raw 53-bit roll against the integer cut images; identical
+    // outcomes to the nextDouble()-vs-double-cut comparisons (see
+    // EmitConsts), with no int->double conversion per op.
+    const std::uint64_t roll = rng_.next() >> 11;
     if (roll < k.loadCut) {
         const std::size_t region =
             pickWeighted(loadWeights_, loadWeightTotal_);
         bool dep = false;
         const std::uint64_t addr = pickAddress(region, dep);
-        op = isa::makeLoad(pc_, addr, 8, dep);
+        w.load(pc_, addr, 8, dep);
         return;
     }
     if (roll < k.storeCut) {
@@ -325,68 +482,87 @@ SyntheticTraceGenerator::emitOp(isa::MicroOp &op, const EmitConsts &k)
             pickWeighted(storeWeights_, storeWeightTotal_);
         bool dep = false;
         const std::uint64_t addr = pickAddress(region, dep);
-        op = isa::makeStore(pc_, addr, 8);
+        w.store(pc_, addr, 8);
         return;
     }
     if (roll < k.branchCut) {
-        const double kind_roll = rng_.nextDouble();
+        // All kinds funnel through one writer call so the taken-pc
+        // redirect below sees the same (taken, target) pair in every
+        // surface; RNG draw order matches the pre-SoA emitOp exactly.
+        isa::BranchKind kind;
+        std::uint64_t br_pc;
+        bool taken;
+        std::uint64_t target;
+        bool dep = false;
+        const std::uint64_t kind_roll = rng_.next() >> 11;
         if (kind_roll < k.condCut || kind_roll >= k.nearReturnCut) {
             // Conditional branch from a static site population.
-            const bool hard = rng_.nextBernoulli(params_.hardBranchFrac);
+            const bool hard = hardBranchDraw_.draw(rng_);
             std::size_t site_index;
             if (hard) {
-                site_index = rng_.nextBounded(k.numHardSites);
+                site_index = hardSiteDraw_.draw(rng_);
             } else {
                 site_index = k.numHardSites == condSites_.size()
-                    ? rng_.nextBounded(condSites_.size())
-                    : k.numHardSites + rng_.nextBounded(
-                          condSites_.size() - k.numHardSites);
+                    ? allSiteDraw_.draw(rng_)
+                    : k.numHardSites + easySiteDraw_.draw(rng_);
             }
             const BranchSite &site = condSites_[site_index];
-            const bool taken = rng_.nextBernoulli(site.takenProb);
-            const bool dep =
-                rng_.nextBernoulli(params_.branchDepOnLoadFrac);
-            op = isa::makeBranch(site.pc, isa::BranchKind::Conditional,
-                                 taken, pickBranchTarget(), dep);
+            kind = isa::BranchKind::Conditional;
+            br_pc = site.pc;
+            taken = condSiteTakenDraw_[site_index].draw(rng_);
+            dep = branchDepDraw_.draw(rng_);
+            target = pickBranchTarget();
         } else if (kind_roll < k.directJumpCut) {
-            op = isa::makeBranch(pc_, isa::BranchKind::DirectJump, true,
-                                 pickBranchTarget());
+            kind = isa::BranchKind::DirectJump;
+            br_pc = pc_;
+            taken = true;
+            target = pickBranchTarget();
         } else if (kind_roll < k.nearCallCut) {
-            op = isa::makeBranch(pc_, isa::BranchKind::DirectNearCall,
-                                 true, pickBranchTarget());
+            kind = isa::BranchKind::DirectNearCall;
+            br_pc = pc_;
+            taken = true;
+            target = pickBranchTarget();
         } else if (kind_roll < k.indirectJumpCut) {
-            const std::size_t site =
-                rng_.nextBounded(indirectSitePcs_.size());
+            const std::size_t site = indirectSiteDraw_.draw(rng_);
             const auto &targets = indirectSiteTargets_[site];
             // Mostly-monomorphic dispatch: the first target dominates.
             std::size_t pick = 0;
-            if (targets.size() > 1
-                && rng_.nextBernoulli(params_.indirectSwitchProb))
-                pick = 1 + rng_.nextBounded(targets.size() - 1);
-            op = isa::makeBranch(indirectSitePcs_[site],
-                                 isa::BranchKind::IndirectJumpNonCallRet,
-                                 true, targets[pick]);
+            if (targets.size() > 1 && indirectSwitchDraw_.draw(rng_))
+                pick = 1 + indirectPickDraw_[site].draw(rng_);
+            kind = isa::BranchKind::IndirectJumpNonCallRet;
+            br_pc = indirectSitePcs_[site];
+            taken = true;
+            target = targets[pick];
         } else {
-            op = isa::makeBranch(pc_, isa::BranchKind::IndirectNearReturn,
-                                 true, pickBranchTarget());
+            kind = isa::BranchKind::IndirectNearReturn;
+            br_pc = pc_;
+            taken = true;
+            target = pickBranchTarget();
         }
-        if (op.taken)
-            pc_ = op.target;
+        w.branch(br_pc, kind, taken, target, dep);
+        if (taken)
+            pc_ = target;
         return;
     }
 
     // Compute op.
     isa::UopClass cls;
-    const bool fp = rng_.nextBernoulli(params_.fpFrac);
-    const double unit_roll = rng_.nextDouble();
-    if (unit_roll < params_.divFrac)
+    const bool fp = fpDraw_.draw(rng_);
+    const std::uint64_t unit_roll = rng_.next() >> 11;
+    if (unit_roll < k.divCut)
         cls = fp ? isa::UopClass::FpDiv : isa::UopClass::IntDiv;
-    else if (unit_roll < params_.divFrac + params_.mulFrac)
+    else if (unit_roll < k.mulCut)
         cls = fp ? isa::UopClass::FpMul : isa::UopClass::IntMul;
     else
         cls = fp ? isa::UopClass::FpAdd : isa::UopClass::IntAlu;
-    op = isa::makeAlu(pc_, cls);
-    op.depOnPrev = rng_.nextBernoulli(params_.computeDepFrac);
+    const bool dep_on_prev = computeDepDraw_.draw(rng_);
+    w.compute(pc_, cls, dep_on_prev);
+}
+
+void
+SyntheticTraceGenerator::emitOp(isa::MicroOp &op, const EmitConsts &k)
+{
+    emitOpTo(AosOpWriter{op}, k);
 }
 
 bool
@@ -406,6 +582,27 @@ SyntheticTraceGenerator::nextBatch(isa::MicroOp *out, std::size_t n)
     const EmitConsts k = emitConsts();
     for (std::size_t i = 0; i < n; ++i)
         emitOp(out[i], k);
+    emitted_ += n;
+    return n;
+}
+
+std::size_t
+SyntheticTraceGenerator::nextBatchSoA(MicroOpBatch &out, std::size_t at,
+                                      std::size_t n)
+{
+    if (cancel_ != nullptr && *cancel_)
+        return 0;
+    const std::uint64_t remaining = params_.numOps - emitted_;
+    if (remaining < n)
+        n = static_cast<std::size_t>(remaining);
+    out.ensure(at + n);
+    out.zeroFill(at, n);
+    const EmitConsts k = emitConsts();
+    SoaLaneWriter w(out);
+    for (std::size_t i = 0; i < n; ++i) {
+        w.i = at + i;
+        emitOpTo(w, k);
+    }
     emitted_ += n;
     return n;
 }

@@ -156,8 +156,18 @@ class SyntheticTraceGenerator : public TraceSource
 
     bool next(isa::MicroOp &op) override;
     std::size_t nextBatch(isa::MicroOp *out, std::size_t n) override;
+    std::size_t nextBatchSoA(MicroOpBatch &out, std::size_t at,
+                             std::size_t n) override;
     void reset() override;
     std::uint64_t virtualReserveBytes() const override;
+
+    /** True while the borrowed cancel flag is raised (see
+     *  setCancelFlag); the stream resumes when it clears. */
+    bool
+    cancelled() const override
+    {
+        return cancel_ != nullptr && *cancel_;
+    }
 
     const SyntheticTraceParams &params() const { return params_; }
 
@@ -192,24 +202,39 @@ class SyntheticTraceGenerator : public TraceSource
         std::uint64_t cursor = 0;
     };
 
-    /** Per-op constants hoisted out of the emission loop. */
+    /** Per-op constants hoisted out of the emission loop. The class
+     *  and branch-kind cuts are kept as BernoulliDraw::thresholdOf()
+     *  integer images of the cumulative double cuts: the roll is
+     *  drawn once as a raw 53-bit value and compared against them
+     *  with exactly the nextDouble()-vs-double-cut outcomes. */
     struct EmitConsts
     {
         std::uint64_t hotSpan;
-        double loadCut;    //!< roll < loadCut -> load
-        double storeCut;   //!< roll < storeCut -> store
-        double branchCut;  //!< roll < branchCut -> branch
-        double condCut;    //!< branch-kind thresholds, cumulative
-        double directJumpCut;
-        double nearCallCut;
-        double indirectJumpCut;
-        double nearReturnCut;
+        std::uint64_t loadCut;    //!< roll < loadCut -> load
+        std::uint64_t storeCut;   //!< roll < storeCut -> store
+        std::uint64_t branchCut;  //!< roll < branchCut -> branch
+        std::uint64_t condCut;    //!< branch-kind cuts, cumulative
+        std::uint64_t directJumpCut;
+        std::uint64_t nearCallCut;
+        std::uint64_t indirectJumpCut;
+        std::uint64_t nearReturnCut;
+        std::uint64_t divCut;     //!< compute-unit cuts, cumulative
+        std::uint64_t mulCut;
         std::size_t numHardSites;
     };
 
     void rebuildStaticStructure();
     EmitConsts emitConsts() const;
-    /** Emits exactly one op; the caller has checked termination. */
+    /**
+     * Emits exactly one op through @p w (the caller has checked
+     * termination). There is a single emission body shared by the AoS
+     * and SoA surfaces: the writer only chooses where the fields land
+     * (a MicroOp struct or batch lanes), so the RNG draw order -- and
+     * therefore the emitted stream -- cannot diverge between them.
+     */
+    template <typename Writer>
+    void emitOpTo(Writer &&w, const EmitConsts &k);
+    /** AoS form of emitOpTo (next()/nextBatch() surfaces). */
     void emitOp(isa::MicroOp &op, const EmitConsts &k);
     std::uint64_t pickAddress(std::size_t region_index, bool &dep_on_load);
     std::uint64_t pickBranchTarget();
@@ -230,6 +255,34 @@ class SyntheticTraceGenerator : public TraceSource
     std::vector<std::uint64_t> indirectSitePcs_;
     std::vector<std::vector<std::uint64_t>> indirectSiteTargets_;
     std::vector<RegionState> regionState_;
+    /** @name Cached bounded draws (see BoundedDraw)
+     *  Every nextBounded() bound in the emission path is fixed by
+     *  params_ / the static structure, so the per-call division pair
+     *  is hoisted to construction time. Draw-for-draw identical to
+     *  the direct nextBounded() calls they replace. */
+    /// @{
+    std::vector<BoundedDraw> regionOffsetDraw_; //!< per region
+    BoundedDraw hotTargetDraw_;
+    BoundedDraw coldTargetDraw_;
+    BoundedDraw hardSiteDraw_;
+    BoundedDraw easySiteDraw_;
+    BoundedDraw allSiteDraw_;
+    BoundedDraw indirectSiteDraw_;
+    std::vector<BoundedDraw> indirectPickDraw_; //!< per site fanout
+    /// @}
+    /** @name Cached Bernoulli draws (see BernoulliDraw)
+     *  Same hoisting for every fixed-probability nextBernoulli() in
+     *  the emission path, including one per conditional site for its
+     *  taken bias. Draw-for-draw identical to the calls replaced. */
+    /// @{
+    BernoulliDraw hardBranchDraw_;
+    BernoulliDraw branchDepDraw_;
+    BernoulliDraw hotCodeDraw_;
+    BernoulliDraw indirectSwitchDraw_;
+    BernoulliDraw fpDraw_;
+    BernoulliDraw computeDepDraw_;
+    std::vector<BernoulliDraw> condSiteTakenDraw_; //!< per site
+    /// @}
     std::vector<double> loadWeights_;
     std::vector<double> storeWeights_;
     double loadWeightTotal_ = 0.0;

@@ -1,0 +1,39 @@
+#include "util/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cannot write ", temp, "; ", path, " not updated");
+            return false;
+        }
+        out.write(contents.data(),
+                  static_cast<std::streamsize>(contents.size()));
+        out.flush();
+        if (!out) {
+            warn("short write to ", temp, "; ", path, " not updated");
+            std::remove(temp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(temp.c_str(), path.c_str()) != 0) {
+        warn("cannot commit ", path, ": ", std::strerror(errno));
+        std::remove(temp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace spec17

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Atomic whole-file writes: the temp+rename commit discipline the
+ * result-cache journal and telemetry file sinks use, factored out for
+ * any producer of a single-file artifact (bench JSON baselines, trace
+ * exports). A crash or interruption mid-write can never leave a torn
+ * file at the target path -- either the old contents survive or the
+ * new contents are fully committed.
+ */
+
+#ifndef SPEC17_UTIL_ATOMIC_FILE_HH_
+#define SPEC17_UTIL_ATOMIC_FILE_HH_
+
+#include <string>
+
+namespace spec17 {
+
+/**
+ * Writes @p contents to @p path atomically: the bytes go to
+ * `path + ".tmp"`, are flushed and checked, and the temp file is then
+ * renamed over @p path (an atomic replacement on POSIX filesystems).
+ * On any failure the temp file is removed, the target is left
+ * untouched, and a warning is emitted.
+ *
+ * @return true when the file was fully committed.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &contents);
+
+} // namespace spec17
+
+#endif // SPEC17_UTIL_ATOMIC_FILE_HH_

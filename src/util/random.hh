@@ -11,6 +11,7 @@
 #ifndef SPEC17_UTIL_RANDOM_HH_
 #define SPEC17_UTIL_RANDOM_HH_
 
+#include <cmath>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -106,6 +107,132 @@ class Rng
     std::uint64_t s_[4];
     bool hasSpare_ = false;
     double spare_ = 0.0;
+};
+
+/**
+ * Precomputed form of Rng::nextBounded() for a bound that is fixed
+ * across many draws (the trace generator's region spans, site counts
+ * and target zones). nextBounded() pays two 64-bit divisions per call
+ * on a non-power-of-two bound -- the rejection threshold and the
+ * final modulo; this caches the threshold and replaces the modulo
+ * with a Lemire-style multiply against a cached 128-bit reciprocal.
+ * draw() consumes exactly the same Rng values and returns exactly the
+ * same result as rng.nextBounded(bound) for every Rng state.
+ */
+class BoundedDraw
+{
+  public:
+    BoundedDraw() : BoundedDraw(1) {}
+
+    explicit BoundedDraw(std::uint64_t bound) : bound_(bound)
+    {
+        SPEC17_ASSERT(bound > 0, "BoundedDraw requires bound > 0");
+        if ((bound & (bound - 1)) == 0) {
+            mask_ = bound - 1;
+            return;
+        }
+        threshold_ = (-bound) % bound;
+        // ceil(2^128 / bound); exact-modulo proof needs headroom for
+        // the error term, covered for any bound below 2^63 (see
+        // draw()); larger bounds fall back to hardware modulo.
+        if (bound < (std::uint64_t(1) << 63))
+            magic_ = ~(unsigned __int128)0 / bound + 1;
+    }
+
+    std::uint64_t bound() const { return bound_; }
+
+    /** Same value and Rng-state advance as rng.nextBounded(bound). */
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        if (threshold_ == 0) // power-of-two bound
+            return rng.next() & mask_;
+        for (;;) {
+            const std::uint64_t r = rng.next();
+            if (r >= threshold_)
+                return mod(r);
+        }
+    }
+
+  private:
+    std::uint64_t
+    mod(std::uint64_t r) const
+    {
+        if (magic_ == 0)
+            return r % bound_; // bound >= 2^63: headroom proof fails
+        // Lemire & Kaser fastmod, 64-bit operands: frac is the low
+        // 128 bits of magic * r, i.e. 2^128 * (r/bound mod 1); the
+        // remainder is then the high 64 bits of frac * bound. Exact
+        // for bound < 2^63 because the rounding error in magic
+        // contributes less than one unit after the final shift.
+        const unsigned __int128 frac = magic_ * r;
+        const std::uint64_t lo = static_cast<std::uint64_t>(frac);
+        const std::uint64_t hi =
+            static_cast<std::uint64_t>(frac >> 64);
+        const unsigned __int128 prod = (unsigned __int128)hi * bound_
+            + (((unsigned __int128)lo * bound_) >> 64);
+        return static_cast<std::uint64_t>(prod >> 64);
+    }
+
+    std::uint64_t bound_ = 1;
+    std::uint64_t mask_ = 0;      //!< power-of-two path
+    std::uint64_t threshold_ = 0; //!< rejection threshold
+    unsigned __int128 magic_ = 0; //!< ceil(2^128 / bound_), or 0
+};
+
+/**
+ * Precomputed form of Rng::nextBernoulli() for a probability that is
+ * fixed across many draws. nextBernoulli() converts a 53-bit draw x
+ * to double and compares x * 2^-53 < p; both that scaling and the
+ * conversion are exact, so the comparison holds exactly when
+ * x < ceil(p * 2^53). Caching that integer threshold turns each draw
+ * into a shift and an integer compare with the identical outcome.
+ * The degenerate probabilities (p <= 0, p >= 1) are answered without
+ * consuming an Rng value, exactly like nextBernoulli().
+ */
+class BernoulliDraw
+{
+  public:
+    BernoulliDraw() = default;
+
+    explicit BernoulliDraw(double p)
+    {
+        if (p <= 0.0) {
+            degenerate_ = 1; // always false, no draw
+        } else if (p >= 1.0) {
+            degenerate_ = 2; // always true, no draw
+        } else {
+            degenerate_ = 0;
+            threshold_ = thresholdOf(p);
+        }
+    }
+
+    /** Same value and Rng-state advance as rng.nextBernoulli(p). */
+    bool
+    draw(Rng &rng) const
+    {
+        if (degenerate_ != 0)
+            return degenerate_ == 2;
+        return (rng.next() >> 11) < threshold_;
+    }
+
+    /** Integer threshold t in [0, 2^53] with, for every 53-bit x,
+     *  (x * 2^-53 < p) == (x < t): ceil(p * 2^53), clamped. The
+     *  scaling p * 2^53 is an exact exponent shift, so the ceiling
+     *  is computed on the exact product. */
+    static std::uint64_t thresholdOf(double p)
+    {
+        if (!(p > 0.0))
+            return 0;
+        if (p >= 1.0)
+            return std::uint64_t{1} << 53;
+        return static_cast<std::uint64_t>(
+            std::ceil(std::ldexp(p, 53)));
+    }
+
+  private:
+    std::uint64_t threshold_ = 0;
+    std::uint8_t degenerate_ = 1; //!< 0 real, 1 never, 2 always
 };
 
 /** SplitMix64 step; exposed for seed derivation and tests. */

@@ -247,6 +247,10 @@ TEST(HotPath, BatchSizeValidationAndDefaults)
     EXPECT_EQ(sim.batchOps(), CpuSimulator::kDefaultBatchOps);
     sim.setBatchOps(7);
     EXPECT_EQ(sim.batchOps(), 7u);
+    // Zero is meaningless for a results-invariant knob: clamped to
+    // the nearest legal value (with a warning), never a panic.
+    sim.setBatchOps(0);
+    EXPECT_EQ(sim.batchOps(), 1u);
 }
 
 } // namespace

@@ -93,9 +93,10 @@ TEST(HotPathGolden, ResultsMatchReferenceLaneAtAnyBatchSize)
     const auto golden = SuiteRunner(referenceOptions())
                             .runAll(workloads::cpu2006Suite(),
                                     InputSize::Test);
-    // 1 = degenerate, 7 = never divides a sampling interval, 64 and
-    // the simulator default cover the production sizes.
-    for (const std::uint64_t batch : {1ull, 7ull, 64ull, 0ull}) {
+    // 1 = degenerate, 7 = never divides a sampling interval, 64/256/
+    // 1024 and the simulator default cover the production sizes.
+    for (const std::uint64_t batch :
+         {1ull, 7ull, 64ull, 256ull, 1024ull, 0ull}) {
         SCOPED_TRACE(::testing::Message() << "batchOps=" << batch);
         const auto batched = SuiteRunner(fastOptions(1, batch))
                                  .runAll(workloads::cpu2006Suite(),

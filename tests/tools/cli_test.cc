@@ -235,6 +235,46 @@ TEST(CliRun, UnknownFlagIsRejected)
     EXPECT_NE(out2.str().find("usage:"), std::string::npos);
 }
 
+TEST(CliRun, BatchOpsZeroIsRejected)
+{
+    // An explicit zero batch size is a contained error (exit 2 plus
+    // a message), not a panic and not a silent fallback.
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--batch-ops=0"}),
+                         out, err),
+              2);
+    EXPECT_NE(err.str().find("--batch-ops must be positive"),
+              std::string::npos);
+}
+
+TEST(CliRun, LaneFlagsAreResultInvariant)
+{
+    // --batch-ops and --unbatched-stepping are execution-strategy
+    // knobs: any legal combination prints the identical stat report.
+    const std::vector<const char *> laneFlags = {
+        nullptr, "--batch-ops=7", "--batch-ops=1024",
+        "--unbatched-stepping"};
+    std::string reference;
+    for (std::size_t i = 0; i < laneFlags.size(); ++i) {
+        std::vector<const char *> argv = {"stat", "505.mcf_r",
+                                          "--sample=20000",
+                                          "--warmup=5000"};
+        if (laneFlags[i] != nullptr)
+            argv.push_back(laneFlags[i]);
+        std::ostringstream out, err;
+        EXPECT_EQ(runCommand(parseCommandLine(
+                                 static_cast<int>(argv.size()),
+                                 argv.data()),
+                             out, err),
+                  0);
+        if (i == 0)
+            reference = out.str();
+        else
+            EXPECT_EQ(out.str(), reference) << "variant " << i;
+    }
+}
+
 TEST(CliRun, StatRejectsBadTelemetryFormat)
 {
     std::ostringstream out, err;

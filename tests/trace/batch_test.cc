@@ -221,6 +221,141 @@ TEST(TraceBatch, ResetAfterPartialBatchReplaysIdenticalStream)
     std::remove(path.c_str());
 }
 
+/** Drains through nextBatchSoA, gathering lanes back to AoS ops. */
+std::vector<isa::MicroOp>
+drainSoA(TraceSource &source, std::size_t batch)
+{
+    std::vector<isa::MicroOp> ops;
+    MicroOpBatch lanes;
+    while (true) {
+        const std::size_t got = source.nextBatchSoA(lanes, 0, batch);
+        for (std::size_t i = 0; i < got; ++i)
+            ops.push_back(lanes.get(i));
+        if (got < batch)
+            return ops;
+    }
+}
+
+TEST(TraceBatch, SoaLanesDescribeTheSameStream)
+{
+    // Every SoA writer (synthetic native, phased stitching, file
+    // unpack, and the base-class AoS-scratch adapter) must fill every
+    // lane with exactly the fields a next() pull would deliver.
+    {
+        SyntheticTraceGenerator per_op(params());
+        const auto golden = drainPerOp(per_op);
+        for (const std::size_t batch :
+             {std::size_t{1}, std::size_t{7}, std::size_t{64},
+              std::size_t{999}}) {
+            SyntheticTraceGenerator gen(params());
+            expectSameStream(drainSoA(gen, batch), golden);
+        }
+    }
+    {
+        std::vector<std::shared_ptr<TraceSource>> phases;
+        phases.push_back(
+            std::make_shared<StreamKernel>(64 * 1024, 500, true));
+        phases.push_back(
+            std::make_shared<SyntheticTraceGenerator>(params(3001)));
+        PhasedTrace per_op(std::move(phases));
+        const auto golden = drainPerOp(per_op);
+
+        std::vector<std::shared_ptr<TraceSource>> phases2;
+        phases2.push_back(
+            std::make_shared<StreamKernel>(64 * 1024, 500, true));
+        phases2.push_back(
+            std::make_shared<SyntheticTraceGenerator>(params(3001)));
+        PhasedTrace phased(std::move(phases2));
+        expectSameStream(drainSoA(phased, 64), golden);
+    }
+    {
+        const std::string path = std::string(::testing::TempDir())
+            + "/spec17_batch_soa_trace.s17t";
+        SyntheticTraceGenerator gen(params(9000));
+        ASSERT_EQ(writeTrace(path, gen), 9000u);
+        FileTrace per_op(path);
+        const auto golden = drainPerOp(per_op);
+        for (const std::size_t batch :
+             {std::size_t{1}, std::size_t{1000}, std::size_t{4096}}) {
+            FileTrace file(path);
+            expectSameStream(drainSoA(file, batch), golden);
+        }
+        std::remove(path.c_str());
+    }
+    {
+        // Kernels don't override nextBatchSoA: the default adapter
+        // (AoS scratch + scatter) must match too.
+        MatrixWalkKernel per_op(64, 96, /*row_major=*/false, 3);
+        const auto golden = drainPerOp(per_op);
+        MatrixWalkKernel adapted(64, 96, /*row_major=*/false, 3);
+        expectSameStream(drainSoA(adapted, 13), golden);
+    }
+}
+
+TEST(TraceBatch, SoaPullsAtAnOffsetStitchOneStream)
+{
+    // The `at` parameter lets a combinator place a child's ops deeper
+    // in the lanes; a chunk assembled from two offset pulls must read
+    // back as the contiguous stream.
+    SyntheticTraceGenerator per_op(params(200));
+    const auto golden = drainPerOp(per_op);
+
+    SyntheticTraceGenerator gen(params(200));
+    MicroOpBatch lanes;
+    ASSERT_EQ(gen.nextBatchSoA(lanes, 0, 80), 80u);
+    ASSERT_EQ(gen.nextBatchSoA(lanes, 80, 120), 120u);
+    std::vector<isa::MicroOp> ops;
+    for (std::size_t i = 0; i < 200; ++i)
+        ops.push_back(lanes.get(i));
+    expectSameStream(ops, golden);
+}
+
+TEST(TraceBatch, PhasedGoldenBatchSplitAcrossATransition)
+{
+    // Golden case for the phase-boundary remainder contract: a batch
+    // sized to straddle the first phase's end must contain the tail
+    // of phase 0 followed by the head of phase 1, exactly as a
+    // next() loop would deliver them -- on both batch surfaces.
+    const auto make = [] {
+        SyntheticTraceParams second = params(100);
+        second.seed = 1234;  // distinct stream on each side
+        std::vector<std::shared_ptr<TraceSource>> phases;
+        phases.push_back(
+            std::make_shared<SyntheticTraceGenerator>(params(100)));
+        phases.push_back(
+            std::make_shared<SyntheticTraceGenerator>(second));
+        return PhasedTrace(std::move(phases));
+    };
+
+    PhasedTrace per_op = make();
+    const auto golden = drainPerOp(per_op);
+    ASSERT_EQ(golden.size(), 200u);
+
+    // One 64-op batch to 64, then a 64-op batch covering ops 64..127
+    // -- the second one crosses the boundary at op 100.
+    PhasedTrace aos = make();
+    std::vector<isa::MicroOp> buf(64);
+    ASSERT_EQ(aos.nextBatch(buf.data(), 64), 64u);
+    ASSERT_EQ(aos.currentPhase(), 0u);
+    std::vector<isa::MicroOp> straddle(64);
+    ASSERT_EQ(aos.nextBatch(straddle.data(), 64), 64u);
+    EXPECT_EQ(aos.currentPhase(), 1u);
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_EQ(straddle[i].pc, golden[64 + i].pc) << "op " << i;
+        EXPECT_EQ(straddle[i].cls, golden[64 + i].cls) << "op " << i;
+    }
+
+    PhasedTrace soa = make();
+    MicroOpBatch lanes;
+    ASSERT_EQ(soa.nextBatchSoA(lanes, 0, 64), 64u);
+    ASSERT_EQ(soa.nextBatchSoA(lanes, 64, 64), 64u);
+    for (std::size_t i = 0; i < 128; ++i) {
+        const isa::MicroOp op = lanes.get(i);
+        EXPECT_EQ(op.pc, golden[i].pc) << "op " << i;
+        EXPECT_EQ(op.effAddr, golden[i].effAddr) << "op " << i;
+    }
+}
+
 TEST(TraceBatch, CancellationStopsABatchAtTheFlag)
 {
     bool cancelled = false;
@@ -238,6 +373,76 @@ TEST(TraceBatch, CancellationStopsABatchAtTheFlag)
     cancelled = false;
     EXPECT_EQ(gen.nextBatch(buf.data(), 64), 64u);
     EXPECT_EQ(gen.emittedOps(), 128u);
+}
+
+TEST(TraceBatch, PhasedDoesNotDropACancelledPhaseRemainder)
+{
+    // Regression: a child returning short because its cancel flag is
+    // raised is paused, not exhausted. PhasedTrace used to advance
+    // past it anyway, silently dropping the phase's remaining ops and
+    // splicing the next phase's head into the stream. cancelled()
+    // distinguishes the two cases on every surface.
+    const auto make = [](const bool *flag) {
+        auto first =
+            std::make_shared<SyntheticTraceGenerator>(params(100));
+        first->setCancelFlag(flag);
+        SyntheticTraceParams second = params(100);
+        second.seed = 4321;
+        std::vector<std::shared_ptr<TraceSource>> phases;
+        phases.push_back(first);
+        phases.push_back(
+            std::make_shared<SyntheticTraceGenerator>(second));
+        return PhasedTrace(std::move(phases));
+    };
+
+    PhasedTrace golden_trace = make(nullptr);
+    const auto golden = drainPerOp(golden_trace);
+    ASSERT_EQ(golden.size(), 200u);
+
+    // Cancel mid-phase-0, observe the pause, resume, and check the
+    // full stream is intact on each surface.
+    const auto check = [&](auto &&pull) {
+        bool cancelled = false;
+        PhasedTrace phased = make(&cancelled);
+        std::vector<isa::MicroOp> ops = pull(phased, 64);
+        ASSERT_EQ(ops.size(), 64u);
+
+        cancelled = true;
+        EXPECT_TRUE(phased.cancelled());
+        EXPECT_TRUE(pull(phased, 64).empty());
+        // The cursor must still be on the paused phase 0.
+        EXPECT_EQ(phased.currentPhase(), 0u);
+
+        cancelled = false;
+        while (true) {
+            const auto got = pull(phased, 64);
+            ops.insert(ops.end(), got.begin(), got.end());
+            if (got.size() < 64)
+                break;
+        }
+        expectSameStream(ops, golden);
+    };
+
+    check([](PhasedTrace &source, std::size_t n) {
+        std::vector<isa::MicroOp> buf(n);
+        buf.resize(source.nextBatch(buf.data(), n));
+        return buf;
+    });
+    check([](PhasedTrace &source, std::size_t n) {
+        MicroOpBatch lanes;
+        const std::size_t got = source.nextBatchSoA(lanes, 0, n);
+        std::vector<isa::MicroOp> ops;
+        for (std::size_t i = 0; i < got; ++i)
+            ops.push_back(lanes.get(i));
+        return ops;
+    });
+    check([](PhasedTrace &source, std::size_t n) {
+        std::vector<isa::MicroOp> ops;
+        isa::MicroOp op;
+        while (ops.size() < n && source.next(op))
+            ops.push_back(op);
+        return ops;
+    });
 }
 
 } // namespace

@@ -125,6 +125,79 @@ TEST(Rng, DiscreteRespectsWeights)
     EXPECT_NEAR(hist[2] / static_cast<double>(n), 0.75, 0.02);
 }
 
+TEST(BoundedDraw, MatchesNextBoundedValueAndState)
+{
+    // The cached form must be draw-for-draw identical to
+    // nextBounded(): same value AND same Rng-state advance, across
+    // power-of-two bounds, the fastmod path, and the >= 2^63
+    // hardware-modulo fallback.
+    const std::uint64_t bounds[] = {
+        1,
+        2,
+        7,
+        64,
+        1000,
+        4096,
+        999983,
+        (std::uint64_t{1} << 53) - 111,
+        (std::uint64_t{1} << 62) + 12345,
+        (std::uint64_t{1} << 63) + 9,
+    };
+    for (const std::uint64_t bound : bounds) {
+        Rng direct(bound ^ 0xabcd);
+        Rng cached(bound ^ 0xabcd);
+        const BoundedDraw draw(bound);
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_EQ(direct.nextBounded(bound), draw.draw(cached))
+                << "bound=" << bound << " i=" << i;
+        EXPECT_EQ(direct.next(), cached.next()) << "bound=" << bound;
+    }
+}
+
+TEST(BernoulliDraw, MatchesNextBernoulliValueAndState)
+{
+    const double probs[] = {-0.5,  0.0,   1e-18, 0.005, 0.25,
+                            0.5,   0.945, 0.99995,
+                            1.0 - 1e-16,  1.0,   1.5};
+    for (const double p : probs) {
+        Rng direct(42);
+        Rng cached(42);
+        const BernoulliDraw draw(p);
+        for (int i = 0; i < 4000; ++i)
+            ASSERT_EQ(direct.nextBernoulli(p), draw.draw(cached))
+                << "p=" << p << " i=" << i;
+        // Equal state afterward: the degenerate probabilities consumed
+        // no draw on either side, the rest consumed one per call.
+        EXPECT_EQ(direct.next(), cached.next()) << "p=" << p;
+    }
+}
+
+TEST(BernoulliDraw, ThresholdPreservesEveryComparisonOutcome)
+{
+    // For probabilities straddling representability edges, check the
+    // defining property directly on boundary 53-bit values.
+    const double probs[] = {0.25, 0.3, 1.0 / 3.0, 0.945,
+                            1e-18, 1.0 - 1e-16};
+    for (const double p : probs) {
+        const std::uint64_t t = BernoulliDraw::thresholdOf(p);
+        ASSERT_GT(t, 0u);
+        ASSERT_LE(t, std::uint64_t{1} << 53);
+        const std::uint64_t probes[] = {0, t - 1, t,
+                                        (std::uint64_t{1} << 53) - 1};
+        for (const std::uint64_t x : probes) {
+            if (x >= (std::uint64_t{1} << 53))
+                continue;
+            const bool via_double =
+                static_cast<double>(x) * 0x1.0p-53 < p;
+            EXPECT_EQ(via_double, x < t) << "p=" << p << " x=" << x;
+        }
+    }
+    EXPECT_EQ(BernoulliDraw::thresholdOf(0.0), 0u);
+    EXPECT_EQ(BernoulliDraw::thresholdOf(-2.0), 0u);
+    EXPECT_EQ(BernoulliDraw::thresholdOf(1.0), std::uint64_t{1} << 53);
+    EXPECT_EQ(BernoulliDraw::thresholdOf(7.0), std::uint64_t{1} << 53);
+}
+
 TEST(RngDeathTest, DiscreteRejectsDegenerateWeights)
 {
     Rng rng(1);

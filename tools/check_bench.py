@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gates CI on a fresh hot-path bench run against the committed baseline.
+
+Two checks, both on the JSON bench_hot_path emits:
+
+1. Correctness: every batched point must report "identical": true --
+   the batched SoA lane produced byte-identical results to the
+   unbatched reference lane. Any false is an immediate failure
+   regardless of speed.
+2. Regression: the best batched speedup of the fresh run must not
+   fall below the committed baseline's best speedup times a slack
+   factor. Speedup is a same-machine ratio (unbatched wall over
+   batched wall), so it transfers across hosts far better than raw
+   wall time; the slack absorbs shared-runner noise, not real
+   regressions.
+
+Usage: tools/check_bench.py fresh.json baseline.json [--slack 0.85]
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_speedup(result):
+    points = result.get("batched", [])
+    if not points:
+        raise SystemExit("no batched points in bench result")
+    return max(float(p["speedup"]) for p in points)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="bench JSON from this CI run")
+    parser.add_argument("baseline", help="committed bench JSON")
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.85,
+        help="fresh best speedup must reach this fraction of the "
+        "baseline best (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for point in fresh.get("batched", []):
+        if not point.get("identical", False):
+            failures.append(
+                "batch_ops=%s: identical is not true -- the batched "
+                "lane diverged from the reference lane"
+                % point.get("batch_ops")
+            )
+
+    fresh_best = best_speedup(fresh)
+    floor = best_speedup(baseline) * args.slack
+    if fresh_best < floor:
+        failures.append(
+            "best speedup %.3fx is below the regression floor %.3fx "
+            "(committed baseline %.3fx * slack %.2f)"
+            % (fresh_best, floor, best_speedup(baseline), args.slack)
+        )
+
+    if failures:
+        for failure in failures:
+            print("check_bench: FAIL: %s" % failure, file=sys.stderr)
+        return 1
+
+    print(
+        "check_bench: OK: all points identical, best speedup %.3fx "
+        "(floor %.3fx)" % (fresh_best, floor)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

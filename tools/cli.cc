@@ -88,6 +88,10 @@ runnerOptionsOf(const CommandLine &command)
     options.sampleIntervalOps =
         command.flagUint("sample-interval-ops", 0);
     options.jobs = static_cast<unsigned>(command.flagUint("jobs", 1));
+    // Lane knobs (results-invariant; excluded from the config key).
+    // runCommand() has already rejected an explicit --batch-ops=0.
+    options.batchOps = command.flagUint("batch-ops", 0);
+    options.unbatchedStepping = command.hasFlag("unbatched-stepping");
     return options;
 }
 
@@ -1057,6 +1061,14 @@ flagTable()
          "sweep worker threads (default 1; 0=hardware concurrency); "
          "results are byte-identical at any N",
          "parallel execution (characterize)"},
+        {"batch-ops", "N",
+         "fast-lane micro-op batch size (default 256); results are "
+         "byte-identical at any N >= 1",
+         "batched hot path (stat, characterize)"},
+        {"unbatched-stepping", "",
+         "per-op reference lane instead of the batched fast lane "
+         "(identity debugging; slow)",
+         "batched hot path (stat, characterize)"},
         {"shard", "K/N",
          "run shard K of N of the sweep; journals to a per-shard "
          "file, fuse with `spec17 merge`",
@@ -1157,6 +1169,14 @@ runCommand(const CommandLine &command, std::ostream &out,
                 << "' (see spec17 --help for the accepted flags)\n";
             return 2;
         }
+    }
+    // A zero batch size is meaningless; reject the explicit value
+    // loudly (same contained-error style as the corun-chunk
+    // validation) rather than silently running some other size.
+    if (command.hasFlag("batch-ops")
+        && command.flagUint("batch-ops", 0) == 0) {
+        err << "error: --batch-ops must be positive\n";
+        return 2;
     }
     if (command.command == "config")
         return cmdConfig(command, out);
