@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Design-space explorer throughput: times a one-axis uarch sweep
+ * sequentially and on the worker pool, verifies that both produce the
+ * bit-identical Pareto table -- measured, not assumed -- and writes a
+ * machine-readable BENCH_explore.json for CI trend tracking. The JSON
+ * uses the same {batched: [{speedup, identical}]} shape bench_hot_path
+ * emits, so tools/check_bench.py gates it without changes.
+ *
+ * Flags:
+ *   --axis=AXIS  swept axis (default way-predictor)
+ *   --sample=N   micro-ops measured per pair (default 60,000)
+ *   --warmup=N   micro-ops warmed per pair (default 20,000)
+ *   --jobs=N     worker threads for the parallel lane (default 4)
+ *   --repeats=N  timed repetitions per lane, best kept (default 3)
+ *   --out=PATH   JSON output path (default BENCH_explore.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/plan.hh"
+#include "explore/runner.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace spec17;
+
+namespace {
+
+struct BenchOptions
+{
+    std::string axis = "way-predictor";
+    std::uint64_t sampleOps = 60'000;
+    std::uint64_t warmupOps = 20'000;
+    unsigned jobs = 4;
+    unsigned repeats = 3;
+    std::string outPath = "BENCH_explore.json";
+};
+
+BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--axis=", 0) == 0) {
+            options.axis = arg.substr(7);
+        } else if (arg.rfind("--sample=", 0) == 0) {
+            options.sampleOps = std::stoull(arg.substr(9));
+        } else if (arg.rfind("--warmup=", 0) == 0) {
+            options.warmupOps = std::stoull(arg.substr(9));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            options.jobs =
+                static_cast<unsigned>(std::stoul(arg.substr(7)));
+        } else if (arg.rfind("--repeats=", 0) == 0) {
+            options.repeats =
+                static_cast<unsigned>(std::stoul(arg.substr(10)));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            options.outPath = arg.substr(6);
+        } else {
+            SPEC17_FATAL("unknown argument '", arg,
+                         "' (want --axis=AXIS --sample=N --warmup=N "
+                         "--jobs=N --repeats=N --out=PATH)");
+        }
+    }
+    if (!explore::isAxis(options.axis))
+        SPEC17_FATAL("unknown axis '", options.axis, "'");
+    if (options.jobs == 0)
+        options.jobs = 1;
+    if (options.repeats == 0)
+        options.repeats = 1;
+    return options;
+}
+
+explore::ExploreOptions
+exploreOptions(const BenchOptions &bench, unsigned jobs)
+{
+    explore::ExploreOptions options;
+    options.runner.sampleOps = bench.sampleOps;
+    options.runner.warmupOps = bench.warmupOps;
+    options.runner.jobs = jobs;
+    options.generation = workloads::SuiteGeneration::Cpu2006;
+    options.size = workloads::InputSize::Test;
+    options.cachePath.clear(); // time the sweep, not the journal
+    return options;
+}
+
+/** Best wall time of @p body over @p repeats runs. */
+template <typename Body>
+double
+bestOf(unsigned repeats, Body &&body)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (r == 0 || wall_s < best)
+            best = wall_s;
+    }
+    return best;
+}
+
+/** True when both sweeps scored the identical Pareto table. */
+bool
+identicalTables(const std::vector<explore::PointResult> &a,
+                const std::vector<explore::PointResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].point.label != b[i].point.label
+            || a[i].sse != b[i].sse || a[i].meanIpc != b[i].meanIpc
+            || a[i].pairs != b[i].pairs
+            || a[i].errored != b[i].errored
+            || a[i].dominated != b[i].dominated
+            || a[i].knee != b[i].knee)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions bench = parseArgs(argc, argv);
+    const std::size_t points =
+        explore::planAxis(bench.axis,
+                          exploreOptions(bench, 1).runner.system)
+            .size();
+
+    std::printf("bench_explore: axis '%s' (%zu points), %llu+%llu ops "
+                "per pair, best of %u repeats per lane\n\n",
+                bench.axis.c_str(), points,
+                static_cast<unsigned long long>(bench.sampleOps),
+                static_cast<unsigned long long>(bench.warmupOps),
+                bench.repeats);
+
+    // A fresh runner per repeat so every repetition times the same
+    // cold sweep (no per-runner memoization can leak between laps).
+    std::vector<explore::PointResult> golden, pooled;
+    const double seq_s = bestOf(bench.repeats, [&] {
+        golden = explore::ExploreRunner(exploreOptions(bench, 1))
+                     .runAxis(bench.axis);
+    });
+    const double par_s = bestOf(bench.repeats, [&] {
+        pooled =
+            explore::ExploreRunner(exploreOptions(bench, bench.jobs))
+                .runAxis(bench.axis);
+    });
+    const bool identical = identicalTables(golden, pooled);
+
+    TextTable table({"jobs", "wall s", "points/s", "speedup"});
+    table.addRow({"1", fmtDouble(seq_s, 3),
+                  fmtDouble(double(points) / seq_s, 2), "1.00x"});
+    table.addRow({std::to_string(bench.jobs), fmtDouble(par_s, 3),
+                  fmtDouble(double(points) / par_s, 2),
+                  fmtDouble(seq_s / par_s, 2) + "x"});
+    std::ostringstream rendered;
+    table.render(rendered);
+    std::printf("%s\n", rendered.str().c_str());
+
+    // Committed via temp+rename like the telemetry sinks: a bench
+    // interrupted mid-write can't leave a torn baseline JSON behind.
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"bench\": \"explore\",\n"
+        << "  \"axis\": \"" << bench.axis << "\",\n"
+        << "  \"points\": " << points << ",\n"
+        << "  \"sample_ops\": " << bench.sampleOps << ",\n"
+        << "  \"warmup_ops\": " << bench.warmupOps << ",\n"
+        << "  \"repeats\": " << bench.repeats << ",\n"
+        << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << "  \"sequential\": {\"wall_s\": " << seq_s << "},\n"
+        << "  \"batched\": [{\"batch_ops\": " << bench.jobs
+        << ", \"wall_s\": " << par_s << ", \"speedup\": "
+        << seq_s / par_s << ", \"identical\": "
+        << (identical ? "true" : "false") << "}]\n"
+        << "}\n";
+    if (!writeFileAtomic(bench.outPath, out.str()))
+        SPEC17_FATAL("cannot write ", bench.outPath);
+    std::printf("wrote %s\n", bench.outPath.c_str());
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: the pooled explore sweep scored a "
+                     "different Pareto table than the sequential one "
+                     "-- the determinism contract is broken\n");
+        return 1;
+    }
+    std::printf("reading: 'identical' confirms the --jobs=%u Pareto "
+                "table matches --jobs=1 bit for bit; 'speedup' is the "
+                "same-machine wall-time ratio check_bench.py tracks "
+                "against the committed baseline.\n",
+                bench.jobs);
+    return 0;
+}

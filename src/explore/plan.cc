@@ -1,0 +1,167 @@
+#include "explore/plan.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace explore {
+
+namespace {
+
+/** ceil(log2(n)) for n >= 1 (victim-way / MRU pointer width). */
+double
+pointerBits(unsigned n)
+{
+    unsigned bits = 0;
+    while ((1u << bits) < n)
+        ++bits;
+    return double(bits);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+axisNames()
+{
+    static const std::vector<std::string> names = {
+        "predictor", "prefetcher", "l2-prefetcher", "way-predictor"};
+    return names;
+}
+
+bool
+isAxis(const std::string &axis)
+{
+    for (const std::string &name : axisNames())
+        if (name == axis)
+            return true;
+    return false;
+}
+
+double
+predictorStorageBits(const std::string &name,
+                     const sim::TageConfig &tage)
+{
+    // Table widths mirror the constructor defaults in sim/branch.hh:
+    // bimodal/gshare/chooser are 2^14 tables of 2-bit counters.
+    const double k2bitTable = double(1u << 14) * 2.0;
+    if (name == "static-taken")
+        return 0.0;
+    if (name == "bimodal")
+        return k2bitTable;
+    if (name == "gshare")
+        return k2bitTable + 12.0; // + global history register
+    if (name == "tournament")
+        return 3.0 * k2bitTable + 12.0; // bimodal + gshare + chooser
+    if (name == "tage") {
+        // Tagged entry: partial tag + 3-bit ctr + 2-bit useful + valid.
+        const double entry = double(tage.tagBits) + 3.0 + 2.0 + 1.0;
+        return double(tage.historyTables)
+                   * double(std::uint64_t(1) << tage.tableBits) * entry
+               + double(std::uint64_t(1) << tage.baseBits) * 2.0
+               + double(tage.maxHistory); // global history register
+    }
+    SPEC17_PANIC("no storage model for predictor '", name, "'");
+}
+
+double
+prefetcherStorageBits(const std::string &name,
+                      const sim::StreamConfig &stream)
+{
+    // Line-address fields are 58 bits (64-bit byte address minus a
+    // 64 B line offset).
+    const double kLineAddr = 58.0;
+    if (name == "none")
+        return 0.0;
+    if (name == "next-line")
+        return kLineAddr; // last-line register
+    if (name == "stride") {
+        // 2^10 entries (sim/prefetch.hh default): 20-bit PC tag +
+        // 64-bit last address + 16-bit stride + 2-bit confidence +
+        // valid.
+        return double(1u << 10) * (20.0 + 64.0 + 16.0 + 2.0 + 1.0);
+    }
+    if (name == "stream") {
+        // Per stream: lastLine + issuedUpTo + LRU stamp + 2-bit
+        // direction + 2-bit confidence + valid.
+        const double entry =
+            2.0 * kLineAddr + pointerBits(stream.streams) + 2.0 + 2.0
+            + 1.0;
+        return double(stream.streams) * entry;
+    }
+    SPEC17_PANIC("no storage model for prefetcher '", name, "'");
+}
+
+double
+wayPredictorStorageBits(sim::WayPredictor predictor,
+                        const sim::CacheConfig &l1d)
+{
+    switch (predictor) {
+      case sim::WayPredictor::None:
+        return 0.0;
+      case sim::WayPredictor::Mru:
+        // One MRU way pointer per set.
+        return double(l1d.numSets()) * pointerBits(l1d.assoc);
+      case sim::WayPredictor::Utag:
+        // One 8-bit partial tag per way.
+        return double(l1d.numSets()) * double(l1d.assoc) * 8.0;
+    }
+    SPEC17_PANIC("unknown WayPredictor ", int(predictor));
+}
+
+std::vector<ExplorePoint>
+planAxis(const std::string &axis, const sim::SystemConfig &base)
+{
+    std::vector<ExplorePoint> points;
+    const auto add = [&](const std::string &label,
+                         const sim::SystemConfig &system, double bits) {
+        points.push_back({axis, label, system, bits});
+    };
+
+    if (axis == "predictor") {
+        for (const char *name : {"static-taken", "bimodal", "gshare",
+                                 "tournament", "tage"}) {
+            sim::SystemConfig system = base;
+            system.branchPredictor = name;
+            add(name, system, predictorStorageBits(name, base.tage));
+        }
+        return points;
+    }
+
+    sim::StreamConfig stream;
+    stream.degree = base.hierarchy.streamDegree;
+    stream.distance = base.hierarchy.streamDistance;
+    stream.lineBytes = base.hierarchy.l1d.lineBytes;
+
+    if (axis == "prefetcher" || axis == "l2-prefetcher") {
+        for (const char *name :
+             {"none", "next-line", "stride", "stream"}) {
+            sim::SystemConfig system = base;
+            if (axis == "prefetcher")
+                system.hierarchy.prefetcher = name;
+            else
+                system.hierarchy.l2Prefetcher = name;
+            add(name, system, prefetcherStorageBits(name, stream));
+        }
+        return points;
+    }
+
+    if (axis == "way-predictor") {
+        for (const auto predictor :
+             {sim::WayPredictor::None, sim::WayPredictor::Mru,
+              sim::WayPredictor::Utag}) {
+            sim::SystemConfig system = base;
+            system.hierarchy.l1d.wayPredictor = predictor;
+            add(sim::wayPredictorName(predictor), system,
+                wayPredictorStorageBits(predictor,
+                                        base.hierarchy.l1d));
+        }
+        return points;
+    }
+
+    SPEC17_PANIC("unknown explore axis '", axis,
+                 "' (callers validate with isAxis())");
+}
+
+} // namespace explore
+} // namespace spec17

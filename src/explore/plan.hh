@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Microarchitecture design-space exploration planning: one axis at a
+ * time (branch predictor, L1D/L2 prefetcher, L1D way predictor), each
+ * axis a small set of candidate settings applied to a common baseline
+ * SystemConfig. Every point carries a deterministic storage-cost
+ * estimate so the runner can tabulate accuracy (SSE vs the paper's
+ * profile targets) against hardware cost.
+ */
+
+#ifndef SPEC17_EXPLORE_PLAN_HH_
+#define SPEC17_EXPLORE_PLAN_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/system_config.hh"
+
+namespace spec17 {
+namespace explore {
+
+/** One candidate setting of the swept axis. */
+struct ExplorePoint
+{
+    /** Axis this point belongs to (e.g. "predictor"). */
+    std::string axis;
+    /** Setting label within the axis (e.g. "tage"). */
+    std::string label;
+    /** Baseline SystemConfig with this point's knob applied. */
+    sim::SystemConfig system;
+    /** Storage bits the swept mechanism adds at this setting. */
+    double costBits = 0.0;
+};
+
+/** The axes `spec17 explore --axis=` accepts, in sweep order. */
+const std::vector<std::string> &axisNames();
+
+/** True when @p axis is one of axisNames(). */
+bool isAxis(const std::string &axis);
+
+/**
+ * Plans the candidate points of @p axis from @p base: every point is
+ * @p base with exactly one knob changed, so per-axis deltas isolate
+ * that mechanism. Panics on an unknown axis -- callers validate with
+ * isAxis() first (the CLI turns that into a contained usage error).
+ */
+std::vector<ExplorePoint> planAxis(const std::string &axis,
+                                   const sim::SystemConfig &base);
+
+/** @name Storage-cost models
+ *  Closed-form bit counts of each mechanism's state, the cost column
+ *  of the explorer's Pareto table. Deterministic functions of the
+ *  config only (documented per formula in plan.cc).
+ */
+/// @{
+double predictorStorageBits(const std::string &name,
+                            const sim::TageConfig &tage);
+double prefetcherStorageBits(const std::string &name,
+                             const sim::StreamConfig &stream);
+double wayPredictorStorageBits(sim::WayPredictor predictor,
+                               const sim::CacheConfig &l1d);
+/// @}
+
+} // namespace explore
+} // namespace spec17
+
+#endif // SPEC17_EXPLORE_PLAN_HH_

@@ -1,0 +1,147 @@
+#include "explore/runner.hh"
+
+#include <cmath>
+
+#include "cluster/sse.hh"
+#include "core/characterizer.hh"
+#include "core/metrics.hh"
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace explore {
+
+namespace {
+
+/** `label` made path-safe: alnum and '.' kept, the rest becomes '-'. */
+std::string
+sanitize(const std::string &label)
+{
+    std::string safe = label;
+    for (char &c : safe) {
+        const bool keep = (c >= 'a' && c <= 'z')
+                          || (c >= 'A' && c <= 'Z')
+                          || (c >= '0' && c <= '9') || c == '.';
+        if (!keep)
+            c = '-';
+    }
+    return safe;
+}
+
+} // namespace
+
+double
+pairSse(const suite::PairResult &result)
+{
+    SPEC17_ASSERT(result.profile != nullptr,
+                  "pair result without a profile");
+    const core::Metrics m = core::deriveMetrics(result);
+    const workloads::WorkloadProfile &p = *result.profile;
+    const double dev[4] = {
+        m.l1MissPct - 100.0 * p.memory.l1MissRate,
+        m.l2MissPct - 100.0 * p.memory.l2MissRate,
+        m.l3MissPct - 100.0 * p.memory.l3MissRate,
+        m.mispredictPct - 100.0 * p.branches.mispredictRate,
+    };
+    double sse = 0.0;
+    for (double d : dev)
+        sse += d * d;
+    return sse;
+}
+
+ExploreRunner::ExploreRunner(ExploreOptions options)
+    : options_(std::move(options))
+{
+}
+
+std::string
+ExploreRunner::pointCachePath(const ExplorePoint &point) const
+{
+    if (options_.cachePath.empty())
+        return {};
+    return options_.cachePath + ".explore." + sanitize(point.axis) + "."
+           + sanitize(point.label);
+}
+
+std::vector<PointResult>
+ExploreRunner::runAxis(const std::string &axis) const
+{
+    SPEC17_ASSERT(isAxis(axis), "unknown explore axis '", axis, "'");
+    const std::vector<ExplorePoint> points =
+        planAxis(axis, options_.runner.system);
+
+    std::vector<PointResult> results;
+    results.reserve(points.size());
+    for (const ExplorePoint &point : points) {
+        // One characterization session per point: the point's config
+        // key differs, so it gets its own journal file and its own
+        // in-process memo. The sweep itself runs on the ordered pool
+        // (jobs), sliced by the shard, resumed from the journal --
+        // all inherited from the suite machinery.
+        core::CharacterizerOptions session_options;
+        session_options.runner = options_.runner;
+        session_options.runner.system = point.system;
+        session_options.cachePath = pointCachePath(point);
+        session_options.resume = options_.resume;
+        session_options.shard = options_.shard;
+        session_options.pairObserver = options_.pairObserver;
+        core::Characterizer session(session_options);
+
+        PointResult scored;
+        scored.point = point;
+        double ipc_sum = 0.0;
+        for (const suite::PairResult &pair :
+             session.results(options_.generation, options_.size)) {
+            if (pair.errored) {
+                ++scored.errored;
+                continue;
+            }
+            scored.sse += pairSse(pair);
+            ipc_sum += core::deriveMetrics(pair).ipc;
+            ++scored.pairs;
+        }
+        if (scored.pairs > 0)
+            scored.meanIpc = ipc_sum / double(scored.pairs);
+        results.push_back(std::move(scored));
+    }
+
+    markPareto(results);
+    return results;
+}
+
+void
+markPareto(std::vector<PointResult> &points)
+{
+    if (points.empty())
+        return;
+
+    // Dominance within the axis: another point at most as expensive
+    // and at most as wrong, strictly better on one objective.
+    for (PointResult &candidate : points) {
+        candidate.dominated = false;
+        candidate.knee = false;
+        for (const PointResult &other : points) {
+            const bool no_worse =
+                other.sse <= candidate.sse
+                && other.point.costBits <= candidate.point.costBits;
+            const bool better =
+                other.sse < candidate.sse
+                || other.point.costBits < candidate.point.costBits;
+            if (no_worse && better) {
+                candidate.dominated = true;
+                break;
+            }
+        }
+    }
+
+    // Knee via the Section V-C selector: both objectives normalized
+    // to [0, 1], closest point to the ideal corner wins (ties break
+    // toward the earlier plan index, matching paretoKnee's tie rule).
+    std::vector<cluster::TradeoffPoint> sweep;
+    sweep.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        sweep.push_back({i, points[i].sse, points[i].point.costBits});
+    points[cluster::paretoKnee(sweep)].knee = true;
+}
+
+} // namespace explore
+} // namespace spec17

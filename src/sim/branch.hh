@@ -1,7 +1,7 @@
 /**
  * @file
  * Branch prediction: direction predictors (static / bimodal / gshare /
- * tournament), a branch target buffer for indirect jumps, and an
+ * tournament / TAGE), a branch target buffer for indirect jumps, and an
  * idealized return-address stack, composed into a BranchUnit that
  * classifies each dynamic branch as predicted or mispredicted.
  */
@@ -172,9 +172,104 @@ class TournamentPredictor : public DirectionPredictor
     std::size_t mask_;
 };
 
+/**
+ * TAGE geometry knobs. Every field is a semantic knob: all of them are
+ * printed by SystemConfig::describe() and therefore members of the
+ * result-cache config key.
+ */
+struct TageConfig
+{
+    /** Number of tagged geometric-history tables (>= 1). */
+    unsigned historyTables = 4;
+    /** log2 entries per tagged table. */
+    unsigned tableBits = 10;
+    /** Partial-tag width per tagged entry. */
+    unsigned tagBits = 9;
+    /** Shortest geometric history length (table 0). */
+    unsigned minHistory = 4;
+    /** Longest geometric history length (last table, <= 64). */
+    unsigned maxHistory = 64;
+    /** log2 entries of the base bimodal table. */
+    unsigned baseBits = 12;
+};
+
+/**
+ * TAGE-style direction predictor: a base bimodal table backing a bank
+ * of partially-tagged tables indexed by geometrically increasing
+ * slices of global history. The longest-history tag match provides
+ * the prediction; a per-entry useful counter arbitrates replacement,
+ * and mispredictions allocate into a longer-history table whose
+ * victim entry has gone un-useful. Deterministic throughout: the
+ * allocation victim is the first (shortest-history) candidate and
+ * useful counters age on a fixed update-count period.
+ */
+class TagePredictor : public DirectionPredictor
+{
+  public:
+    explicit TagePredictor(const TageConfig &config = TageConfig());
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::string name() const override { return "tage"; }
+
+    /**
+     * Fused predict() + update() with the table lookup done once.
+     * predict() followed by update() performs the identical lookup
+     * against unchanged state, so the fused form is provably the same
+     * sequence; the BranchUnit fast path calls it devirtualized.
+     */
+    bool predictAndUpdate(std::uint64_t pc, bool taken);
+
+    /** Geometric history length of tagged table @p table (tests). */
+    unsigned historyLength(unsigned table) const;
+
+    const TageConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        std::uint8_t ctr = 0;     // 3-bit: >= 4 predicts taken
+        std::uint8_t useful = 0;  // 2-bit replacement guard
+        std::uint8_t valid = 0;
+    };
+
+    /** One resolved lookup: provider/alternate tables and indices. */
+    struct Lookup
+    {
+        int provider = -1;  // tagged table index, -1 = base table
+        int alt = -1;
+        std::size_t providerIndex = 0;
+        std::size_t altIndex = 0;
+        bool providerPred = false;
+        bool altPred = false;
+        bool pred = false;
+    };
+
+    Lookup lookup(std::uint64_t pc) const;
+    void train(const Lookup &l, std::uint64_t pc, bool taken);
+    std::size_t index(unsigned table, std::uint64_t pc) const;
+    std::uint16_t tagOf(unsigned table, std::uint64_t pc) const;
+    static std::uint64_t fold(std::uint64_t value, unsigned bits);
+
+    TageConfig config_;
+    std::vector<unsigned> histLen_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<std::uint8_t> base_;  // 2-bit counters
+    std::size_t baseMask_;
+    std::size_t tableMask_;
+    std::uint16_t tagMask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t updates_ = 0;
+};
+
 /** Names accepted by makeDirectionPredictor(). */
 std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
     const std::string &name);
+
+/** As above, with explicit TAGE geometry for name == "tage". */
+std::unique_ptr<DirectionPredictor> makeDirectionPredictor(
+    const std::string &name, const TageConfig &tage);
 
 /** Per-kind branch statistics kept by the BranchUnit. */
 struct BranchStats
@@ -227,7 +322,9 @@ class BranchUnit
           case isa::BranchKind::Conditional: {
             const bool predicted = tournament_ != nullptr
                 ? tournament_->predictAndUpdate(pc, taken)
-                : predictUpdateSlow(pc, taken);
+                : tage_ != nullptr
+                    ? tage_->predictAndUpdate(pc, taken)
+                    : predictUpdateSlow(pc, taken);
             mispredicted = predicted != taken;
             break;
           }
@@ -273,6 +370,9 @@ class BranchUnit
     /** direction_ downcast when it is a TournamentPredictor (the
      *  common configuration), else nullptr. */
     TournamentPredictor *tournament_ = nullptr;
+    /** direction_ downcast when it is a TagePredictor, else nullptr;
+     *  gives the conditional path a direct (non-virtual) fused call. */
+    TagePredictor *tage_ = nullptr;
     std::vector<std::uint64_t> btb_;
     std::size_t btbMask_;
     BranchStats totals_;

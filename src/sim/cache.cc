@@ -18,6 +18,30 @@ replacementPolicyName(ReplacementPolicy policy)
     SPEC17_PANIC("unknown ReplacementPolicy");
 }
 
+std::string
+wayPredictorName(WayPredictor kind)
+{
+    switch (kind) {
+      case WayPredictor::None: return "none";
+      case WayPredictor::Mru: return "mru";
+      case WayPredictor::Utag: return "utag";
+    }
+    SPEC17_PANIC("unknown WayPredictor");
+}
+
+WayPredictor
+wayPredictorFromName(const std::string &name)
+{
+    if (name == "none")
+        return WayPredictor::None;
+    if (name == "mru")
+        return WayPredictor::Mru;
+    if (name == "utag")
+        return WayPredictor::Utag;
+    SPEC17_FATAL("unknown way predictor '", name,
+                 "' (want none|mru|utag)");
+}
+
 std::uint64_t
 CacheConfig::numSets() const
 {
@@ -60,6 +84,7 @@ SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
       tags_(numSets_ * config_.assoc, kNoTag),
       dirty_(numSets_ * config_.assoc, 0),
       stamps_(numSets_ * config_.assoc, 0),
+      wayPred_(config_.wayPredictor),
       rng_(deriveSeed(seed, config_.name))
 {
     if (config_.policy == ReplacementPolicy::TreePlru) {
@@ -68,6 +93,27 @@ SetAssocCache::SetAssocCache(CacheConfig config, std::uint64_t seed)
                       ": tree-PLRU requires power-of-two ways");
         plruBits_.assign(numSets_ * (config_.assoc - 1), 0);
     }
+    if (wayPred_ != WayPredictor::None) {
+        if (config_.assoc < 2)
+            SPEC17_FATAL(config_.name, ": way prediction (",
+                         wayPredictorName(wayPred_),
+                         ") is contradictory with assoc == 1 -- a "
+                         "direct-mapped cache has nothing to predict");
+        if (wayPred_ == WayPredictor::Mru)
+            mruWay_.assign(numSets_, 0);
+        else
+            utags_.assign(numSets_ * config_.assoc, 0);
+    }
+}
+
+void
+SetAssocCache::enablePrefetchTracking()
+{
+    SPEC17_ASSERT(stats_.accesses() == 0 && stats_.prefetchFills == 0,
+                  config_.name,
+                  ": enable prefetch tracking before the first access");
+    trackPrefetch_ = true;
+    prefetchOwner_.assign(tags_.size(), 0);
 }
 
 void
@@ -307,11 +353,11 @@ SetAssocCache::victimWayMasked(std::uint64_t set)
     SPEC17_PANIC("unknown ReplacementPolicy");
 }
 
-void
+std::size_t
 SetAssocCache::allocate(std::uint64_t addr)
 {
     const std::uint64_t la = lineAddr(addr);
-    allocateInto(setIndex(la), tagOf(la));
+    return allocateInto(setIndex(la), tagOf(la));
 }
 
 std::size_t
@@ -345,6 +391,10 @@ SetAssocCache::allocateInto(std::uint64_t set, std::uint64_t tag)
     }
     tags_[index] = tag;
     dirty_[index] = 0;
+    if (wayPred_ == WayPredictor::Utag)
+        utags_[index] = utagOf(tag);
+    if (trackPrefetch_)
+        prefetchOwner_[index] = 0;  // demand allocation by default
     touch(set, way);
     return index;
 }
@@ -361,6 +411,14 @@ SetAssocCache::access(std::uint64_t addr, bool is_write)
             ++stats_.hits;
             if (trackContexts_)
                 ++ctxStats_[ctx_].hits;
+            if (wayPred_ != WayPredictor::None) {
+                if (is_write)
+                    lastWayPenalty_ = 0;
+                else
+                    notePrediction(set, base, way);
+            }
+            if (trackPrefetch_)
+                notePrefetchHit(base + way);
             dirty_[base + way] |= is_write;
             touch(set, way);
             return true;
@@ -369,6 +427,8 @@ SetAssocCache::access(std::uint64_t addr, bool is_write)
     ++stats_.misses;
     if (trackContexts_)
         ++ctxStats_[ctx_].misses;
+    if (wayPred_ != WayPredictor::None)
+        lastWayPenalty_ = 0;
     const std::size_t index = allocateInto(set, tag);
     if (is_write)
         dirty_[index] = true;
@@ -382,7 +442,7 @@ SetAssocCache::probe(std::uint64_t addr) const
 }
 
 void
-SetAssocCache::fill(std::uint64_t addr)
+SetAssocCache::fill(std::uint64_t addr, unsigned owner)
 {
     ++stats_.prefetchFills;
     const std::uint64_t la = lineAddr(addr);
@@ -395,7 +455,9 @@ SetAssocCache::fill(std::uint64_t addr)
             return;
         }
     }
-    allocate(addr);
+    const std::size_t index = allocate(addr);
+    if (trackPrefetch_)
+        prefetchOwner_[index] = static_cast<std::uint8_t>(owner);
 }
 
 void
@@ -406,6 +468,13 @@ SetAssocCache::flushAll()
     stamps_.assign(stamps_.size(), 0);
     if (!plruBits_.empty())
         plruBits_.assign(plruBits_.size(), 0);
+    if (!utags_.empty())
+        utags_.assign(utags_.size(), 0);
+    if (!mruWay_.empty())
+        mruWay_.assign(mruWay_.size(), 0);
+    if (trackPrefetch_)
+        prefetchOwner_.assign(prefetchOwner_.size(), 0);
+    lastWayPenalty_ = 0;
     if (trackContexts_) {
         ctxOccupancy_.assign(ctxOccupancy_.size(), 0);
         owner_.assign(owner_.size(), 0);

@@ -30,6 +30,25 @@ enum class ReplacementPolicy : std::uint8_t
 /** Human-readable policy name. */
 std::string replacementPolicyName(ReplacementPolicy policy);
 
+/**
+ * Way-prediction scheme of a set-associative cache. Way prediction
+ * guesses the hit way before the full tag compare resolves; a wrong
+ * guess costs extra cycles (CacheConfig::wayMispredictPenalty) that
+ * the owning hierarchy folds into the access latency.
+ */
+enum class WayPredictor : std::uint8_t
+{
+    None, //!< no prediction, every hit pays the base latency
+    Mru,  //!< per-set most-recently-used way
+    Utag, //!< per-way 8-bit partial tag, first match predicts
+};
+
+/** Human-readable way-predictor name ("none"/"mru"/"utag"). */
+std::string wayPredictorName(WayPredictor kind);
+
+/** Parses "none"/"mru"/"utag"; fatal on anything else. */
+WayPredictor wayPredictorFromName(const std::string &name);
+
 /** Static parameters of one cache. */
 struct CacheConfig
 {
@@ -40,6 +59,11 @@ struct CacheConfig
     ReplacementPolicy policy = ReplacementPolicy::Lru;
     /** Load-to-use latency in core cycles when this level hits. */
     unsigned hitLatency = 4;
+    /** Way-prediction scheme (fatal with assoc == 1: a direct-mapped
+     *  cache has nothing to predict). */
+    WayPredictor wayPredictor = WayPredictor::None;
+    /** Extra cycles a hit pays when the predicted way was wrong. */
+    unsigned wayMispredictPenalty = 2;
 
     /** Number of sets; panics if the geometry is inconsistent. */
     std::uint64_t numSets() const;
@@ -53,6 +77,18 @@ struct CacheStats
     std::uint64_t evictions = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t prefetchFills = 0;
+    /** Demand hits that consumed a prefetched (not yet demanded)
+     *  line; the line is re-marked as demand-owned on first use. */
+    std::uint64_t prefetchUseful = 0;
+    /** Subset of prefetchUseful whose line was filled by the L2
+     *  prefetcher (fill owner code 2) rather than the L1 one. */
+    std::uint64_t prefetchUsefulByL2 = 0;
+    /** Demand hits that consulted the way predictor. */
+    std::uint64_t wayPredictions = 0;
+    /** Predicted-way misses among those (extra latency paid). */
+    std::uint64_t wayMispredicts = 0;
+    /** Total extra cycles charged for way mispredictions. */
+    std::uint64_t wayPenaltyCycles = 0;
 
     std::uint64_t accesses() const { return hits + misses; }
     /** misses / accesses, or 0 when never accessed. */
@@ -126,6 +162,17 @@ class SetAssocCache
             ++stats_.hits;
             if (trackContexts_)
                 ++ctxStats_[ctx_].hits;
+            if (wayPred_ != WayPredictor::None) {
+                // Way prediction accelerates the load-use path; store
+                // hits drain through the write buffer and neither
+                // consult the predictor nor pay a penalty.
+                if (is_write)
+                    lastWayPenalty_ = 0;
+                else
+                    notePrediction(st.set, base, way);
+            }
+            if (trackPrefetch_)
+                notePrefetchHit(base + way);
             dirty_[base + way] |= is_write;
             touchImpl(st.set, way);
             return true;
@@ -133,6 +180,8 @@ class SetAssocCache
         ++stats_.misses;
         if (trackContexts_)
             ++ctxStats_[ctx_].misses;
+        if (wayPred_ != WayPredictor::None)
+            lastWayPenalty_ = 0;
         const std::size_t index = allocateInto(st.set, st.tag);
         // access() reaches the same state via its post-allocate dirty
         // store: the freshly allocated line IS the matching line.
@@ -158,9 +207,22 @@ class SetAssocCache
      * already point away from it, so setting them again is a no-op;
      * Random ignores recency entirely. The simulator's batched lane
      * relies on this through its per-set line memos (see
-     * docs/performance.md).
+     * docs/performance.md). Way-prediction stats for credited load
+     * repeats are added separately via creditWayPredictions.
      */
     void creditHits(std::uint64_t n) { stats_.hits += n; }
+
+    /**
+     * Credit @p n correct (penalty-free) way predictions for
+     * memo-skipped load repeats. Legal only under MRU prediction: a
+     * memo'd line IS the set's MRU way by the creditHits argument, so
+     * the predictor would have named its way. Utag prediction has no
+     * such guarantee and the simulator disables the memo instead.
+     */
+    void creditWayPredictions(std::uint64_t n)
+    {
+        stats_.wayPredictions += n;
+    }
 
     /** Set index of a line address (addr >> lineShift); lets the
      *  batched lane key its per-set memos exactly as this cache maps
@@ -173,9 +235,35 @@ class SetAssocCache
     /**
      * Installs a line without counting a demand hit/miss (prefetch
      * fill path). Counts prefetchFills; a resident line just has its
-     * recency refreshed.
+     * recency refreshed (and keeps its current fill owner).
+     * @param owner fill-owner code recorded when prefetch-use
+     *        tracking is on: 0 = neutral (warmup prefill), 1 = L1
+     *        prefetcher, 2 = L2 prefetcher.
      */
-    void fill(std::uint64_t addr);
+    void fill(std::uint64_t addr, unsigned owner = 0);
+
+    /**
+     * Enables the prefetched-line owner lane so demand hits on
+     * prefetched lines are counted (CacheStats::prefetchUseful).
+     * Must be called before the first access; the hierarchy enables
+     * it on every cache a configured prefetcher fills.
+     */
+    void enablePrefetchTracking();
+
+    /**
+     * Extra cycles the most recent demand access paid for a way
+     * misprediction (0 on a correct prediction, on any miss, and
+     * always when way prediction is off). The hierarchy folds this
+     * into the access latency.
+     */
+    unsigned lastWayPenalty() const { return lastWayPenalty_; }
+
+    /** The 8-bit partial tag utag prediction compares (tests). */
+    static std::uint8_t utagOf(std::uint64_t tag)
+    {
+        return static_cast<std::uint8_t>(
+            (tag ^ (tag >> 8) ^ (tag >> 16)) & 0xff);
+    }
 
     /** Invalidates everything and clears per-line state (not stats). */
     void flushAll();
@@ -268,8 +356,9 @@ class SetAssocCache
     /** TreePlru part of touch(); out of line, it is off the common
      *  LRU path. */
     void plruTouch(std::uint64_t set, unsigned way);
-    /** Allocates @p addr into the cache, updating eviction stats. */
-    void allocate(std::uint64_t addr);
+    /** Allocates @p addr into the cache, updating eviction stats;
+     *  returns the allocated line's lane index. */
+    std::size_t allocate(std::uint64_t addr);
     /** allocate() body with the set/tag already decomposed; returns
      *  the allocated line's lane index so accessFast can set the
      *  dirty bit without another way scan. */
@@ -303,6 +392,52 @@ class SetAssocCache
         stamps_[set * config_.assoc + way] = ++stampCounter_;
         if (config_.policy == ReplacementPolicy::TreePlru)
             plruTouch(set, way);
+        if (wayPred_ == WayPredictor::Mru)
+            mruWay_[set] = static_cast<std::uint8_t>(way);
+    }
+
+    /** First way whose partial tag matches @p utag (valid ways only),
+     *  or assoc when none does. An aliasing earlier way steals the
+     *  prediction -- the utag scheme's characteristic mispredict. */
+    unsigned utagPredict(std::size_t base, std::uint8_t utag) const
+    {
+        for (unsigned w = 0; w < config_.assoc; ++w) {
+            if (tags_[base + w] != kNoTag && utags_[base + w] == utag)
+                return w;
+        }
+        return config_.assoc;
+    }
+
+    /** Way-prediction accounting for a demand hit at @p way: counts
+     *  the prediction, charges the mispredict penalty, and records it
+     *  for lastWayPenalty(). Shared by both access lanes. */
+    void notePrediction(std::uint64_t set, std::size_t base,
+                        unsigned way)
+    {
+        ++stats_.wayPredictions;
+        const unsigned predicted = wayPred_ == WayPredictor::Mru
+            ? mruWay_[set]
+            : utagPredict(base, utagOf(tags_[base + way]));
+        if (predicted != way) {
+            ++stats_.wayMispredicts;
+            stats_.wayPenaltyCycles += config_.wayMispredictPenalty;
+            lastWayPenalty_ = config_.wayMispredictPenalty;
+        } else {
+            lastWayPenalty_ = 0;
+        }
+    }
+
+    /** Prefetch-use accounting for a demand hit: first demand use of
+     *  a prefetched line counts it useful and hands the line to
+     *  demand ownership. Shared by both access lanes. */
+    void notePrefetchHit(std::size_t index)
+    {
+        const std::uint8_t owner = prefetchOwner_[index];
+        if (owner == 0)
+            return;
+        ++stats_.prefetchUseful;
+        stats_.prefetchUsefulByL2 += owner == 2;
+        prefetchOwner_[index] = 0;
     }
 
     struct SetTag
@@ -355,9 +490,19 @@ class SetAssocCache
     std::vector<std::uint64_t> tags_;   //!< kNoTag = invalid way
     std::vector<std::uint8_t> dirty_;
     std::vector<std::uint64_t> stamps_; //!< LRU recency stamps
+    /** Per-way 8-bit partial tags (utag way prediction only). */
+    std::vector<std::uint8_t> utags_;
+    /** Fill-owner code per line (prefetch tracking only): 0 = demand,
+     *  1 = L1 prefetcher, 2 = L2 prefetcher. */
+    std::vector<std::uint8_t> prefetchOwner_;
     /// @}
     std::vector<std::uint8_t> plruBits_; //!< assoc-1 bits per set
+    /** MRU way per set (MRU way prediction only). */
+    std::vector<std::uint8_t> mruWay_;
     std::uint64_t stampCounter_ = 0;
+    WayPredictor wayPred_ = WayPredictor::None;
+    bool trackPrefetch_ = false;
+    unsigned lastWayPenalty_ = 0;
     Rng rng_;
     CacheStats stats_;
 

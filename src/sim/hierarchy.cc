@@ -28,9 +28,22 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
       l2_(std::make_unique<SetAssocCache>(config.l2,
                                           deriveSeed(seed, "l2"))),
       l3_(shared_l3 ? std::move(shared_l3)
-                    : makeSharedL3(config, seed)),
-      prefetcher_(makePrefetcher(config.prefetcher))
+                    : makeSharedL3(config, seed))
 {
+    StreamConfig stream;
+    stream.degree = config.streamDegree;
+    stream.distance = config.streamDistance;
+    stream.lineBytes = config.l1d.lineBytes;
+    prefetcher_ = makePrefetcher(config.prefetcher, stream);
+    l2Prefetcher_ = makePrefetcher(config.l2Prefetcher, stream);
+    // Track prefetched lines wherever a prefetcher fills, so demand
+    // hits on them are counted useful (accuracy / coverage).
+    if (prefetcher_) {
+        l1d_->enablePrefetchTracking();
+        l2_->enablePrefetchTracking();
+    } else if (l2Prefetcher_) {
+        l2_->enablePrefetchTracking();
+    }
 }
 
 std::shared_ptr<SetAssocCache>
@@ -58,6 +71,8 @@ CacheHierarchy::accessData(std::uint64_t addr, bool is_write,
 
     if (prefetcher_ && !is_write)
         observePrefetcher(pc, addr, level);
+    if (l2Prefetcher_ && !is_write && level != HitLevel::L1)
+        observeL2Prefetcher(pc, addr, level);
     return level;
 }
 
@@ -73,11 +88,23 @@ CacheHierarchy::observePrefetcher(std::uint64_t pc, std::uint64_t addr,
 }
 
 void
+CacheHierarchy::observeL2Prefetcher(std::uint64_t pc,
+                                    std::uint64_t addr, HitLevel level)
+{
+    prefetchScratch_.clear();
+    l2Prefetcher_->observe(pc, addr,
+                           level != HitLevel::L1 && level != HitLevel::L2,
+                           prefetchScratch_);
+    for (std::uint64_t line : prefetchScratch_)
+        l2_->fill(line, 2);
+}
+
+void
 CacheHierarchy::prefetchFill(std::uint64_t addr)
 {
     // Prefetches fill L2 and L1D without counting demand traffic.
-    l1d_->fill(addr);
-    l2_->fill(addr);
+    l1d_->fill(addr, 1);
+    l2_->fill(addr, 1);
 }
 
 void

@@ -38,8 +38,18 @@ struct HierarchyConfig
                    ReplacementPolicy::Lru, 38};
     /** Main-memory load-to-use latency in core cycles. */
     unsigned memLatency = 210;
-    /** Data-side prefetcher: "none", "next-line" or "stride". */
+    /** L1D-side prefetcher: "none", "next-line", "stride" or
+     *  "stream"; fills L1D and L2. */
     std::string prefetcher = "none";
+    /** L2-side prefetcher trained on L1D-miss traffic (same names);
+     *  fills L2 only, so the L1 same-line memo stays legal. */
+    std::string l2Prefetcher = "none";
+    /** Stream-prefetcher degree (lines issued per trained
+     *  observation), for both prefetcher slots. */
+    unsigned streamDegree = 4;
+    /** Stream-prefetcher distance (lines of lookahead / matching
+     *  window), for both prefetcher slots. */
+    unsigned streamDistance = 16;
 };
 
 /**
@@ -95,6 +105,8 @@ class CacheHierarchy
             level = HitLevel::Memory;
         if (prefetcher_ && !is_write)
             observePrefetcher(pc, addr, level);
+        if (l2Prefetcher_ && !is_write && level != HitLevel::L1)
+            observeL2Prefetcher(pc, addr, level);
         return level;
     }
 
@@ -127,6 +139,12 @@ class CacheHierarchy
     /// @{
     void creditInstHits(std::uint64_t n) { l1i_->creditHits(n); }
     void creditDataHits(std::uint64_t n) { l1d_->creditHits(n); }
+    /** Way-prediction credit for memo-skipped load repeats (MRU
+     *  only; see SetAssocCache::creditWayPredictions). */
+    void creditDataWayPredictions(std::uint64_t n)
+    {
+        l1d_->creditWayPredictions(n);
+    }
     /// @}
 
     /** Selects the shared-L3 context this hierarchy's accesses are
@@ -141,6 +159,36 @@ class CacheHierarchy
     const SetAssocCache &l2() const { return *l2_; }
     const SetAssocCache &l3() const { return *l3_; }
     const Prefetcher *prefetcher() const { return prefetcher_.get(); }
+    const Prefetcher *l2Prefetcher() const
+    {
+        return l2Prefetcher_.get();
+    }
+
+    /** @name Way-prediction latency (L1D)
+     *  Extra cycles the most recent demand data access paid for a way
+     *  misprediction; both simulator lanes fold it into the access
+     *  latency. Zero whenever way prediction is off. */
+    /// @{
+    bool hasWayPrediction() const
+    {
+        return config_.l1d.wayPredictor != WayPredictor::None;
+    }
+    unsigned lastDataWayPenalty() const
+    {
+        return l1d_->lastWayPenalty();
+    }
+    /// @}
+
+    /** Demand hits that consumed an L1-prefetcher line (at L1D). */
+    std::uint64_t prefetcherUseful() const
+    {
+        return l1d_->stats().prefetchUseful;
+    }
+    /** Demand hits that consumed an L2-prefetcher line (at L2). */
+    std::uint64_t l2PrefetcherUseful() const
+    {
+        return l2_->stats().prefetchUsefulByL2;
+    }
 
   private:
     /** Fills a prefetched line into L1D and L2 without demand stats. */
@@ -149,6 +197,10 @@ class CacheHierarchy
      *  (the shared tail of accessData and accessDataFast). */
     void observePrefetcher(std::uint64_t pc, std::uint64_t addr,
                            HitLevel level);
+    /** As above for the L2 prefetcher: trained on accesses that
+     *  missed L1, fills L2 only. */
+    void observeL2Prefetcher(std::uint64_t pc, std::uint64_t addr,
+                             HitLevel level);
 
     HierarchyConfig config_;
     std::unique_ptr<SetAssocCache> l1i_;
@@ -156,6 +208,7 @@ class CacheHierarchy
     std::unique_ptr<SetAssocCache> l2_;
     std::shared_ptr<SetAssocCache> l3_;
     std::unique_ptr<Prefetcher> prefetcher_;
+    std::unique_ptr<Prefetcher> l2Prefetcher_;
     std::vector<std::uint64_t> prefetchScratch_;
 };
 

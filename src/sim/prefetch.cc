@@ -70,8 +70,159 @@ StridePrefetcher::observe(std::uint64_t pc, std::uint64_t addr, bool,
     }
 }
 
+// ---------------------------------------------------------------------
+// StreamPrefetcher
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Recent-issue window used for late-prefetch detection. */
+constexpr std::size_t kRecentIssueWindow = 64;
+
+} // namespace
+
+StreamPrefetcher::StreamPrefetcher(const StreamConfig &config)
+    : config_(config), streams_(config.streams),
+      recent_(kRecentIssueWindow, ~std::uint64_t(0))
+{
+    SPEC17_ASSERT(config.streams >= 1, "stream prefetcher needs a stream");
+    SPEC17_ASSERT(config.degree >= 1, "stream degree must be >= 1");
+    SPEC17_ASSERT(config.distance >= 1, "stream distance must be >= 1");
+    SPEC17_ASSERT(config.trainThreshold >= 1,
+                  "stream train threshold must be >= 1");
+    SPEC17_ASSERT(config.lineBytes > 0, "line size must be positive");
+    SPEC17_ASSERT(config.degree <= config.distance,
+                  "stream degree beyond the in-flight window");
+}
+
+bool
+StreamPrefetcher::inRecent(std::uint64_t line) const
+{
+    for (std::uint64_t recent : recent_)
+        if (recent == line)
+            return true;
+    return false;
+}
+
+void
+StreamPrefetcher::pushRecent(std::uint64_t line)
+{
+    recent_[recentHead_] = line;
+    recentHead_ = (recentHead_ + 1) % recent_.size();
+}
+
+void
+StreamPrefetcher::issueAhead(Stream &s, std::vector<std::uint64_t> &out)
+{
+    for (unsigned n = 0; n < config_.degree; ++n) {
+        std::uint64_t next;
+        if (s.dir > 0) {
+            next = s.issuedUpTo + 1;
+            if (next > s.lastLine + config_.distance)
+                break;
+        } else {
+            if (s.issuedUpTo == 0 ||
+                s.issuedUpTo - 1 + config_.distance < s.lastLine)
+                break;
+            next = s.issuedUpTo - 1;
+        }
+        s.issuedUpTo = next;
+        out.push_back(next * config_.lineBytes);
+        ++issued_;
+        pushRecent(next);
+    }
+}
+
+void
+StreamPrefetcher::observe(std::uint64_t, std::uint64_t addr,
+                          bool was_miss, std::vector<std::uint64_t> &out)
+{
+    const std::uint64_t line = addr / config_.lineBytes;
+    ++tick_;
+
+    // A miss on a line we already issued means the fill was evicted
+    // before the demand arrived -- the model's "late prefetch".
+    if (was_miss && inRecent(line))
+        ++late_;
+
+    // First stream whose frontier is within the window wins
+    // (deterministic scan order).
+    Stream *match = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid)
+            continue;
+        const std::int64_t delta = static_cast<std::int64_t>(line)
+            - static_cast<std::int64_t>(s.lastLine);
+        if (delta == 0) {
+            s.stamp = tick_;
+            return;  // same line again: nothing new to learn
+        }
+        if (delta >= -static_cast<std::int64_t>(config_.distance) &&
+            delta <= static_cast<std::int64_t>(config_.distance)) {
+            match = &s;
+            break;
+        }
+    }
+
+    if (match != nullptr) {
+        const std::int64_t delta = static_cast<std::int64_t>(line)
+            - static_cast<std::int64_t>(match->lastLine);
+        const int dir = delta > 0 ? 1 : -1;
+        if (match->dir == dir) {
+            if (match->confidence < 3)
+                ++match->confidence;
+        } else if (match->dir == 0) {
+            match->dir = dir;
+            match->confidence = 1;
+        } else if (match->confidence > 0) {
+            --match->confidence;
+        } else {
+            match->dir = dir;
+            match->confidence = 1;
+            match->issuedUpTo = line;
+        }
+        if (match->dir == dir) {
+            match->lastLine = line;
+            // Demand may outrun the issue frontier; never re-issue
+            // lines behind the demand point.
+            if ((dir > 0 && match->issuedUpTo < line) ||
+                (dir < 0 && match->issuedUpTo > line))
+                match->issuedUpTo = line;
+            if (match->confidence >= config_.trainThreshold)
+                issueAhead(*match, out);
+        }
+        match->stamp = tick_;
+        return;
+    }
+
+    // Only demand misses open a new stream (the classic miss-stream
+    // allocation); hits without a matching stream are noise.
+    if (!was_miss)
+        return;
+    Stream *victim = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (victim == nullptr || s.stamp < victim->stamp)
+            victim = &s;
+    }
+    *victim = Stream();
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->issuedUpTo = line;
+    victim->stamp = tick_;
+}
+
 std::unique_ptr<Prefetcher>
 makePrefetcher(const std::string &name)
+{
+    return makePrefetcher(name, StreamConfig());
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, const StreamConfig &stream)
 {
     if (name == "none")
         return nullptr;
@@ -79,8 +230,10 @@ makePrefetcher(const std::string &name)
         return std::make_unique<NextLinePrefetcher>();
     if (name == "stride")
         return std::make_unique<StridePrefetcher>();
+    if (name == "stream")
+        return std::make_unique<StreamPrefetcher>(stream);
     SPEC17_FATAL("unknown prefetcher '", name,
-                 "' (want none|next-line|stride)");
+                 "' (want none|next-line|stride|stream)");
 }
 
 } // namespace sim

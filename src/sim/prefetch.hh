@@ -1,9 +1,10 @@
 /**
  * @file
  * Hardware prefetchers. The paper's machine (Haswell) ships stream
- * and stride prefetchers; we model next-line and per-PC stride
- * variants that can be attached to the data-side hierarchy, and use
- * them in the ablation benches.
+ * and stride prefetchers; we model next-line, per-PC stride and
+ * confidence-trained stream variants that can be attached to the
+ * data-side hierarchy (stream at L1D or L2), and use them in the
+ * ablation benches and the uarch explorer.
  */
 
 #ifndef SPEC17_SIM_PREFETCH_HH_
@@ -39,11 +40,24 @@ class Prefetcher
 
     virtual std::string name() const = 0;
 
-    /** Total prefetches issued. */
+    /** Total prefetches issued. The matching useful count (demand
+     *  hits that consumed a prefetched line) is kept by the filled
+     *  cache per owner lane -- CacheStats::prefetchUseful /
+     *  prefetchUsefulByL2 -- because only the cache sees the hit;
+     *  accuracy = useful / issued. */
     std::uint64_t issued() const { return issued_; }
+
+    /**
+     * Demand misses on lines this prefetcher had already issued: the
+     * fill did not survive until the demand arrived (evicted before
+     * use). Fills are instantaneous in this model, so "late" is the
+     * issued-but-evicted case, detected against a recent-issue window.
+     */
+    std::uint64_t late() const { return late_; }
 
   protected:
     std::uint64_t issued_ = 0;
+    std::uint64_t late_ = 0;
 };
 
 /**
@@ -95,8 +109,76 @@ class StridePrefetcher : public Prefetcher
     unsigned lineBytes_;
 };
 
-/** Factory over {"none", "next-line", "stride"}; "none" -> nullptr. */
+/**
+ * Stream-prefetcher knobs. degree and distance are semantic knobs:
+ * both are printed by SystemConfig::describe() and therefore members
+ * of the result-cache config key.
+ */
+struct StreamConfig
+{
+    /** Concurrent stream trackers. */
+    unsigned streams = 8;
+    /** Prefetches issued per trained observation. */
+    unsigned degree = 4;
+    /** How far ahead of the demand frontier a stream may run (lines);
+     *  also the window within which an access matches a stream. */
+    unsigned distance = 16;
+    /** Confirmations in one direction before issuing. */
+    unsigned trainThreshold = 2;
+    unsigned lineBytes = 64;
+};
+
+/**
+ * Confidence-trained stream prefetcher: tracks up to streams
+ * concurrent unit-line access streams (either direction), confirms a
+ * direction trainThreshold times, then keeps a window of distance
+ * lines in flight ahead of the demand frontier, issuing at most
+ * degree lines per observation. Streams allocate on demand misses
+ * (LRU victim, deterministic) but advance on every access so a stream
+ * keeps running ahead once its fills start hitting.
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(const StreamConfig &config = StreamConfig());
+
+    void observe(std::uint64_t pc, std::uint64_t addr, bool was_miss,
+                 std::vector<std::uint64_t> &out) override;
+    std::string name() const override { return "stream"; }
+
+    const StreamConfig &config() const { return config_; }
+
+  private:
+    struct Stream
+    {
+        std::uint64_t lastLine = 0;
+        std::uint64_t issuedUpTo = 0;  // furthest line issued, in dir
+        std::uint64_t stamp = 0;       // LRU
+        int dir = 0;                   // +1 / -1 / 0 (untrained)
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    void issueAhead(Stream &s, std::vector<std::uint64_t> &out);
+    bool inRecent(std::uint64_t line) const;
+    void pushRecent(std::uint64_t line);
+
+    StreamConfig config_;
+    std::vector<Stream> streams_;
+    std::vector<std::uint64_t> recent_;  // ring of issued lines
+    std::size_t recentHead_ = 0;
+    std::uint64_t tick_ = 0;
+};
+
+/**
+ * Factory over {"none", "next-line", "stride", "stream"};
+ * "none" -> nullptr.
+ */
 std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name);
+
+/** As above, with explicit stream knobs for name == "stream". */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name,
+                                           const StreamConfig &stream);
 
 } // namespace sim
 } // namespace spec17

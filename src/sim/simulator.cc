@@ -27,11 +27,31 @@ CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
                            std::shared_ptr<MemoryBus> shared_bus)
     : config_(config),
       hierarchy_(config.hierarchy, std::move(shared_l3), seed),
-      branches_(makeDirectionPredictor(config.branchPredictor)),
+      branches_(makeDirectionPredictor(config.branchPredictor,
+                                       config.tage)),
       core_(config.core, std::move(shared_bus)), dtlb_(config.dtlb),
       itlb_(config.itlb),
-      dataMemoLegal_(hierarchy_.prefetcher() == nullptr)
+      // The same-line data memo is illegal under an L1D prefetcher
+      // (skipped repeats would starve its training stream) and under
+      // utag way prediction (an aliasing earlier way mispredicts every
+      // repeat, so skipped repeats would dodge real penalty cycles).
+      // MRU way prediction keeps it legal -- the memo'd line is by
+      // construction the set's MRU way -- and an L2-only prefetcher
+      // keeps it legal too, since skipped repeats are L1 hits it never
+      // observes.
+      dataMemoLegal_(hierarchy_.prefetcher() == nullptr
+                     && config.hierarchy.l1d.wayPredictor
+                            != WayPredictor::Utag)
 {
+    // Way prediction is modeled on the L1D load path only (timing and
+    // stats); other levels would collect stats the batched lane's
+    // inst memo cannot reproduce.
+    SPEC17_ASSERT(config.hierarchy.l1i.wayPredictor == WayPredictor::None
+                      && config.hierarchy.l2.wayPredictor
+                             == WayPredictor::None
+                      && config.hierarchy.l3.wayPredictor
+                             == WayPredictor::None,
+                  "way prediction is supported on the L1D only");
     instMemo_.assign(config.hierarchy.l1i.numSets(), kNoLine);
     dataMemo_.assign(config.hierarchy.l1d.numSets(), kNoLine);
     dataMemoDirty_.assign(config.hierarchy.l1d.numSets(), 0);
@@ -94,7 +114,10 @@ CpuSimulator::consume(const isa::MicroOp &op)
         const HitLevel level =
             hierarchy_.accessData(op.effAddr, false, op.pc);
         footprint_.touch(op.effAddr);
-        mem_latency = hierarchy_.latencyOf(level);
+        // lastDataWayPenalty() is zero unless the L1D way predictor
+        // just mispredicted this access's hit way.
+        mem_latency =
+            hierarchy_.latencyOf(level) + hierarchy_.lastDataWayPenalty();
         l1_miss = level != HitLevel::L1;
         dram_access = level == HitLevel::Memory;
         if (config_.enableTlb) {
@@ -259,9 +282,11 @@ CpuSimulator::consumeBatch(std::size_t n)
     const SetAssocCache &l1i = hierarchy_.l1i();
     const SetAssocCache &l1d = hierarchy_.l1d();
     const bool data_memo_legal = dataMemoLegal_;
+    const bool way_pred = hierarchy_.hasWayPrediction();
 
     std::uint64_t inst_repeat_hits = 0;
     std::uint64_t data_repeat_hits = 0;
+    std::uint64_t data_repeat_load_hits = 0;
     std::uint64_t num_loads = 0;
     std::uint64_t num_stores = 0;
     std::uint64_t loads_at[4] = {0, 0, 0, 0};
@@ -306,15 +331,22 @@ CpuSimulator::consumeBatch(std::size_t n)
             const std::uint64_t line = addr >> data_shift;
             const std::uint64_t dset = l1d.setOfLine(line);
             HitLevel level = HitLevel::L1;
+            unsigned way_penalty = 0;
             if (data_memo_legal && data_memo[dset] == line) {
+                // Memo-skipped repeats predict correctly under MRU
+                // (the memo'd line is the set's MRU way), so they
+                // carry no penalty; utag disables the memo instead.
                 ++data_repeat_hits;
+                ++data_repeat_load_hits;
             } else {
                 level = hierarchy_.accessDataFast(addr, false, pc);
+                if (way_pred)
+                    way_penalty = l1d.lastWayPenalty();
                 data_memo[dset] = line;
                 data_memo_dirty[dset] = 0;
             }
             ++loads_at[static_cast<std::size_t>(level)];
-            mem_lat[i] = lat[static_cast<std::size_t>(level)];
+            mem_lat[i] = lat[static_cast<std::size_t>(level)] + way_penalty;
             if (level != HitLevel::L1) {
                 l1_missed[i] = 1;
                 if (level == HitLevel::Memory)
@@ -432,6 +464,8 @@ CpuSimulator::consumeBatch(std::size_t n)
         hierarchy_.creditInstHits(inst_repeat_hits);
     if (data_repeat_hits != 0)
         hierarchy_.creditDataHits(data_repeat_hits);
+    if (way_pred && data_repeat_load_hits != 0)
+        hierarchy_.creditDataWayPredictions(data_repeat_load_hits);
     if (tlb) {
         counters_.add(PerfEvent::ItlbMissesWalk, itlb_walks);
         counters_.add(PerfEvent::DtlbLoadMissesWalk, dtlb_walks);

@@ -37,6 +37,49 @@ dumpCache(const SetAssocCache &cache, std::ostream &os,
          "dirty lines written back");
     line(os, base + "prefetch_fills", double(stats.prefetchFills),
          "lines installed by prefetch");
+    if (cache.config().wayPredictor != WayPredictor::None) {
+        line(os, base + "way_predictions",
+             double(stats.wayPredictions), "load hits way-predicted");
+        line(os, base + "way_mispredicts",
+             double(stats.wayMispredicts),
+             "load hits that predicted the wrong way");
+        line(os, base + "way_mispredict_rate",
+             stats.wayPredictions > 0
+                 ? double(stats.wayMispredicts)
+                       / double(stats.wayPredictions)
+                 : 0.0,
+             "mispredicts / predictions");
+        line(os, base + "way_penalty_cycles",
+             double(stats.wayPenaltyCycles),
+             "extra load cycles from wrong-way probes");
+    }
+}
+
+/**
+ * Accuracy/coverage block for one prefetcher. @p useful is the
+ * demand-hit-on-prefetched-line count attributed to this prefetcher
+ * by its fill cache, and @p demand_misses the demand misses of the
+ * level it fills into (coverage denominator).
+ */
+void
+dumpPrefetcher(const Prefetcher &pf, std::ostream &os,
+               const std::string &base, std::uint64_t useful,
+               std::uint64_t demand_misses)
+{
+    line(os, base + "issued", double(pf.issued()),
+         "prefetches issued");
+    line(os, base + "useful", double(useful),
+         "prefetched lines later demand-hit");
+    line(os, base + "late", double(pf.late()),
+         "demand misses on recently issued lines");
+    line(os, base + "accuracy",
+         pf.issued() > 0 ? double(useful) / double(pf.issued()) : 0.0,
+         "useful / issued");
+    line(os, base + "coverage",
+         useful + demand_misses > 0
+             ? double(useful) / double(useful + demand_misses)
+             : 0.0,
+         "useful / (useful + demand misses)");
 }
 
 void
@@ -88,13 +131,17 @@ dumpStats(const CpuSimulator &simulator, std::ostream &os,
     dumpCache(simulator.hierarchy().l1d(), os, prefix);
     dumpCache(simulator.hierarchy().l2(), os, prefix);
     dumpCache(simulator.hierarchy().l3(), os, prefix);
-    if (simulator.hierarchy().prefetcher()) {
-        line(os,
-             prefix + "prefetcher."
-                 + simulator.hierarchy().prefetcher()->name()
-                 + ".issued",
-             double(simulator.hierarchy().prefetcher()->issued()),
-             "prefetches issued");
+    if (const Prefetcher *pf = simulator.hierarchy().prefetcher()) {
+        dumpPrefetcher(*pf, os,
+                       prefix + "prefetcher." + pf->name() + ".",
+                       simulator.hierarchy().prefetcherUseful(),
+                       simulator.hierarchy().l1d().stats().misses);
+    }
+    if (const Prefetcher *pf = simulator.hierarchy().l2Prefetcher()) {
+        dumpPrefetcher(*pf, os,
+                       prefix + "l2_prefetcher." + pf->name() + ".",
+                       simulator.hierarchy().l2PrefetcherUseful(),
+                       simulator.hierarchy().l2().stats().misses);
     }
 
     const BranchStats &branches = simulator.branchUnit().totals();

@@ -24,20 +24,43 @@ SystemConfig::describe() const
     os << "system configuration (paper Table I analogue)\n";
     os << "  core: " << core.dispatchWidth << "-wide OoO, ROB "
        << core.robSize << ", " << core.numMshrs << " MSHRs, "
-       << core.frequencyGHz << " GHz, predictor " << branchPredictor
-       << "\n";
+       << core.frequencyGHz << " GHz, predictor " << branchPredictor;
+    if (branchPredictor == "tage") {
+        // TAGE geometry is semantics: every knob lands in the config
+        // key through this line.
+        os << " (tables " << tage.historyTables << " x 2^"
+           << tage.tableBits << ", tag " << tage.tagBits << " b, hist "
+           << tage.minHistory << ".." << tage.maxHistory << ", base 2^"
+           << tage.baseBits << ")";
+    }
+    os << "\n";
     auto cache_line = [&](const CacheConfig &c) {
         os << "  " << c.name << ": " << fmtBytes(double(c.sizeBytes))
            << ", " << c.assoc << "-way, " << c.lineBytes << " B lines, "
            << replacementPolicyName(c.policy) << ", hit "
-           << c.hitLatency << " cycles\n";
+           << c.hitLatency << " cycles";
+        if (c.wayPredictor != WayPredictor::None) {
+            os << ", way-pred " << wayPredictorName(c.wayPredictor)
+               << " (penalty " << c.wayMispredictPenalty << ")";
+        }
+        os << "\n";
     };
     cache_line(hierarchy.l1i);
     cache_line(hierarchy.l1d);
     cache_line(hierarchy.l2);
     cache_line(hierarchy.l3);
     os << "  memory: " << hierarchy.memLatency << " cycles"
-       << ", prefetcher " << hierarchy.prefetcher << "\n";
+       << ", prefetcher " << hierarchy.prefetcher
+       << ", l2-prefetcher " << hierarchy.l2Prefetcher;
+    if (hierarchy.prefetcher == "stream"
+        || hierarchy.l2Prefetcher == "stream") {
+        // Stream knobs are semantics only when a stream prefetcher is
+        // attached; printed conditionally so unrelated configs keep
+        // their keys.
+        os << " (stream degree " << hierarchy.streamDegree
+           << ", distance " << hierarchy.streamDistance << ")";
+    }
+    os << "\n";
     if (enableTlb) {
         os << "  tlb: dtlb " << dtlb.l1Entries << "+" << dtlb.l2Entries
            << " entries, itlb " << itlb.l1Entries << "+"

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "sim/branch.hh"
 #include "sim/core_model.hh"
 #include "sim/hierarchy.hh"
 #include "sim/tlb.hh"
@@ -21,8 +22,11 @@ struct SystemConfig
 {
     CoreParams core;
     HierarchyConfig hierarchy;
-    /** Direction predictor: static-taken|bimodal|gshare|tournament. */
+    /** Direction predictor:
+     *  static-taken|bimodal|gshare|tournament|tage. */
     std::string branchPredictor = "tournament";
+    /** TAGE geometry, used when branchPredictor == "tage". */
+    TageConfig tage;
     /**
      * Two-level TLB modelling. Disabled in the Table-I baseline (the
      * paper's counter set has no TLB events); the ablation bench

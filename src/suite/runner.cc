@@ -146,7 +146,10 @@ SuiteRunner::configKey() const
 {
     // kResultVersion changes whenever simulator or workload semantics
     // change, invalidating on-disk caches produced by older builds.
-    static constexpr const char *kResultVersion = "spec17-results-v3";
+    // v4: uarch knobs (TAGE geometry, stream prefetcher degree and
+    // distance, l2 prefetcher slot, way predictor + penalty) entered
+    // the config through SystemConfig::describe().
+    static constexpr const char *kResultVersion = "spec17-results-v4";
     std::ostringstream os;
     os << kResultVersion << "|" << options_.system.describe()
        << "|sample=" << options_.sampleOps

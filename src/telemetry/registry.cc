@@ -186,6 +186,56 @@ registerSimulatorMetrics(MetricsRegistry &registry,
                                return double(
                                    simulator.footprint().pagesTouched());
                            });
+
+    // Microarchitecture-mechanism counters last: registration order
+    // IS the export column order, so new metrics must append, never
+    // interleave (see docs/determinism.md).
+    if (const sim::Prefetcher *pf = simulator.hierarchy().prefetcher()) {
+        const std::string base =
+            prefix + "prefetcher." + pf->name() + ".";
+        registry.registerCounter(base + "issued", "prefetches issued",
+                                 [pf] { return double(pf->issued()); });
+        registry.registerCounter(
+            base + "useful", "prefetched lines later demand-hit",
+            [&simulator] {
+                return double(simulator.hierarchy().prefetcherUseful());
+            });
+        registry.registerCounter(base + "late",
+                                 "demand misses on recently issued lines",
+                                 [pf] { return double(pf->late()); });
+    }
+    if (const sim::Prefetcher *pf =
+            simulator.hierarchy().l2Prefetcher()) {
+        const std::string base =
+            prefix + "l2_prefetcher." + pf->name() + ".";
+        registry.registerCounter(base + "issued", "prefetches issued",
+                                 [pf] { return double(pf->issued()); });
+        registry.registerCounter(
+            base + "useful", "prefetched lines later demand-hit",
+            [&simulator] {
+                return double(
+                    simulator.hierarchy().l2PrefetcherUseful());
+            });
+        registry.registerCounter(base + "late",
+                                 "demand misses on recently issued lines",
+                                 [pf] { return double(pf->late()); });
+    }
+    if (simulator.hierarchy().hasWayPrediction()) {
+        const sim::SetAssocCache &l1d = simulator.hierarchy().l1d();
+        registry.registerCounter(
+            prefix + "l1d.way_predictions", "load hits way-predicted",
+            [&l1d] { return double(l1d.stats().wayPredictions); });
+        registry.registerCounter(
+            prefix + "l1d.way_mispredicts",
+            "load hits that predicted the wrong way", [&l1d] {
+                return double(l1d.stats().wayMispredicts);
+            });
+        registry.registerCounter(
+            prefix + "l1d.way_penalty_cycles",
+            "extra load cycles from wrong-way probes", [&l1d] {
+                return double(l1d.stats().wayPenaltyCycles);
+            });
+    }
 }
 
 void

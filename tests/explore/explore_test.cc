@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Design-space explorer tests: axis planning and storage-cost models,
+ * Pareto dominance/knee marking on synthetic points, and the golden
+ * determinism guarantees -- the scored table is identical at any job
+ * count and across a mid-sweep resume.
+ */
+
+#include "explore/plan.hh"
+#include "explore/runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace spec17 {
+namespace explore {
+namespace {
+
+using sim::SystemConfig;
+using workloads::InputSize;
+using workloads::SuiteGeneration;
+
+TEST(Plan, AxisNamesRoundTrip)
+{
+    const std::vector<std::string> expected = {
+        "predictor", "prefetcher", "l2-prefetcher", "way-predictor"};
+    EXPECT_EQ(axisNames(), expected);
+    for (const std::string &axis : axisNames())
+        EXPECT_TRUE(isAxis(axis)) << axis;
+    EXPECT_FALSE(isAxis("voltage"));
+    EXPECT_FALSE(isAxis(""));
+}
+
+TEST(Plan, EachPointChangesExactlyItsOwnKnob)
+{
+    const SystemConfig base = SystemConfig::haswellXeonE52650Lv3();
+    for (const std::string &axis : axisNames()) {
+        const auto points = planAxis(axis, base);
+        ASSERT_GE(points.size(), 3u) << axis;
+        for (const auto &point : points) {
+            EXPECT_EQ(point.axis, axis);
+            EXPECT_GE(point.costBits, 0.0) << point.label;
+        }
+        // The axis always contains the baseline setting, and that
+        // point's config is byte-for-byte the baseline config.
+        bool found_base = false;
+        for (const auto &point : points)
+            found_base |= point.system.describe() == base.describe();
+        EXPECT_TRUE(found_base) << axis;
+    }
+}
+
+TEST(Plan, PointLabelsAreUniquePerAxis)
+{
+    const SystemConfig base = SystemConfig::haswellXeonE52650Lv3();
+    for (const std::string &axis : axisNames()) {
+        const auto points = planAxis(axis, base);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            for (std::size_t j = i + 1; j < points.size(); ++j)
+                EXPECT_NE(points[i].label, points[j].label) << axis;
+    }
+}
+
+TEST(Plan, StorageCostModels)
+{
+    const sim::TageConfig tage;
+    EXPECT_DOUBLE_EQ(predictorStorageBits("static-taken", tage), 0.0);
+    EXPECT_DOUBLE_EQ(predictorStorageBits("bimodal", tage),
+                     double(1u << 14) * 2.0);
+    EXPECT_DOUBLE_EQ(predictorStorageBits("gshare", tage),
+                     double(1u << 14) * 2.0 + 12.0);
+    // TAGE default geometry: 4 tables x 2^10 entries x (9-bit tag +
+    // 3-bit ctr + 2-bit useful + valid) + 2^12 x 2-bit base + 64-bit
+    // history.
+    EXPECT_DOUBLE_EQ(predictorStorageBits("tage", tage),
+                     4.0 * 1024.0 * 15.0 + 4096.0 * 2.0 + 64.0);
+
+    const sim::StreamConfig stream;
+    EXPECT_DOUBLE_EQ(prefetcherStorageBits("none", stream), 0.0);
+    EXPECT_DOUBLE_EQ(prefetcherStorageBits("next-line", stream), 58.0);
+    // 8 streams x (two 58-bit line addresses + 3-bit LRU pointer +
+    // 2-bit dir + 2-bit confidence + valid).
+    EXPECT_DOUBLE_EQ(prefetcherStorageBits("stream", stream),
+                     8.0 * (116.0 + 3.0 + 5.0));
+
+    sim::CacheConfig l1d{"l1d", 32 * 1024, 8, 64,
+                         sim::ReplacementPolicy::Lru, 4};
+    // 64 sets: MRU keeps a 3-bit way pointer per set, utag an 8-bit
+    // partial tag per way.
+    EXPECT_DOUBLE_EQ(
+        wayPredictorStorageBits(sim::WayPredictor::None, l1d), 0.0);
+    EXPECT_DOUBLE_EQ(
+        wayPredictorStorageBits(sim::WayPredictor::Mru, l1d),
+        64.0 * 3.0);
+    EXPECT_DOUBLE_EQ(
+        wayPredictorStorageBits(sim::WayPredictor::Utag, l1d),
+        64.0 * 8.0 * 8.0);
+}
+
+PointResult
+syntheticPoint(const char *label, double sse, double cost)
+{
+    PointResult result;
+    result.point.axis = "synthetic";
+    result.point.label = label;
+    result.point.costBits = cost;
+    result.sse = sse;
+    return result;
+}
+
+TEST(Pareto, MarksDominatedPointsAndTheKnee)
+{
+    std::vector<PointResult> points = {
+        syntheticPoint("cheap", 10.0, 0.0),
+        syntheticPoint("balanced", 5.0, 100.0),
+        syntheticPoint("wasteful", 7.0, 200.0), // dominated by balanced
+        syntheticPoint("accurate", 4.0, 1000.0),
+    };
+    markPareto(points);
+    EXPECT_FALSE(points[0].dominated);
+    EXPECT_FALSE(points[1].dominated);
+    EXPECT_TRUE(points[2].dominated);
+    EXPECT_FALSE(points[3].dominated);
+    // Exactly one knee, and never a dominated point.
+    int knees = 0;
+    for (const auto &point : points) {
+        knees += point.knee;
+        if (point.knee)
+            EXPECT_FALSE(point.dominated) << point.point.label;
+    }
+    EXPECT_EQ(knees, 1);
+}
+
+TEST(Pareto, EqualPointsDominateNeither)
+{
+    std::vector<PointResult> points = {
+        syntheticPoint("a", 5.0, 100.0),
+        syntheticPoint("b", 5.0, 100.0),
+    };
+    markPareto(points);
+    EXPECT_FALSE(points[0].dominated);
+    EXPECT_FALSE(points[1].dominated);
+}
+
+/** Tiny-sweep options: cpu2006/test keeps the sweep fast. */
+ExploreOptions
+tinyOptions()
+{
+    ExploreOptions options;
+    options.runner.sampleOps = 2000;
+    options.runner.warmupOps = 500;
+    options.generation = SuiteGeneration::Cpu2006;
+    options.size = InputSize::Test;
+    options.cachePath.clear(); // no journals unless a test opts in
+    return options;
+}
+
+void
+expectSameTable(const std::vector<PointResult> &a,
+                const std::vector<PointResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].point.label, b[i].point.label);
+        // Bit-exact, not approximately equal: the Pareto table is a
+        // deterministic artifact.
+        EXPECT_EQ(a[i].sse, b[i].sse) << a[i].point.label;
+        EXPECT_EQ(a[i].meanIpc, b[i].meanIpc) << a[i].point.label;
+        EXPECT_EQ(a[i].pairs, b[i].pairs) << a[i].point.label;
+        EXPECT_EQ(a[i].errored, b[i].errored) << a[i].point.label;
+        EXPECT_EQ(a[i].dominated, b[i].dominated) << a[i].point.label;
+        EXPECT_EQ(a[i].knee, b[i].knee) << a[i].point.label;
+    }
+}
+
+TEST(ExploreGolden, TableIsIdenticalAtAnyJobCount)
+{
+    ExploreOptions serial = tinyOptions();
+    serial.runner.jobs = 1;
+    const auto baseline =
+        ExploreRunner(serial).runAxis("way-predictor");
+    ASSERT_EQ(baseline.size(), 3u);
+    for (const auto &point : baseline)
+        EXPECT_GT(point.pairs, 0u) << point.point.label;
+
+    ExploreOptions parallel_opts = tinyOptions();
+    parallel_opts.runner.jobs = 8;
+    expectSameTable(baseline,
+                    ExploreRunner(parallel_opts).runAxis("way-predictor"));
+}
+
+TEST(ExploreGolden, TableIsIdenticalAcrossMidSweepResume)
+{
+    const std::string base =
+        std::string(::testing::TempDir()) + "/explore_resume";
+
+    ExploreOptions plain = tinyOptions();
+    const auto baseline = ExploreRunner(plain).runAxis("way-predictor");
+
+    // Full journaled sweep, then forget one point's journal: the
+    // resumed run replays two points from disk and re-runs the third.
+    ExploreOptions journaled = tinyOptions();
+    journaled.cachePath = base;
+    journaled.runner.jobs = 4;
+    ExploreRunner first(journaled);
+    expectSameTable(baseline, first.runAxis("way-predictor"));
+
+    const auto points =
+        planAxis("way-predictor", journaled.runner.system);
+    std::vector<std::string> journals;
+    for (const auto &point : points)
+        journals.push_back(first.pointCachePath(point)
+                           + ".cpu2006.test.csv");
+    ASSERT_EQ(std::remove(journals[1].c_str()), 0)
+        << "expected a journal at " << journals[1];
+
+    ExploreOptions resumed = tinyOptions();
+    resumed.cachePath = base;
+    resumed.resume = true;
+    resumed.runner.jobs = 2;
+    expectSameTable(baseline,
+                    ExploreRunner(resumed).runAxis("way-predictor"));
+
+    for (const std::string &journal : journals)
+        std::remove(journal.c_str());
+}
+
+} // namespace
+} // namespace explore
+} // namespace spec17

@@ -192,6 +192,99 @@ TEST(Cache, PolicyNames)
     EXPECT_EQ(replacementPolicyName(ReplacementPolicy::Random), "random");
 }
 
+CacheConfig
+wayPredictedCache(WayPredictor predictor)
+{
+    CacheConfig config = tinyCache();
+    config.wayPredictor = predictor;
+    config.wayMispredictPenalty = 2;
+    return config;
+}
+
+TEST(WayPrediction, MruHandTracedMispredictAccounting)
+{
+    SetAssocCache cache(wayPredictedCache(WayPredictor::Mru));
+    // Set-0 lines A and B (stride = numSets * line = 256). Each
+    // miss-allocation touches the filled way, making it MRU.
+    cache.access(0 * 256, false); // A -> way 0, MRU = 0
+    cache.access(1 * 256, false); // B -> way 1, MRU = 1
+    EXPECT_EQ(cache.stats().wayPredictions, 0u); // misses predict nothing
+    EXPECT_EQ(cache.lastWayPenalty(), 0u);
+
+    // Load hit on A (way 0) while MRU points at way 1: mispredict,
+    // and the 2-cycle penalty lands in both lastWayPenalty() and the
+    // cumulative counter.
+    EXPECT_TRUE(cache.access(0 * 256, false));
+    EXPECT_EQ(cache.stats().wayPredictions, 1u);
+    EXPECT_EQ(cache.stats().wayMispredicts, 1u);
+    EXPECT_EQ(cache.stats().wayPenaltyCycles, 2u);
+    EXPECT_EQ(cache.lastWayPenalty(), 2u);
+
+    // A is now MRU: the repeat predicts correctly, penalty-free.
+    EXPECT_TRUE(cache.access(0 * 256, false));
+    EXPECT_EQ(cache.stats().wayPredictions, 2u);
+    EXPECT_EQ(cache.stats().wayMispredicts, 1u);
+    EXPECT_EQ(cache.stats().wayPenaltyCycles, 2u);
+    EXPECT_EQ(cache.lastWayPenalty(), 0u);
+}
+
+TEST(WayPrediction, StoresNeitherPredictNorPay)
+{
+    SetAssocCache cache(wayPredictedCache(WayPredictor::Mru));
+    cache.access(0 * 256, false); // A -> way 0, MRU = 0
+    cache.access(1 * 256, false); // B -> way 1, MRU = 1
+    // Store hit on the non-MRU way: drains through the write buffer,
+    // so no prediction is consulted and no penalty is charged.
+    EXPECT_TRUE(cache.access(0 * 256, true));
+    EXPECT_EQ(cache.stats().wayPredictions, 0u);
+    EXPECT_EQ(cache.stats().wayMispredicts, 0u);
+    EXPECT_EQ(cache.lastWayPenalty(), 0u);
+}
+
+TEST(WayPrediction, UtagAliasStealsThePrediction)
+{
+    // Tags 0x0 and 0x101 share partial tag utagOf == 0 (0x101 ^
+    // 0x001 == 0x100, whose low byte is 0), so the earlier way's
+    // alias steals the first-match prediction from the later way.
+    ASSERT_EQ(SetAssocCache::utagOf(0x0), SetAssocCache::utagOf(0x101));
+    SetAssocCache cache(wayPredictedCache(WayPredictor::Utag));
+    const std::uint64_t addr_a = 0x0;         // tag 0x0, set 0
+    const std::uint64_t addr_b = 0x101 << 8;  // tag 0x101, set 0
+    cache.access(addr_a, false); // way 0
+    cache.access(addr_b, false); // way 1
+
+    // Hit on B at way 1: the scan finds way 0's aliasing utag first.
+    EXPECT_TRUE(cache.access(addr_b, false));
+    EXPECT_EQ(cache.stats().wayPredictions, 1u);
+    EXPECT_EQ(cache.stats().wayMispredicts, 1u);
+    EXPECT_EQ(cache.lastWayPenalty(), 2u);
+
+    // Hit on A at way 0: first match IS way 0 -- correct.
+    EXPECT_TRUE(cache.access(addr_a, false));
+    EXPECT_EQ(cache.stats().wayPredictions, 2u);
+    EXPECT_EQ(cache.stats().wayMispredicts, 1u);
+    EXPECT_EQ(cache.lastWayPenalty(), 0u);
+}
+
+TEST(WayPrediction, Names)
+{
+    EXPECT_EQ(wayPredictorName(WayPredictor::None), "none");
+    EXPECT_EQ(wayPredictorName(WayPredictor::Mru), "mru");
+    EXPECT_EQ(wayPredictorName(WayPredictor::Utag), "utag");
+    EXPECT_EQ(wayPredictorFromName("mru"), WayPredictor::Mru);
+    EXPECT_EQ(wayPredictorFromName("utag"), WayPredictor::Utag);
+    EXPECT_EQ(wayPredictorFromName("none"), WayPredictor::None);
+}
+
+TEST(WayPredictionDeathTest, DirectMappedCacheIsContradictory)
+{
+    CacheConfig config = wayPredictedCache(WayPredictor::Mru);
+    config.assoc = 1;
+    config.sizeBytes = 256;
+    EXPECT_EXIT(SetAssocCache{config}, ::testing::ExitedWithCode(1),
+                "contradictory with assoc == 1");
+}
+
 } // namespace
 } // namespace sim
 } // namespace spec17

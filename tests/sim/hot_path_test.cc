@@ -59,6 +59,11 @@ expectCacheStatsEqual(const CacheStats &a, const CacheStats &b,
     EXPECT_EQ(a.evictions, b.evictions) << which;
     EXPECT_EQ(a.writebacks, b.writebacks) << which;
     EXPECT_EQ(a.prefetchFills, b.prefetchFills) << which;
+    EXPECT_EQ(a.prefetchUseful, b.prefetchUseful) << which;
+    EXPECT_EQ(a.prefetchUsefulByL2, b.prefetchUsefulByL2) << which;
+    EXPECT_EQ(a.wayPredictions, b.wayPredictions) << which;
+    EXPECT_EQ(a.wayMispredicts, b.wayMispredicts) << which;
+    EXPECT_EQ(a.wayPenaltyCycles, b.wayPenaltyCycles) << which;
 }
 
 void
@@ -143,6 +148,46 @@ TEST(HotPath, BatchedLaneMatchesReferenceWithPrefetcher)
         SystemConfig config = machine();
         config.hierarchy.prefetcher = kind;
         expectLaneIdentity(config, mixedParams(), 256);
+    }
+}
+
+TEST(HotPath, BatchedLaneMatchesReferenceWithTage)
+{
+    // TAGE carries long global history through the batched branch
+    // pass; the fused predictAndUpdate must keep the lanes identical.
+    SystemConfig config = machine();
+    config.branchPredictor = "tage";
+    expectLaneIdentity(config, mixedParams(), 256);
+    expectLaneIdentity(config, mixedParams(), 7);
+}
+
+TEST(HotPath, BatchedLaneMatchesReferenceWithStreamPrefetchers)
+{
+    // Stream at L1D disables the same-line data memo; stream in the
+    // L2 slot keeps it legal. Both placements must agree across
+    // lanes, including the prefetch-useful owner-lane stats.
+    SystemConfig l1_stream = machine();
+    l1_stream.hierarchy.prefetcher = "stream";
+    expectLaneIdentity(l1_stream, mixedParams(), 256);
+
+    SystemConfig l2_stream = machine();
+    l2_stream.hierarchy.l2Prefetcher = "stream";
+    expectLaneIdentity(l2_stream, mixedParams(), 256);
+}
+
+TEST(HotPath, BatchedLaneMatchesReferenceWithWayPrediction)
+{
+    // MRU keeps the data memo legal: a memo-skipped load repeat is a
+    // penalty-free correct prediction, bulk-credited after the batch.
+    // Utag disables the memo instead. Either way every way-prediction
+    // counter and penalty cycle must match the reference lane.
+    for (const WayPredictor predictor :
+         {WayPredictor::Mru, WayPredictor::Utag}) {
+        SCOPED_TRACE(wayPredictorName(predictor));
+        SystemConfig config = machine();
+        config.hierarchy.l1d.wayPredictor = predictor;
+        expectLaneIdentity(config, mixedParams(), 256);
+        expectLaneIdentity(config, mixedParams(), 7);
     }
 }
 

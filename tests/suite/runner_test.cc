@@ -154,6 +154,52 @@ TEST(Runner, ConfigKeyReflectsOptions)
     EXPECT_EQ(a.configKey(), c.configKey());
 }
 
+TEST(Runner, ConfigKeyCoversEveryUarchKnob)
+{
+    // Every semantic microarchitecture knob must change the
+    // result-cache config key, or stale journals would replay results
+    // from a different machine. Each mutation below is applied on top
+    // of whatever knob enables it (describe() prints conditional
+    // sections), and must change the key.
+    const std::string base = SuiteRunner(fastOptions()).configKey();
+
+    const auto keyOf = [](RunnerOptions options) {
+        return SuiteRunner(options).configKey();
+    };
+
+    RunnerOptions tage = fastOptions();
+    tage.system.branchPredictor = "tage";
+    const std::string tage_key = keyOf(tage);
+    EXPECT_NE(tage_key, base);
+    tage.system.tage.historyTables = 6;
+    EXPECT_NE(keyOf(tage), tage_key);
+
+    RunnerOptions stream = fastOptions();
+    stream.system.hierarchy.prefetcher = "stream";
+    const std::string stream_key = keyOf(stream);
+    EXPECT_NE(stream_key, base);
+    stream.system.hierarchy.streamDegree = 8;
+    const std::string degree_key = keyOf(stream);
+    EXPECT_NE(degree_key, stream_key);
+    stream.system.hierarchy.streamDistance = 32;
+    EXPECT_NE(keyOf(stream), degree_key);
+
+    RunnerOptions l2pf = fastOptions();
+    l2pf.system.hierarchy.l2Prefetcher = "stream";
+    EXPECT_NE(keyOf(l2pf), base);
+    EXPECT_NE(keyOf(l2pf), stream_key); // slot placement matters
+
+    RunnerOptions waypred = fastOptions();
+    waypred.system.hierarchy.l1d.wayPredictor = sim::WayPredictor::Mru;
+    const std::string mru_key = keyOf(waypred);
+    EXPECT_NE(mru_key, base);
+    waypred.system.hierarchy.l1d.wayPredictor = sim::WayPredictor::Utag;
+    const std::string utag_key = keyOf(waypred);
+    EXPECT_NE(utag_key, mru_key);
+    waypred.system.hierarchy.l1d.wayMispredictPenalty = 5;
+    EXPECT_NE(keyOf(waypred), utag_key);
+}
+
 } // namespace
 } // namespace suite
 } // namespace spec17

@@ -559,6 +559,118 @@ TEST(CliRun, UsageDocumentsShardingAndJournalTools)
         EXPECT_NE(text.find(needle), std::string::npos) << needle;
 }
 
+TEST(CliRun, UarchFlagContradictionsAreContainedErrors)
+{
+    // Contradictory mechanism configurations are usage errors (exit 2
+    // plus a pointed message), caught before any simulator is built.
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--way-predictor=psychic"}),
+                         out, err),
+              2);
+    EXPECT_NE(err.str().find("want none|mru|utag"), std::string::npos);
+
+    std::ostringstream err2;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--predictor=tage",
+                                "--tage-tables=0"}),
+                         out, err2),
+              2);
+    EXPECT_NE(err2.str().find("at least one tagged history table"),
+              std::string::npos);
+
+    std::ostringstream err3;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--prefetcher=stream",
+                                "--stream-degree=0"}),
+                         out, err3),
+              2);
+    EXPECT_NE(err3.str().find("--stream-degree must be positive"),
+              std::string::npos);
+
+    std::ostringstream err4;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--prefetcher=stream",
+                                "--stream-degree=8",
+                                "--stream-distance=4"}),
+                         out, err4),
+              2);
+    EXPECT_NE(err4.str().find("cannot overshoot"), std::string::npos);
+}
+
+TEST(CliRun, StatAcceptsTheUarchMechanismFlags)
+{
+    // The full mechanism stack -- TAGE, stream at both levels, utag
+    // way prediction -- runs end to end from the CLI.
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--sample=20000", "--warmup=5000",
+                                "--predictor=tage", "--tage-tables=3",
+                                "--prefetcher=stream",
+                                "--l2-prefetcher=stream",
+                                "--stream-degree=2",
+                                "--stream-distance=8",
+                                "--way-predictor=utag",
+                                "--way-penalty=4"}),
+                         out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("IPC"), std::string::npos);
+}
+
+TEST(CliRun, ExploreValidatesItsAxis)
+{
+    // Missing and unknown axes both list the accepted names.
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"explore"}), out, err), 2);
+    EXPECT_NE(err.str().find("--axis=AXIS"), std::string::npos);
+    EXPECT_NE(err.str().find("way-predictor"), std::string::npos);
+
+    std::ostringstream err2;
+    EXPECT_EQ(runCommand(parse({"explore", "--axis=voltage"}), out,
+                         err2),
+              2);
+    EXPECT_NE(err2.str().find("got 'voltage'"), std::string::npos);
+    EXPECT_NE(err2.str().find("l2-prefetcher"), std::string::npos);
+}
+
+TEST(CliRun, ExploreSweepsOneAxisAndMarksTheKnee)
+{
+    const std::string csv_path =
+        std::string(::testing::TempDir()) + "/cli_explore.csv";
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"explore", "--axis=way-predictor",
+                                "--suite=cpu2006", "--size=test",
+                                "--sample=2000", "--warmup=500",
+                                "--no-cache", "--jobs=4",
+                                ("--explore-out=" + csv_path)
+                                    .c_str()}),
+                         out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find(
+                  "design-space sweep of axis 'way-predictor'"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("knee:"), std::string::npos);
+    // Every axis point appears in the rendered table.
+    for (const char *label : {"none", "mru", "utag"})
+        EXPECT_NE(out.str().find(label), std::string::npos) << label;
+    const std::string csv = fileBytes(csv_path);
+    EXPECT_NE(csv.find("SSE (pp^2)"), std::string::npos);
+    std::remove(csv_path.c_str());
+}
+
+TEST(CliRun, UsageDocumentsUarchAndExploreFlags)
+{
+    const std::string text = usage();
+    for (const char *needle :
+         {"--l2-prefetcher", "--way-predictor", "--way-penalty",
+          "--stream-degree", "--stream-distance", "--tage-tables",
+          "--axis", "--explore-out", "uarch mechanisms",
+          "design-space exploration"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
 TEST(CliRun, ValidateReportsDeviations)
 {
     std::ostringstream out, err;

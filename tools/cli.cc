@@ -14,6 +14,8 @@
 #include "corun/plan.hh"
 #include "corun/runner.hh"
 #include "corun/store.hh"
+#include "explore/plan.hh"
+#include "explore/runner.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
 #include "suite/journal.hh"
@@ -80,6 +82,28 @@ runnerOptionsOf(const CommandLine &command)
     if (command.hasFlag("prefetcher"))
         options.system.hierarchy.prefetcher =
             command.flag("prefetcher");
+    // Microarchitecture-mechanism knobs (all config-key members; see
+    // docs/uarch.md). runCommand() has already rejected unknown names
+    // and contradictory combinations with contained errors.
+    if (command.hasFlag("l2-prefetcher"))
+        options.system.hierarchy.l2Prefetcher =
+            command.flag("l2-prefetcher");
+    if (command.hasFlag("way-predictor"))
+        options.system.hierarchy.l1d.wayPredictor =
+            sim::wayPredictorFromName(command.flag("way-predictor"));
+    options.system.hierarchy.l1d.wayMispredictPenalty =
+        static_cast<unsigned>(command.flagUint(
+            "way-penalty",
+            options.system.hierarchy.l1d.wayMispredictPenalty));
+    options.system.hierarchy.streamDegree = static_cast<unsigned>(
+        command.flagUint("stream-degree",
+                         options.system.hierarchy.streamDegree));
+    options.system.hierarchy.streamDistance = static_cast<unsigned>(
+        command.flagUint("stream-distance",
+                         options.system.hierarchy.streamDistance));
+    options.system.tage.historyTables = static_cast<unsigned>(
+        command.flagUint("tage-tables",
+                         options.system.tage.historyTables));
     options.maxRetries =
         static_cast<unsigned>(command.flagUint("retries", 0));
     options.pairDeadlineOps = command.flagUint("pair-deadline", 0);
@@ -784,6 +808,146 @@ cmdCorun(const CommandLine &command, std::ostream &out,
     return 0;
 }
 
+/** Renders the explorer's Pareto table into @p table. */
+void
+renderExploreTable(const std::vector<explore::PointResult> &results,
+                   TextTable &table)
+{
+    for (const auto &r : results) {
+        table.addRow({r.point.axis, r.point.label,
+                      fmtDouble(r.sse, 3),
+                      fmtDouble(r.point.costBits, 0),
+                      fmtDouble(r.meanIpc, 3),
+                      std::to_string(r.pairs),
+                      std::to_string(r.errored),
+                      r.dominated ? "" : (r.knee ? "knee" : "*")});
+    }
+}
+
+int
+cmdExplore(const CommandLine &command, std::ostream &out,
+           std::ostream &err)
+{
+    const std::string axis = command.flag("axis");
+    if (!explore::isAxis(axis)) {
+        err << "error: explore needs --axis=AXIS with AXIS one of";
+        for (const std::string &name : explore::axisNames())
+            err << " " << name;
+        err << (axis.empty() ? "" : "; got '" + axis + "'") << "\n";
+        return 2;
+    }
+    bool ok = false;
+    const SuiteGeneration generation = generationOf(command, err, ok);
+    if (!ok)
+        return 2;
+    const InputSize size = sizeOf(command, err, ok);
+    if (!ok)
+        return 2;
+
+    explore::ExploreOptions options;
+    options.runner = runnerOptionsOf(command);
+    // Exploration trades per-pair precision for breadth, like
+    // validate: the axis deltas dominate sampling noise well before
+    // the study-run sample sizes.
+    options.runner.sampleOps = command.flagUint("sample", 400'000);
+    options.runner.warmupOps = command.flagUint("warmup", 150'000);
+    options.generation = generation;
+    options.size = size;
+    if (command.hasFlag("no-cache"))
+        options.cachePath.clear();
+    options.resume = command.hasFlag("resume");
+    if (command.hasFlag("shard")) {
+        const auto shard =
+            suite::ShardSpec::parse(command.flag("shard"));
+        if (!shard) {
+            err << "error: --shard wants K/N with 1 <= K <= N, got '"
+                << command.flag("shard") << "'\n";
+            return 2;
+        }
+        options.shard = *shard;
+    }
+    telemetry::ProgressReporter::Options progress_options;
+    if (options.shard.active())
+        progress_options.shardLabel = options.shard.label();
+    telemetry::ProgressReporter progress(progress_options);
+    if (command.hasFlag("progress")) {
+        options.pairObserver = [&progress](
+                                   const suite::PairResult &result,
+                                   std::size_t index,
+                                   std::size_t total) {
+            progress.onItemDone(
+                result.name, index, total,
+                result.counters.get(
+                    counters::PerfEvent::InstRetiredAny),
+                result.attempts, result.errored, result.replayed);
+        };
+    }
+
+    explore::ExploreRunner runner(options);
+    std::vector<explore::PointResult> results;
+    try {
+        results = runner.runAxis(axis);
+    } catch (const suite::JournalConfigMismatchError &e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (command.hasFlag("export-jsonl")) {
+        const std::string path = command.flag("export-jsonl");
+        std::ofstream jsonl(path, std::ios::trunc | std::ios::binary);
+        if (!jsonl) {
+            err << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        jsonl.precision(17);
+        for (const auto &r : results) {
+            jsonl << "{\"axis\":\"" << r.point.axis << "\","
+                  << "\"point\":\"" << r.point.label << "\","
+                  << "\"sse\":" << r.sse
+                  << ",\"cost_bits\":" << r.point.costBits
+                  << ",\"mean_ipc\":" << r.meanIpc
+                  << ",\"pairs\":" << r.pairs
+                  << ",\"errored\":" << r.errored << ",\"dominated\":"
+                  << (r.dominated ? "true" : "false")
+                  << ",\"knee\":" << (r.knee ? "true" : "false")
+                  << "}\n";
+        }
+        out << "wrote " << results.size() << " point record(s) to "
+            << path << "\n";
+    }
+
+    TextTable table({"axis", "point", "SSE (pp^2)", "cost (bits)",
+                     "mean IPC", "pairs", "errored", "Pareto"});
+    renderExploreTable(results, table);
+    if (command.hasFlag("explore-out")) {
+        const std::string path = command.flag("explore-out");
+        std::ofstream csv(path, std::ios::trunc | std::ios::binary);
+        if (!csv) {
+            err << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        table.renderCsv(csv);
+        out << "wrote Pareto table to " << path << "\n";
+    }
+    if (command.hasFlag("csv")) {
+        table.renderCsv(out);
+        return 0;
+    }
+    out << "design-space sweep of axis '" << axis << "' ("
+        << results.size() << " point(s), "
+        << workloads::inputSizeName(size)
+        << "; * = Pareto-optimal, knee = selected trade-off):\n";
+    table.render(out);
+    for (const auto &r : results) {
+        if (r.knee) {
+            out << "knee: " << r.point.label << " (SSE "
+                << fmtDouble(r.sse, 3) << ", "
+                << fmtDouble(r.point.costBits, 0) << " bits)\n";
+        }
+    }
+    return 0;
+}
+
 int
 cmdMerge(const CommandLine &command, std::ostream &out,
          std::ostream &err)
@@ -1019,8 +1183,9 @@ flagTable()
         {"warmup", "N", "simulated micro-ops warmed before measuring",
          "common flags"},
         {"predictor", "NAME",
-         "static-taken|bimodal|gshare|tournament", "common flags"},
-        {"prefetcher", "NAME", "none|next-line|stride", "common flags"},
+         "static-taken|bimodal|gshare|tournament|tage", "common flags"},
+        {"prefetcher", "NAME", "none|next-line|stride|stream",
+         "common flags"},
         {"set", "rate|speed", "pair set for subset", "common flags"},
         {"clusters", "N", "force the subset size", "common flags"},
         {"csv", "", "CSV output (characterize)", "common flags"},
@@ -1096,8 +1261,35 @@ flagTable()
          "context-interleave granularity in micro-ops (contention "
          "semantics: part of the config key)",
          "co-run interference (corun)"},
-        {"export-jsonl", "FILE", "write one JSON record per group",
+        {"export-jsonl", "FILE",
+         "write one JSON record per group/point (corun, explore)",
          "co-run interference (corun)"},
+        {"l2-prefetcher", "NAME",
+         "none|next-line|stride|stream at the L2 (config-key member)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"way-predictor", "NAME",
+         "L1D way prediction: none|mru|utag (config-key member)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"way-penalty", "N",
+         "extra load cycles on a way mispredict (default 2)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"stream-degree", "N",
+         "stream-prefetch lines issued per trained observation "
+         "(default 4)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"stream-distance", "N",
+         "stream-prefetch run-ahead window in lines (default 16)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"tage-tables", "N",
+         "TAGE tagged history tables (default 4; used with "
+         "--predictor=tage)",
+         "uarch mechanisms (stat, characterize, explore)"},
+        {"axis", "AXIS",
+         "swept axis: predictor|prefetcher|l2-prefetcher|"
+         "way-predictor",
+         "design-space exploration (explore)"},
+        {"explore-out", "FILE", "write the Pareto table as CSV",
+         "design-space exploration (explore)"},
     };
     return table;
 }
@@ -1118,6 +1310,8 @@ usage()
         "metrics\n"
         "  corun                        co-run interference sweep on "
         "the shared L3\n"
+        "  explore --axis=AXIS          one-axis uarch design-space "
+        "sweep (SSE-vs-cost Pareto table)\n"
         "  subset                       suggest a representative "
         "subset\n"
         "  phases <app>                 phase analysis of one pair\n"
@@ -1178,6 +1372,51 @@ runCommand(const CommandLine &command, std::ostream &out,
         err << "error: --batch-ops must be positive\n";
         return 2;
     }
+    // Uarch-mechanism flag validation: unknown names and
+    // contradictory combinations are contained usage errors here,
+    // before any simulator construction can hit the library-level
+    // fatal checks.
+    if (command.hasFlag("way-predictor")) {
+        const std::string name = command.flag("way-predictor");
+        if (name != "none" && name != "mru" && name != "utag") {
+            err << "error: unknown --way-predictor '" << name
+                << "' (want none|mru|utag)\n";
+            return 2;
+        }
+        if (name != "none"
+            && runnerOptionsOf(command).system.hierarchy.l1d.assoc
+                   < 2) {
+            err << "error: --way-predictor=" << name
+                << " is contradictory with a direct-mapped L1D "
+                   "(nothing to predict)\n";
+            return 2;
+        }
+    }
+    if (command.hasFlag("tage-tables")
+        && command.flagUint("tage-tables", 0) == 0) {
+        err << "error: --tage-tables=0 is contradictory (TAGE needs "
+               "at least one tagged history table)\n";
+        return 2;
+    }
+    if (command.hasFlag("stream-degree")
+        && command.flagUint("stream-degree", 0) == 0) {
+        err << "error: --stream-degree must be positive\n";
+        return 2;
+    }
+    {
+        const std::uint64_t degree =
+            command.flagUint("stream-degree", 4);
+        const std::uint64_t distance =
+            command.flagUint("stream-distance", 16);
+        if (degree > distance) {
+            err << "error: --stream-degree=" << degree
+                << " is contradictory with --stream-distance="
+                << distance
+                << " (a burst cannot overshoot the run-ahead "
+                   "window)\n";
+            return 2;
+        }
+    }
     if (command.command == "config")
         return cmdConfig(command, out);
     if (command.command == "list")
@@ -1188,6 +1427,8 @@ runCommand(const CommandLine &command, std::ostream &out,
         return cmdCharacterize(command, out, err);
     if (command.command == "corun")
         return cmdCorun(command, out, err);
+    if (command.command == "explore")
+        return cmdExplore(command, out, err);
     if (command.command == "subset")
         return cmdSubset(command, out, err);
     if (command.command == "phases")

@@ -8,6 +8,8 @@
  *   list          enumerate applications / application-input pairs
  *   stat          run one pair under the simulated perf monitor
  *   characterize  sweep a whole suite and tabulate Section-IV metrics
+ *   corun         co-run interference sweep on the shared L3
+ *   explore       one-axis uarch design-space sweep (Pareto table)
  *   subset        suggest a representative subset (paper Section V)
  *   phases        phase analysis of one pair (paper future work)
  *   config        print the simulated machine configuration
