@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "sim/multicore.hh"
+#include "suite/arena_store.hh"
 #include "suite/runner.hh"
+#include "trace/arena.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/units.hh"
@@ -92,37 +94,47 @@ memberParams(const CorunOptions &options, const WorkloadProfile &profile,
     return params;
 }
 
+/**
+ * The member's trace source: an arena replay when a store is attached
+ * (the capture is shared between the solo baseline and every group
+ * the member joins), a live generator otherwise. Identical draws
+ * either way.
+ */
+std::shared_ptr<trace::TraceSource>
+memberSource(const CorunOptions &options,
+             const trace::SyntheticTraceParams &params)
+{
+    if (options.arenaStore != nullptr)
+        return std::make_shared<trace::ReplaySource>(
+            options.arenaStore->acquire(params));
+    return std::make_shared<trace::SyntheticTraceGenerator>(params);
+}
+
 } // namespace
 
 double
 CorunRunner::soloCycles(const WorkloadProfile &profile) const
 {
-    {
-        std::lock_guard<std::mutex> lock(soloMutex_);
-        const auto it = solo_.find(profile.name);
-        if (it != solo_.end())
-            return it->second;
-    }
-
-    // The baseline is the same machine with every other context idle:
-    // a 1-context multicore run, so chunked stepping, warmup
-    // semantics and the measured window match the group runs exactly.
-    sim::MulticoreSimulator machine(
-        options_.system, 1,
-        deriveSeed(deriveSeed(options_.seed, "corun-solo"),
-                   profile.name));
-    auto generator = std::make_shared<trace::SyntheticTraceGenerator>(
-        memberParams(options_, profile, 0));
-    suite::prefillSteadyState(machine.mutableCore(0), *generator);
-    const std::vector<sim::SimResult> parts = machine.runEach(
-        {generator}, options_.chunkOps, options_.warmupOps);
-    const double cycles = parts.front().cycles;
-
-    std::lock_guard<std::mutex> lock(soloMutex_);
-    // A concurrent worker may have raced us here; both computed the
-    // same deterministic value, so first-write-wins is harmless.
-    solo_.emplace(profile.name, cycles);
-    return cycles;
+    // Computed outside the memo's lock; a racing worker produces the
+    // identical value and first-write-wins resolves the tie.
+    return solo_.getOrCompute(profile.name, [&] {
+        // The baseline is the same machine with every other context
+        // idle: a 1-context multicore run, so chunked stepping, warmup
+        // semantics and the measured window match the group runs
+        // exactly.
+        sim::MulticoreSimulator machine(
+            options_.system, 1,
+            deriveSeed(deriveSeed(options_.seed, "corun-solo"),
+                       profile.name));
+        const trace::SyntheticTraceParams params =
+            memberParams(options_, profile, 0);
+        trace::SyntheticTraceGenerator prefiller(params);
+        suite::prefillSteadyState(machine.mutableCore(0), prefiller);
+        const std::vector<sim::SimResult> parts =
+            machine.runEach({memberSource(options_, params)},
+                            options_.chunkOps, options_.warmupOps);
+        return parts.front().cycles;
+    });
 }
 
 CorunResult
@@ -150,11 +162,11 @@ CorunRunner::runGroup(const CorunGroup &group) const
     std::vector<std::shared_ptr<trace::TraceSource>> sources;
     sources.reserve(n);
     for (unsigned c = 0; c < n; ++c) {
-        auto generator =
-            std::make_shared<trace::SyntheticTraceGenerator>(
-                memberParams(options_, *group.members[c], c));
-        suite::prefillSteadyState(machine.mutableCore(c), *generator);
-        sources.push_back(std::move(generator));
+        const trace::SyntheticTraceParams params =
+            memberParams(options_, *group.members[c], c);
+        trace::SyntheticTraceGenerator prefiller(params);
+        suite::prefillSteadyState(machine.mutableCore(c), prefiller);
+        sources.push_back(memberSource(options_, params));
     }
 
     const std::vector<sim::SimResult> parts =

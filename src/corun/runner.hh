@@ -26,16 +26,19 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "corun/plan.hh"
 #include "sim/system_config.hh"
+#include "suite/memo.hh"
 #include "workloads/profile.hh"
 
 namespace spec17 {
+namespace suite {
+class TraceArenaStore;
+} // namespace suite
+
 namespace corun {
 
 /** Co-run engine configuration. */
@@ -60,6 +63,17 @@ struct CorunOptions
     /** Worker threads for group sweeps (1 = sequential, 0 = hardware
      *  concurrency). Byte-identical at any count; NOT in the key. */
     unsigned jobs = 1;
+
+    /**
+     * Optional trace arena store (borrowed; may be shared with other
+     * engines). When set, each member's trace is captured once and
+     * replayed from the arena everywhere it runs -- solo baseline and
+     * every group -- instead of being regenerated per run. Replay is
+     * draw-for-draw identical to live generation, so results are
+     * byte-identical with or without a store: NOT part of the config
+     * key.
+     */
+    suite::TraceArenaStore *arenaStore = nullptr;
 };
 
 /** One member's share of a co-run result. */
@@ -163,11 +177,10 @@ class CorunRunner
 
   private:
     CorunOptions options_;
-    /** Solo-cycle memo; guarded by soloMutex_ (group sweeps run on a
-     *  worker pool). Values are order-independent, so concurrent
-     *  duplicate computation is benign. */
-    mutable std::map<std::string, double> solo_;
-    mutable std::mutex soloMutex_;
+    /** Solo-cycle memo (group sweeps run on a worker pool). Values
+     *  are deterministic, so SharedMemo's first-write-wins publish
+     *  makes a concurrent duplicate computation benign. */
+    mutable suite::SharedMemo<std::string, double> solo_;
 };
 
 } // namespace corun

@@ -38,6 +38,44 @@ isAxis(const std::string &axis)
     return false;
 }
 
+const std::vector<std::string> &
+geometryAxisNames()
+{
+    static const std::vector<std::string> names = {"tage-geometry",
+                                                   "stream-geometry"};
+    return names;
+}
+
+bool
+isGeometryAxis(const std::string &axis)
+{
+    for (const std::string &name : geometryAxisNames())
+        if (name == axis)
+            return true;
+    return false;
+}
+
+std::string
+axisPlanError(const std::string &axis, const sim::SystemConfig &base)
+{
+    if (axis == "tage-geometry" && base.branchPredictor != "tage") {
+        return "axis 'tage-geometry' sweeps TAGE table geometry, but "
+               "the base branch predictor is '"
+               + base.branchPredictor
+               + "' (every grid point would be identical); select "
+                 "tage first";
+    }
+    if (axis == "stream-geometry"
+        && base.hierarchy.prefetcher != "stream"
+        && base.hierarchy.l2Prefetcher != "stream") {
+        return "axis 'stream-geometry' sweeps stream-prefetcher "
+               "degree/distance, but neither prefetcher slot is "
+               "'stream' (every grid point would be identical); "
+               "select a stream prefetcher first";
+    }
+    return "";
+}
+
 double
 predictorStorageBits(const std::string &name,
                      const sim::TageConfig &tage)
@@ -161,6 +199,108 @@ planAxis(const std::string &axis, const sim::SystemConfig &base)
 
     SPEC17_PANIC("unknown explore axis '", axis,
                  "' (callers validate with isAxis())");
+}
+
+namespace {
+
+/** Geometry-grid planning without the axisPlanError gate (planCross
+ *  validates against the original base; intermediate cross configs
+ *  may legitimately disable the mechanism, yielding inert knobs). */
+std::vector<ExplorePoint>
+planGeometryAxis(const std::string &axis, const sim::SystemConfig &base)
+{
+    std::vector<ExplorePoint> points;
+    if (axis == "tage-geometry") {
+        // Table-count grid at fixed entry geometry: storage scales
+        // linearly while accuracy saturates, which is exactly the
+        // knee shape the Pareto selector is for.
+        for (const unsigned tables : {1u, 2u, 4u, 8u}) {
+            sim::SystemConfig system = base;
+            system.tage.historyTables = tables;
+            points.push_back(
+                {axis, "tables" + std::to_string(tables), system,
+                 predictorStorageBits("tage", system.tage)});
+        }
+        return points;
+    }
+
+    // stream-geometry: degree x distance grid, applied to both
+    // prefetcher slots (HierarchyConfig's knobs are shared).
+    for (const unsigned degree : {2u, 4u, 8u}) {
+        for (const unsigned distance : {8u, 16u, 32u}) {
+            if (degree > distance)
+                continue; // cannot keep fewer lines ahead than issued
+            sim::SystemConfig system = base;
+            system.hierarchy.streamDegree = degree;
+            system.hierarchy.streamDistance = distance;
+            sim::StreamConfig stream;
+            stream.degree = degree;
+            stream.distance = distance;
+            stream.lineBytes = system.hierarchy.l1d.lineBytes;
+            points.push_back({axis,
+                              "deg" + std::to_string(degree) + "-dist"
+                                  + std::to_string(distance),
+                              system,
+                              prefetcherStorageBits("stream", stream)});
+        }
+    }
+    return points;
+}
+
+/** Planning dispatch used by the cross product: no plan-error gate. */
+std::vector<ExplorePoint>
+planOneAxis(const std::string &axis, const sim::SystemConfig &base)
+{
+    if (isAxis(axis))
+        return planAxis(axis, base);
+    SPEC17_ASSERT(isGeometryAxis(axis), "unknown explore axis '", axis,
+                  "' (callers validate with isAxis()/isGeometryAxis())");
+    return planGeometryAxis(axis, base);
+}
+
+} // namespace
+
+std::vector<ExplorePoint>
+planAnyAxis(const std::string &axis, const sim::SystemConfig &base)
+{
+    if (isGeometryAxis(axis)) {
+        const std::string error = axisPlanError(axis, base);
+        SPEC17_ASSERT(error.empty(), error);
+    }
+    return planOneAxis(axis, base);
+}
+
+std::vector<ExplorePoint>
+planCross(const std::vector<std::string> &axes,
+          const sim::SystemConfig &base)
+{
+    SPEC17_ASSERT(!axes.empty(), "cross-product plan without axes");
+    for (const std::string &axis : axes) {
+        // Geometry axes validate against the ORIGINAL base (the
+        // CLI's contract); intermediate combinations may disable the
+        // mechanism, which just leaves that axis' knobs inert there.
+        const std::string error = axisPlanError(axis, base);
+        SPEC17_ASSERT(error.empty(), error);
+    }
+    std::vector<ExplorePoint> points = planOneAxis(axes.front(), base);
+    for (std::size_t k = 1; k < axes.size(); ++k) {
+        std::vector<ExplorePoint> next;
+        for (const ExplorePoint &left : points) {
+            // Later axes plan from the partially-applied config so
+            // every combination carries all its knobs.
+            for (const ExplorePoint &right :
+                 planOneAxis(axes[k], left.system)) {
+                ExplorePoint combined;
+                combined.axis = left.axis + "+" + right.axis;
+                combined.label = left.label + "," + right.label;
+                combined.system = right.system;
+                combined.costBits = left.costBits + right.costBits;
+                next.push_back(std::move(combined));
+            }
+        }
+        points = std::move(next);
+    }
+    return points;
 }
 
 } // namespace explore

@@ -39,6 +39,27 @@ const std::vector<std::string> &axisNames();
 bool isAxis(const std::string &axis);
 
 /**
+ * The geometry axes `--multi-axis` additionally accepts: small grids
+ * over one mechanism's sizing knobs rather than mechanism selection.
+ * Each requires that mechanism enabled in the base config (see
+ * axisPlanError) -- sweeping TAGE table counts under a bimodal
+ * predictor would score identical points.
+ */
+const std::vector<std::string> &geometryAxisNames();
+
+/** True when @p axis is one of geometryAxisNames(). */
+bool isGeometryAxis(const std::string &axis);
+
+/**
+ * Non-empty human-readable reason when @p axis cannot be planned
+ * from @p base -- a geometry grid over a mechanism the base config
+ * disables. Empty when plannable (mechanism axes always are). The
+ * CLI turns a non-empty reason into a contained exit-2 usage error.
+ */
+std::string axisPlanError(const std::string &axis,
+                          const sim::SystemConfig &base);
+
+/**
  * Plans the candidate points of @p axis from @p base: every point is
  * @p base with exactly one knob changed, so per-axis deltas isolate
  * that mechanism. Panics on an unknown axis -- callers validate with
@@ -46,6 +67,26 @@ bool isAxis(const std::string &axis);
  */
 std::vector<ExplorePoint> planAxis(const std::string &axis,
                                    const sim::SystemConfig &base);
+
+/**
+ * Plans one axis of either kind: mechanism selection (planAxis) or a
+ * geometry grid. Panics on an unknown axis or a non-empty
+ * axisPlanError -- callers validate first.
+ */
+std::vector<ExplorePoint> planAnyAxis(const std::string &axis,
+                                      const sim::SystemConfig &base);
+
+/**
+ * Cartesian-product plan over @p axes (each a mechanism or geometry
+ * axis): one point per combination, with every axis' knob applied on
+ * top of @p base, later axes planned from the partially-applied
+ * config. The combined point's axis is the axes joined with '+', its
+ * label the per-axis labels joined with ',', and its cost the sum of
+ * the per-axis storage costs. Point order is row-major in the given
+ * axis order, so plans are deterministic and resumable by index.
+ */
+std::vector<ExplorePoint> planCross(const std::vector<std::string> &axes,
+                                    const sim::SystemConfig &base);
 
 /** @name Storage-cost models
  *  Closed-form bit counts of each mechanism's state, the cost column

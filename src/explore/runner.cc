@@ -5,6 +5,7 @@
 #include "cluster/sse.hh"
 #include "core/characterizer.hh"
 #include "core/metrics.hh"
+#include "suite/fanout.hh"
 #include "util/logging.hh"
 
 namespace spec17 {
@@ -54,23 +55,82 @@ ExploreRunner::ExploreRunner(ExploreOptions options)
 }
 
 std::string
-ExploreRunner::pointCachePath(const ExplorePoint &point) const
+ExploreRunner::pointCachePath(const ExplorePoint &point,
+                              const std::string &step_tag) const
 {
     if (options_.cachePath.empty())
         return {};
-    return options_.cachePath + ".explore." + sanitize(point.axis) + "."
-           + sanitize(point.label);
+    std::string path = options_.cachePath + ".explore.";
+    if (!step_tag.empty())
+        path += sanitize(step_tag) + ".";
+    return path + sanitize(point.axis) + "." + sanitize(point.label);
 }
 
-std::vector<PointResult>
-ExploreRunner::runAxis(const std::string &axis) const
-{
-    SPEC17_ASSERT(isAxis(axis), "unknown explore axis '", axis, "'");
-    const std::vector<ExplorePoint> points =
-        planAxis(axis, options_.runner.system);
+namespace {
 
+/** Folds one point's sweep rows into its accuracy/cost score. */
+PointResult
+scorePoint(const ExplorePoint &point,
+           const std::vector<suite::PairResult> &rows)
+{
+    PointResult scored;
+    scored.point = point;
+    double ipc_sum = 0.0;
+    for (const suite::PairResult &pair : rows) {
+        if (pair.errored) {
+            ++scored.errored;
+            continue;
+        }
+        scored.sse += pairSse(pair);
+        ipc_sum += core::deriveMetrics(pair).ipc;
+        ++scored.pairs;
+    }
+    if (scored.pairs > 0)
+        scored.meanIpc = ipc_sum / double(scored.pairs);
+    return scored;
+}
+
+} // namespace
+
+std::vector<PointResult>
+ExploreRunner::runPoints(const std::vector<ExplorePoint> &points,
+                         const std::string &step_tag) const
+{
     std::vector<PointResult> results;
     results.reserve(points.size());
+
+    if (suite::fanoutEligible(options_.runner)) {
+        // Shared-arena fan-out: every pair's trace is captured once
+        // and all points replay it in lockstep, with prefill cloning
+        // and buffer recycling across points (suite/fanout.hh). The
+        // per-point journals and results are byte-identical to the
+        // per-point sessions below.
+        std::vector<suite::FanoutSession> sessions;
+        sessions.reserve(points.size());
+        for (const ExplorePoint &point : points) {
+            suite::FanoutSession session;
+            session.runner = options_.runner;
+            session.runner.system = point.system;
+            session.cachePath = pointCachePath(point, step_tag);
+            session.observer = options_.pairObserver;
+            sessions.push_back(std::move(session));
+        }
+        suite::FanoutOptions fanout;
+        fanout.resume = options_.resume;
+        fanout.shard = options_.shard;
+        const std::vector<std::vector<suite::PairResult>> sweeps =
+            suite::runFanoutSweep(
+                sessions,
+                options_.generation == workloads::SuiteGeneration::Cpu2017
+                    ? workloads::cpu2017Suite()
+                    : workloads::cpu2006Suite(),
+                options_.size, fanout);
+        for (std::size_t i = 0; i < points.size(); ++i)
+            results.push_back(scorePoint(points[i], sweeps[i]));
+        markPareto(results);
+        return results;
+    }
+
     for (const ExplorePoint &point : points) {
         // One characterization session per point: the point's config
         // key differs, so it gets its own journal file and its own
@@ -80,32 +140,60 @@ ExploreRunner::runAxis(const std::string &axis) const
         core::CharacterizerOptions session_options;
         session_options.runner = options_.runner;
         session_options.runner.system = point.system;
-        session_options.cachePath = pointCachePath(point);
+        session_options.cachePath = pointCachePath(point, step_tag);
         session_options.resume = options_.resume;
         session_options.shard = options_.shard;
         session_options.pairObserver = options_.pairObserver;
         core::Characterizer session(session_options);
-
-        PointResult scored;
-        scored.point = point;
-        double ipc_sum = 0.0;
-        for (const suite::PairResult &pair :
-             session.results(options_.generation, options_.size)) {
-            if (pair.errored) {
-                ++scored.errored;
-                continue;
-            }
-            scored.sse += pairSse(pair);
-            ipc_sum += core::deriveMetrics(pair).ipc;
-            ++scored.pairs;
-        }
-        if (scored.pairs > 0)
-            scored.meanIpc = ipc_sum / double(scored.pairs);
-        results.push_back(std::move(scored));
+        results.push_back(scorePoint(
+            point, session.results(options_.generation, options_.size)));
     }
 
     markPareto(results);
     return results;
+}
+
+std::vector<PointResult>
+ExploreRunner::runAxis(const std::string &axis) const
+{
+    SPEC17_ASSERT(isAxis(axis), "unknown explore axis '", axis, "'");
+    return runPoints(planAxis(axis, options_.runner.system));
+}
+
+std::vector<PointResult>
+ExploreRunner::runCross(const std::vector<std::string> &axes) const
+{
+    return runPoints(planCross(axes, options_.runner.system));
+}
+
+std::vector<DescentStep>
+ExploreRunner::runDescent(const std::vector<std::string> &axes) const
+{
+    SPEC17_ASSERT(!axes.empty(), "coordinate descent without axes");
+    std::vector<DescentStep> steps;
+    sim::SystemConfig base = options_.runner.system;
+    for (std::size_t k = 0; k < axes.size(); ++k) {
+        const std::string &axis = axes[k];
+        const std::string error = axisPlanError(axis, base);
+        if (!error.empty()) {
+            // An earlier stage's winner disabled this mechanism; its
+            // grid would score identical points, so skip the stage
+            // rather than waste a full sweep per grid cell.
+            warn("descent skips axis '", axis, "': ", error);
+            continue;
+        }
+        DescentStep step;
+        step.axis = axis;
+        step.points =
+            runPoints(planAnyAxis(axis, base),
+                      "step" + std::to_string(k) + "." + axis);
+        for (std::size_t i = 0; i < step.points.size(); ++i)
+            if (step.points[i].knee)
+                step.chosen = i;
+        base = step.points[step.chosen].point.system;
+        steps.push_back(std::move(step));
+    }
+    return steps;
 }
 
 void

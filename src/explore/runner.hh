@@ -83,6 +83,18 @@ struct PointResult
  */
 double pairSse(const suite::PairResult &result);
 
+/** One stage of a coordinate-descent exploration. */
+struct DescentStep
+{
+    /** Axis this stage swept. */
+    std::string axis;
+    /** The stage's scored points (plan order, Pareto-marked). */
+    std::vector<PointResult> points;
+    /** Index of the knee point folded into the base for later
+     *  stages. */
+    std::size_t chosen = 0;
+};
+
 class ExploreRunner
 {
   public:
@@ -96,14 +108,49 @@ class ExploreRunner
     std::vector<PointResult> runAxis(const std::string &axis) const;
 
     /**
-     * Journal base path for @p point:
-     * `<cachePath>.explore.<axis>.<label>` (empty when caching is
-     * off). Per-point paths keep every point's campaign header
-     * self-consistent -- a resumed exploration replays each point
-     * against its own journal instead of refusing on the previous
-     * point's config key.
+     * Cross-product multi-axis sweep (explore::planCross over
+     * @p axes): every combination becomes one point, scored and
+     * Pareto-marked over the whole product. Jobs, shards and resume
+     * compose exactly as for one-axis plans.
      */
-    std::string pointCachePath(const ExplorePoint &point) const;
+    std::vector<PointResult> runCross(
+        const std::vector<std::string> &axes) const;
+
+    /**
+     * Coordinate descent over @p axes, in order: each stage sweeps
+     * one axis from the current base, folds the stage's Pareto-knee
+     * winner into the base, and proceeds. A geometry axis whose
+     * mechanism an earlier stage disabled is skipped with a warning
+     * (its grid would score identical points). Stage journals are
+     * step-indexed (see pointCachePath's step tag) so a resumed
+     * descent replays each stage against its own campaign.
+     */
+    std::vector<DescentStep> runDescent(
+        const std::vector<std::string> &axes) const;
+
+    /**
+     * Runs and scores an explicit point list (plan order preserved,
+     * Pareto marked over the list). Executes on the shared-arena
+     * multi-point fan-out engine (suite/fanout.hh) when the runner
+     * options are eligible -- one trace capture feeds every point per
+     * pair -- and on independent per-point characterization sessions
+     * otherwise; results and journals are identical either way.
+     * @p step_tag namespaces the per-point journals (descent stages).
+     */
+    std::vector<PointResult> runPoints(
+        const std::vector<ExplorePoint> &points,
+        const std::string &step_tag = "") const;
+
+    /**
+     * Journal base path for @p point:
+     * `<cachePath>.explore[.<step_tag>].<axis>.<label>` (empty when
+     * caching is off). Per-point paths keep every point's campaign
+     * header self-consistent -- a resumed exploration replays each
+     * point against its own journal instead of refusing on the
+     * previous point's config key.
+     */
+    std::string pointCachePath(const ExplorePoint &point,
+                               const std::string &step_tag = "") const;
 
     const ExploreOptions &options() const { return options_; }
 

@@ -24,9 +24,12 @@ SimResult::ipc() const
 
 CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
                            std::shared_ptr<SetAssocCache> shared_l3,
-                           std::shared_ptr<MemoryBus> shared_bus)
+                           std::shared_ptr<MemoryBus> shared_bus,
+                           CpuSimulator *recycle, bool recycle_dirty)
     : config_(config),
-      hierarchy_(config.hierarchy, std::move(shared_l3), seed),
+      hierarchy_(config.hierarchy, std::move(shared_l3), seed,
+                 recycle ? &recycle->hierarchy_ : nullptr,
+                 recycle_dirty),
       branches_(makeDirectionPredictor(config.branchPredictor,
                                        config.tage)),
       core_(config.core, std::move(shared_bus)), dtlb_(config.dtlb),
@@ -52,6 +55,24 @@ CpuSimulator::CpuSimulator(const SystemConfig &config, std::uint64_t seed,
                       && config.hierarchy.l3.wayPredictor
                              == WayPredictor::None,
                   "way prediction is supported on the L1D only");
+    if (recycle != nullptr) {
+        // Adopt the donor's batch, scratch and memo buffers; every
+        // one is re-assigned or lazily resized below, so only warm
+        // pages carry over, never state.
+        batch_ = std::move(recycle->batch_);
+        fetchStall_ = std::move(recycle->fetchStall_);
+        memLatency_ = std::move(recycle->memLatency_);
+        l1Miss_ = std::move(recycle->l1Miss_);
+        mispredicted_ = std::move(recycle->mispredicted_);
+        dram_ = std::move(recycle->dram_);
+        branchIdx_ = std::move(recycle->branchIdx_);
+        memIdx_ = std::move(recycle->memIdx_);
+        instMemo_ = std::move(recycle->instMemo_);
+        dataMemo_ = std::move(recycle->dataMemo_);
+        dataMemoDirty_ = std::move(recycle->dataMemoDirty_);
+        pcPageSeen_ = std::move(recycle->pcPageSeen_);
+        dataPageSeen_ = std::move(recycle->dataPageSeen_);
+    }
     instMemo_.assign(config.hierarchy.l1i.numSets(), kNoLine);
     dataMemo_.assign(config.hierarchy.l1d.numSets(), kNoLine);
     dataMemoDirty_.assign(config.hierarchy.l1d.numSets(), 0);
@@ -190,10 +211,12 @@ CpuSimulator::consume(const isa::MicroOp &op)
 }
 
 void
-CpuSimulator::consumeBatch(std::size_t n)
+CpuSimulator::consumeBatch(const trace::MicroOpBatch &lanes,
+                           std::size_t base, std::size_t n,
+                           MemoryLaneLog *record)
 {
-    // Equivalent to n consume() calls over batch_'s first n lane
-    // slots, restructured into tight per-component passes so each
+    // Equivalent to n consume() calls over lane slots [base, base+n)
+    // of @p lanes, restructured into tight per-component passes so each
     // loop walks only the lanes its component consumes and the
     // compiler can vectorize the lane arithmetic. Identity is argued
     // pass by pass against the per-op order consume() would produce:
@@ -260,16 +283,21 @@ CpuSimulator::consumeBatch(std::size_t n)
     // and memo value after each store -- measurably dominating the
     // pass loops. The restrict qualification restores the no-overlap
     // guarantee the distinct vectors trivially satisfy.
-    const std::uint64_t *__restrict const pcs = batch_.pc.data();
-    const std::uint64_t *__restrict const addrs = batch_.addr.data();
-    const std::uint64_t *__restrict const targets = batch_.target.data();
-    const isa::UopClass *__restrict const classes = batch_.cls.data();
-    const isa::BranchKind *__restrict const kindv = batch_.kind.data();
-    const std::uint8_t *__restrict const takenv = batch_.taken.data();
+    const std::uint64_t *__restrict const pcs = lanes.pc.data() + base;
+    const std::uint64_t *__restrict const addrs =
+        lanes.addr.data() + base;
+    const std::uint64_t *__restrict const targets =
+        lanes.target.data() + base;
+    const isa::UopClass *__restrict const classes =
+        lanes.cls.data() + base;
+    const isa::BranchKind *__restrict const kindv =
+        lanes.kind.data() + base;
+    const std::uint8_t *__restrict const takenv =
+        lanes.taken.data() + base;
     const std::uint8_t *__restrict const dep_load =
-        batch_.depOnLoad.data();
+        lanes.depOnLoad.data() + base;
     const std::uint8_t *__restrict const dep_prev =
-        batch_.depOnPrev.data();
+        lanes.depOnPrev.data() + base;
     unsigned *__restrict const fetch_stall = fetchStall_.data();
     unsigned *__restrict const mem_lat = memLatency_.data();
     std::uint8_t *__restrict const l1_missed = l1Miss_.data();
@@ -399,6 +427,42 @@ CpuSimulator::consumeBatch(std::size_t n)
         }
     }
 
+    // Lane recording: the scratch lanes are now final (only the
+    // branch pass still writes, and only to mispred), so a clone-
+    // group sibling replaying the identical stream can import them
+    // plus the counter deltas instead of re-running the cache and
+    // TLB passes. One bulk append per lane.
+    if (record != nullptr) {
+        MemoryLaneLog::Batch b;
+        b.n = static_cast<std::uint32_t>(n);
+        b.laneOffset =
+            static_cast<std::uint32_t>(record->fetchStall.size());
+        b.memOffset = static_cast<std::uint32_t>(record->memIdx.size());
+        b.memCount = static_cast<std::uint32_t>(mem_count);
+        b.branchOffset =
+            static_cast<std::uint32_t>(record->branchIdx.size());
+        b.branchCount = static_cast<std::uint32_t>(branch_count);
+        b.numLoads = num_loads;
+        b.numStores = num_stores;
+        for (unsigned v = 0; v < 4; ++v)
+            b.loadsAt[v] = loads_at[v];
+        b.itlbWalks = itlb_walks;
+        b.dtlbWalks = dtlb_walks;
+        record->fetchStall.insert(record->fetchStall.end(), fetch_stall,
+                                  fetch_stall + n);
+        record->memLatency.insert(record->memLatency.end(), mem_lat,
+                                  mem_lat + n);
+        record->l1Miss.insert(record->l1Miss.end(), l1_missed,
+                              l1_missed + n);
+        record->dram.insert(record->dram.end(), dram_code,
+                            dram_code + n);
+        record->memIdx.insert(record->memIdx.end(), mem_idx,
+                              mem_idx + mem_count);
+        record->branchIdx.insert(record->branchIdx.end(), branch_idx,
+                                 branch_idx + branch_count);
+        record->batches.push_back(b);
+    }
+
     // Branch pass: walks the branch index list in op order, so the
     // predictor/BTB see the exact consume() sequence.
     std::fill(mispred, mispred + n, std::uint8_t{0});
@@ -509,6 +573,160 @@ CpuSimulator::consumeBatch(std::size_t n)
 }
 
 void
+CpuSimulator::consumeBatchImported(const trace::MicroOpBatch &lanes,
+                                   std::size_t base, std::size_t n,
+                                   const MemoryLaneLog &log,
+                                   std::size_t &cursor)
+{
+    // The imported half of consumeBatch: the cache and TLB passes --
+    // deterministic functions of the op stream and the (identical)
+    // hierarchy/TLB configuration -- are replaced by the leader's
+    // recorded lanes and counter deltas, consumed in place. The
+    // branch, footprint and retire passes below are copied verbatim
+    // from consumeBatch, fed by the imported lanes, so this
+    // simulator's predictor state, footprint and core timing are
+    // exact. The hierarchy and TLBs are never touched.
+    SPEC17_ASSERT(cursor < log.batches.size(),
+                  "memory-lane log exhausted: the sibling's batch "
+                  "schedule diverged from its leader's");
+    const MemoryLaneLog::Batch &b = log.batches[cursor++];
+    SPEC17_ASSERT(b.n == n,
+                  "memory-lane batch size diverged from the log (have ",
+                  n, ", recorded ", b.n, ")");
+
+    const std::uint64_t *__restrict const pcs = lanes.pc.data() + base;
+    const std::uint64_t *__restrict const addrs =
+        lanes.addr.data() + base;
+    const std::uint64_t *__restrict const targets =
+        lanes.target.data() + base;
+    const isa::UopClass *__restrict const classes =
+        lanes.cls.data() + base;
+    const isa::BranchKind *__restrict const kindv =
+        lanes.kind.data() + base;
+    const std::uint8_t *__restrict const takenv =
+        lanes.taken.data() + base;
+    const std::uint8_t *__restrict const dep_load =
+        lanes.depOnLoad.data() + base;
+    const std::uint8_t *__restrict const dep_prev =
+        lanes.depOnPrev.data() + base;
+
+    const unsigned *__restrict const fetch_stall =
+        log.fetchStall.data() + b.laneOffset;
+    const unsigned *__restrict const mem_lat =
+        log.memLatency.data() + b.laneOffset;
+    const std::uint8_t *__restrict const l1_missed =
+        log.l1Miss.data() + b.laneOffset;
+    const std::uint8_t *__restrict const dram_code =
+        log.dram.data() + b.laneOffset;
+    const std::uint32_t *__restrict const mem_idx =
+        log.memIdx.data() + b.memOffset;
+    const std::uint32_t *__restrict const branch_idx =
+        log.branchIdx.data() + b.branchOffset;
+
+    if (mispredicted_.size() < n)
+        mispredicted_.resize(n);
+    std::uint8_t *__restrict const mispred = mispredicted_.data();
+
+    // Branch pass (verbatim from consumeBatch).
+    std::fill(mispred, mispred + n, std::uint8_t{0});
+    const std::uint64_t num_branches = b.branchCount;
+    std::uint64_t num_mispredicts = 0;
+    std::uint64_t kinds[isa::kNumBranchKinds + 1] = {};
+    for (std::size_t j = 0; j < b.branchCount; ++j) {
+        const std::size_t i = branch_idx[j];
+        const isa::BranchKind kind = kindv[i];
+        SPEC17_ASSERT(kind != isa::BranchKind::None,
+                      "branch with kind None reached simulator");
+        ++kinds[static_cast<std::size_t>(kind)];
+        if (branches_.execute(kind, pcs[i], takenv[i] != 0,
+                              targets[i])) {
+            mispred[i] = 1;
+            ++num_mispredicts;
+        }
+    }
+
+    // Footprint pass (verbatim from consumeBatch).
+    {
+        std::uint64_t *__restrict const pc_seen = pcPageSeen_.data();
+        std::uint64_t *__restrict const data_seen = dataPageSeen_.data();
+        std::uint64_t last_pc_page = ~std::uint64_t(0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t page =
+                pcs[i] / FootprintTracker::kPageBytes;
+            if (page == last_pc_page)
+                continue;
+            last_pc_page = page;
+            std::uint64_t &slot = pc_seen[page % kPcPageSeenSlots];
+            if (slot != page) {
+                slot = page;
+                footprint_.touch(pcs[i]);
+            }
+        }
+        std::uint64_t last_data_page = ~std::uint64_t(0);
+        for (std::size_t j = 0; j < b.memCount; ++j) {
+            const std::size_t i = mem_idx[j];
+            const std::uint64_t page =
+                addrs[i] / FootprintTracker::kPageBytes;
+            if (page == last_data_page)
+                continue;
+            last_data_page = page;
+            std::uint64_t &slot = data_seen[page % kDataPageSeenSlots];
+            if (slot != page) {
+                slot = page;
+                footprint_.touch(addrs[i]);
+            }
+        }
+    }
+
+    // Retire pass on the imported lanes.
+    core_.retireBatch(classes, dep_load, dep_prev, mem_lat, l1_missed,
+                      fetch_stall, mispred, dram_code, n);
+
+    // Counter flush: cache/TLB deltas from the log, branch counts
+    // from this simulator's own branch pass. The hierarchy stat
+    // credits consumeBatch performs are intentionally absent -- this
+    // simulator's hierarchy holds no observable state.
+    if (config_.enableTlb) {
+        counters_.add(PerfEvent::ItlbMissesWalk, b.itlbWalks);
+        counters_.add(PerfEvent::DtlbLoadMissesWalk, b.dtlbWalks);
+    }
+    counters_.add(PerfEvent::InstRetiredAny, n);
+    counters_.add(PerfEvent::UopsRetiredAll, n);
+    counters_.add(PerfEvent::MemUopsRetiredAllLoads, b.numLoads);
+    counters_.add(PerfEvent::MemUopsRetiredAllStores, b.numStores);
+    const std::uint64_t l2 =
+        b.loadsAt[static_cast<std::size_t>(HitLevel::L2)];
+    const std::uint64_t l3 =
+        b.loadsAt[static_cast<std::size_t>(HitLevel::L3)];
+    const std::uint64_t mem =
+        b.loadsAt[static_cast<std::size_t>(HitLevel::Memory)];
+    counters_.add(PerfEvent::MemLoadUopsRetiredL1Hit,
+                  b.loadsAt[static_cast<std::size_t>(HitLevel::L1)]);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL1Miss, l2 + l3 + mem);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL2Hit, l2);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL2Miss, l3 + mem);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL3Hit, l3);
+    counters_.add(PerfEvent::MemLoadUopsRetiredL3Miss, mem);
+    counters_.add(PerfEvent::BrInstExecAllBranches, num_branches);
+    counters_.add(
+        PerfEvent::BrInstExecAllConditional,
+        kinds[static_cast<std::size_t>(isa::BranchKind::Conditional)]);
+    counters_.add(
+        PerfEvent::BrInstExecAllDirectJmp,
+        kinds[static_cast<std::size_t>(isa::BranchKind::DirectJump)]);
+    counters_.add(PerfEvent::BrInstExecAllDirectNearCall,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::DirectNearCall)]);
+    counters_.add(PerfEvent::BrInstExecAllIndirectJumpNonCallRet,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::IndirectJumpNonCallRet)]);
+    counters_.add(PerfEvent::BrInstExecAllIndirectNearReturn,
+                  kinds[static_cast<std::size_t>(
+                      isa::BranchKind::IndirectNearReturn)]);
+    counters_.add(PerfEvent::BrMispExecAllBranches, num_mispredicts);
+}
+
+void
 CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
                           HitLevel level)
 {
@@ -523,11 +741,52 @@ CpuSimulator::prefillData(std::uint64_t base, std::uint64_t bytes,
     invalidateLineMemos();
 }
 
+void
+CpuSimulator::copyPrefillFrom(const CpuSimulator &other)
+{
+    // Prefill fills caches only: cloning before any demand traffic
+    // (cycles still zero on both sides) transplants exactly the state
+    // a matching prefillData sequence would have built here.
+    SPEC17_ASSERT(core_.cycles() == 0.0 && other.core_.cycles() == 0.0,
+                  "prefill cloning requires pristine simulators");
+    hierarchy_.copyStateFrom(other.hierarchy_);
+    // fillTo can evict the memo'd lines (same reset as prefillData).
+    invalidateLineMemos();
+}
+
 std::uint64_t
 CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
 {
     if (unbatched_)
         return stepUnbatched(source, max_ops);
+    return stepBatched(source, max_ops, nullptr, nullptr, nullptr);
+}
+
+std::uint64_t
+CpuSimulator::stepRecording(trace::TraceSource &source,
+                            std::uint64_t max_ops, MemoryLaneLog &log)
+{
+    SPEC17_ASSERT(!unbatched_,
+                  "lane recording requires the batched lane");
+    return stepBatched(source, max_ops, &log, nullptr, nullptr);
+}
+
+std::uint64_t
+CpuSimulator::stepImporting(trace::TraceSource &source,
+                            std::uint64_t max_ops,
+                            const MemoryLaneLog &log, std::size_t &cursor)
+{
+    SPEC17_ASSERT(!unbatched_,
+                  "lane importing requires the batched lane");
+    return stepBatched(source, max_ops, nullptr, &log, &cursor);
+}
+
+std::uint64_t
+CpuSimulator::stepBatched(trace::TraceSource &source,
+                          std::uint64_t max_ops, MemoryLaneLog *record,
+                          const MemoryLaneLog *import,
+                          std::size_t *cursor)
+{
     // Re-assert this core's shared-L3 context: a sibling core's chunk
     // may have moved the shared cache's active context since our last
     // chunk. No-op for a private L3.
@@ -540,9 +799,30 @@ CpuSimulator::step(trace::TraceSource &source, std::uint64_t max_ops)
         // identical counts on either lane.
         const std::size_t want = static_cast<std::size_t>(
             std::min<std::uint64_t>(batchOps_, max_ops - consumed));
-        const std::size_t got = source.nextBatchSoA(batch_, 0, want);
-        if (got != 0)
-            consumeBatch(got);
+        // Zero-copy first: a source with resident lanes (the replay
+        // arena) hands back a view and the passes consume it in
+        // place; everything else is staged through batch_ as before.
+        std::size_t at = 0;
+        std::size_t got = 0;
+        if (const trace::MicroOpBatch *view =
+                source.nextLanes(want, at, got)) {
+            if (got != 0) {
+                if (import != nullptr)
+                    consumeBatchImported(*view, at, got, *import,
+                                         *cursor);
+                else
+                    consumeBatch(*view, at, got, record);
+            }
+        } else {
+            got = source.nextBatchSoA(batch_, 0, want);
+            if (got != 0) {
+                if (import != nullptr)
+                    consumeBatchImported(batch_, 0, got, *import,
+                                         *cursor);
+                else
+                    consumeBatch(batch_, 0, got, record);
+            }
+        }
         consumed += got;
         if (got < want)
             break;

@@ -36,6 +36,62 @@ struct SimResult
 };
 
 /**
+ * Recorded memory-side outcomes of a stepped chunk, batch by batch:
+ * the post-TLB scratch lanes (fetch stall, memory latency, L1-miss
+ * and DRAM flags), the op-index lists, and the counter deltas the
+ * cache and TLB passes produced. A simulator with the identical
+ * hierarchy, TLB and core configuration consuming the identical
+ * micro-op stream computes exactly these values -- so a clone-group
+ * sibling in multi-point fan-out can import the leader's log
+ * (stepImporting) instead of running its own cache and TLB passes,
+ * and needs no prefilled cache state at all. Only the branch unit
+ * (and the timing it feeds) runs per sibling.
+ *
+ * One log records one stepped chunk; clear() and reuse it per chunk
+ * so the lane buffers stay allocated.
+ */
+struct MemoryLaneLog
+{
+    /** One consumeBatch call's worth of recorded outcomes. */
+    struct Batch
+    {
+        std::uint32_t n = 0; //!< ops in the batch (alignment check)
+        std::uint32_t laneOffset = 0;   //!< into the per-op lanes
+        std::uint32_t memOffset = 0;    //!< into memIdx
+        std::uint32_t memCount = 0;
+        std::uint32_t branchOffset = 0; //!< into branchIdx
+        std::uint32_t branchCount = 0;
+        std::uint64_t numLoads = 0;
+        std::uint64_t numStores = 0;
+        std::uint64_t loadsAt[4] = {0, 0, 0, 0};
+        std::uint64_t itlbWalks = 0;
+        std::uint64_t dtlbWalks = 0;
+    };
+
+    std::vector<Batch> batches;
+    /** Per-op lanes, all batches concatenated (see Batch::laneOffset). */
+    std::vector<unsigned> fetchStall;
+    std::vector<unsigned> memLatency;
+    std::vector<std::uint8_t> l1Miss;
+    std::vector<std::uint8_t> dram;
+    /** Op-index lists (indices are within their batch). */
+    std::vector<std::uint32_t> memIdx;
+    std::vector<std::uint32_t> branchIdx;
+
+    void
+    clear()
+    {
+        batches.clear();
+        fetchStall.clear();
+        memLatency.clear();
+        l1Miss.clear();
+        dram.clear();
+        memIdx.clear();
+        branchIdx.clear();
+    }
+};
+
+/**
  * One core with private L1I/L1D/L2 and an (optionally shared) L3.
  * Construct per run; state is not reusable across runs.
  */
@@ -48,13 +104,41 @@ class CpuSimulator
      * @param shared_l3 optional L3 shared with other simulators.
      * @param shared_bus optional DRAM channel shared with other
      *        simulators (multicore bandwidth contention).
+     * @param recycle optional dead simulator whose large heap buffers
+     *        (cache lanes, batch lanes, scratch, memos) this one
+     *        adopts before re-initializing them. Results are
+     *        bit-identical to a fresh construction -- recycling only
+     *        skips page-faulting allocations, which dominate
+     *        construction cost in multi-point fan-out loops. The
+     *        donor must not be used afterwards.
+     * @param recycle_dirty skip resetting the cache-hierarchy lanes
+     *        at construction; ONLY legal when the caller immediately
+     *        calls copyPrefillFrom() (which copy-assigns the complete
+     *        cache state) before the simulator consumes any traffic.
+     *        Fan-out clone-group siblings pass true: resetting
+     *        megabytes of lanes that the leader's state overwrites a
+     *        moment later is pure memory traffic. Requires a private
+     *        L3 (copyPrefillFrom does too).
      */
     explicit CpuSimulator(const SystemConfig &config,
                           std::uint64_t seed = 0,
                           std::shared_ptr<SetAssocCache> shared_l3
                           = nullptr,
                           std::shared_ptr<MemoryBus> shared_bus
-                          = nullptr);
+                          = nullptr,
+                          CpuSimulator *recycle = nullptr,
+                          bool recycle_dirty = false);
+
+    /**
+     * Clones the cache-hierarchy state from @p other, a simulator
+     * with the identical SystemConfig that has been prefilled (see
+     * prefillData / suite::prefillSteadyState) but has consumed no
+     * demand traffic yet. After the call this simulator observes the
+     * exact state a matching prefill sequence would have built --
+     * multi-point fan-out prefills one group leader per hierarchy
+     * configuration and clones the rest.
+     */
+    void copyPrefillFrom(const CpuSimulator &other);
 
     /** Runs @p source to exhaustion and returns the counters. */
     SimResult run(trace::TraceSource &source);
@@ -93,6 +177,35 @@ class CpuSimulator
      */
     std::uint64_t stepUnbatched(trace::TraceSource &source,
                                 std::uint64_t max_ops);
+
+    /**
+     * step() that additionally appends every batch's memory-side
+     * outcomes to @p log (see MemoryLaneLog). Results are identical
+     * to step(); recording costs one lane copy per batch. Batched
+     * lane only (panics under setUnbatchedStepping).
+     */
+    std::uint64_t stepRecording(trace::TraceSource &source,
+                                std::uint64_t max_ops,
+                                MemoryLaneLog &log);
+
+    /**
+     * step() for a clone-group sibling: skips the cache and TLB
+     * passes entirely and consumes @p log -- recorded by a leader
+     * with the identical hierarchy, TLB and core configuration over
+     * the identical micro-op stream and the identical batch schedule
+     * -- for the memory-side lanes and counters. The branch,
+     * footprint and retire passes still run on this simulator, so
+     * per-point branch behavior and timing are exact. This
+     * simulator's cache hierarchy and TLBs are never touched (they
+     * may hold dirty-recycled garbage; see the constructor's
+     * recycle_dirty). @p cursor indexes log.batches and advances per
+     * consumed batch; reset it to 0 with each fresh log. Panics if
+     * the batch schedule diverges from the log.
+     */
+    std::uint64_t stepImporting(trace::TraceSource &source,
+                                std::uint64_t max_ops,
+                                const MemoryLaneLog &log,
+                                std::size_t &cursor);
 
     /** Default micro-ops per batch on the fast lane. */
     static constexpr std::size_t kDefaultBatchOps = 256;
@@ -141,10 +254,31 @@ class CpuSimulator
 
   private:
     void consume(const isa::MicroOp &op);
-    /** Batched equivalent of n consume() calls over the first n lane
-     *  slots of batch_, restructured into per-component passes (see
-     *  the implementation comment for the legality argument). */
-    void consumeBatch(std::size_t n);
+    /** Batched equivalent of n consume() calls over lane slots
+     *  [base, base+n) of @p lanes, restructured into per-component
+     *  passes (see the implementation comment for the legality
+     *  argument). @p lanes is either the simulator's own batch_ (the
+     *  copying pull path) or a source-owned buffer served zero-copy
+     *  through TraceSource::nextLanes(). When @p record is set, the
+     *  post-TLB lanes and counter deltas are appended to it. */
+    void consumeBatch(const trace::MicroOpBatch &lanes,
+                      std::size_t base, std::size_t n,
+                      MemoryLaneLog *record = nullptr);
+    /** Lane-importing equivalent of consumeBatch for clone-group
+     *  siblings: branch + footprint + retire passes only, memory-side
+     *  lanes and counters read from log.batches[cursor++]. */
+    void consumeBatchImported(const trace::MicroOpBatch &lanes,
+                              std::size_t base, std::size_t n,
+                              const MemoryLaneLog &log,
+                              std::size_t &cursor);
+    /** Shared batched-lane pull loop behind step()/stepRecording()/
+     *  stepImporting(): exactly one of record / (import, cursor) may
+     *  be set. */
+    std::uint64_t stepBatched(trace::TraceSource &source,
+                              std::uint64_t max_ops,
+                              MemoryLaneLog *record,
+                              const MemoryLaneLog *import,
+                              std::size_t *cursor);
     /** Forgets the per-set line memos after any non-batched cache
      *  mutation (reference lane, prefill); a cleared memo only costs
      *  one real access per set to re-establish. */

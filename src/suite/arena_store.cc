@@ -1,0 +1,132 @@
+#include "suite/arena_store.hh"
+
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace spec17 {
+namespace suite {
+
+namespace {
+
+/** FNV-1a 64-bit hash of the canonical trace key: short, stable
+ *  spill file names (the full key is unbounded). */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+TraceArenaStore::TraceArenaStore(std::uint64_t budget_bytes,
+                                 std::string spill_dir)
+    : budgetBytes_(budget_bytes), spillDir_(std::move(spill_dir))
+{
+    SPEC17_ASSERT(budgetBytes_ > 0,
+                  "arena store needs a positive byte budget "
+                  "(omit the store to disable replay)");
+}
+
+std::string
+TraceArenaStore::spillPathFor(const std::string &key) const
+{
+    std::ostringstream name;
+    name << std::hex << fnv1a(key);
+    return spillDir_ + "/arena-" + name.str() + ".s17a";
+}
+
+std::shared_ptr<const trace::TraceArena>
+TraceArenaStore::acquire(const trace::SyntheticTraceParams &params)
+{
+    const std::string key = trace::describeTraceParams(params);
+    if (std::optional<Entry> hit = table_.tryGet(key)) {
+        hit->lastUse->store(useSeq_.fetch_add(1) + 1);
+        hits_.fetch_add(1);
+        return hit->arena;
+    }
+
+    std::shared_ptr<const trace::TraceArena> arena;
+    if (!spillDir_.empty()) {
+        if (auto loaded = trace::loadArena(spillPathFor(key))) {
+            arena = std::move(loaded);
+            spillLoads_.fetch_add(1);
+        }
+    }
+    if (arena == nullptr) {
+        arena = std::make_shared<const trace::TraceArena>(
+            trace::captureArena(params));
+        captures_.fetch_add(1);
+        if (!spillDir_.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(spillDir_, ec);
+            if (ec)
+                warn("cannot create arena spill dir ", spillDir_, ": ",
+                     ec.message());
+            else
+                saveArena(spillPathFor(key), *arena);
+        }
+    }
+
+    if (arena->byteSize() > budgetBytes_)
+        return arena; // serve uncached; retention would thrash
+
+    Entry entry;
+    entry.arena = arena;
+    entry.lastUse = std::make_shared<std::atomic<std::uint64_t>>(
+        useSeq_.fetch_add(1) + 1);
+    const Entry winner = table_.publish(key, std::move(entry));
+    evictOverBudget();
+    return winner.arena;
+}
+
+void
+TraceArenaStore::evictOverBudget()
+{
+    for (;;) {
+        std::uint64_t total = 0;
+        std::size_t count = 0;
+        std::string oldest;
+        std::uint64_t oldest_use =
+            std::numeric_limits<std::uint64_t>::max();
+        table_.forEach([&](const std::string &key, const Entry &entry) {
+            total += entry.arena->byteSize();
+            ++count;
+            const std::uint64_t use = entry.lastUse->load();
+            if (use < oldest_use) {
+                oldest_use = use;
+                oldest = key;
+            }
+        });
+        if (total <= budgetBytes_ || count <= 1)
+            return;
+        if (table_.erase(oldest))
+            evictions_.fetch_add(1);
+    }
+}
+
+TraceArenaStore::Stats
+TraceArenaStore::stats() const
+{
+    Stats stats;
+    stats.captures = captures_.load();
+    stats.hits = hits_.load();
+    stats.spillLoads = spillLoads_.load();
+    stats.evictions = evictions_.load();
+    table_.forEach(
+        [&stats](const std::string &, const Entry &entry) {
+            stats.residentBytes += entry.arena->byteSize();
+            ++stats.entries;
+        });
+    return stats;
+}
+
+} // namespace suite
+} // namespace spec17

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * TraceArenaStore: process-wide capture-once/replay-many cache of
+ * trace arenas (trace/arena.hh), keyed by the exact synthetic trace
+ * configuration.
+ *
+ * The first acquire() of a (profile, seed, trace-config) captures the
+ * generated stream into an arena; subsequent acquires -- other design
+ * points of a multi-point sweep, the co-run engine's repeated solo
+ * baselines, retries at the same seed -- replay it instead of
+ * regenerating. Resident arenas live under a byte budget with
+ * least-recently-used eviction; an optional spill directory persists
+ * every captured arena in the versioned S17A format (atomic
+ * temp+rename), so evicted or cross-run arenas reload instead of
+ * recapturing.
+ *
+ * Replay is observation-equivalent to live generation (pinned by the
+ * arena golden tests), so whether a store is attached -- and its
+ * budget, eviction behaviour, and spill directory -- is an execution
+ * strategy, never semantics: none of it enters result-cache config
+ * keys (docs/determinism.md).
+ */
+
+#ifndef SPEC17_SUITE_ARENA_STORE_HH_
+#define SPEC17_SUITE_ARENA_STORE_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "suite/memo.hh"
+#include "trace/arena.hh"
+
+namespace spec17 {
+namespace suite {
+
+/** Thread-safe arena cache (see the file comment). */
+class TraceArenaStore
+{
+  public:
+    /** Observability counters (approximate under concurrency). */
+    struct Stats
+    {
+        std::uint64_t captures = 0;   //!< streams generated
+        std::uint64_t hits = 0;       //!< served from residency
+        std::uint64_t spillLoads = 0; //!< reloaded from disk
+        std::uint64_t evictions = 0;  //!< dropped for budget
+        std::uint64_t residentBytes = 0;
+        std::uint64_t entries = 0;
+    };
+
+    /**
+     * @param budget_bytes resident-lane byte budget (> 0); arenas
+     *        larger than the whole budget are served uncached.
+     * @param spill_dir optional directory for S17A spill files
+     *        (created on demand); empty disables spilling.
+     */
+    explicit TraceArenaStore(std::uint64_t budget_bytes,
+                             std::string spill_dir = "");
+
+    /**
+     * The arena for @p params: resident hit, spill reload, or fresh
+     * capture, in that order. Never returns nullptr -- an uncachable
+     * (over-budget) arena is still captured and returned, it just
+     * isn't retained. Racing captures resolve first-write-wins
+     * (identical streams, so results cannot depend on the winner).
+     */
+    std::shared_ptr<const trace::TraceArena>
+    acquire(const trace::SyntheticTraceParams &params);
+
+    Stats stats() const;
+
+    std::uint64_t budgetBytes() const { return budgetBytes_; }
+    const std::string &spillDir() const { return spillDir_; }
+
+    /** Spill file path for @p key (exposed for tests). */
+    std::string spillPathFor(const std::string &key) const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const trace::TraceArena> arena;
+        /** Recency stamp, shared so hits can touch it without
+         *  mutating the memo. */
+        std::shared_ptr<std::atomic<std::uint64_t>> lastUse;
+    };
+
+    /** Evicts least-recently-used entries until under budget. */
+    void evictOverBudget();
+
+    std::uint64_t budgetBytes_;
+    std::string spillDir_;
+    SharedMemo<std::string, Entry> table_;
+    std::atomic<std::uint64_t> useSeq_{0};
+    std::atomic<std::uint64_t> captures_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> spillLoads_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_ARENA_STORE_HH_

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SharedMemo: the compute-once/reuse-many concurrency primitive the
+ * co-run solo-baseline memo and the trace-arena store share.
+ *
+ * The pattern both need: many pool workers race toward the same
+ * expensive, deterministic computation (a solo-baseline simulation, a
+ * trace capture). The value is computed OUTSIDE any lock -- holding a
+ * mutex across a multi-millisecond simulation would serialize the
+ * pool -- and published first-write-wins: losers discard their copy
+ * and adopt the winner's, which is safe exactly because the
+ * computation is deterministic (every racer produced the identical
+ * value). Results therefore never depend on scheduling.
+ */
+
+#ifndef SPEC17_SUITE_MEMO_HH_
+#define SPEC17_SUITE_MEMO_HH_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace spec17 {
+namespace suite {
+
+/** Thread-safe first-write-wins memo (see the file comment). */
+template <typename Key, typename Value>
+class SharedMemo
+{
+  public:
+    /** The memoized value for @p key, if one has been published. */
+    std::optional<Value>
+    tryGet(const Key &key) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = map_.find(key);
+        if (it == map_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /**
+     * Publishes @p value for @p key unless another thread already
+     * did; returns the winning value either way (the caller adopts
+     * it and discards its own on a lost race).
+     */
+    Value
+    publish(const Key &key, Value value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.emplace(key, std::move(value)).first->second;
+    }
+
+    /**
+     * The memoized value for @p key, computing it via @p compute()
+     * outside the lock when absent. Racing computations are resolved
+     * first-write-wins.
+     */
+    template <typename Compute>
+    Value
+    getOrCompute(const Key &key, Compute &&compute)
+    {
+        if (std::optional<Value> hit = tryGet(key))
+            return *std::move(hit);
+        return publish(key, std::forward<Compute>(compute)());
+    }
+
+    /** Drops @p key's entry; true when one existed. */
+    bool
+    erase(const Key &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.erase(key) != 0;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+    /** Visits every entry in key order under the lock; @p fn must not
+     *  reenter the memo. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &entry : map_)
+            fn(entry.first, entry.second);
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, Value> map_;
+};
+
+} // namespace suite
+} // namespace spec17
+
+#endif // SPEC17_SUITE_MEMO_HH_

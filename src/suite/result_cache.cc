@@ -396,6 +396,69 @@ ResultCache::save(const SuiteRunner &runner,
     }
 }
 
+ResultCache::SweepPrefix
+ResultCache::beginSweep(const SuiteRunner &runner,
+                        const std::vector<WorkloadProfile> &suite,
+                        InputSize size,
+                        const std::vector<workloads::AppInputPair> &pairs)
+{
+    // A new session always starts with fresh commit state: the I/O
+    // fault keying and the warn-once latch are per-sweep, not
+    // per-cache-lifetime.
+    journalWarned_ = false;
+    commitIndex_ = 0;
+
+    SweepPrefix prefix;
+    if (path_.empty() || suite.empty())
+        return prefix;
+    JournalRead read = readJournal(runner, suite, size, pairs);
+    using Status = JournalRead::Status;
+    if (read.status == Status::ConfigMismatch && resume_) {
+        // Replaying another campaign's records would silently
+        // splice two configurations into one result set.
+        throw JournalConfigMismatchError(
+            "refusing to resume from " + journalFile(suite, size)
+            + ": journal was written under config "
+            + read.foundFingerprint
+            + " but this invocation has config "
+            + configFingerprint(runner)
+            + " (rerun without --resume to recompute and "
+              "overwrite, or point the cache elsewhere)");
+    }
+    if (read.status == Status::Ok && read.complete) {
+        prefix.rows = std::move(read.rows);
+        prefix.complete = true;
+        return prefix;
+    }
+    if (read.status == Status::Ok && resume_) {
+        prefix.rows = std::move(read.rows);
+        if (!prefix.rows.empty())
+            inform("resuming sweep from journal: ", prefix.rows.size(),
+                   " pair(s) replayed without re-simulation");
+    }
+    return prefix;
+}
+
+void
+ResultCache::checkpoint(const SuiteRunner &runner,
+                        const std::vector<WorkloadProfile> &suite,
+                        InputSize size,
+                        const std::vector<PairResult> &results) const
+{
+    save(runner, suite, size, results, /*quiet=*/true);
+}
+
+void
+ResultCache::finish(const SuiteRunner &runner,
+                    const std::vector<WorkloadProfile> &suite,
+                    InputSize size,
+                    const std::vector<PairResult> &results) const
+{
+    // The loud commit doubles as the failure report for unwritable
+    // cache locations.
+    save(runner, suite, size, results);
+}
+
 std::vector<PairResult>
 ResultCache::runOrLoad(const SuiteRunner &runner,
                        const std::vector<WorkloadProfile> &suite,
@@ -407,39 +470,15 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
         : enumeratePairs(suite, size);
     const auto pairs = shardPairs(allPairs, shard_);
 
-    std::vector<PairResult> results;
-    if (!path_.empty() && !suite.empty()) {
-        JournalRead read = readJournal(runner, suite, size, pairs);
-        using Status = JournalRead::Status;
-        if (read.status == Status::ConfigMismatch && resume_) {
-            // Replaying another campaign's records would silently
-            // splice two configurations into one result set.
-            throw JournalConfigMismatchError(
-                "refusing to resume from "
-                + journalFile(suite, size)
-                + ": journal was written under config "
-                + read.foundFingerprint
-                + " but this invocation has config "
-                + configFingerprint(runner)
-                + " (rerun without --resume to recompute and "
-                  "overwrite, or point the cache elsewhere)");
-        }
-        if (read.status == Status::Ok && read.complete)
-            return std::move(read.rows);
-        if (read.status == Status::Ok && resume_) {
-            results = std::move(read.rows);
-            if (!results.empty())
-                inform("resuming sweep from journal: ", results.size(),
-                       " pair(s) replayed without re-simulation");
-        }
-    }
+    SweepPrefix prefix = beginSweep(runner, suite, size, pairs);
+    if (prefix.complete)
+        return std::move(prefix.rows);
+    std::vector<PairResult> results = std::move(prefix.rows);
 
     if (observer) {
         for (std::size_t i = 0; i < results.size(); ++i)
             observer(results[i], i, pairs.size());
     }
-    journalWarned_ = false;
-    commitIndex_ = 0;
     const std::vector<workloads::AppInputPair> remaining(
         pairs.begin() + static_cast<std::ptrdiff_t>(results.size()),
         pairs.end());
@@ -454,14 +493,12 @@ ResultCache::runOrLoad(const SuiteRunner &runner,
         [&](const PairResult &result, std::size_t index,
             std::size_t total) {
             results.push_back(result);
-            save(runner, suite, size, results, /*quiet=*/true);
+            checkpoint(runner, suite, size, results);
             if (observer)
                 observer(result, index, total);
         },
         results.size(), pairs.size());
-    // Final commit doubles as the loud failure report for unwritable
-    // cache locations.
-    save(runner, suite, size, results);
+    finish(runner, suite, size, results);
     return results;
 }
 

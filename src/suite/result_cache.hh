@@ -137,6 +137,60 @@ class ResultCache
         workloads::InputSize size,
         const SuiteRunner::PairObserver &observer = {});
 
+    /**
+     * @name Sweep-session seam
+     * runOrLoad() decomposed for engines that interleave many sweeps
+     * (suite/fanout.hh runs one session per design point, committing
+     * every point's journal as the shared pass advances). A session is
+     * beginSweep() once, checkpoint() after each newly completed pair,
+     * finish() at the end -- producing journal bytes identical to a
+     * runOrLoad() sweep at any job count.
+     */
+    /// @{
+
+    /** The journal-replayed state a sweep session starts from. */
+    struct SweepPrefix
+    {
+        /** Order-verified replayed prefix, profiles bound into the
+         *  session's suite, PairResult::replayed set. */
+        std::vector<PairResult> rows;
+        /** Every expected pair was already journaled: the session has
+         *  nothing to run (rows are the full result set). */
+        bool complete = false;
+    };
+
+    /**
+     * Opens a sweep session: reads the journal under runOrLoad()'s
+     * exact policy -- a complete order-verified journal returns all
+     * rows with complete=true even without resume; a partial prefix is
+     * returned only with resume enabled; a config-mismatched journal
+     * under resume throws JournalConfigMismatchError; anything else is
+     * an empty prefix -- and resets the per-sweep commit state.
+     * @p pairs must be the shard slice the session will run, in
+     * canonical order (shardPairs of the full enumeration).
+     */
+    SweepPrefix beginSweep(
+        const SuiteRunner &runner,
+        const std::vector<workloads::WorkloadProfile> &suite,
+        workloads::InputSize size,
+        const std::vector<workloads::AppInputPair> &pairs);
+
+    /** Quiet mid-sweep checkpoint: atomically commits @p results as
+     *  the journal's new prefix (unwritable locations warn once per
+     *  session, not once per pair). */
+    void checkpoint(const SuiteRunner &runner,
+                    const std::vector<workloads::WorkloadProfile> &suite,
+                    workloads::InputSize size,
+                    const std::vector<PairResult> &results) const;
+
+    /** Final loud commit of a sweep session. */
+    void finish(const SuiteRunner &runner,
+                const std::vector<workloads::WorkloadProfile> &suite,
+                workloads::InputSize size,
+                const std::vector<PairResult> &results) const;
+
+    /// @}
+
     /** Drops everything persisted at this path (current shard's
      *  files included). */
     void invalidate();

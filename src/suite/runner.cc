@@ -10,6 +10,9 @@
 
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
+#include "suite/arena_store.hh"
+#include "telemetry/registry.hh"
+#include "trace/arena.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -212,6 +215,89 @@ class Watchdog
 
 } // namespace
 
+workloads::BuildOptions
+attemptBuildOptions(const RunnerOptions &options, unsigned attempt)
+{
+    workloads::BuildOptions build;
+    build.sampleOps = options.sampleOps + options.warmupOps;
+    // Attempt 0 uses the unperturbed seed (byte-identical to a run
+    // without the fault layer); retries perturb it deterministically
+    // so transiently unlucky stochastic states are not replayed.
+    build.seed = attempt == 0
+        ? options.seed
+        : deriveSeed(deriveSeed(options.seed, "retry"), attempt);
+    return build;
+}
+
+std::uint64_t
+pairSimSeed(const AppInputPair &pair, std::uint64_t build_seed)
+{
+    SPEC17_ASSERT(pair.profile != nullptr, "pair without profile");
+    return deriveSeed(deriveSeed(build_seed, pair.profile->name),
+                      static_cast<std::uint64_t>(pair.size),
+                      pair.inputIndex);
+}
+
+PairResult
+makePairResult(const AppInputPair &pair)
+{
+    SPEC17_ASSERT(pair.profile != nullptr, "pair without profile");
+    PairResult result;
+    result.name = pair.displayName();
+    result.profile = pair.profile;
+    result.size = pair.size;
+    result.inputIndex = pair.inputIndex;
+    result.errored =
+        pair.profile->isErrored(pair.size, pair.inputIndex);
+    return result;
+}
+
+void
+finalizePairResult(const RunnerOptions &options,
+                   const sim::SimResult &sim_result, PairResult &result)
+{
+    result.counters = sim_result.counters;
+    result.wallCycles = sim_result.cycles;
+
+    // ---- Scale back to paper units ----
+    // The simulated sample stands in for the full run: rates (IPC,
+    // miss and mispredict rates, mix percentages) are taken from the
+    // sample; instruction count and execution time are reported at
+    // paper scale.
+    const WorkloadProfile &profile = *result.profile;
+    result.instrBillions = profile.instrBillions(result.size);
+    const double sim_instr = static_cast<double>(
+        result.counters.get(PerfEvent::InstRetiredAny));
+    if (!(sim_instr > 0.0)) {
+        throw PairExecutionError(
+            FailureCategory::Invariant,
+            result.name + ": measured interval retired nothing");
+    }
+    const double wall_seconds = result.wallCycles
+        / (options.system.core.frequencyGHz * 1e9);
+    result.seconds =
+        wall_seconds * (result.instrBillions * kBillion / sim_instr);
+
+    // RSS/VSZ are microarchitecture-independent input magnitudes; the
+    // sampled run cannot touch a paper-scale working set, so OVERRIDE
+    // the gauges with the profile's declared values. Touched pages
+    // remain a floor so tiny declarations stay honest; the simulated
+    // region reservation (an artifact of the sampling substrate) is
+    // discarded.
+    const auto declared_rss = static_cast<std::uint64_t>(
+        profile.rssMiB(result.size) * double(kMiB));
+    const auto declared_vsz = static_cast<std::uint64_t>(
+        profile.vszMiB(result.size) * double(kMiB));
+    const std::uint64_t touched =
+        result.counters.get(PerfEvent::RssBytes);
+    result.counters.set(PerfEvent::RssBytes,
+                        std::max(touched, declared_rss));
+    result.counters.set(
+        PerfEvent::VszBytes,
+        std::max(result.counters.get(PerfEvent::RssBytes),
+                 declared_vsz));
+}
+
 PairResult
 SuiteRunner::runPairAttempt(const AppInputPair &pair,
                             unsigned attempt) const
@@ -219,12 +305,7 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
     SPEC17_ASSERT(pair.profile != nullptr, "pair without profile");
     const WorkloadProfile &profile = *pair.profile;
 
-    PairResult result;
-    result.name = pair.displayName();
-    result.profile = &profile;
-    result.size = pair.size;
-    result.inputIndex = pair.inputIndex;
-    result.errored = profile.isErrored(pair.size, pair.inputIndex);
+    PairResult result = makePairResult(pair);
 
     // A malformed profile is a contained, diagnosable failure -- not
     // a NaN row and not a process abort mid-sweep.
@@ -242,14 +323,7 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
                                  "injected fault before simulation");
     }
 
-    workloads::BuildOptions build;
-    build.sampleOps = options_.sampleOps + options_.warmupOps;
-    // Attempt 0 uses the unperturbed seed (byte-identical to a run
-    // without the fault layer); retries perturb it deterministically
-    // so transiently unlucky stochastic states are not replayed.
-    build.seed = attempt == 0
-        ? options_.seed
-        : deriveSeed(deriveSeed(options_.seed, "retry"), attempt);
+    workloads::BuildOptions build = attemptBuildOptions(options_, attempt);
     if (injected == FaultInjector::Action::Stall) {
         // Runaway trace generation: emit far past the declared sample
         // so only the watchdog can stop the attempt.
@@ -259,14 +333,19 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         build.sampleOps = std::max(build.sampleOps, runaway);
     }
 
-    const std::uint64_t pair_seed =
-        deriveSeed(deriveSeed(build.seed, profile.name),
-                   static_cast<std::uint64_t>(pair.size),
-                   pair.inputIndex);
+    const std::uint64_t pair_seed = pairSimSeed(pair, build.seed);
 
     const Watchdog watchdog(options_.pairDeadlineOps,
                             options_.pairDeadlineMs);
     bool cancelled = false;
+
+    // Replay eligibility: the watchdog's cooperative cancel must act
+    // DURING trace generation -- a fault-injected runaway captured to
+    // completion would defeat it -- so replay stands down whenever the
+    // fault layer or a per-attempt deadline is armed.
+    const bool replay_eligible = options_.arenaStore != nullptr
+        && options_.faultInjector == nullptr
+        && options_.pairDeadlineOps == 0 && options_.pairDeadlineMs == 0;
 
     sim::SimResult sim_result;
     if (profile.numThreads > 1) {
@@ -278,6 +357,7 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         std::vector<std::shared_ptr<trace::TraceSource>> sources;
         std::vector<std::shared_ptr<trace::SyntheticTraceGenerator>>
             generators;
+        std::vector<std::shared_ptr<trace::ReplaySource>> replays;
         sim::MulticoreSimulator multicore(options_.system,
                                           profile.numThreads, pair_seed);
         for (unsigned t = 0; t < profile.numThreads; ++t) {
@@ -285,12 +365,23 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
             if (options_.batchOps != 0)
                 core.setBatchOps(options_.batchOps);
             core.setUnbatchedStepping(options_.unbatchedStepping);
+            // The generator is constructed even under replay: prefill
+            // reads its region layout without consuming ops, so the
+            // replayed stream still lands on warm caches.
             auto gen = std::make_shared<trace::SyntheticTraceGenerator>(
                 workloads::buildTraceParams(pair, build, t));
             gen->setCancelFlag(&cancelled);
             prefillSteadyState(multicore.mutableCore(t), *gen);
             generators.push_back(gen);
-            sources.push_back(std::move(gen));
+            if (replay_eligible) {
+                auto replay = std::make_shared<trace::ReplaySource>(
+                    options_.arenaStore->acquire(gen->params()));
+                replay->setCancelFlag(&cancelled);
+                replays.push_back(replay);
+                sources.push_back(std::move(replay));
+            } else {
+                sources.push_back(gen);
+            }
         }
 
         // Interval telemetry, coarse mode: the interleaver's chunk
@@ -306,9 +397,15 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
             registry = std::make_unique<telemetry::MetricsRegistry>();
             telemetry::registerMulticoreMetrics(*registry, multicore);
             for (unsigned t = 0; t < profile.numThreads; ++t) {
-                telemetry::registerTraceMetrics(
-                    *registry, *generators[t],
-                    "core" + std::to_string(t) + ".");
+                const std::string prefix =
+                    "core" + std::to_string(t) + ".";
+                if (replay_eligible) {
+                    telemetry::registerTraceMetrics(
+                        *registry, *replays[t], prefix);
+                } else {
+                    telemetry::registerTraceMetrics(
+                        *registry, *generators[t], prefix);
+                }
             }
             sampler = std::make_unique<telemetry::IntervalSampler>(
                 *registry, options_.sampleIntervalOps,
@@ -339,14 +436,26 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
             sim_result.counters.get(PerfEvent::InstRetiredAny),
             cancelled);
     } else {
-        trace::SyntheticTraceGenerator source(
+        trace::SyntheticTraceGenerator generator(
             workloads::buildTraceParams(pair, build, 0));
-        source.setCancelFlag(&cancelled);
+        generator.setCancelFlag(&cancelled);
+        // Under replay the generator still exists -- prefill reads its
+        // region layout without consuming ops -- but the simulated
+        // stream comes from the captured arena instead.
+        std::unique_ptr<trace::ReplaySource> replay;
+        if (replay_eligible) {
+            replay = std::make_unique<trace::ReplaySource>(
+                options_.arenaStore->acquire(generator.params()));
+            replay->setCancelFlag(&cancelled);
+        }
+        trace::TraceSource &source = replay
+            ? static_cast<trace::TraceSource &>(*replay)
+            : static_cast<trace::TraceSource &>(generator);
         sim::CpuSimulator simulator(options_.system, pair_seed);
         if (options_.batchOps != 0)
             simulator.setBatchOps(options_.batchOps);
         simulator.setUnbatchedStepping(options_.unbatchedStepping);
-        prefillSteadyState(simulator, source);
+        prefillSteadyState(simulator, generator);
         std::uint64_t executed =
             simulator.step(source, options_.warmupOps);
         watchdog.check(executed, cancelled);
@@ -363,7 +472,10 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         if (options_.sampleIntervalOps > 0) {
             registry = std::make_unique<telemetry::MetricsRegistry>();
             telemetry::registerSimulatorMetrics(*registry, simulator);
-            telemetry::registerTraceMetrics(*registry, source);
+            if (replay)
+                telemetry::registerTraceMetrics(*registry, *replay);
+            else
+                telemetry::registerTraceMetrics(*registry, generator);
             sampler = std::make_unique<telemetry::IntervalSampler>(
                 *registry, options_.sampleIntervalOps,
                 telemetry::defaultDerivedSpecs());
@@ -403,45 +515,7 @@ SuiteRunner::runPairAttempt(const AppInputPair &pair,
         sim_result.cycles -= warm_cycles;
     }
 
-    result.counters = sim_result.counters;
-    result.wallCycles = sim_result.cycles;
-
-    // ---- Scale back to paper units ----
-    // The simulated sample stands in for the full run: rates (IPC,
-    // miss and mispredict rates, mix percentages) are taken from the
-    // sample; instruction count and execution time are reported at
-    // paper scale.
-    result.instrBillions = profile.instrBillions(pair.size);
-    const double sim_instr = static_cast<double>(
-        result.counters.get(PerfEvent::InstRetiredAny));
-    if (!(sim_instr > 0.0)) {
-        throw PairExecutionError(
-            FailureCategory::Invariant,
-            result.name + ": measured interval retired nothing");
-    }
-    const double wall_seconds = result.wallCycles
-        / (options_.system.core.frequencyGHz * 1e9);
-    result.seconds =
-        wall_seconds * (result.instrBillions * kBillion / sim_instr);
-
-    // RSS/VSZ are microarchitecture-independent input magnitudes; the
-    // sampled run cannot touch a paper-scale working set, so OVERRIDE
-    // the gauges with the profile's declared values. Touched pages
-    // remain a floor so tiny declarations stay honest; the simulated
-    // region reservation (an artifact of the sampling substrate) is
-    // discarded.
-    const auto declared_rss = static_cast<std::uint64_t>(
-        profile.rssMiB(pair.size) * double(kMiB));
-    const auto declared_vsz = static_cast<std::uint64_t>(
-        profile.vszMiB(pair.size) * double(kMiB));
-    const std::uint64_t touched =
-        result.counters.get(PerfEvent::RssBytes);
-    result.counters.set(PerfEvent::RssBytes,
-                        std::max(touched, declared_rss));
-    result.counters.set(
-        PerfEvent::VszBytes,
-        std::max(result.counters.get(PerfEvent::RssBytes),
-                 declared_vsz));
+    finalizePairResult(options_, sim_result, result);
     return result;
 }
 

@@ -36,6 +36,8 @@
 namespace spec17 {
 namespace suite {
 
+class TraceArenaStore;
+
 /**
  * Installs the steady-state cache residency a long-running process
  * would have built: each data region of @p generator that fits a
@@ -255,6 +257,22 @@ struct RunnerOptions
      */
     bool unbatchedStepping = false;
     /// @}
+
+    /** @name Trace capture/replay (see docs/performance.md) */
+    /// @{
+    /**
+     * Capture-once/replay-many arena store. When set, eligible pairs
+     * (no fault injector, no watchdog deadlines -- the watchdog's
+     * cooperative cancel must act DURING generation) replay the
+     * recorded micro-op stream instead of regenerating it. Replay is
+     * draw-for-draw identical to live generation (pinned by the arena
+     * golden tests), so the store -- and its budget, eviction and
+     * spill knobs -- is an execution strategy and deliberately NOT
+     * part of the config key. Borrowed pointer; must outlive the
+     * runner and supports concurrent acquires.
+     */
+    TraceArenaStore *arenaStore = nullptr;
+    /// @}
 };
 
 /** Retry backoff policy constants (see retryBackoffDelayMs). */
@@ -332,6 +350,44 @@ struct PairResult
     /** inst_retired.any / cpu_clk_unhalted.ref_tsc. */
     double ipc() const;
 };
+
+/**
+ * @name Pair-identity helpers
+ * The exact derivations SuiteRunner::runPairAttempt() uses, exposed
+ * so alternate execution engines (suite/fanout.hh) reproduce per-pair
+ * identity -- build options, seeds and paper-unit scaling -- by
+ * construction rather than by copy.
+ */
+/// @{
+
+/** Build options for @p attempt of a pair under @p options: the
+ *  sample+warmup op budget with the deterministic per-attempt seed
+ *  perturbation (attempt 0 always uses the unperturbed seed). */
+workloads::BuildOptions attemptBuildOptions(const RunnerOptions &options,
+                                            unsigned attempt);
+
+/** The per-pair simulator/trace seed: derives purely from the build
+ *  seed and the pair identity (profile name, size, input index). */
+std::uint64_t pairSimSeed(const workloads::AppInputPair &pair,
+                          std::uint64_t build_seed);
+
+/** A PairResult shell for @p pair: identity fields plus the
+ *  paper-errored flag, no measurements yet. */
+PairResult makePairResult(const workloads::AppInputPair &pair);
+
+/**
+ * The shared measurement tail: installs @p sim_result into @p result
+ * and scales the sampled interval back to paper units (instruction
+ * billions, seconds; the profile's declared RSS/VSZ override the
+ * sampling substrate's footprint, floored by pages actually touched).
+ * Throws PairExecutionError(Invariant) when the measured interval
+ * retired nothing.
+ */
+void finalizePairResult(const RunnerOptions &options,
+                        const sim::SimResult &sim_result,
+                        PairResult &result);
+
+/// @}
 
 /**
  * Runs pairs on a fresh simulator each (no cross-pair pollution).

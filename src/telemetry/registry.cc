@@ -5,6 +5,7 @@
 #include "counters/perf_event.hh"
 #include "sim/multicore.hh"
 #include "sim/simulator.hh"
+#include "trace/arena.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
 
@@ -334,6 +335,20 @@ registerTraceMetrics(MetricsRegistry &registry,
                              "micro-ops emitted by the generator",
                              [&generator] {
                                  return double(generator.emittedOps());
+                             });
+}
+
+void
+registerTraceMetrics(MetricsRegistry &registry,
+                     const trace::ReplaySource &replay,
+                     const std::string &prefix)
+{
+    // Same column name and description as the generator overload:
+    // replay is observation-equivalent, including its telemetry.
+    registry.registerCounter(prefix + "trace.emitted",
+                             "micro-ops emitted by the generator",
+                             [&replay] {
+                                 return double(replay.deliveredOps());
                              });
 }
 

@@ -22,6 +22,7 @@ class CpuSimulator;
 class MulticoreSimulator;
 }
 namespace trace {
+class ReplaySource;
 class SyntheticTraceGenerator;
 }
 
@@ -111,6 +112,16 @@ void registerMulticoreMetrics(MetricsRegistry &registry,
 /** Registers a trace generator's emission counter under @p prefix. */
 void registerTraceMetrics(MetricsRegistry &registry,
                           const trace::SyntheticTraceGenerator &generator,
+                          const std::string &prefix = "");
+
+/**
+ * Replay twin of the generator overload: publishes the same
+ * "trace.emitted" column reading ReplaySource::deliveredOps(), so
+ * telemetry series are byte-identical whether a pair ran live or
+ * from a captured arena.
+ */
+void registerTraceMetrics(MetricsRegistry &registry,
+                          const trace::ReplaySource &replay,
                           const std::string &prefix = "");
 
 } // namespace telemetry

@@ -101,6 +101,32 @@ class TraceSource
     }
 
     /**
+     * Zero-copy variant of nextBatchSoA(): instead of copying lanes
+     * into a caller-owned batch, returns a pointer to a lane buffer
+     * the SOURCE owns, with @p at set to the slot of the first
+     * delivered op and @p got to the number delivered (<= @p n). The
+     * stream contract is unchanged -- the delivered ops and the
+     * post-call state are exactly those of a nextBatchSoA() pull of
+     * @p n ops, and a short @p got has the same end-of-stream /
+     * cancellation meaning.
+     *
+     * The returned lanes stay valid until the source is mutated or
+     * destroyed; callers must not write through them. Sources without
+     * a resident lane representation return nullptr (the default, and
+     * then @p at / @p got are untouched); callers fall back to
+     * nextBatchSoA(). The replay arena (trace/arena.hh) overrides
+     * this to serve captured lanes without a copy.
+     */
+    virtual const MicroOpBatch *
+    nextLanes(std::size_t n, std::size_t &at, std::size_t &got)
+    {
+        (void)n;
+        (void)at;
+        (void)got;
+        return nullptr;
+    }
+
+    /**
      * True while cooperative cancellation is holding the stream back:
      * a short return in that state does NOT mean the ops ran out, and
      * clearing the cancel flag resumes exactly where the stream

@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "suite/arena_store.hh"
+#include "suite/fanout.hh"
+#include "util/units.hh"
+
 namespace spec17 {
 namespace explore {
 namespace {
@@ -109,6 +113,62 @@ syntheticPoint(const char *label, double sse, double cost)
     result.point.costBits = cost;
     result.sse = sse;
     return result;
+}
+
+TEST(Plan, CrossProductIsRowMajorWithSummedCosts)
+{
+    const SystemConfig base = SystemConfig::haswellXeonE52650Lv3();
+    const std::vector<std::string> axes = {"way-predictor",
+                                           "predictor"};
+    const auto way = planAxis("way-predictor", base);
+    const auto pred = planAxis("predictor", base);
+    const auto cross = planCross(axes, base);
+    ASSERT_EQ(cross.size(), way.size() * pred.size());
+    for (std::size_t i = 0; i < cross.size(); ++i) {
+        const auto &outer = way[i / pred.size()];
+        const auto &inner = pred[i % pred.size()];
+        EXPECT_EQ(cross[i].axis, "way-predictor+predictor");
+        // Row-major in the given axis order, labels joined with ','.
+        EXPECT_EQ(cross[i].label, outer.label + "," + inner.label);
+        EXPECT_DOUBLE_EQ(cross[i].costBits,
+                         outer.costBits + inner.costBits)
+            << cross[i].label;
+        // Both knobs land on the combined config.
+        EXPECT_EQ(cross[i].system.hierarchy.l1d.wayPredictor,
+                  outer.system.hierarchy.l1d.wayPredictor);
+        EXPECT_EQ(cross[i].system.branchPredictor,
+                  inner.system.branchPredictor);
+    }
+}
+
+TEST(Plan, GeometryAxesGateOnTheirMechanism)
+{
+    SystemConfig base = SystemConfig::haswellXeonE52650Lv3();
+    ASSERT_NE(base.branchPredictor, "tage");
+    EXPECT_FALSE(axisPlanError("tage-geometry", base).empty());
+    EXPECT_FALSE(axisPlanError("stream-geometry", base).empty());
+    // Mechanism axes always plan.
+    for (const std::string &axis : axisNames())
+        EXPECT_EQ(axisPlanError(axis, base), "") << axis;
+
+    base.branchPredictor = "tage";
+    EXPECT_EQ(axisPlanError("tage-geometry", base), "");
+    base.hierarchy.l2Prefetcher = "stream";
+    EXPECT_EQ(axisPlanError("stream-geometry", base), "");
+
+    // The grids themselves: every point varies only its own geometry.
+    const auto tables = planAnyAxis("tage-geometry", base);
+    ASSERT_GE(tables.size(), 3u);
+    for (const auto &point : tables) {
+        EXPECT_EQ(point.system.branchPredictor, "tage");
+        EXPECT_GT(point.costBits, 0.0) << point.label;
+    }
+    const auto streams = planAnyAxis("stream-geometry", base);
+    for (const auto &point : streams) {
+        EXPECT_LE(point.system.hierarchy.streamDegree,
+                  point.system.hierarchy.streamDistance)
+            << point.label;
+    }
 }
 
 TEST(Pareto, MarksDominatedPointsAndTheKnee)
@@ -226,6 +286,64 @@ TEST(ExploreGolden, TableIsIdenticalAcrossMidSweepResume)
 
     for (const std::string &journal : journals)
         std::remove(journal.c_str());
+}
+
+TEST(ExploreGolden, CrossTableIdenticalAcrossFanoutAndJobs)
+{
+    // Reference: per-point sessions (no arena store), jobs 1.
+    ExploreOptions per_point = tinyOptions();
+    const std::vector<std::string> axes = {"way-predictor",
+                                           "l2-prefetcher"};
+    const auto baseline = ExploreRunner(per_point).runCross(axes);
+    ASSERT_EQ(baseline.size(), 12u);
+
+    // The shared-arena fan-out engine must score the bit-identical
+    // table, at any job count: one capture per pair feeding all 12
+    // points is an execution strategy, never semantics.
+    for (const unsigned jobs : {1u, 8u}) {
+        SCOPED_TRACE(::testing::Message() << "jobs=" << jobs);
+        suite::TraceArenaStore store(512 * kMiB);
+        ExploreOptions fanout = tinyOptions();
+        fanout.runner.jobs = jobs;
+        fanout.runner.arenaStore = &store;
+        ASSERT_TRUE(suite::fanoutEligible(fanout.runner));
+        expectSameTable(baseline, ExploreRunner(fanout).runCross(axes));
+        // The engine captured each pair's trace once; the points
+        // replayed it rather than re-acquiring through the store.
+        EXPECT_GT(store.stats().captures, 0u);
+    }
+}
+
+TEST(ExploreGolden, DescentFoldsEachStagesKneeIntoTheBase)
+{
+    ExploreOptions options = tinyOptions();
+    suite::TraceArenaStore store(512 * kMiB);
+    options.runner.arenaStore = &store;
+    const auto steps = ExploreRunner(options).runDescent(
+        {"way-predictor", "l2-prefetcher"});
+    ASSERT_EQ(steps.size(), 2u);
+    EXPECT_EQ(steps[0].axis, "way-predictor");
+    EXPECT_EQ(steps[1].axis, "l2-prefetcher");
+    for (const auto &step : steps) {
+        ASSERT_LT(step.chosen, step.points.size());
+        EXPECT_TRUE(step.points[step.chosen].knee);
+    }
+    // Stage 2 swept from stage 1's winner: every stage-2 point
+    // carries the folded way-predictor pick.
+    const auto picked = steps[0]
+                            .points[steps[0].chosen]
+                            .point.system.hierarchy.l1d.wayPredictor;
+    for (const auto &point : steps[1].points) {
+        EXPECT_EQ(point.point.system.hierarchy.l1d.wayPredictor,
+                  picked)
+            << point.point.label;
+    }
+
+    // A geometry axis whose mechanism the base disables is skipped,
+    // not swept: the descent yields no stage for it.
+    const auto skipped =
+        ExploreRunner(options).runDescent({"tage-geometry"});
+    EXPECT_TRUE(skipped.empty());
 }
 
 } // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TraceArenaStore tests: capture-once/replay-many semantics (first
+ * acquire captures, later acquires hit residency), least-recently-used
+ * eviction under the byte budget, uncached service of arenas larger
+ * than the whole budget, and S17A spill reload across store instances.
+ */
+
+#include "suite/arena_store.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/synthetic.hh"
+#include "util/units.hh"
+
+namespace spec17 {
+namespace suite {
+namespace {
+
+trace::SyntheticTraceParams
+params(std::uint64_t num_ops, std::uint64_t seed)
+{
+    trace::SyntheticTraceParams p;
+    p.numOps = num_ops;
+    p.seed = seed;
+    p.loadFrac = 0.25;
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.15;
+    p.regions = {
+        {trace::AccessPattern::Sequential, 128 * 1024, 64, 1.0, 1.0},
+    };
+    return p;
+}
+
+/** Resident byte size of one captured arena at @p num_ops. */
+std::uint64_t
+arenaBytes(std::uint64_t num_ops)
+{
+    return trace::captureArena(params(num_ops, 1)).byteSize();
+}
+
+TEST(ArenaStore, FirstAcquireCapturesLaterAcquiresHit)
+{
+    TraceArenaStore store(64 * kMiB);
+    const auto p = params(5000, 42);
+    const auto first = store.acquire(p);
+    ASSERT_NE(first, nullptr);
+    const auto second = store.acquire(p);
+    // Residency means the very same arena object, not an equal copy.
+    EXPECT_EQ(first.get(), second.get());
+
+    const TraceArenaStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.captures, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.residentBytes, first->byteSize());
+}
+
+TEST(ArenaStore, DistinctConfigsGetDistinctArenas)
+{
+    TraceArenaStore store(64 * kMiB);
+    const auto a = store.acquire(params(5000, 42));
+    const auto b = store.acquire(params(5000, 43));
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(store.stats().captures, 2u);
+    EXPECT_EQ(store.stats().entries, 2u);
+}
+
+TEST(ArenaStore, EvictsLeastRecentlyUsedUnderBudget)
+{
+    // Budget fits two arenas but not three; the oldest must go.
+    const std::uint64_t one = arenaBytes(5000);
+    TraceArenaStore store(2 * one + one / 2);
+    store.acquire(params(5000, 1));
+    store.acquire(params(5000, 2));
+    EXPECT_EQ(store.stats().entries, 2u);
+    store.acquire(params(5000, 3));
+
+    TraceArenaStore::Stats stats = store.stats();
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_LE(stats.residentBytes, store.budgetBytes());
+
+    // Seed 1 was the least recently used; re-acquiring it recaptures
+    // (3 first captures + this one), while a recent key still hits.
+    store.acquire(params(5000, 3));
+    EXPECT_EQ(store.stats().hits, 1u);
+    store.acquire(params(5000, 1));
+    EXPECT_EQ(store.stats().captures, 4u);
+}
+
+TEST(ArenaStore, OverBudgetArenasAreServedUncached)
+{
+    TraceArenaStore store(1024); // smaller than any captured arena
+    const auto arena = store.acquire(params(5000, 7));
+    ASSERT_NE(arena, nullptr);
+    EXPECT_EQ(arena->numOps, 5000u);
+
+    const TraceArenaStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.captures, 1u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.residentBytes, 0u);
+}
+
+TEST(ArenaStore, SpilledArenasReloadAcrossStores)
+{
+    const std::string spill_dir =
+        std::string(::testing::TempDir()) + "/arena_store_spill";
+    const auto p = params(5000, 99);
+    std::string spill_path;
+    {
+        TraceArenaStore store(64 * kMiB, spill_dir);
+        store.acquire(p);
+        EXPECT_EQ(store.stats().captures, 1u);
+        spill_path =
+            store.spillPathFor(trace::describeTraceParams(p));
+    }
+
+    // A fresh store with the same spill directory reloads instead of
+    // recapturing, and the reloaded arena replays the same stream.
+    TraceArenaStore reloaded(64 * kMiB, spill_dir);
+    const auto arena = reloaded.acquire(p);
+    ASSERT_NE(arena, nullptr);
+    EXPECT_EQ(arena->numOps, 5000u);
+    const TraceArenaStore::Stats stats = reloaded.stats();
+    EXPECT_EQ(stats.captures, 0u);
+    EXPECT_EQ(stats.spillLoads, 1u);
+    std::remove(spill_path.c_str());
+}
+
+} // namespace
+} // namespace suite
+} // namespace spec17

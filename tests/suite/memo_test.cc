@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SharedMemo unit tests: the compute-once/reuse-many primitive behind
+ * the co-run solo-baseline memo and the trace-arena store. Pins the
+ * first-write-wins contract -- losers of a publish race adopt the
+ * winner's value -- and that getOrCompute() computes outside the lock
+ * exactly when the key is absent.
+ */
+
+#include "suite/memo.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spec17 {
+namespace suite {
+namespace {
+
+TEST(SharedMemo, TryGetMissesUntilPublished)
+{
+    SharedMemo<std::string, int> memo;
+    EXPECT_FALSE(memo.tryGet("a").has_value());
+    EXPECT_EQ(memo.size(), 0u);
+
+    EXPECT_EQ(memo.publish("a", 7), 7);
+    ASSERT_TRUE(memo.tryGet("a").has_value());
+    EXPECT_EQ(*memo.tryGet("a"), 7);
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(SharedMemo, PublishIsFirstWriteWins)
+{
+    SharedMemo<std::string, int> memo;
+    EXPECT_EQ(memo.publish("key", 1), 1);
+    // The second writer lost the race: it gets the winner's value
+    // back and the stored value is unchanged.
+    EXPECT_EQ(memo.publish("key", 2), 1);
+    EXPECT_EQ(*memo.tryGet("key"), 1);
+}
+
+TEST(SharedMemo, GetOrComputeComputesOnlyOnMiss)
+{
+    SharedMemo<int, int> memo;
+    int computed = 0;
+    const auto compute = [&computed] { return ++computed * 10; };
+    EXPECT_EQ(memo.getOrCompute(5, compute), 10);
+    EXPECT_EQ(memo.getOrCompute(5, compute), 10);
+    EXPECT_EQ(computed, 1);
+}
+
+TEST(SharedMemo, EraseDropsExactlyTheKey)
+{
+    SharedMemo<int, int> memo;
+    memo.publish(1, 10);
+    memo.publish(2, 20);
+    EXPECT_TRUE(memo.erase(1));
+    EXPECT_FALSE(memo.erase(1));
+    EXPECT_FALSE(memo.tryGet(1).has_value());
+    EXPECT_EQ(*memo.tryGet(2), 20);
+
+    memo.clear();
+    EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(SharedMemo, ForEachVisitsInKeyOrder)
+{
+    SharedMemo<int, int> memo;
+    memo.publish(3, 30);
+    memo.publish(1, 10);
+    memo.publish(2, 20);
+    std::vector<int> keys;
+    memo.forEach([&keys](int key, int) { keys.push_back(key); });
+    EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SharedMemo, RacingComputationsAgreeOnOneValue)
+{
+    // Every racer computes its own candidate; whatever publishes
+    // first wins and every thread ends up holding that one value --
+    // the deterministic-computation contract the solo-baseline memo
+    // and the arena store rely on.
+    SharedMemo<int, int> memo;
+    std::atomic<int> next{0};
+    std::vector<int> seen(8, -1);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            seen[static_cast<std::size_t>(t)] = memo.getOrCompute(
+                0, [&next] { return 100 + next.fetch_add(1); });
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    ASSERT_TRUE(memo.tryGet(0).has_value());
+    const int winner = *memo.tryGet(0);
+    for (int value : seen)
+        EXPECT_EQ(value, winner);
+    EXPECT_EQ(memo.size(), 1u);
+}
+
+} // namespace
+} // namespace suite
+} // namespace spec17

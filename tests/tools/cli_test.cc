@@ -634,6 +634,112 @@ TEST(CliRun, ExploreValidatesItsAxis)
     EXPECT_NE(err2.str().find("l2-prefetcher"), std::string::npos);
 }
 
+TEST(CliRun, ExploreMultiAxisContradictionsAreContainedErrors)
+{
+    std::ostringstream out;
+    const auto expectUsageError =
+        [&](std::initializer_list<const char *> argv,
+            const char *needle) {
+        std::ostringstream err;
+        EXPECT_EQ(runCommand(parse(argv), out, err), 2);
+        EXPECT_NE(err.str().find(needle), std::string::npos)
+            << "wanted '" << needle << "' in: " << err.str();
+    };
+
+    // One sweep shape per run.
+    expectUsageError({"explore", "--axis=predictor",
+                      "--multi-axis=predictor,way-predictor"},
+                     "contradictory");
+    // Fewer than two axes is what --axis is for.
+    expectUsageError({"explore", "--multi-axis=predictor"},
+                     "two or more");
+    // Repeating an axis would square its grid for nothing.
+    expectUsageError({"explore", "--multi-axis=predictor,predictor"},
+                     "repeats axis");
+    // Unknown axes list the accepted names, geometry grids included.
+    expectUsageError({"explore", "--multi-axis=predictor,voltage"},
+                     "tage-geometry");
+    // The mode flag is meaningless without a multi-axis sweep, and
+    // only knows product/descent.
+    expectUsageError({"explore", "--axis=predictor",
+                      "--multi-axis-mode=descent"},
+                     "without --multi-axis");
+    expectUsageError({"explore",
+                      "--multi-axis=predictor,way-predictor",
+                      "--multi-axis-mode=random"},
+                     "product|descent");
+    // A geometry grid over a mechanism the base config disables would
+    // score identical points: rejected before any simulation.
+    expectUsageError({"explore",
+                      "--multi-axis=tage-geometry,way-predictor"},
+                     "select tage first");
+    expectUsageError({"explore",
+                      "--multi-axis=stream-geometry,way-predictor"},
+                     "stream prefetcher");
+}
+
+TEST(CliRun, ArenaFlagContradictionsAreContainedErrors)
+{
+    // Spilling with capture/replay disabled has nothing to spill.
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"stat", "505.mcf_r",
+                                "--trace-arena-mb=0",
+                                "--arena-spill-dir=/tmp/spec17_spill"}),
+                         out, err),
+              2);
+    EXPECT_NE(err.str().find("contradictory"), std::string::npos)
+        << err.str();
+    EXPECT_NE(err.str().find("nothing to spill"), std::string::npos);
+}
+
+TEST(CliRun, ExploreRunsAMultiAxisCrossProduct)
+{
+    const std::string csv_path =
+        std::string(::testing::TempDir()) + "/cli_explore_cross.csv";
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"explore",
+                                "--multi-axis=way-predictor,predictor",
+                                "--suite=cpu2006", "--size=test",
+                                "--sample=2000", "--warmup=500",
+                                "--no-cache", "--jobs=4",
+                                ("--explore-out=" + csv_path)
+                                    .c_str()}),
+                         out, err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("design-space sweep of axis "
+                             "'way-predictor+predictor (cross)'"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("knee:"), std::string::npos);
+    // Row-major product: combined labels appear in the table.
+    for (const char *label : {"none,tage", "mru,bimodal",
+                              "utag,tournament"})
+        EXPECT_NE(out.str().find(label), std::string::npos) << label;
+    std::remove(csv_path.c_str());
+}
+
+TEST(CliRun, ExploreRunsACoordinateDescent)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(runCommand(parse({"explore",
+                                "--multi-axis=way-predictor,"
+                                "l2-prefetcher",
+                                "--multi-axis-mode=descent",
+                                "--suite=cpu2006", "--size=test",
+                                "--sample=2000", "--warmup=500",
+                                "--no-cache", "--jobs=4"}),
+                         out, err),
+              0)
+        << err.str();
+    // One folded pick per stage, in axis order.
+    EXPECT_NE(out.str().find("descent step 1 (way-predictor):"),
+              std::string::npos)
+        << out.str();
+    EXPECT_NE(out.str().find("descent step 2 (l2-prefetcher):"),
+              std::string::npos);
+}
+
 TEST(CliRun, ExploreSweepsOneAxisAndMarksTheKnee)
 {
     const std::string csv_path =
@@ -666,8 +772,10 @@ TEST(CliRun, UsageDocumentsUarchAndExploreFlags)
     for (const char *needle :
          {"--l2-prefetcher", "--way-predictor", "--way-penalty",
           "--stream-degree", "--stream-distance", "--tage-tables",
-          "--axis", "--explore-out", "uarch mechanisms",
-          "design-space exploration"})
+          "--axis", "--multi-axis", "--multi-axis-mode",
+          "--trace-arena-mb", "--arena-spill-dir", "--explore-out",
+          "uarch mechanisms", "design-space exploration",
+          "trace capture/replay"})
         EXPECT_NE(text.find(needle), std::string::npos) << needle;
 }
 

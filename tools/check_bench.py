@@ -14,6 +14,12 @@ Two checks, both on the JSON bench_hot_path emits:
    wall time; the slack absorbs shared-runner noise, not real
    regressions.
 
+Besides bench_hot_path's native {"batched": [...]} shape (which
+bench_explore reuses), the gate accepts bench_corun's shape -- a
+single {"parallel": {...}} lane plus results_identical /
+byte_identical booleans -- by normalizing it to one batched point
+whose "identical" is the conjunction of both booleans.
+
 Usage: tools/check_bench.py fresh.json baseline.json [--slack 0.85]
 """
 
@@ -22,11 +28,28 @@ import json
 import sys
 
 
+def points(result):
+    """The bench's timed points, normalized to the batched shape."""
+    if "batched" in result:
+        return result["batched"]
+    if "parallel" in result:
+        lane = result["parallel"]
+        return [
+            {
+                "batch_ops": lane.get("jobs"),
+                "speedup": lane["speedup"],
+                "identical": bool(result.get("results_identical"))
+                and bool(result.get("byte_identical")),
+            }
+        ]
+    return []
+
+
 def best_speedup(result):
-    points = result.get("batched", [])
-    if not points:
+    timed = points(result)
+    if not timed:
         raise SystemExit("no batched points in bench result")
-    return max(float(p["speedup"]) for p in points)
+    return max(float(p["speedup"]) for p in timed)
 
 
 def main():
@@ -48,7 +71,7 @@ def main():
         baseline = json.load(f)
 
     failures = []
-    for point in fresh.get("batched", []):
+    for point in points(fresh):
         if not point.get("identical", False):
             failures.append(
                 "batch_ops=%s: identical is not true -- the batched "

@@ -18,6 +18,7 @@
 #include "explore/runner.hh"
 #include "sim/energy.hh"
 #include "sim/simulator.hh"
+#include "suite/arena_store.hh"
 #include "suite/journal.hh"
 #include "suite/result_cache.hh"
 #include "telemetry/progress.hh"
@@ -117,6 +118,25 @@ runnerOptionsOf(const CommandLine &command)
     options.batchOps = command.flagUint("batch-ops", 0);
     options.unbatchedStepping = command.hasFlag("unbatched-stepping");
     return options;
+}
+
+/**
+ * Builds the trace arena store for --trace-arena-mb (default 512 MiB;
+ * 0 disables capture/replay), or nullptr when disabled. The caller
+ * owns the store and must keep it alive for the runners' lifetime.
+ * Whether a store is attached never changes result bytes (replay is
+ * draw-for-draw identical to generation), so none of these knobs
+ * enter result-cache config keys.
+ */
+std::unique_ptr<suite::TraceArenaStore>
+arenaStoreOf(const CommandLine &command)
+{
+    const std::uint64_t budget_mb =
+        command.flagUint("trace-arena-mb", 512);
+    if (budget_mb == 0)
+        return nullptr;
+    return std::make_unique<suite::TraceArenaStore>(
+        budget_mb * kMiB, command.flag("arena-spill-dir", ""));
 }
 
 /**
@@ -272,6 +292,8 @@ cmdStat(const CommandLine &command, std::ostream &out,
     if (!sink_ok)
         return 2;
     runner_options.telemetrySink = sink.get();
+    const auto arena_store = arenaStoreOf(command);
+    runner_options.arenaStore = arena_store.get();
     suite::SuiteRunner runner(runner_options);
     const auto result = runner.runPair({profile, size, input});
 
@@ -465,6 +487,8 @@ cmdCharacterize(const CommandLine &command, std::ostream &out,
     if (!sink_ok)
         return 2;
     options.runner.telemetrySink = sink.get();
+    const auto arena_store = arenaStoreOf(command);
+    options.runner.arenaStore = arena_store.get();
     if (command.hasFlag("no-cache"))
         options.cachePath.clear();
     options.resume = command.hasFlag("resume");
@@ -621,6 +645,8 @@ cmdCorun(const CommandLine &command, std::ostream &out,
         err << "error: --corun-chunk must be positive\n";
         return 2;
     }
+    const auto arena_store = arenaStoreOf(command);
+    options.arenaStore = arena_store.get();
 
     corun::PlanOptions plan;
     plan.apps = apps;
@@ -828,8 +854,64 @@ int
 cmdExplore(const CommandLine &command, std::ostream &out,
            std::ostream &err)
 {
+    // Plan-shape flags first: --axis sweeps one mechanism axis,
+    // --multi-axis crosses (or descends) two or more axes including
+    // the geometry grids. Contradictions are contained exit-2 usage
+    // errors, caught before any simulation starts.
     const std::string axis = command.flag("axis");
-    if (!explore::isAxis(axis)) {
+    std::vector<std::string> multi;
+    if (command.hasFlag("multi-axis")) {
+        std::string cell;
+        std::istringstream stream(command.flag("multi-axis"));
+        while (std::getline(stream, cell, ','))
+            if (!cell.empty())
+                multi.push_back(cell);
+    }
+    const std::string mode = command.flag("multi-axis-mode", "product");
+    if (command.hasFlag("multi-axis-mode")
+        && !command.hasFlag("multi-axis")) {
+        err << "error: --multi-axis-mode without --multi-axis has "
+               "nothing to apply to\n";
+        return 2;
+    }
+    if (mode != "product" && mode != "descent") {
+        err << "error: unknown --multi-axis-mode '" << mode
+            << "' (want product|descent)\n";
+        return 2;
+    }
+    if (command.hasFlag("axis") && command.hasFlag("multi-axis")) {
+        err << "error: --axis is contradictory with --multi-axis "
+               "(one sweep shape per run)\n";
+        return 2;
+    }
+    if (command.hasFlag("multi-axis")) {
+        if (multi.size() < 2) {
+            err << "error: --multi-axis wants two or more "
+                   "comma-separated axes (use --axis for one)\n";
+            return 2;
+        }
+        for (std::size_t i = 0; i < multi.size(); ++i) {
+            for (std::size_t j = i + 1; j < multi.size(); ++j) {
+                if (multi[i] == multi[j]) {
+                    err << "error: --multi-axis repeats axis '"
+                        << multi[i] << "'\n";
+                    return 2;
+                }
+            }
+            if (!explore::isAxis(multi[i])
+                && !explore::isGeometryAxis(multi[i])) {
+                err << "error: unknown --multi-axis axis '" << multi[i]
+                    << "' (want one of";
+                for (const std::string &name : explore::axisNames())
+                    err << " " << name;
+                for (const std::string &name :
+                     explore::geometryAxisNames())
+                    err << " " << name;
+                err << ")\n";
+                return 2;
+            }
+        }
+    } else if (!explore::isAxis(axis)) {
         err << "error: explore needs --axis=AXIS with AXIS one of";
         for (const std::string &name : explore::axisNames())
             err << " " << name;
@@ -851,8 +933,21 @@ cmdExplore(const CommandLine &command, std::ostream &out,
     // the study-run sample sizes.
     options.runner.sampleOps = command.flagUint("sample", 400'000);
     options.runner.warmupOps = command.flagUint("warmup", 150'000);
+    const auto arena_store = arenaStoreOf(command);
+    options.runner.arenaStore = arena_store.get();
     options.generation = generation;
     options.size = size;
+    // A geometry grid over a mechanism the configured base disables
+    // would score identical points: contained usage error, with the
+    // planner's own explanation.
+    for (const std::string &name : multi) {
+        const std::string plan_error =
+            explore::axisPlanError(name, options.runner.system);
+        if (!plan_error.empty()) {
+            err << "error: " << plan_error << "\n";
+            return 2;
+        }
+    }
     if (command.hasFlag("no-cache"))
         options.cachePath.clear();
     options.resume = command.hasFlag("resume");
@@ -885,8 +980,20 @@ cmdExplore(const CommandLine &command, std::ostream &out,
 
     explore::ExploreRunner runner(options);
     std::vector<explore::PointResult> results;
+    std::vector<explore::DescentStep> descent;
     try {
-        results = runner.runAxis(axis);
+        if (multi.empty()) {
+            results = runner.runAxis(axis);
+        } else if (mode == "product") {
+            results = runner.runCross(multi);
+        } else {
+            descent = runner.runDescent(multi);
+            // Flatten for the shared renderers; each stage keeps its
+            // own Pareto marks (the axis column tells stages apart).
+            for (const auto &step : descent)
+                results.insert(results.end(), step.points.begin(),
+                               step.points.end());
+        }
     } catch (const suite::JournalConfigMismatchError &e) {
         err << "error: " << e.what() << "\n";
         return 2;
@@ -933,16 +1040,35 @@ cmdExplore(const CommandLine &command, std::ostream &out,
         table.renderCsv(out);
         return 0;
     }
-    out << "design-space sweep of axis '" << axis << "' ("
+    std::string sweep_label = axis;
+    if (!multi.empty()) {
+        sweep_label.clear();
+        for (std::size_t i = 0; i < multi.size(); ++i)
+            sweep_label += (i == 0 ? "" : "+") + multi[i];
+        sweep_label +=
+            mode == "descent" ? " (coordinate descent)" : " (cross)";
+    }
+    out << "design-space sweep of axis '" << sweep_label << "' ("
         << results.size() << " point(s), "
         << workloads::inputSizeName(size)
         << "; * = Pareto-optimal, knee = selected trade-off):\n";
     table.render(out);
-    for (const auto &r : results) {
-        if (r.knee) {
-            out << "knee: " << r.point.label << " (SSE "
-                << fmtDouble(r.sse, 3) << ", "
-                << fmtDouble(r.point.costBits, 0) << " bits)\n";
+    if (descent.empty()) {
+        for (const auto &r : results) {
+            if (r.knee) {
+                out << "knee: " << r.point.label << " (SSE "
+                    << fmtDouble(r.sse, 3) << ", "
+                    << fmtDouble(r.point.costBits, 0) << " bits)\n";
+            }
+        }
+    } else {
+        for (std::size_t k = 0; k < descent.size(); ++k) {
+            const explore::PointResult &pick =
+                descent[k].points[descent[k].chosen];
+            out << "descent step " << k + 1 << " (" << descent[k].axis
+                << "): " << pick.point.label << " (SSE "
+                << fmtDouble(pick.sse, 3) << ", "
+                << fmtDouble(pick.point.costBits, 0) << " bits)\n";
         }
     }
     return 0;
@@ -1288,8 +1414,24 @@ flagTable()
          "swept axis: predictor|prefetcher|l2-prefetcher|"
          "way-predictor",
          "design-space exploration (explore)"},
+        {"multi-axis", "A,B,...",
+         "sweep two or more axes together (mechanism axes plus "
+         "tage-geometry|stream-geometry grids)",
+         "design-space exploration (explore)"},
+        {"multi-axis-mode", "MODE",
+         "product (cross every combination, default) or descent "
+         "(per-axis knee folded into the base)",
+         "design-space exploration (explore)"},
         {"explore-out", "FILE", "write the Pareto table as CSV",
          "design-space exploration (explore)"},
+        {"trace-arena-mb", "N",
+         "trace-arena byte budget in MiB (default 512; 0 disables "
+         "capture/replay); results are byte-identical either way",
+         "trace capture/replay (stat, characterize, explore, corun)"},
+        {"arena-spill-dir", "DIR",
+         "persist captured arenas as S17A files under DIR; evicted "
+         "or cross-run arenas reload instead of recapturing",
+         "trace capture/replay (stat, characterize, explore, corun)"},
     };
     return table;
 }
@@ -1312,6 +1454,8 @@ usage()
         "the shared L3\n"
         "  explore --axis=AXIS          one-axis uarch design-space "
         "sweep (SSE-vs-cost Pareto table)\n"
+        "  explore --multi-axis=A,B     multi-axis sweep: cross-"
+        "product grid or coordinate descent\n"
         "  subset                       suggest a representative "
         "subset\n"
         "  phases <app>                 phase analysis of one pair\n"
@@ -1376,6 +1520,16 @@ runCommand(const CommandLine &command, std::ostream &out,
     // contradictory combinations are contained usage errors here,
     // before any simulator construction can hit the library-level
     // fatal checks.
+    // Spilling exists to persist captured arenas; with capture/replay
+    // disabled there is nothing to spill, so the combination is a
+    // contradiction rather than a silent no-op.
+    if (command.hasFlag("arena-spill-dir")
+        && command.flagUint("trace-arena-mb", 512) == 0) {
+        err << "error: --arena-spill-dir is contradictory with "
+               "--trace-arena-mb=0 (trace capture/replay disabled, "
+               "nothing to spill)\n";
+        return 2;
+    }
     if (command.hasFlag("way-predictor")) {
         const std::string name = command.flag("way-predictor");
         if (name != "none" && name != "mru" && name != "utag") {
